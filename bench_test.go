@@ -1,0 +1,687 @@
+// Benchmark harness regenerating the paper's evaluation artifacts (see
+// DESIGN.md §3 and EXPERIMENTS.md for the mapping and recorded results):
+//
+//	Table 1 (§2.1, view side-effect):   BenchmarkTable1_*
+//	Table 2 (§2.2, source side-effect): BenchmarkTable2_*
+//	Table 3 (§3.1, annotation):         BenchmarkTable3_*
+//	Figure 1/2/3 (reductions):          BenchmarkFigure*_Reduction
+//	Theorem 2.6 (chain joins):          BenchmarkChainJoin_*
+//	Theorem 3.1 (normal form):          BenchmarkNormalForm
+//	Cui–Widom baseline:                 BenchmarkBaseline_CuiWidom
+//	Ablations:                          BenchmarkAblation_*
+//
+// The paper has no wall-clock numbers; the claims are complexity shapes.
+// The P-row benches scale the data (ns/op should grow polynomially); the
+// NP-hard-row benches scale the instance (vars/sets) and blow up; the
+// approximation benches report cost ratios via ReportMetric.
+package propview_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/annotation"
+	"repro/internal/core"
+	"repro/internal/deletion"
+	"repro/internal/provenance"
+	"repro/internal/reduction"
+	"repro/internal/sat"
+	"repro/internal/setcover"
+	"repro/internal/workload"
+)
+
+// --- Table 1: view side-effect problem ---
+
+// P row: SPU queries, scaling data size. Expect polynomial growth.
+func BenchmarkTable1_SPU_Poly(b *testing.B) {
+	for _, rows := range []int{100, 400, 1600} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			db, q := workload.SPU(r, 3, rows, rows/4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Fatal("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.ViewSPU(q, db, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// P row: SJ queries, scaling data size.
+func BenchmarkTable1_SJ_Poly(b *testing.B) {
+	for _, rows := range []int{100, 400, 1600} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(2))
+			db, q := workload.SJ(r, rows, rows/4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Fatal("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.ViewSJ(q, db, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// NP-hard row: PJ side-effect-free decision on monotone-3SAT-derived
+// instances (Theorem 2.1). Growth in vars is the hardness signature.
+func BenchmarkTable1_PJ_Exact(b *testing.B) {
+	for _, vars := range []int{4, 6, 8, 10, 12} {
+		b.Run("vars="+strconv.Itoa(vars), func(b *testing.B) {
+			// Average over several instances (satisfiable ones short-
+			// circuit; unsatisfiable ones force the full search).
+			r := rand.New(rand.NewSource(3))
+			var ins []*reduction.ViewPJInstance
+			for k := 0; k < 5; k++ {
+				f := sat.RandomMonotone3SAT(r, vars, 2*vars)
+				in, err := reduction.EncodeViewPJ(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ins = append(ins, in)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := ins[i%len(ins)]
+				if _, _, err := deletion.HasSideEffectFreeDeletion(in.Query, in.DB, in.Target, deletion.ViewOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// NP-hard row: JU side-effect-free decision (Theorem 2.2).
+func BenchmarkTable1_JU_Exact(b *testing.B) {
+	for _, vars := range []int{4, 6, 8, 10, 12} {
+		b.Run("vars="+strconv.Itoa(vars), func(b *testing.B) {
+			r := rand.New(rand.NewSource(4))
+			var ins []*reduction.ViewJUInstance
+			for k := 0; k < 5; k++ {
+				f := sat.RandomMonotone3SAT(r, vars, 2*vars)
+				in, err := reduction.EncodeViewJU(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ins = append(ins, in)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := ins[i%len(ins)]
+				if _, _, err := deletion.HasSideEffectFreeDeletion(in.Query, in.DB, in.Target, deletion.ViewOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 2: source side-effect problem ---
+
+func BenchmarkTable2_SPU_Poly(b *testing.B) {
+	for _, rows := range []int{100, 400, 1600} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(5))
+			db, q := workload.SPU(r, 3, rows, rows/4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Fatal("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.SourceSPU(q, db, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2_SJ_Poly(b *testing.B) {
+	for _, rows := range []int{100, 400, 1600} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(6))
+			db, q := workload.SJ(r, rows, rows/4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Fatal("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.SourceSJ(q, db, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// NP-hard row: exact minimum source deletion on random PJ data. The
+// reported "deletions" metric is the optimum size.
+func BenchmarkTable2_PJ_Exact(b *testing.B) {
+	for _, rows := range []int{10, 20, 40} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(7))
+			db, q := workload.TwoRelationPJ(r, rows, 4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Fatal("empty view")
+			}
+			var dels int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := deletion.SourceExact(q, db, target, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dels = len(res.T)
+			}
+			b.ReportMetric(float64(dels), "deletions")
+		})
+	}
+}
+
+// Approximation quality: greedy vs exact cost ratio stays ≤ H(n)
+// (Theorems 2.5/2.7 say no poly algorithm beats Θ(log n)).
+func BenchmarkTable2_GreedyVsExact(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	// Hitting-set-derived JU instances (Theorem 2.7's family).
+	sets := make([][]int, 6)
+	n := 8
+	for i := range sets {
+		sets[i] = []int{r.Intn(n)}
+		for e := 0; e < n; e++ {
+			if r.Intn(3) == 0 {
+				sets[i] = append(sets[i], e)
+			}
+		}
+	}
+	sys := setcover.MustInstance(n, sets...)
+	in, err := reduction.EncodeSourceJU(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact, err := deletion.SourceExact(in.Query, in.DB, in.Target, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy, err := deletion.SourceGreedy(in.Query, in.DB, in.Target, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(len(greedy.T)) / float64(len(exact.T))
+	}
+	b.ReportMetric(ratio, "greedy/exact")
+	b.ReportMetric(setcover.HarmonicBound(n), "H(n)-bound")
+}
+
+// --- Theorem 2.6: chain joins ---
+
+func BenchmarkChainJoin_MinCut(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			r := rand.New(rand.NewSource(9))
+			db, q := workload.Chain(r, k, 30, 4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Skip("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.SourceChainMinCut(q, db, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the generic exact solver on the same chain instances — the
+// min-cut specialization should win and the gap widen with k.
+func BenchmarkChainJoin_GenericExact(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			r := rand.New(rand.NewSource(9))
+			db, q := workload.Chain(r, k, 10, 3)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Skip("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.SourceExact(q, db, target, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 3: annotation placement ---
+
+func BenchmarkTable3_SPU_Poly(b *testing.B) {
+	for _, rows := range []int{100, 400, 1600} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(10))
+			db, q := workload.SPU(r, 3, rows, rows/4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Fatal("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := annotation.PlaceSPU(q, db, target, "A")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !p.SideEffectFree() {
+					b.Fatal("Theorem 3.3 violated")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable3_SJU_Poly(b *testing.B) {
+	for _, rows := range []int{50, 200, 800} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(11))
+			db, q := workload.SJU(r, rows, rows/4)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Skip("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := annotation.PlaceSJU(q, db, target, "B"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// NP-hard row: PJ placement on 3SAT-derived instances (Theorem 3.2).
+// Growth in clauses is the hardness signature (the join has one relation
+// per clause).
+func BenchmarkTable3_PJ_Exact(b *testing.B) {
+	for _, clauses := range []int{2, 3, 4, 5, 6} {
+		b.Run("clauses="+strconv.Itoa(clauses), func(b *testing.B) {
+			r := rand.New(rand.NewSource(12))
+			var ins []*reduction.AnnPJInstance
+			for k := 0; k < 5; k++ {
+				f := sat.RandomConnected3SAT(r, clauses+2, clauses)
+				in, err := reduction.EncodeAnnPJ(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ins = append(ins, in)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := ins[i%len(ins)]
+				if _, err := annotation.Place(in.Query, in.DB, in.TargetTuple, in.TargetAttr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 1-3: the reduction constructions themselves ---
+
+func BenchmarkFigure1_Reduction(b *testing.B) {
+	f := sat.PaperFormula()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := reduction.EncodeViewPJ(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		free, _, err := deletion.HasSideEffectFreeDeletion(in.Query, in.DB, in.Target, deletion.ViewOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !free {
+			b.Fatal("paper instance is satisfiable; deletion must be free")
+		}
+	}
+}
+
+func BenchmarkFigure2_Reduction(b *testing.B) {
+	f := sat.PaperFormula()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := reduction.EncodeViewJU(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		free, _, err := deletion.HasSideEffectFreeDeletion(in.Query, in.DB, in.Target, deletion.ViewOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !free {
+			b.Fatal("paper instance is satisfiable; deletion must be free")
+		}
+	}
+}
+
+func BenchmarkFigure3_Reduction(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run("universe="+strconv.Itoa(n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(13))
+			sets := make([][]int, n)
+			for i := range sets {
+				sets[i] = []int{r.Intn(n)}
+				for e := 0; e < n; e++ {
+					if r.Intn(2) == 0 {
+						sets[i] = append(sets[i], e)
+					}
+				}
+			}
+			sys := setcover.MustInstance(n, sets...)
+			in, err := reduction.EncodeSourcePJ(sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := deletion.SourceExact(in.Query, in.DB, in.Target, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hs, err := setcover.ExactHittingSet(sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.T) != len(hs) {
+					b.Fatal("Theorem 2.5 equivalence violated")
+				}
+			}
+		})
+	}
+}
+
+// --- Theorem 3.1: normal form ---
+
+func BenchmarkNormalForm(b *testing.B) {
+	// A deep query mixing every operator.
+	q := algebra.Sigma(algebra.Eq("A", "x"),
+		algebra.Pi([]string{"A", "B"},
+			algebra.NatJoin(
+				algebra.Un(algebra.R("R"), algebra.R("T")),
+				algebra.Un(algebra.R("S"), algebra.R("S2")))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := algebra.Normalize(q)
+		if !algebra.IsNormalForm(n) {
+			b.Fatal("not a fixpoint")
+		}
+	}
+}
+
+// --- Baseline: Cui–Widom lineage enumeration vs witness-based exact ---
+
+func BenchmarkBaseline_CuiWidom(b *testing.B) {
+	for _, rows := range []int{10, 20} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(14))
+			db, q := workload.UserGroupFile(r, rows, rows/2, rows, 2, 2)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Skip("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.CuiWidom(q, db, target, deletion.CuiWidomOptions{MaxEvaluations: 100000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBaseline_ViewExactSameInstances(b *testing.B) {
+	for _, rows := range []int{10, 20} {
+		b.Run("rows="+strconv.Itoa(rows), func(b *testing.B) {
+			r := rand.New(rand.NewSource(14))
+			db, q := workload.UserGroupFile(r, rows, rows/2, rows, 2, 2)
+			target, ok := workload.PickViewTuple(r, q, db)
+			if !ok {
+				b.Skip("empty view")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := deletion.ViewExact(q, db, target, deletion.ViewOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations ---
+
+// Witness basis via derivation tracking vs naive subset enumeration.
+func BenchmarkAblation_WitnessBasis(b *testing.B) {
+	r := rand.New(rand.NewSource(15))
+	db, q := workload.TwoRelationPJ(r, 12, 3)
+	target, ok := workload.PickViewTuple(r, q, db)
+	if !ok {
+		b.Skip("empty view")
+	}
+	b.Run("derivation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := provenance.Compute(q, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.Witnesses(target)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := provenance.WitnessesNaive(q, db, target); err != nil {
+				b.Skip(err) // infeasible above 20 lineage tuples
+			}
+		}
+	})
+}
+
+// Placement via one where-provenance pass vs per-candidate forward runs.
+func BenchmarkAblation_PlacementPruning(b *testing.B) {
+	r := rand.New(rand.NewSource(16))
+	db, q := workload.Curation(r, 30, 2)
+	target, ok := workload.PickViewTuple(r, q, db)
+	if !ok {
+		b.Skip("empty view")
+	}
+	attr := "function"
+	b.Run("single-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := annotation.Place(q, db, target, attr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-candidate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wv, err := annotation.ComputeWhere(q, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cands := wv.WhereOf(target, attr)
+			best := -1
+			for _, c := range cands {
+				aff, err := annotation.ForwardPropagate(q, db, c) // re-evaluates every time
+				if err != nil {
+					b.Fatal(err)
+				}
+				if best < 0 || aff.Len() < best {
+					best = aff.Len()
+				}
+			}
+		}
+	})
+}
+
+// Heuristic vs exact on the view side-effect problem: the heuristic is
+// polynomial, the exact solver exponential; ReportMetric records the
+// quality gap (extra side-effects) the speed buys.
+func BenchmarkAblation_ViewHeuristic(b *testing.B) {
+	r := rand.New(rand.NewSource(20))
+	db, q := workload.TwoRelationPJ(r, 25, 4)
+	target, ok := workload.PickViewTuple(r, q, db)
+	if !ok {
+		b.Skip("empty view")
+	}
+	exact, err := deletion.ViewExact(q, db, target, deletion.ViewOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("heuristic", func(b *testing.B) {
+		var extra int
+		for i := 0; i < b.N; i++ {
+			h, err := deletion.ViewHeuristic(q, db, target, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			extra = len(h.SideEffects) - len(exact.SideEffects)
+		}
+		b.ReportMetric(float64(extra), "extra-side-effects")
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deletion.ViewExact(q, db, target, deletion.ViewOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Batch placement: one where-provenance pass for every view cell vs. a
+// Place call per cell.
+func BenchmarkAblation_PlaceAll(b *testing.B) {
+	r := rand.New(rand.NewSource(18))
+	db, q := workload.Curation(r, 25, 2)
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := annotation.PlaceAll(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-cell", func(b *testing.B) {
+		view, err := algebra.Eval(q, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range view.Tuples() {
+				for _, a := range view.Schema().Attrs() {
+					if _, err := annotation.Place(q, db, t, a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// Group deletion vs a per-tuple loop on the same batch of targets.
+func BenchmarkGroupDeletion(b *testing.B) {
+	r := rand.New(rand.NewSource(19))
+	db, q := workload.UserGroupFile(r, 15, 6, 12, 2, 2)
+	view, err := algebra.Eval(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if view.Len() < 4 {
+		b.Skip("small view")
+	}
+	targets := view.Tuples()[:4]
+	b.Run("group", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deletion.SourceExactGroup(q, db, targets, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-tuple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range targets {
+				if _, err := deletion.SourceExact(q, db, t, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// Join-order optimization: evaluation work with and without OptimizeJoins
+// on a skew-sized chain presented in the worst order.
+func BenchmarkAblation_JoinOrder(b *testing.B) {
+	r := rand.New(rand.NewSource(23))
+	db, _ := workload.Chain(r, 4, 40, 4)
+	// Worst order: R1 ⋈ R3 and R2 ⋈ R4 are cross products.
+	bad := algebra.NatJoin(algebra.R("R1"), algebra.R("R3"), algebra.R("R2"), algebra.R("R4"))
+	opt := algebra.OptimizeJoins(bad, db)
+	b.Run("unoptimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.Eval(bad, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.Eval(opt, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Router overhead: the core dispatch on top of the direct algorithms.
+func BenchmarkRouter_Delete(b *testing.B) {
+	r := rand.New(rand.NewSource(17))
+	db, q := workload.Chain(r, 3, 40, 5)
+	target, ok := workload.PickViewTuple(r, q, db)
+	if !ok {
+		b.Skip("empty view")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Delete(q, db, target, core.MinimizeSourceDeletions, core.DeleteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ExampleDichotomy pins the three tables in testable output form.
+func Example() {
+	fmt.Print(core.FormatTable(algebra.ProblemAnnotationPlacement))
+	// Output:
+	// Query class              annotation placement
+	// queries involving PJ     NP-hard
+	// queries involving JU     P
+	// SPU                      P
+	// SJ                       P
+	// SJU                      P
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintTables(t *testing.T) {
+	var b strings.Builder
+	printTables(&b)
+	out := b.String()
+	for _, want := range []string{"§2.1", "§2.2", "§3.1", "NP-hard", "SPU", "SJU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+	// The annotation table must show JU as P while the deletion tables
+	// show it NP-hard — the headline asymmetry of the paper.
+	annIdx := strings.Index(out, "§3.1")
+	delPart, annPart := out[:annIdx], out[annIdx:]
+	if !strings.Contains(delPart, "queries involving JU     NP-hard") {
+		t.Error("deletion tables must mark JU NP-hard")
+	}
+	if !strings.Contains(annPart, "queries involving JU     P") {
+		t.Error("annotation table must mark JU polynomial")
+	}
+}
+
+func TestClassifyQuery(t *testing.T) {
+	var b strings.Builder
+	if err := classifyQuery(&b, "project(A; join(R, S))"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "fragment: PJ") {
+		t.Errorf("output missing fragment: %s", out)
+	}
+	if strings.Count(out, "NP-hard") != 3 {
+		t.Errorf("PJ is NP-hard for all three problems: %s", out)
+	}
+}
+
+func TestClassifyQueryParseError(t *testing.T) {
+	var b strings.Builder
+	if err := classifyQuery(&b, "join("); err == nil {
+		t.Error("malformed query must error")
+	}
+}

@@ -1,0 +1,235 @@
+// Command propview evaluates monotone relational queries over a text
+// database and solves the paper's view-update problems from the command
+// line.
+//
+// Usage:
+//
+//	propview -db data.txt -q 'project(user, file; join(UserGroup, GroupFile))' eval
+//	propview -db data.txt -q QUERY delete -tuple 'john, f2' [-objective view|source] [-greedy]
+//	propview -db data.txt -q QUERY annotate -tuple 'john, f2' -attr file
+//	propview -db data.txt -q QUERY witnesses -tuple 'john, f1'
+//
+// The database file format is one "relation Name(attr, ...)" header per
+// relation followed by comma-separated tuples (see internal/relation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	propview "repro"
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "propview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("propview", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "path to the text database file (required)")
+	querySrc := fs.String("q", "", "query in the textual syntax (required)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: propview -db FILE -q QUERY {eval|delete|annotate|witnesses} [options]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *querySrc == "" {
+		fs.Usage()
+		return fmt.Errorf("-db and -q are required")
+	}
+	raw, err := os.ReadFile(*dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := propview.ReadDatabaseString(string(raw))
+	if err != nil {
+		return err
+	}
+	q, err := propview.ParseQuery(*querySrc)
+	if err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		rest = []string{"eval"}
+	}
+	switch rest[0] {
+	case "eval":
+		view, err := propview.Eval(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Print(view.Table())
+		fmt.Printf("(%d tuples; fragment %s)\n", view.Len(), propview.Fragment(q))
+		return nil
+	case "delete":
+		return runDelete(db, q, rest[1:])
+	case "annotate":
+		return runAnnotate(db, q, rest[1:])
+	case "witnesses":
+		return runWitnesses(db, q, rest[1:])
+	case "proofs":
+		return runProofs(db, q, rest[1:])
+	case "stats":
+		stats, err := algebra.EvalWithStats(q, db)
+		if err != nil {
+			return err
+		}
+		fmt.Print(stats.Profile())
+		fmt.Printf("total work: %d row combinations; max intermediate: %d rows; view: %d rows\n",
+			stats.TotalWork(), stats.MaxIntermediate(), stats.View.Len())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func runProofs(db *propview.Database, q propview.Query, args []string) error {
+	fs := flag.NewFlagSet("proofs", flag.ContinueOnError)
+	tupleSpec := fs.String("tuple", "", "view tuple, comma-separated (required)")
+	max := fs.Int("max", 5, "maximum number of proof trees to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tupleSpec == "" {
+		return fmt.Errorf("proofs: -tuple is required")
+	}
+	target, err := targetTuple(db, q, *tupleSpec)
+	if err != nil {
+		return err
+	}
+	trees, err := provenance.Proofs(q, db, target, *max)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d proof tree(s) of %v (showing up to %d):\n", len(trees), target, *max)
+	for i, tr := range trees {
+		fmt.Printf("--- proof %d (witness %v)\n%s", i+1, tr.Leaves(), tr.Render())
+	}
+	return nil
+}
+
+func parseTuple(spec string, arity int) (propview.Tuple, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != arity {
+		return nil, fmt.Errorf("tuple %q has %d values, view needs %d", spec, len(parts), arity)
+	}
+	t := make(propview.Tuple, len(parts))
+	for i, p := range parts {
+		t[i] = relation.ParseValue(strings.TrimSpace(p), true)
+	}
+	return t, nil
+}
+
+func targetTuple(db *propview.Database, q propview.Query, spec string) (propview.Tuple, error) {
+	view, err := propview.Eval(q, db)
+	if err != nil {
+		return nil, err
+	}
+	return parseTuple(spec, view.Schema().Len())
+}
+
+func runDelete(db *propview.Database, q propview.Query, args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ContinueOnError)
+	tupleSpec := fs.String("tuple", "", "view tuple to delete, comma-separated (required)")
+	objective := fs.String("objective", "view", "what to minimize: view | source")
+	greedy := fs.Bool("greedy", false, "use the greedy approximation on NP-hard inputs (source objective)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tupleSpec == "" {
+		return fmt.Errorf("delete: -tuple is required")
+	}
+	target, err := targetTuple(db, q, *tupleSpec)
+	if err != nil {
+		return err
+	}
+	obj := propview.MinimizeViewSideEffects
+	if *objective == "source" {
+		obj = propview.MinimizeSourceDeletions
+	} else if *objective != "view" {
+		return fmt.Errorf("delete: -objective must be view or source")
+	}
+	rep, err := propview.Delete(q, db, target, obj, propview.DeleteOptions{Greedy: *greedy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fragment:   %s (%s)\n", rep.Fragment, rep.Class)
+	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
+	fmt.Printf("exact:      %v\n", rep.Exact)
+	fmt.Printf("delete %d source tuple(s):\n", len(rep.Result.T))
+	for _, st := range rep.Result.T {
+		fmt.Printf("  %v\n", st)
+	}
+	fmt.Printf("view side-effects: %d\n", len(rep.Result.SideEffects))
+	for _, t := range rep.Result.SideEffects {
+		fmt.Printf("  also lose %v\n", t)
+	}
+	return nil
+}
+
+func runAnnotate(db *propview.Database, q propview.Query, args []string) error {
+	fs := flag.NewFlagSet("annotate", flag.ContinueOnError)
+	tupleSpec := fs.String("tuple", "", "view tuple, comma-separated (required)")
+	attr := fs.String("attr", "", "view attribute to annotate (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tupleSpec == "" || *attr == "" {
+		return fmt.Errorf("annotate: -tuple and -attr are required")
+	}
+	target, err := targetTuple(db, q, *tupleSpec)
+	if err != nil {
+		return err
+	}
+	rep, err := propview.Annotate(q, db, target, *attr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fragment:   %s (%s)\n", rep.Fragment, rep.Class)
+	fmt.Printf("algorithm:  %s\n", rep.Algorithm)
+	fmt.Printf("place on:   %v\n", rep.Placement.Source)
+	fmt.Printf("side-effects: %d\n", rep.Placement.SideEffects)
+	for _, l := range rep.Placement.Affected.Sorted() {
+		fmt.Printf("  reaches %v\n", l)
+	}
+	return nil
+}
+
+func runWitnesses(db *propview.Database, q propview.Query, args []string) error {
+	fs := flag.NewFlagSet("witnesses", flag.ContinueOnError)
+	tupleSpec := fs.String("tuple", "", "view tuple, comma-separated (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tupleSpec == "" {
+		return fmt.Errorf("witnesses: -tuple is required")
+	}
+	target, err := targetTuple(db, q, *tupleSpec)
+	if err != nil {
+		return err
+	}
+	wr, err := propview.Witnesses(q, db)
+	if err != nil {
+		return err
+	}
+	ws := wr.Witnesses(target)
+	if len(ws) == 0 {
+		return fmt.Errorf("tuple %v not in view", target)
+	}
+	fmt.Printf("%d minimal witness(es) of %v:\n", len(ws), target)
+	for _, w := range ws {
+		fmt.Printf("  %v\n", w)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDB = `
+relation UserGroup(user, group)
+john, staff
+john, admin
+mary, admin
+
+relation GroupFile(group, file)
+staff, f1
+admin, f1
+admin, f2
+`
+
+func writeDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.txt")
+	if err := os.WriteFile(path, []byte(testDB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testQuery = "project(user, file; join(UserGroup, GroupFile))"
+
+func TestRunEval(t *testing.T) {
+	path := writeDB(t)
+	if err := run([]string{"-db", path, "-q", testQuery, "eval"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefaultsToEval(t *testing.T) {
+	path := writeDB(t)
+	if err := run([]string{"-db", path, "-q", "UserGroup"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeleteViewObjective(t *testing.T) {
+	path := writeDB(t)
+	err := run([]string{"-db", path, "-q", testQuery, "delete", "-tuple", "john, f2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeleteSourceObjective(t *testing.T) {
+	path := writeDB(t)
+	err := run([]string{"-db", path, "-q", testQuery, "delete", "-tuple", "john, f1", "-objective", "source"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-db", path, "-q", testQuery, "delete", "-tuple", "john, f1", "-objective", "source", "-greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnnotate(t *testing.T) {
+	path := writeDB(t)
+	err := run([]string{"-db", path, "-q", testQuery, "annotate", "-tuple", "john, f2", "-attr", "file"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWitnesses(t *testing.T) {
+	path := writeDB(t)
+	err := run([]string{"-db", path, "-q", testQuery, "witnesses", "-tuple", "john, f1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProofs(t *testing.T) {
+	path := writeDB(t)
+	err := run([]string{"-db", path, "-q", testQuery, "proofs", "-tuple", "john, f1", "-max", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", path, "-q", testQuery, "proofs"}); err == nil {
+		t.Error("proofs without -tuple must fail")
+	}
+	if err := run([]string{"-db", path, "-q", testQuery, "proofs", "-tuple", "no, pe"}); err == nil {
+		t.Error("proofs of missing tuple must fail")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	path := writeDB(t)
+	if err := run([]string{"-db", path, "-q", testQuery, "stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDB(t)
+	cases := [][]string{
+		{},                                      // missing flags
+		{"-db", path},                           // missing query
+		{"-db", "/nonexistent", "-q", "R"},      // bad file
+		{"-db", path, "-q", "join(R"},           // parse error
+		{"-db", path, "-q", "Ghost", "eval"},    // unknown relation
+		{"-db", path, "-q", testQuery, "bogus"}, // unknown subcommand
+		{"-db", path, "-q", testQuery, "delete"},
+		{"-db", path, "-q", testQuery, "delete", "-tuple", "only-one-value"},
+		{"-db", path, "-q", testQuery, "delete", "-tuple", "no, pe"},
+		{"-db", path, "-q", testQuery, "delete", "-tuple", "john, f1", "-objective", "bogus"},
+		{"-db", path, "-q", testQuery, "annotate", "-tuple", "john, f1"},
+		{"-db", path, "-q", testQuery, "annotate", "-tuple", "john, f1", "-attr", "nope"},
+		{"-db", path, "-q", testQuery, "witnesses"},
+		{"-db", path, "-q", testQuery, "witnesses", "-tuple", "no, pe"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestParseTuple(t *testing.T) {
+	tu, err := parseTuple("a, 3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu[0].String() != "a" || tu[1].String() != "3" {
+		t.Errorf("parseTuple=%v", tu)
+	}
+	if _, err := parseTuple("a", 2); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if !strings.Contains(err0(parseTuple("a", 2)), "view needs") {
+		t.Error("arity error message unexpected")
+	}
+}
+
+func err0(_ interface{}, err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

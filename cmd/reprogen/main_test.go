@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// The figure generators verify their theorem as they print; each returns
+// false on a reduction violation.
+
+func TestFigure1Verifies(t *testing.T) {
+	if !figure1() {
+		t.Error("Figure 1 verification failed")
+	}
+}
+
+func TestFigure2Verifies(t *testing.T) {
+	if !figure2() {
+		t.Error("Figure 2 verification failed")
+	}
+}
+
+func TestFigure3Verifies(t *testing.T) {
+	if !figure3() {
+		t.Error("Figure 3 verification failed")
+	}
+}
+
+func TestWorkSeries(t *testing.T) {
+	if !workSeries() {
+		t.Error("work series verification failed")
+	}
+}

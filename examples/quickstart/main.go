@@ -1,0 +1,82 @@
+// Quickstart: load a database, define a view, delete a view tuple, and
+// place an annotation — the full surface of the library in one file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	propview "repro"
+)
+
+const src = `
+relation UserGroup(user, group)
+john, staff
+john, admin
+mary, admin
+
+relation GroupFile(group, file)
+staff, f1
+admin, f1
+admin, f2
+`
+
+func main() {
+	db, err := propview.ReadDatabaseString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := propview.ParseQuery("project(user, file; join(UserGroup, GroupFile))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := propview.Eval(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("View Π_{user,file}(UserGroup ⋈ GroupFile):")
+	fmt.Println(view.Table())
+
+	// 1. The view deletion problem: remove (john, f2) touching as little
+	// of the rest of the view as possible.
+	target := propview.StringTuple("john", "f2")
+	rep, err := propview.Delete(q, db, target,
+		propview.MinimizeViewSideEffects, propview.DeleteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Deleting view tuple %v:\n", target)
+	fmt.Printf("  query fragment:  %s (%s for this problem)\n", rep.Fragment, rep.Class)
+	fmt.Printf("  algorithm:       %s\n", rep.Algorithm)
+	fmt.Printf("  source deletions:")
+	for _, st := range rep.Result.T {
+		fmt.Printf(" %v", st)
+	}
+	fmt.Printf("\n  view side-effects: %d\n\n", len(rep.Result.SideEffects))
+
+	// 2. The annotation placement problem: a curator flags the file value
+	// of (john, f2) — where should the annotation live in the source?
+	ann, err := propview.Annotate(q, db, target, "file")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Annotating (%v).file:\n", target)
+	fmt.Printf("  algorithm:     %s\n", ann.Algorithm)
+	fmt.Printf("  place on:      %v\n", ann.Placement.Source)
+	fmt.Printf("  side-effects:  %d (other view cells annotated)\n", ann.Placement.SideEffects)
+	for _, l := range ann.Placement.Affected.Sorted() {
+		fmt.Printf("    reaches %v\n", l)
+	}
+
+	// 3. Why-provenance: every minimal witness of (john, f1).
+	wr, err := propview.Witnesses(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWitnesses of (john, f1):\n")
+	for _, w := range wr.Witnesses(propview.StringTuple("john", "f1")) {
+		fmt.Printf("  %v\n", w)
+	}
+}

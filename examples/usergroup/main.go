@@ -1,0 +1,73 @@
+// The §2.1.1 scenario at scale: an access-control view over random
+// UserGroup/GroupFile data, comparing the three deletion strategies the
+// library offers on the same target — exact view-side, exact source-side
+// (chain min-cut, since this query is a 2-chain), and the Cui–Widom
+// lineage-enumeration baseline.
+//
+//	go run ./examples/usergroup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	propview "repro"
+	"repro/internal/deletion"
+	"repro/internal/workload"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+	db, q := workload.UserGroupFile(r, 30, 8, 20, 3, 3)
+	view, err := propview.Eval(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("UserGroup: %d rows, GroupFile: %d rows, view: %d (user,file) pairs\n\n",
+		db.Relation("UserGroup").Len(), db.Relation("GroupFile").Len(), view.Len())
+
+	target := view.Tuple(r.Intn(view.Len()))
+	fmt.Printf("Revoking access pair %v\n\n", target)
+
+	// Strategy 1: minimize damage to other access pairs.
+	vrep, err := propview.Delete(q, db, target, propview.MinimizeViewSideEffects, propview.DeleteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[view-side objective]   %s\n", vrep.Algorithm)
+	fmt.Printf("  delete %d source tuple(s), lose %d other pair(s)\n",
+		len(vrep.Result.T), len(vrep.Result.SideEffects))
+	for _, st := range vrep.Result.T {
+		fmt.Printf("    - %v\n", st)
+	}
+
+	// Strategy 2: touch as few source rows as possible. This query is a
+	// chain join, so Theorem 2.6's min-cut solves it exactly in
+	// polynomial time despite the PJ fragment being NP-hard in general.
+	srep, err := propview.Delete(q, db, target, propview.MinimizeSourceDeletions, propview.DeleteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[source-side objective] %s\n", srep.Algorithm)
+	fmt.Printf("  delete %d source tuple(s), lose %d other pair(s)\n",
+		len(srep.Result.T), len(srep.Result.SideEffects))
+
+	// Strategy 3: the Cui–Widom baseline, enumerating lineage subsets
+	// with re-evaluation.
+	cw, err := deletion.CuiWidom(q, db, target, deletion.CuiWidomOptions{MaxEvaluations: 5000})
+	if err != nil {
+		fmt.Printf("\n[Cui–Widom baseline]    gave up: %v\n", err)
+		return
+	}
+	fmt.Printf("\n[Cui–Widom baseline]    lineage enumeration\n")
+	fmt.Printf("  delete %d source tuple(s), lose %d other pair(s), %d query re-evaluations\n",
+		len(cw.T), len(cw.SideEffects), cw.Evaluations)
+
+	if vrep.Result.SideEffectFree() {
+		fmt.Println("\nA side-effect-free revocation exists for this pair.")
+	} else {
+		fmt.Printf("\nNo side-effect-free revocation exists: at least %d other pair(s) must go.\n",
+			len(vrep.Result.SideEffects))
+	}
+}

@@ -1,0 +1,250 @@
+// Package algebra implements the monotone fragment of the relational
+// algebra studied in the paper: selection (S), projection (P), natural join
+// (J), union (U) and renaming (R), over the set-semantics relational model
+// of package relation.
+//
+// Queries are immutable expression trees. The package provides schema
+// inference, evaluation, operator-class inference (the SJ / SPU / PJ / JU /
+// SJU fragments of the dichotomy theorems), the normal form of Theorem 3.1,
+// and a small text syntax for command-line tools.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Query is a node of a monotone relational-algebra expression. Concrete
+// types are Scan, Select, Project, Join, Union and Rename.
+type Query interface {
+	// children returns the sub-queries in order.
+	children() []Query
+	// isQuery is a marker preventing foreign implementations, which lets
+	// the package evolve the interface.
+	isQuery()
+}
+
+// Scan reads a named base relation of the source database.
+type Scan struct {
+	Rel string
+}
+
+// Select filters tuples by a condition; the σ_C of the paper.
+type Select struct {
+	Child Query
+	Cond  Condition
+}
+
+// Project restricts to the named attributes (the Π_B⃗ of the paper),
+// with set semantics: duplicate projected tuples merge.
+type Project struct {
+	Child Query
+	Attrs []relation.Attribute
+}
+
+// Join is the natural join of two sub-queries, equating all attributes the
+// two schemas share.
+type Join struct {
+	Left, Right Query
+}
+
+// Union is the set union of two union-compatible sub-queries. The output
+// schema (attribute order) is the left child's; the right child's columns
+// are aligned by attribute name.
+type Union struct {
+	Left, Right Query
+}
+
+// Rename applies the attribute mapping θ (the δ_θ of the paper).
+type Rename struct {
+	Child Query
+	Theta map[relation.Attribute]relation.Attribute
+}
+
+func (Scan) isQuery()    {}
+func (Select) isQuery()  {}
+func (Project) isQuery() {}
+func (Join) isQuery()    {}
+func (Union) isQuery()   {}
+func (Rename) isQuery()  {}
+
+func (Scan) children() []Query      { return nil }
+func (q Select) children() []Query  { return []Query{q.Child} }
+func (q Project) children() []Query { return []Query{q.Child} }
+func (q Join) children() []Query    { return []Query{q.Left, q.Right} }
+func (q Union) children() []Query   { return []Query{q.Left, q.Right} }
+func (q Rename) children() []Query  { return []Query{q.Child} }
+
+// Children exposes the sub-queries of q in order; leaves return nil.
+func Children(q Query) []Query { return q.children() }
+
+// Constructor helpers. These keep query-building code close to the paper's
+// notation: Pi(attrs..., q), Sigma(cond, q), NatJoin(q1, q2, ...), Un(...),
+// Delta(theta, q).
+
+// R builds a Scan of the named relation.
+func R(name string) Query { return Scan{Rel: name} }
+
+// Sigma builds a selection.
+func Sigma(cond Condition, child Query) Query { return Select{Child: child, Cond: cond} }
+
+// Pi builds a projection onto attrs.
+func Pi(attrs []relation.Attribute, child Query) Query {
+	return Project{Child: child, Attrs: append([]relation.Attribute(nil), attrs...)}
+}
+
+// NatJoin builds the left-deep natural join of the given queries. It panics
+// if fewer than one query is given; a single query is returned unchanged.
+func NatJoin(qs ...Query) Query {
+	if len(qs) == 0 {
+		panic("algebra: NatJoin needs at least one operand")
+	}
+	out := qs[0]
+	for _, q := range qs[1:] {
+		out = Join{Left: out, Right: q}
+	}
+	return out
+}
+
+// Un builds the left-deep union of the given queries. A single operand is
+// returned unchanged.
+func Un(qs ...Query) Query {
+	if len(qs) == 0 {
+		panic("algebra: Un needs at least one operand")
+	}
+	out := qs[0]
+	for _, q := range qs[1:] {
+		out = Union{Left: out, Right: q}
+	}
+	return out
+}
+
+// Delta builds a renaming with the given attribute mapping.
+func Delta(theta map[relation.Attribute]relation.Attribute, child Query) Query {
+	m := make(map[relation.Attribute]relation.Attribute, len(theta))
+	for k, v := range theta {
+		m[k] = v
+	}
+	return Rename{Child: child, Theta: m}
+}
+
+// SchemaEnv supplies schemas of base relations for schema inference. A
+// *relation.Database satisfies it.
+type SchemaEnv interface {
+	Relation(name string) *relation.Relation
+}
+
+// SchemaOf infers the output schema of q over the base schemas in env. It
+// returns an error if q references a missing relation, projects a missing
+// attribute, unions incompatible schemas, or renames onto a clash.
+func SchemaOf(q Query, env SchemaEnv) (relation.Schema, error) {
+	switch q := q.(type) {
+	case Scan:
+		r := env.Relation(q.Rel)
+		if r == nil {
+			return relation.Schema{}, fmt.Errorf("algebra: unknown relation %q", q.Rel)
+		}
+		return r.Schema(), nil
+	case Select:
+		s, err := SchemaOf(q.Child, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		if err := q.Cond.validate(s); err != nil {
+			return relation.Schema{}, err
+		}
+		return s, nil
+	case Project:
+		s, err := SchemaOf(q.Child, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		return s.Project(q.Attrs)
+	case Join:
+		l, err := SchemaOf(q.Left, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		r, err := SchemaOf(q.Right, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		return l.Join(r), nil
+	case Union:
+		l, err := SchemaOf(q.Left, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		r, err := SchemaOf(q.Right, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		if !l.SameSet(r) {
+			return relation.Schema{}, fmt.Errorf("algebra: union of incompatible schemas %s and %s", l, r)
+		}
+		return l, nil
+	case Rename:
+		s, err := SchemaOf(q.Child, env)
+		if err != nil {
+			return relation.Schema{}, err
+		}
+		for a := range q.Theta {
+			if !s.Has(a) {
+				return relation.Schema{}, fmt.Errorf("algebra: rename of missing attribute %q in %s", a, s)
+			}
+		}
+		return s.Rename(q.Theta)
+	default:
+		return relation.Schema{}, fmt.Errorf("algebra: unknown query node %T", q)
+	}
+}
+
+// Validate checks that q is well-formed over env.
+func Validate(q Query, env SchemaEnv) error {
+	_, err := SchemaOf(q, env)
+	return err
+}
+
+// BaseRelations returns the distinct base relation names referenced by q,
+// sorted. A relation scanned twice is reported once.
+func BaseRelations(q Query) []string {
+	seen := make(map[string]bool)
+	var walk func(Query)
+	walk = func(q Query) {
+		if s, ok := q.(Scan); ok {
+			seen[s.Rel] = true
+		}
+		for _, c := range q.children() {
+			walk(c)
+		}
+	}
+	walk(q)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of nodes in the query tree.
+func Size(q Query) int {
+	n := 1
+	for _, c := range q.children() {
+		n += Size(c)
+	}
+	return n
+}
+
+// thetaKeys returns the rename keys in sorted order (for deterministic
+// printing and hashing).
+func thetaKeys(theta map[relation.Attribute]relation.Attribute) []relation.Attribute {
+	ks := make([]relation.Attribute, 0, len(theta))
+	for k := range theta {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,178 @@
+package algebra
+
+import (
+	"strings"
+)
+
+// Ops is a bit set of the relational operators appearing in a query. The
+// dichotomy theorems of the paper are stated in terms of which operators a
+// query class allows.
+type Ops uint8
+
+// Operator bits. Scan contributes nothing.
+const (
+	OpSelect Ops = 1 << iota
+	OpProject
+	OpJoin
+	OpUnion
+	OpRename
+)
+
+// Has reports whether every operator in mask is present.
+func (o Ops) Has(mask Ops) bool { return o&mask == mask }
+
+// HasAny reports whether any operator in mask is present.
+func (o Ops) HasAny(mask Ops) bool { return o&mask != 0 }
+
+// String renders the operator set in the paper's letter notation, e.g.
+// "SPJU" or "PJ"; the empty set renders as "∅" (a bare scan).
+func (o Ops) String() string {
+	var b strings.Builder
+	if o&OpSelect != 0 {
+		b.WriteByte('S')
+	}
+	if o&OpProject != 0 {
+		b.WriteByte('P')
+	}
+	if o&OpJoin != 0 {
+		b.WriteByte('J')
+	}
+	if o&OpUnion != 0 {
+		b.WriteByte('U')
+	}
+	if o&OpRename != 0 {
+		b.WriteByte('R')
+	}
+	if b.Len() == 0 {
+		return "∅"
+	}
+	return b.String()
+}
+
+// OperatorsOf computes the set of operators used anywhere in q.
+func OperatorsOf(q Query) Ops {
+	var o Ops
+	var walk func(Query)
+	walk = func(q Query) {
+		switch q := q.(type) {
+		case Select:
+			// σ_true is still a selection syntactically, but it does not
+			// make the query leave a smaller class semantically; we count
+			// it, matching the paper's syntactic classes.
+			o |= OpSelect
+			_ = q
+		case Project:
+			o |= OpProject
+		case Join:
+			o |= OpJoin
+		case Union:
+			o |= OpUnion
+		case Rename:
+			o |= OpRename
+		}
+		for _, c := range Children(q) {
+			walk(c)
+		}
+	}
+	walk(q)
+	return o
+}
+
+// Class is the coarse complexity class a query falls into for one of the
+// paper's three problems.
+type Class uint8
+
+// The two sides of each dichotomy.
+const (
+	ClassPoly Class = iota
+	ClassNPHard
+)
+
+// String renders the class.
+func (c Class) String() string {
+	if c == ClassPoly {
+		return "P"
+	}
+	return "NP-hard"
+}
+
+// Problem identifies one of the paper's three optimization problems.
+type Problem uint8
+
+// The problems studied in the paper.
+const (
+	// ProblemViewSideEffect is §2.1: delete view tuple t minimizing
+	// side-effects on the view (deciding side-effect-freeness).
+	ProblemViewSideEffect Problem = iota
+	// ProblemSourceSideEffect is §2.2: delete view tuple t with the
+	// fewest source deletions.
+	ProblemSourceSideEffect
+	// ProblemAnnotationPlacement is §3.1: annotate a view location from a
+	// source location with fewest side-effects.
+	ProblemAnnotationPlacement
+)
+
+// String names the problem.
+func (p Problem) String() string {
+	switch p {
+	case ProblemViewSideEffect:
+		return "view side-effect"
+	case ProblemSourceSideEffect:
+		return "source side-effect"
+	case ProblemAnnotationPlacement:
+		return "annotation placement"
+	}
+	return "unknown"
+}
+
+// ClassifyOps applies the paper's dichotomy tables to an operator set.
+//
+// Deletion problems (§2.1 and §2.2 share the same split):
+//
+//	queries involving P and J  → NP-hard
+//	queries involving J and U  → NP-hard
+//	SPU queries                → P
+//	SJ  queries                → P
+//
+// Annotation placement (§3.1):
+//
+//	queries involving P and J  → NP-hard
+//	SJU queries                → P
+//	SPU queries                → P
+//
+// Renaming does not affect the classification except that the JU source
+// side-effect hardness proof (Theorem 2.7) uses it; renaming alone keeps a
+// query in its class.
+func ClassifyOps(o Ops, p Problem) Class {
+	hasPJ := o.Has(OpProject | OpJoin)
+	hasJU := o.Has(OpJoin | OpUnion)
+	switch p {
+	case ProblemViewSideEffect, ProblemSourceSideEffect:
+		if hasPJ || hasJU {
+			return ClassNPHard
+		}
+		return ClassPoly
+	case ProblemAnnotationPlacement:
+		if hasPJ {
+			return ClassNPHard
+		}
+		// SJU and SPU are both polynomial; J+U without P is fine here,
+		// unlike in the deletion problems.
+		return ClassPoly
+	}
+	return ClassNPHard
+}
+
+// Classify computes the class of query q for problem p.
+func Classify(q Query, p Problem) Class { return ClassifyOps(OperatorsOf(q), p) }
+
+// Fragment describes the syntactic fragment of a query as a human-readable
+// label: one of "SJ", "SPU", "SJU", "PJ", "JU", ... following the paper's
+// naming (letters sorted S,P,J,U,R; scan-only queries report "scan").
+func Fragment(q Query) string {
+	s := OperatorsOf(q).String()
+	if s == "∅" {
+		return "scan"
+	}
+	return s
+}

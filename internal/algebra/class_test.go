@@ -1,0 +1,103 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestOperatorsOf(t *testing.T) {
+	cases := []struct {
+		q    Query
+		want string
+	}{
+		{R("R"), "∅"},
+		{Sigma(True{}, R("R")), "S"},
+		{Pi([]relation.Attribute{"A"}, R("R")), "P"},
+		{NatJoin(R("R"), R("S")), "J"},
+		{Un(R("R"), R("S")), "U"},
+		{Delta(map[relation.Attribute]relation.Attribute{"A": "B"}, R("R")), "R"},
+		{Pi([]relation.Attribute{"A"}, NatJoin(R("R"), R("S"))), "PJ"},
+		{Un(NatJoin(R("R"), R("S")), R("T")), "JU"},
+		{Sigma(True{}, Pi([]relation.Attribute{"A"}, Un(R("R"), R("S")))), "SPU"},
+		{Sigma(True{}, NatJoin(R("R"), R("S"))), "SJ"},
+		{Un(Sigma(True{}, NatJoin(R("R"), R("S"))), R("T")), "SJU"},
+	}
+	for _, c := range cases {
+		if got := OperatorsOf(c.q).String(); got != c.want {
+			t.Errorf("OperatorsOf(%s)=%q want %q", Format(c.q), got, c.want)
+		}
+	}
+}
+
+// TestDichotomyTables checks the classifier against the three tables of the
+// paper verbatim.
+func TestDichotomyTables(t *testing.T) {
+	pj := Pi([]relation.Attribute{"A"}, NatJoin(R("R"), R("S")))
+	ju := Un(NatJoin(R("R"), R("S")), R("T"))
+	spu := Sigma(True{}, Pi([]relation.Attribute{"A"}, Un(R("R"), R("S"))))
+	sj := Sigma(True{}, NatJoin(R("R"), R("S")))
+	sju := Un(Sigma(True{}, NatJoin(R("R"), R("S"))), R("T"))
+
+	type row struct {
+		q    Query
+		p    Problem
+		want Class
+	}
+	rows := []row{
+		// §2.1 table: deciding whether there is a side-effect-free deletion.
+		{pj, ProblemViewSideEffect, ClassNPHard},
+		{ju, ProblemViewSideEffect, ClassNPHard},
+		{spu, ProblemViewSideEffect, ClassPoly},
+		{sj, ProblemViewSideEffect, ClassPoly},
+		// §2.2 table: finding the minimum source deletions.
+		{pj, ProblemSourceSideEffect, ClassNPHard},
+		{ju, ProblemSourceSideEffect, ClassNPHard},
+		{spu, ProblemSourceSideEffect, ClassPoly},
+		{sj, ProblemSourceSideEffect, ClassPoly},
+		// §3.1 table: side-effect-free annotation. JU flips to P here.
+		{pj, ProblemAnnotationPlacement, ClassNPHard},
+		{sju, ProblemAnnotationPlacement, ClassPoly},
+		{spu, ProblemAnnotationPlacement, ClassPoly},
+		{ju, ProblemAnnotationPlacement, ClassPoly},
+	}
+	for _, r := range rows {
+		if got := Classify(r.q, r.p); got != r.want {
+			t.Errorf("Classify(%s, %s)=%s want %s", Fragment(r.q), r.p, got, r.want)
+		}
+	}
+}
+
+func TestFragment(t *testing.T) {
+	if f := Fragment(R("R")); f != "scan" {
+		t.Errorf("Fragment(scan)=%q", f)
+	}
+	if f := Fragment(Pi([]relation.Attribute{"A"}, NatJoin(R("R"), R("S")))); f != "PJ" {
+		t.Errorf("Fragment=%q want PJ", f)
+	}
+}
+
+func TestOpsHas(t *testing.T) {
+	o := OpProject | OpJoin
+	if !o.Has(OpProject | OpJoin) {
+		t.Error("Has(PJ) false")
+	}
+	if o.Has(OpProject | OpUnion) {
+		t.Error("Has(PU) true")
+	}
+	if !o.HasAny(OpUnion | OpJoin) {
+		t.Error("HasAny(UJ) false")
+	}
+	if o.HasAny(OpSelect | OpUnion) {
+		t.Error("HasAny(SU) true")
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	if ProblemViewSideEffect.String() == ProblemSourceSideEffect.String() {
+		t.Error("problem names must differ")
+	}
+	if ClassPoly.String() != "P" || ClassNPHard.String() != "NP-hard" {
+		t.Error("class names wrong")
+	}
+}

@@ -1,0 +1,300 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// CmpOp is a comparison operator in a selection condition.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in the usual infix syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+func (op CmpOp) apply(c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Condition is a boolean predicate over a single tuple, used by Select.
+// Selection with any tuple-local predicate is monotone, so arbitrary
+// boolean structure is allowed. Concrete types: AttrConst, AttrAttr, And,
+// Or, Not, True.
+type Condition interface {
+	// Holds evaluates the condition on tuple t laid out by schema s.
+	Holds(s relation.Schema, t relation.Tuple) bool
+	// validate checks attribute references against the child schema.
+	validate(s relation.Schema) error
+	// String renders the condition.
+	String() string
+}
+
+// AttrConst compares an attribute against a constant: A op v.
+type AttrConst struct {
+	Attr relation.Attribute
+	Op   CmpOp
+	Val  relation.Value
+}
+
+// Holds implements Condition.
+func (c AttrConst) Holds(s relation.Schema, t relation.Tuple) bool {
+	i, ok := s.Index(c.Attr)
+	if !ok {
+		return false
+	}
+	return c.Op.apply(t[i].Compare(c.Val))
+}
+
+func (c AttrConst) validate(s relation.Schema) error {
+	if !s.Has(c.Attr) {
+		return fmt.Errorf("algebra: condition references missing attribute %q in %s", c.Attr, s)
+	}
+	return nil
+}
+
+// String implements Condition.
+func (c AttrConst) String() string {
+	return fmt.Sprintf("%s %s '%s'", c.Attr, c.Op, c.Val)
+}
+
+// AttrAttr compares two attributes of the same tuple: A op B.
+type AttrAttr struct {
+	Left  relation.Attribute
+	Op    CmpOp
+	Right relation.Attribute
+}
+
+// Holds implements Condition.
+func (c AttrAttr) Holds(s relation.Schema, t relation.Tuple) bool {
+	i, ok := s.Index(c.Left)
+	if !ok {
+		return false
+	}
+	j, ok := s.Index(c.Right)
+	if !ok {
+		return false
+	}
+	return c.Op.apply(t[i].Compare(t[j]))
+}
+
+func (c AttrAttr) validate(s relation.Schema) error {
+	if !s.Has(c.Left) {
+		return fmt.Errorf("algebra: condition references missing attribute %q in %s", c.Left, s)
+	}
+	if !s.Has(c.Right) {
+		return fmt.Errorf("algebra: condition references missing attribute %q in %s", c.Right, s)
+	}
+	return nil
+}
+
+// String implements Condition.
+func (c AttrAttr) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// And is conjunction.
+type And struct{ Left, Right Condition }
+
+// Holds implements Condition.
+func (c And) Holds(s relation.Schema, t relation.Tuple) bool {
+	return c.Left.Holds(s, t) && c.Right.Holds(s, t)
+}
+
+func (c And) validate(s relation.Schema) error {
+	if err := c.Left.validate(s); err != nil {
+		return err
+	}
+	return c.Right.validate(s)
+}
+
+// String implements Condition.
+func (c And) String() string {
+	return "(" + c.Left.String() + " and " + c.Right.String() + ")"
+}
+
+// Or is disjunction.
+type Or struct{ Left, Right Condition }
+
+// Holds implements Condition.
+func (c Or) Holds(s relation.Schema, t relation.Tuple) bool {
+	return c.Left.Holds(s, t) || c.Right.Holds(s, t)
+}
+
+func (c Or) validate(s relation.Schema) error {
+	if err := c.Left.validate(s); err != nil {
+		return err
+	}
+	return c.Right.validate(s)
+}
+
+// String implements Condition.
+func (c Or) String() string {
+	return "(" + c.Left.String() + " or " + c.Right.String() + ")"
+}
+
+// Not is negation of a tuple-local predicate (still a monotone query: the
+// selected set only shrinks as a predicate, never consults other tuples).
+type Not struct{ Inner Condition }
+
+// Holds implements Condition.
+func (c Not) Holds(s relation.Schema, t relation.Tuple) bool {
+	return !c.Inner.Holds(s, t)
+}
+
+func (c Not) validate(s relation.Schema) error { return c.Inner.validate(s) }
+
+// String implements Condition.
+func (c Not) String() string { return "not " + c.Inner.String() }
+
+// True accepts every tuple.
+type True struct{}
+
+// Holds implements Condition.
+func (True) Holds(relation.Schema, relation.Tuple) bool { return true }
+
+func (True) validate(relation.Schema) error { return nil }
+
+// String implements Condition.
+func (True) String() string { return "true" }
+
+// Eq is shorthand for the equality comparison A = 'v' with a string
+// constant, the most common condition in the paper's examples.
+func Eq(attr relation.Attribute, val string) Condition {
+	return AttrConst{Attr: attr, Op: OpEq, Val: relation.String(val)}
+}
+
+// EqAttr is shorthand for A = B.
+func EqAttr(a, b relation.Attribute) Condition {
+	return AttrAttr{Left: a, Op: OpEq, Right: b}
+}
+
+// ConjoinAll folds conditions into a right-leaning conjunction; an empty
+// list yields True.
+func ConjoinAll(cs ...Condition) Condition {
+	if len(cs) == 0 {
+		return True{}
+	}
+	out := cs[len(cs)-1]
+	for i := len(cs) - 2; i >= 0; i-- {
+		out = And{Left: cs[i], Right: out}
+	}
+	return out
+}
+
+// condAttrs collects the attributes a condition references.
+func condAttrs(c Condition, into map[relation.Attribute]bool) {
+	switch c := c.(type) {
+	case AttrConst:
+		into[c.Attr] = true
+	case AttrAttr:
+		into[c.Left] = true
+		into[c.Right] = true
+	case And:
+		condAttrs(c.Left, into)
+		condAttrs(c.Right, into)
+	case Or:
+		condAttrs(c.Left, into)
+		condAttrs(c.Right, into)
+	case Not:
+		condAttrs(c.Inner, into)
+	case True:
+	}
+}
+
+// CondAttrs returns the sorted list of attributes referenced by c.
+func CondAttrs(c Condition) []relation.Attribute {
+	m := make(map[relation.Attribute]bool)
+	condAttrs(c, m)
+	out := make([]relation.Attribute, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sortAttrs(out)
+	return out
+}
+
+func sortAttrs(as []relation.Attribute) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j] < as[j-1]; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// renameCond rewrites attribute references in c through θ; used when
+// commuting Rename with Select during normalization.
+func renameCond(c Condition, theta map[relation.Attribute]relation.Attribute) Condition {
+	ren := func(a relation.Attribute) relation.Attribute {
+		if b, ok := theta[a]; ok {
+			return b
+		}
+		return a
+	}
+	switch c := c.(type) {
+	case AttrConst:
+		return AttrConst{Attr: ren(c.Attr), Op: c.Op, Val: c.Val}
+	case AttrAttr:
+		return AttrAttr{Left: ren(c.Left), Op: c.Op, Right: ren(c.Right)}
+	case And:
+		return And{Left: renameCond(c.Left, theta), Right: renameCond(c.Right, theta)}
+	case Or:
+		return Or{Left: renameCond(c.Left, theta), Right: renameCond(c.Right, theta)}
+	case Not:
+		return Not{Inner: renameCond(c.Inner, theta)}
+	case True:
+		return c
+	default:
+		panic(fmt.Sprintf("algebra: renameCond: unknown condition %T", c))
+	}
+}
+
+// condString is used by the query printer; it strips the outermost parens
+// for readability.
+func condString(c Condition) string {
+	s := c.String()
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func condSchema() relation.Schema { return relation.NewSchema("A", "B") }
+
+func TestCmpOps(t *testing.T) {
+	s := condSchema()
+	tu := relation.NewTuple(relation.Int(3), relation.Int(5))
+	cases := []struct {
+		cond Condition
+		want bool
+	}{
+		{AttrConst{Attr: "A", Op: OpEq, Val: relation.Int(3)}, true},
+		{AttrConst{Attr: "A", Op: OpEq, Val: relation.Int(4)}, false},
+		{AttrConst{Attr: "A", Op: OpNe, Val: relation.Int(4)}, true},
+		{AttrConst{Attr: "A", Op: OpLt, Val: relation.Int(4)}, true},
+		{AttrConst{Attr: "A", Op: OpLt, Val: relation.Int(3)}, false},
+		{AttrConst{Attr: "A", Op: OpLe, Val: relation.Int(3)}, true},
+		{AttrConst{Attr: "A", Op: OpGt, Val: relation.Int(2)}, true},
+		{AttrConst{Attr: "A", Op: OpGe, Val: relation.Int(3)}, true},
+		{AttrConst{Attr: "A", Op: OpGe, Val: relation.Int(4)}, false},
+		{AttrAttr{Left: "A", Op: OpLt, Right: "B"}, true},
+		{AttrAttr{Left: "A", Op: OpEq, Right: "B"}, false},
+		{AttrAttr{Left: "B", Op: OpGe, Right: "A"}, true},
+	}
+	for _, c := range cases {
+		if got := c.cond.Holds(s, tu); got != c.want {
+			t.Errorf("%s on (3,5): got %v want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestBooleanStructure(t *testing.T) {
+	s := condSchema()
+	tu := relation.NewTuple(relation.Int(1), relation.Int(2))
+	a := AttrConst{Attr: "A", Op: OpEq, Val: relation.Int(1)} // true
+	b := AttrConst{Attr: "B", Op: OpEq, Val: relation.Int(9)} // false
+	if !(And{a, Not{b}}).Holds(s, tu) {
+		t.Error("a ∧ ¬b should hold")
+	}
+	if (And{a, b}).Holds(s, tu) {
+		t.Error("a ∧ b should fail")
+	}
+	if !(Or{b, a}).Holds(s, tu) {
+		t.Error("b ∨ a should hold")
+	}
+	if (Or{b, Not{a}}).Holds(s, tu) {
+		t.Error("b ∨ ¬a should fail")
+	}
+	if !(True{}).Holds(s, tu) {
+		t.Error("true should hold")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	wants := map[CmpOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range wants {
+		if op.String() != want {
+			t.Errorf("%v renders %q want %q", op, op.String(), want)
+		}
+	}
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op must render ?")
+	}
+}
+
+func TestHoldsOnMissingAttribute(t *testing.T) {
+	// Holds is defensive: missing attributes fail the comparison rather
+	// than panicking (validation happens at query construction).
+	s := condSchema()
+	tu := relation.NewTuple(relation.Int(1), relation.Int(2))
+	if (AttrConst{Attr: "Z", Op: OpEq, Val: relation.Int(1)}).Holds(s, tu) {
+		t.Error("missing attribute cannot hold")
+	}
+	if (AttrAttr{Left: "Z", Op: OpEq, Right: "A"}).Holds(s, tu) {
+		t.Error("missing left attribute cannot hold")
+	}
+	if (AttrAttr{Left: "A", Op: OpEq, Right: "Z"}).Holds(s, tu) {
+		t.Error("missing right attribute cannot hold")
+	}
+}
+
+func TestCondAttrs(t *testing.T) {
+	c := And{
+		Left:  Or{Left: Eq("B", "x"), Right: EqAttr("A", "C")},
+		Right: Not{Inner: AttrConst{Attr: "D", Op: OpLt, Val: relation.Int(1)}},
+	}
+	got := CondAttrs(c)
+	want := []relation.Attribute{"A", "B", "C", "D"}
+	if len(got) != len(want) {
+		t.Fatalf("CondAttrs=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CondAttrs=%v want %v", got, want)
+		}
+	}
+	if len(CondAttrs(True{})) != 0 {
+		t.Error("True references no attributes")
+	}
+}
+
+func TestConjoinAll(t *testing.T) {
+	if _, ok := ConjoinAll().(True); !ok {
+		t.Error("empty conjunction is True")
+	}
+	single := Eq("A", "x")
+	if !condEqual(ConjoinAll(single), single) {
+		t.Error("singleton conjunction unchanged")
+	}
+	c := ConjoinAll(Eq("A", "x"), Eq("B", "y"), Eq("A", "z"))
+	s := condSchema()
+	tu := relation.StringTuple("x", "y")
+	if c.Holds(s, tu) {
+		t.Error("conflicting conjunction cannot hold")
+	}
+	c2 := ConjoinAll(Eq("A", "x"), Eq("B", "y"))
+	if !c2.Holds(s, tu) {
+		t.Error("satisfied conjunction should hold")
+	}
+}
+
+func TestRenameCondAllShapes(t *testing.T) {
+	theta := map[relation.Attribute]relation.Attribute{"A": "X"}
+	c := And{
+		Left:  Or{Left: Eq("A", "v"), Right: Not{Inner: EqAttr("A", "B")}},
+		Right: True{},
+	}
+	r := renameCond(c, theta)
+	attrs := CondAttrs(r)
+	for _, a := range attrs {
+		if a == "A" {
+			t.Errorf("rename left A behind: %v", attrs)
+		}
+	}
+	found := false
+	for _, a := range attrs {
+		if a == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("renamed attribute missing: %v", attrs)
+	}
+}
+
+func TestCondString(t *testing.T) {
+	c := And{Left: Eq("A", "x"), Right: Eq("B", "y")}
+	if got := condString(c); got != "A = 'x' and B = 'y'" {
+		t.Errorf("condString=%q", got)
+	}
+	if got := condString(Eq("A", "x")); got != "A = 'x'" {
+		t.Errorf("condString=%q", got)
+	}
+}

@@ -1,0 +1,170 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// DefaultViewName is the relation name given to evaluation results when the
+// caller does not specify one.
+const DefaultViewName = "V"
+
+// Eval evaluates q over db and returns the view Q(S) as a relation named
+// DefaultViewName. The database is not modified.
+func Eval(q Query, db *relation.Database) (*relation.Relation, error) {
+	return EvalNamed(q, db, DefaultViewName)
+}
+
+// EvalNamed evaluates q over db, naming the result.
+func EvalNamed(q Query, db *relation.Database, name string) (*relation.Relation, error) {
+	if err := Validate(q, db); err != nil {
+		return nil, err
+	}
+	out := evalNode(q, db)
+	res := relation.New(name, out.Schema())
+	for _, t := range out.Tuples() {
+		res.Insert(t)
+	}
+	return res, nil
+}
+
+// MustEval is Eval but panics on error; used in tests and generators where
+// queries are known valid.
+func MustEval(q Query, db *relation.Database) *relation.Relation {
+	r, err := Eval(q, db)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// evalNode evaluates a validated query. Intermediate results carry
+// synthetic names; only the schema and tuples matter.
+func evalNode(q Query, db *relation.Database) *relation.Relation {
+	switch q := q.(type) {
+	case Scan:
+		return db.Relation(q.Rel)
+	case Select:
+		child := evalNode(q.Child, db)
+		out := relation.New("σ", child.Schema())
+		for _, t := range child.Tuples() {
+			if q.Cond.Holds(child.Schema(), t) {
+				out.Insert(t)
+			}
+		}
+		return out
+	case Project:
+		child := evalNode(q.Child, db)
+		schema, err := child.Schema().Project(q.Attrs)
+		if err != nil {
+			panic(err) // validated
+		}
+		positions := attrPositions(child.Schema(), q.Attrs)
+		out := relation.New("π", schema)
+		for _, t := range child.Tuples() {
+			out.Insert(t.Project(positions))
+		}
+		return out
+	case Join:
+		return evalJoin(evalNode(q.Left, db), evalNode(q.Right, db))
+	case Union:
+		left := evalNode(q.Left, db)
+		right := evalNode(q.Right, db)
+		out := relation.New("∪", left.Schema())
+		for _, t := range left.Tuples() {
+			out.Insert(t)
+		}
+		positions := attrPositions(right.Schema(), left.Schema().Attrs())
+		for _, t := range right.Tuples() {
+			out.Insert(t.Project(positions))
+		}
+		return out
+	case Rename:
+		child := evalNode(q.Child, db)
+		schema, err := child.Schema().Rename(q.Theta)
+		if err != nil {
+			panic(err) // validated
+		}
+		out := relation.New("δ", schema)
+		for _, t := range child.Tuples() {
+			out.Insert(t)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("algebra: evalNode: unknown node %T", q))
+	}
+}
+
+// evalJoin computes the natural join with a hash join on the common
+// attributes. When the schemas are disjoint it degenerates to the
+// cross product, as in the paper's JU reductions.
+func evalJoin(left, right *relation.Relation) *relation.Relation {
+	ls, rs := left.Schema(), right.Schema()
+	common := ls.Common(rs)
+	outSchema := ls.Join(rs)
+	out := relation.New("⋈", outSchema)
+
+	// Positions of right-side attributes that are NOT common, in output
+	// order after left's attributes.
+	var rightExtra []int
+	for _, a := range rs.Attrs() {
+		if !ls.Has(a) {
+			i, _ := rs.Index(a)
+			rightExtra = append(rightExtra, i)
+		}
+	}
+
+	leftKeyPos := attrPositions(ls, common)
+	rightKeyPos := attrPositions(rs, common)
+
+	// Build hash table on the smaller side conceptually; for determinism we
+	// always build on the right and probe with the left.
+	buckets := make(map[string][]relation.Tuple, right.Len())
+	for _, rt := range right.Tuples() {
+		k := rt.Project(rightKeyPos).Key()
+		buckets[k] = append(buckets[k], rt)
+	}
+	for _, lt := range left.Tuples() {
+		k := lt.Project(leftKeyPos).Key()
+		for _, rt := range buckets[k] {
+			joined := make(relation.Tuple, 0, outSchema.Len())
+			joined = append(joined, lt...)
+			for _, p := range rightExtra {
+				joined = append(joined, rt[p])
+			}
+			out.Insert(joined)
+		}
+	}
+	return out
+}
+
+// attrPositions maps attribute names to their positions in schema. The
+// schema must contain every attribute (validated earlier).
+func attrPositions(s relation.Schema, attrs []relation.Attribute) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := s.Index(a)
+		if !ok {
+			panic("algebra: attribute " + a + " missing from schema " + s.String())
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// JoinPair holds the left/right components of a joined tuple; exported for
+// provenance computations that need to split join outputs.
+type JoinPair struct {
+	Left, Right relation.Tuple
+}
+
+// SplitJoinTuple recovers, for an output tuple t of left ⋈ right, its left
+// component t.R1 and right component t.R2 (the notation of Theorems 2.4 and
+// 2.9). The right component is reassembled in the right schema's order.
+func SplitJoinTuple(ls, rs relation.Schema, t relation.Tuple) JoinPair {
+	out := ls.Join(rs)
+	lt := relation.ProjectAttrs(out, t, ls.Attrs())
+	rt := relation.ProjectAttrs(out, t, rs.Attrs())
+	return JoinPair{Left: lt, Right: rt}
+}

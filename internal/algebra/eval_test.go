@@ -1,0 +1,254 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// userGroupDB builds the UserGroup/GroupFile example of §2.1.1 (taken from
+// Cui–Widom [14]).
+func userGroupDB() *relation.Database {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("john", "staff")
+	ug.InsertStrings("john", "admin")
+	ug.InsertStrings("mary", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("staff", "f1")
+	gf.InsertStrings("admin", "f1")
+	gf.InsertStrings("admin", "f2")
+	db.MustAdd(gf)
+	return db
+}
+
+func TestEvalScan(t *testing.T) {
+	db := userGroupDB()
+	v := MustEval(R("UserGroup"), db)
+	if v.Len() != 3 {
+		t.Errorf("scan returned %d tuples", v.Len())
+	}
+	if v.Name() != DefaultViewName {
+		t.Errorf("view name %q", v.Name())
+	}
+}
+
+func TestEvalSelect(t *testing.T) {
+	db := userGroupDB()
+	v := MustEval(Sigma(Eq("group", "admin"), R("UserGroup")), db)
+	if v.Len() != 2 {
+		t.Errorf("select returned %d tuples, want 2", v.Len())
+	}
+	if !v.Contains(relation.StringTuple("john", "admin")) ||
+		!v.Contains(relation.StringTuple("mary", "admin")) {
+		t.Errorf("wrong selection result: %v", v)
+	}
+}
+
+func TestEvalSelectAttrAttr(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A", "B"))
+	r.InsertStrings("x", "x")
+	r.InsertStrings("x", "y")
+	db.MustAdd(r)
+	v := MustEval(Sigma(EqAttr("A", "B"), R("R")), db)
+	if v.Len() != 1 || !v.Contains(relation.StringTuple("x", "x")) {
+		t.Errorf("A=B selection wrong: %v", v)
+	}
+}
+
+func TestEvalProjectMergesDuplicates(t *testing.T) {
+	db := userGroupDB()
+	v := MustEval(Pi([]relation.Attribute{"user"}, R("UserGroup")), db)
+	if v.Len() != 2 {
+		t.Errorf("projection returned %d tuples, want 2 (set semantics)", v.Len())
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	db := userGroupDB()
+	v := MustEval(NatJoin(R("UserGroup"), R("GroupFile")), db)
+	// john-staff-f1, john-admin-f1, john-admin-f2, mary-admin-f1, mary-admin-f2
+	if v.Len() != 5 {
+		t.Errorf("join returned %d tuples, want 5: %v", v.Len(), v)
+	}
+	if !v.Schema().Equal(relation.NewSchema("user", "group", "file")) {
+		t.Errorf("join schema %v", v.Schema())
+	}
+	if !v.Contains(relation.StringTuple("mary", "admin", "f2")) {
+		t.Error("missing expected join tuple")
+	}
+}
+
+func TestEvalJoinDisjointIsCrossProduct(t *testing.T) {
+	db := relation.NewDatabase()
+	a := relation.New("A", relation.NewSchema("X"))
+	a.InsertStrings("1")
+	a.InsertStrings("2")
+	db.MustAdd(a)
+	b := relation.New("B", relation.NewSchema("Y"))
+	b.InsertStrings("p")
+	b.InsertStrings("q")
+	db.MustAdd(b)
+	v := MustEval(NatJoin(R("A"), R("B")), db)
+	if v.Len() != 4 {
+		t.Errorf("cross product size %d, want 4", v.Len())
+	}
+}
+
+// The paper's motivating example: Π_{user,file}(UserGroup ⋈ GroupFile).
+func TestEvalUserFileView(t *testing.T) {
+	db := userGroupDB()
+	q := Pi([]relation.Attribute{"user", "file"}, NatJoin(R("UserGroup"), R("GroupFile")))
+	v := MustEval(q, db)
+	want := [][2]string{{"john", "f1"}, {"john", "f2"}, {"mary", "f1"}, {"mary", "f2"}}
+	if v.Len() != len(want) {
+		t.Fatalf("view has %d tuples, want %d: %v", v.Len(), len(want), v)
+	}
+	for _, w := range want {
+		if !v.Contains(relation.StringTuple(w[0], w[1])) {
+			t.Errorf("missing view tuple (%s, %s)", w[0], w[1])
+		}
+	}
+}
+
+func TestEvalUnionAlignsByName(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A", "B"))
+	r.InsertStrings("r1", "r2")
+	db.MustAdd(r)
+	s := relation.New("S", relation.NewSchema("B", "A")) // reordered schema
+	s.InsertStrings("s2", "s1")
+	db.MustAdd(s)
+	v := MustEval(Un(R("R"), R("S")), db)
+	if !v.Schema().Equal(relation.NewSchema("A", "B")) {
+		t.Fatalf("union schema %v", v.Schema())
+	}
+	if !v.Contains(relation.StringTuple("r1", "r2")) || !v.Contains(relation.StringTuple("s1", "s2")) {
+		t.Errorf("union misaligned: %v", v)
+	}
+}
+
+func TestEvalUnionDeduplicates(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	db.MustAdd(r)
+	s := relation.New("S", relation.NewSchema("A"))
+	s.InsertStrings("x")
+	s.InsertStrings("y")
+	db.MustAdd(s)
+	v := MustEval(Un(R("R"), R("S")), db)
+	if v.Len() != 2 {
+		t.Errorf("union size %d, want 2", v.Len())
+	}
+}
+
+func TestEvalRename(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	db.MustAdd(r)
+	v := MustEval(Delta(map[relation.Attribute]relation.Attribute{"A": "A1"}, R("R")), db)
+	if !v.Schema().Equal(relation.NewSchema("A1")) {
+		t.Errorf("rename schema %v", v.Schema())
+	}
+	if !v.Contains(relation.StringTuple("x")) {
+		t.Error("rename lost tuple")
+	}
+}
+
+func TestEvalRenameEnablesJoin(t *testing.T) {
+	// δ_{A→A1}(R) ⋈ δ_{A→A2}(R): self cross product via renaming, as in
+	// Theorem 2.7's construction.
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("a")
+	r.InsertStrings("b")
+	db.MustAdd(r)
+	q := NatJoin(
+		Delta(map[relation.Attribute]relation.Attribute{"A": "A1"}, R("R")),
+		Delta(map[relation.Attribute]relation.Attribute{"A": "A2"}, R("R")),
+	)
+	v := MustEval(q, db)
+	if v.Len() != 4 {
+		t.Errorf("renamed self-join size %d, want 4", v.Len())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := userGroupDB()
+	cases := []Query{
+		R("Nope"),
+		Pi([]relation.Attribute{"missing"}, R("UserGroup")),
+		Un(R("UserGroup"), R("GroupFile")),                                                // incompatible schemas
+		Sigma(Eq("missing", "x"), R("UserGroup")),                                         // cond attr missing
+		Delta(map[relation.Attribute]relation.Attribute{"user": "group"}, R("UserGroup")), // clash
+		Delta(map[relation.Attribute]relation.Attribute{"zz": "yy"}, R("UserGroup")),      // missing source
+	}
+	for i, q := range cases {
+		if _, err := Eval(q, db); err == nil {
+			t.Errorf("case %d: expected evaluation error for %s", i, Format(q))
+		}
+	}
+}
+
+func TestSchemaOfJoin(t *testing.T) {
+	db := userGroupDB()
+	s, err := SchemaOf(NatJoin(R("UserGroup"), R("GroupFile")), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(relation.NewSchema("user", "group", "file")) {
+		t.Errorf("schema %v", s)
+	}
+}
+
+func TestBaseRelationsAndSize(t *testing.T) {
+	q := Pi([]relation.Attribute{"user"}, NatJoin(R("UserGroup"), R("GroupFile")))
+	rels := BaseRelations(q)
+	if len(rels) != 2 || rels[0] != "GroupFile" || rels[1] != "UserGroup" {
+		t.Errorf("BaseRelations=%v", rels)
+	}
+	if Size(q) != 4 {
+		t.Errorf("Size=%d want 4", Size(q))
+	}
+}
+
+func TestSplitJoinTuple(t *testing.T) {
+	ls := relation.NewSchema("A", "B")
+	rs := relation.NewSchema("B", "C")
+	joined := relation.StringTuple("a", "b", "c") // over (A,B,C)
+	p := SplitJoinTuple(ls, rs, joined)
+	if !p.Left.Equal(relation.StringTuple("a", "b")) {
+		t.Errorf("left component %v", p.Left)
+	}
+	if !p.Right.Equal(relation.StringTuple("b", "c")) {
+		t.Errorf("right component %v", p.Right)
+	}
+}
+
+// Monotonicity: removing source tuples never adds view tuples. This is the
+// defining property of the paper's query fragment.
+func TestMonotonicity(t *testing.T) {
+	db := userGroupDB()
+	queries := []Query{
+		Pi([]relation.Attribute{"user", "file"}, NatJoin(R("UserGroup"), R("GroupFile"))),
+		Un(Pi([]relation.Attribute{"group"}, R("UserGroup")), Pi([]relation.Attribute{"group"}, R("GroupFile"))),
+		Sigma(Eq("group", "admin"), R("UserGroup")),
+	}
+	for _, q := range queries {
+		full := MustEval(q, db)
+		for _, st := range db.AllSourceTuples() {
+			smaller := db.DeleteAll([]relation.SourceTuple{st})
+			sub := MustEval(q, smaller)
+			for _, tu := range sub.Tuples() {
+				if !full.Contains(tu) {
+					t.Errorf("query %s not monotone: %v appears after deleting %v",
+						Format(q), tu, st)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package algebra_test
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// The paper's running example: Π_{user,file}(UserGroup ⋈ GroupFile).
+func ExampleEval() {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("john", "staff")
+	ug.InsertStrings("mary", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("staff", "f1")
+	gf.InsertStrings("admin", "f2")
+	db.MustAdd(gf)
+
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	view, _ := algebra.Eval(q, db)
+	for _, t := range view.SortedTuples() {
+		fmt.Println(t)
+	}
+	// Output:
+	// (john, f1)
+	// (mary, f2)
+}
+
+func ExampleParse() {
+	q, _ := algebra.Parse("select(group = 'admin'; UserGroup)")
+	fmt.Println(algebra.Format(q))
+	fmt.Println(algebra.FormatMath(q))
+	// Output:
+	// select(group = 'admin'; UserGroup)
+	// σ_{group = 'admin'}(UserGroup)
+}
+
+func ExampleClassify() {
+	pj := algebra.MustParse("project(A; join(R, S))")
+	fmt.Println(algebra.Fragment(pj), "/", algebra.Classify(pj, algebra.ProblemViewSideEffect))
+	sj := algebra.MustParse("select(A = 'x'; join(R, S))")
+	fmt.Println(algebra.Fragment(sj), "/", algebra.Classify(sj, algebra.ProblemViewSideEffect))
+	// Output:
+	// PJ / NP-hard
+	// SJ / P
+}
+
+func ExampleNormalize() {
+	// Join over union lifts to a union of joins (Theorem 3.1 rewrites).
+	q := algebra.MustParse("join(union(R, T), S)")
+	fmt.Println(algebra.Format(algebra.Normalize(q)))
+	// Output:
+	// union(join(R, S), join(T, S))
+}

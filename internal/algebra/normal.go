@@ -1,0 +1,261 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// This file implements the normal form of Theorem 3.1: every SPJRU query
+// can be rewritten, by annotation-propagation-preserving steps, into a
+// union of union-free terms in which selections sit below projections and
+// renamings and adjacent identical operators are fused. The rewrites used
+// are exactly the ones that preserve the relation R(Q,S) between source and
+// view locations induced by the propagation rules of §3:
+//
+//	σ_c(Q1 ∪ Q2)   = σ_c(Q1) ∪ σ_c(Q2)
+//	Π_B(Q1 ∪ Q2)   = Π_B(Q1) ∪ Π_B(Q2)
+//	δ_θ(Q1 ∪ Q2)   = δ_θ(Q1) ∪ δ_θ(Q2)
+//	(Q1 ∪ Q2) ⋈ Q3 = (Q1 ⋈ Q3) ∪ (Q2 ⋈ Q3)      (and symmetrically)
+//	σ_c1(σ_c2(Q))  = σ_{c1 ∧ c2}(Q)
+//	Π_A(Π_B(Q))    = Π_A(Q)
+//	δ_θ1(δ_θ2(Q))  = δ_{θ1 ∘ θ2}(Q)
+//	σ_c(Π_B(Q))    = Π_B(σ_c(Q))                (c only sees B, by typing)
+//	σ_c(δ_θ(Q))    = δ_θ(σ_{θ⁻¹(c)}(Q))
+//
+// None of these rewrites introduces or removes explicit equality between
+// differently named fields, which is the operation the paper identifies as
+// breaking annotation propagation (its Π_ACD(σ_{A=B}(R ⋈ S)) example).
+
+// Normalize rewrites q to the normal form, applying the rules above to a
+// fixpoint. The result evaluates to the same view and induces the same
+// source-to-view annotation propagation relation.
+func Normalize(q Query) Query {
+	for {
+		next, changed := rewriteOnce(q)
+		if !changed {
+			return next
+		}
+		q = next
+	}
+}
+
+// rewriteOnce applies one bottom-up pass of the rewrite rules, reporting
+// whether anything changed.
+func rewriteOnce(q Query) (Query, bool) {
+	switch q := q.(type) {
+	case Scan:
+		return q, false
+
+	case Select:
+		child, changed := rewriteOnce(q.Child)
+		switch c := child.(type) {
+		case Union:
+			return Union{
+				Left:  Select{Child: c.Left, Cond: q.Cond},
+				Right: Select{Child: c.Right, Cond: q.Cond},
+			}, true
+		case Select:
+			return Select{Child: c.Child, Cond: And{Left: q.Cond, Right: c.Cond}}, true
+		case Project:
+			return Project{Child: Select{Child: c.Child, Cond: q.Cond}, Attrs: c.Attrs}, true
+		case Rename:
+			inv := invertTheta(c.Theta)
+			return Rename{Child: Select{Child: c.Child, Cond: renameCond(q.Cond, inv)}, Theta: c.Theta}, true
+		}
+		return Select{Child: child, Cond: q.Cond}, changed
+
+	case Project:
+		child, changed := rewriteOnce(q.Child)
+		switch c := child.(type) {
+		case Union:
+			return Union{
+				Left:  Project{Child: c.Left, Attrs: q.Attrs},
+				Right: Project{Child: c.Right, Attrs: q.Attrs},
+			}, true
+		case Project:
+			return Project{Child: c.Child, Attrs: q.Attrs}, true
+		}
+		return Project{Child: child, Attrs: q.Attrs}, changed
+
+	case Rename:
+		child, changed := rewriteOnce(q.Child)
+		switch c := child.(type) {
+		case Union:
+			return Union{
+				Left:  Rename{Child: c.Left, Theta: q.Theta},
+				Right: Rename{Child: c.Right, Theta: q.Theta},
+			}, true
+		case Rename:
+			return Rename{Child: c.Child, Theta: composeTheta(q.Theta, c.Theta)}, true
+		}
+		return Rename{Child: child, Theta: q.Theta}, changed
+
+	case Join:
+		left, lc := rewriteOnce(q.Left)
+		right, rc := rewriteOnce(q.Right)
+		if u, ok := left.(Union); ok {
+			return Union{
+				Left:  Join{Left: u.Left, Right: right},
+				Right: Join{Left: u.Right, Right: right},
+			}, true
+		}
+		if u, ok := right.(Union); ok {
+			return Union{
+				Left:  Join{Left: left, Right: u.Left},
+				Right: Join{Left: left, Right: u.Right},
+			}, true
+		}
+		return Join{Left: left, Right: right}, lc || rc
+
+	case Union:
+		left, lc := rewriteOnce(q.Left)
+		right, rc := rewriteOnce(q.Right)
+		return Union{Left: left, Right: right}, lc || rc
+
+	default:
+		panic(fmt.Sprintf("algebra: rewriteOnce: unknown node %T", q))
+	}
+}
+
+// invertTheta inverts an injective attribute mapping. θ maps old names to
+// new; the inverse maps new back to old, which is what a condition written
+// against the renamed schema needs when pushed below the rename.
+func invertTheta(theta map[relation.Attribute]relation.Attribute) map[relation.Attribute]relation.Attribute {
+	inv := make(map[relation.Attribute]relation.Attribute, len(theta))
+	for k, v := range theta {
+		inv[v] = k
+	}
+	return inv
+}
+
+// composeTheta returns the mapping that first applies inner, then outer:
+// (outer ∘ inner)(a) = outer(inner(a)), with identity filling gaps.
+func composeTheta(outer, inner map[relation.Attribute]relation.Attribute) map[relation.Attribute]relation.Attribute {
+	out := make(map[relation.Attribute]relation.Attribute, len(outer)+len(inner))
+	for a, b := range inner {
+		c := b
+		if d, ok := outer[b]; ok {
+			c = d
+		}
+		if c != a {
+			out[a] = c
+		}
+	}
+	for a, b := range outer {
+		if _, handled := inner[a]; handled {
+			continue
+		}
+		// a was not renamed by inner; check it is not produced by inner
+		// either (that case is covered above via inner's image).
+		producedByInner := false
+		for _, v := range inner {
+			if v == a {
+				producedByInner = true
+				break
+			}
+		}
+		if !producedByInner && b != a {
+			out[a] = b
+		}
+	}
+	return out
+}
+
+// UnionTerms splits a query into its top-level union operands, left to
+// right. On a normalized query each term is union-free; the paper's "SJU
+// query in normal form" is exactly such a list of SJ terms.
+func UnionTerms(q Query) []Query {
+	if u, ok := q.(Union); ok {
+		return append(UnionTerms(u.Left), UnionTerms(u.Right)...)
+	}
+	return []Query{q}
+}
+
+// IsUnionFree reports whether no Union node occurs anywhere in q.
+func IsUnionFree(q Query) bool {
+	if _, ok := q.(Union); ok {
+		return false
+	}
+	for _, c := range Children(q) {
+		if !IsUnionFree(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNormalForm reports whether q already satisfies the normal form: unions
+// only at the top, and within each term no select above a project or
+// rename, no adjacent duplicate operators.
+func IsNormalForm(q Query) bool {
+	_, changed := rewriteOnce(q)
+	return !changed
+}
+
+// Equal reports structural equality of two queries: same shape, same
+// relation names, same projections in the same order, same conditions and
+// renamings.
+func Equal(a, b Query) bool {
+	switch a := a.(type) {
+	case Scan:
+		b, ok := b.(Scan)
+		return ok && a.Rel == b.Rel
+	case Select:
+		b, ok := b.(Select)
+		return ok && condEqual(a.Cond, b.Cond) && Equal(a.Child, b.Child)
+	case Project:
+		b, ok := b.(Project)
+		if !ok || len(a.Attrs) != len(b.Attrs) {
+			return false
+		}
+		for i := range a.Attrs {
+			if a.Attrs[i] != b.Attrs[i] {
+				return false
+			}
+		}
+		return Equal(a.Child, b.Child)
+	case Join:
+		b, ok := b.(Join)
+		return ok && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+	case Union:
+		b, ok := b.(Union)
+		return ok && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+	case Rename:
+		b, ok := b.(Rename)
+		if !ok || len(a.Theta) != len(b.Theta) {
+			return false
+		}
+		for k, v := range a.Theta {
+			if b.Theta[k] != v {
+				return false
+			}
+		}
+		return Equal(a.Child, b.Child)
+	}
+	return false
+}
+
+func condEqual(a, b Condition) bool {
+	switch a := a.(type) {
+	case AttrConst:
+		b, ok := b.(AttrConst)
+		return ok && a == b
+	case AttrAttr:
+		b, ok := b.(AttrAttr)
+		return ok && a == b
+	case And:
+		b, ok := b.(And)
+		return ok && condEqual(a.Left, b.Left) && condEqual(a.Right, b.Right)
+	case Or:
+		b, ok := b.(Or)
+		return ok && condEqual(a.Left, b.Left) && condEqual(a.Right, b.Right)
+	case Not:
+		b, ok := b.(Not)
+		return ok && condEqual(a.Inner, b.Inner)
+	case True:
+		_, ok := b.(True)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package algebra
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestNormalizePushesSelectBelowProject(t *testing.T) {
+	q := Sigma(Eq("A", "x"), Pi([]relation.Attribute{"A"}, R("R")))
+	n := Normalize(q)
+	p, ok := n.(Project)
+	if !ok {
+		t.Fatalf("normalized root is %T, want Project: %s", n, Format(n))
+	}
+	if _, ok := p.Child.(Select); !ok {
+		t.Fatalf("select not pushed below project: %s", Format(n))
+	}
+}
+
+func TestNormalizeFusesSelects(t *testing.T) {
+	q := Sigma(Eq("A", "x"), Sigma(Eq("B", "y"), R("R")))
+	n := Normalize(q)
+	s, ok := n.(Select)
+	if !ok {
+		t.Fatalf("root %T", n)
+	}
+	if _, ok := s.Child.(Select); ok {
+		t.Errorf("adjacent selects not fused: %s", Format(n))
+	}
+}
+
+func TestNormalizeFusesProjects(t *testing.T) {
+	q := Pi([]relation.Attribute{"A"}, Pi([]relation.Attribute{"A", "B"}, R("R")))
+	n := Normalize(q)
+	p, ok := n.(Project)
+	if !ok {
+		t.Fatalf("root %T", n)
+	}
+	if _, ok := p.Child.(Project); ok {
+		t.Errorf("adjacent projects not fused: %s", Format(n))
+	}
+	if len(p.Attrs) != 1 || p.Attrs[0] != "A" {
+		t.Errorf("outer projection list must win: %v", p.Attrs)
+	}
+}
+
+func TestNormalizeLiftsUnionAboveJoin(t *testing.T) {
+	q := NatJoin(Un(R("R"), R("S")), R("T"))
+	n := Normalize(q)
+	if _, ok := n.(Union); !ok {
+		t.Fatalf("union not lifted: %s", Format(n))
+	}
+	terms := UnionTerms(n)
+	if len(terms) != 2 {
+		t.Fatalf("got %d union terms, want 2", len(terms))
+	}
+	for _, term := range terms {
+		if !IsUnionFree(term) {
+			t.Errorf("term %s is not union-free", Format(term))
+		}
+	}
+}
+
+func TestNormalizeComposesRenames(t *testing.T) {
+	q := Delta(map[relation.Attribute]relation.Attribute{"B": "C"},
+		Delta(map[relation.Attribute]relation.Attribute{"A": "B"}, R("R")))
+	n := Normalize(q)
+	r, ok := n.(Rename)
+	if !ok {
+		t.Fatalf("root %T: %s", n, Format(n))
+	}
+	if _, ok := r.Child.(Rename); ok {
+		t.Errorf("adjacent renames not composed: %s", Format(n))
+	}
+	if r.Theta["A"] != "C" {
+		t.Errorf("composed theta wrong: %v", r.Theta)
+	}
+}
+
+func TestNormalizePushesSelectBelowRename(t *testing.T) {
+	q := Sigma(Eq("A1", "x"), Delta(map[relation.Attribute]relation.Attribute{"A": "A1"}, R("R")))
+	n := Normalize(q)
+	r, ok := n.(Rename)
+	if !ok {
+		t.Fatalf("root %T: %s", n, Format(n))
+	}
+	s, ok := r.Child.(Select)
+	if !ok {
+		t.Fatalf("select not below rename: %s", Format(n))
+	}
+	ac, ok := s.Cond.(AttrConst)
+	if !ok || ac.Attr != "A" {
+		t.Errorf("condition not rewritten through rename: %v", s.Cond)
+	}
+}
+
+func TestIsNormalForm(t *testing.T) {
+	if !IsNormalForm(Pi([]relation.Attribute{"A"}, NatJoin(R("R"), R("S")))) {
+		t.Error("PJ query should already be normal")
+	}
+	if IsNormalForm(NatJoin(Un(R("R"), R("S")), R("T"))) {
+		t.Error("join-over-union is not normal")
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := Pi([]relation.Attribute{"A"}, NatJoin(R("R"), R("S")))
+	b := Pi([]relation.Attribute{"A"}, NatJoin(R("R"), R("S")))
+	c := Pi([]relation.Attribute{"B"}, NatJoin(R("R"), R("S")))
+	if !Equal(a, b) {
+		t.Error("identical queries must be Equal")
+	}
+	if Equal(a, c) {
+		t.Error("different projections must differ")
+	}
+	if Equal(R("R"), Sigma(True{}, R("R"))) {
+		t.Error("scan vs select must differ")
+	}
+}
+
+// randomQuery builds a random valid query over a fixed three-relation
+// database; used by the equivalence property test.
+func randomQuery(r *rand.Rand, depth int) Query {
+	// Base relations: R(A,B), S(B,C), T(A,B) — T union-compatible with R.
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return R("R")
+		case 1:
+			return R("S")
+		default:
+			return R("T")
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return randomQuery(r, 0)
+	case 1: // select with a random condition over whatever schema results
+		child := randomQuery(r, depth-1)
+		return Select{Child: child, Cond: True{}}
+	case 2:
+		child := randomQuery(r, depth-1)
+		return child
+	case 3:
+		// Join R-shaped with S-shaped to stay schema-valid.
+		return Join{Left: randomRT(r, depth-1), Right: R("S")}
+	case 4:
+		return Union{Left: randomRT(r, depth-1), Right: randomRT(r, depth-1)}
+	default:
+		child := randomRT(r, depth-1)
+		return Select{Child: child, Cond: AttrConst{Attr: "A", Op: OpEq, Val: relation.Int(int64(r.Intn(3)))}}
+	}
+}
+
+// randomRT builds a random query whose schema is exactly (A,B).
+func randomRT(r *rand.Rand, depth int) Query {
+	if depth <= 0 {
+		if r.Intn(2) == 0 {
+			return R("R")
+		}
+		return R("T")
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Union{Left: randomRT(r, depth-1), Right: randomRT(r, depth-1)}
+	case 1:
+		return Select{Child: randomRT(r, depth-1), Cond: AttrConst{Attr: "B", Op: OpNe, Val: relation.Int(int64(r.Intn(3)))}}
+	case 2:
+		return Project{Child: Join{Left: randomRT(r, depth-1), Right: R("S")}, Attrs: []relation.Attribute{"A", "B"}}
+	default:
+		return randomRT(r, depth-1)
+	}
+}
+
+func normTestDB(r *rand.Rand) *relation.Database {
+	db := relation.NewDatabase()
+	mk := func(name string, attrs ...relation.Attribute) *relation.Relation {
+		rel := relation.New(name, relation.NewSchema(attrs...))
+		n := 2 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			tu := make(relation.Tuple, len(attrs))
+			for j := range tu {
+				tu[j] = relation.Int(int64(r.Intn(3)))
+			}
+			rel.Insert(tu)
+		}
+		return rel
+	}
+	db.MustAdd(mk("R", "A", "B"))
+	db.MustAdd(mk("S", "B", "C"))
+	db.MustAdd(mk("T", "A", "B"))
+	return db
+}
+
+// Property: Normalize preserves the evaluated view on random queries and
+// random databases. (Preservation of annotation propagation is tested in
+// the annotation package, which can evaluate with location tracking.)
+func TestNormalizePreservesSemanticsQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := normTestDB(r)
+		q := randomQuery(r, 1+r.Intn(3))
+		if Validate(q, db) != nil {
+			return true // skip rare invalid combinations
+		}
+		before, err := Eval(q, db)
+		if err != nil {
+			return true
+		}
+		n := Normalize(q)
+		after, err := Eval(n, db)
+		if err != nil {
+			t.Logf("normalized query fails to evaluate: %s -> %s: %v", Format(q), Format(n), err)
+			return false
+		}
+		if !sameTupleSet(before, after) {
+			t.Logf("normalization changed semantics:\n  q:  %s\n  n:  %s", Format(q), Format(n))
+			return false
+		}
+		if !IsNormalForm(n) {
+			t.Logf("Normalize did not reach a fixpoint: %s", Format(n))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// sameTupleSet compares views up to attribute order.
+func sameTupleSet(a, b *relation.Relation) bool {
+	if a.Len() != b.Len() || !a.Schema().SameSet(b.Schema()) {
+		return false
+	}
+	attrs := a.Schema().Attrs()
+	for _, tb := range b.Tuples() {
+		aligned := relation.ProjectAttrs(b.Schema(), tb, attrs)
+		if !a.Contains(aligned) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComposeTheta(t *testing.T) {
+	inner := map[relation.Attribute]relation.Attribute{"A": "B"}
+	outer := map[relation.Attribute]relation.Attribute{"B": "C", "D": "E"}
+	got := composeTheta(outer, inner)
+	if got["A"] != "C" {
+		t.Errorf("compose A=%q want C", got["A"])
+	}
+	if got["D"] != "E" {
+		t.Errorf("compose D=%q want E", got["D"])
+	}
+	if _, ok := got["B"]; ok {
+		t.Error("B should not appear: it is consumed by inner's image")
+	}
+}
+
+func TestUnionTermsFlattens(t *testing.T) {
+	q := Un(R("R"), R("T"), R("R"))
+	terms := UnionTerms(q)
+	if len(terms) != 3 {
+		t.Errorf("UnionTerms=%d want 3", len(terms))
+	}
+}

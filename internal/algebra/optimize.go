@@ -1,0 +1,146 @@
+package algebra
+
+import (
+	"repro/internal/relation"
+)
+
+// OptimizeJoins reorders the operands of maximal join subtrees with a
+// greedy smallest-intermediate-first heuristic, using actual base
+// cardinalities from db. Natural join is commutative and associative, and
+// the §3 propagation rules are symmetric in the operands (an annotation
+// propagates from a component tuple regardless of the join shape), so the
+// rewrite preserves both the view and the annotation propagation relation
+// — which the property tests pin down.
+//
+// The heuristic: start from the pair with the smallest estimated join
+// size, then repeatedly attach the operand minimizing the next estimate,
+// preferring operands that share attributes (avoiding cross products
+// unless forced).
+func OptimizeJoins(q Query, db *relation.Database) Query {
+	switch q := q.(type) {
+	case Scan:
+		return q
+	case Select:
+		return Select{Child: OptimizeJoins(q.Child, db), Cond: q.Cond}
+	case Project:
+		return Project{Child: OptimizeJoins(q.Child, db), Attrs: q.Attrs}
+	case Rename:
+		return Rename{Child: OptimizeJoins(q.Child, db), Theta: q.Theta}
+	case Union:
+		return Union{Left: OptimizeJoins(q.Left, db), Right: OptimizeJoins(q.Right, db)}
+	case Join:
+		operands := flattenJoins(q)
+		for i, op := range operands {
+			operands[i] = OptimizeJoins(op, db)
+		}
+		return orderJoins(operands, db)
+	default:
+		return q
+	}
+}
+
+// flattenJoins collects the operands of a maximal join subtree.
+func flattenJoins(q Query) []Query {
+	if j, ok := q.(Join); ok {
+		return append(flattenJoins(j.Left), flattenJoins(j.Right)...)
+	}
+	return []Query{q}
+}
+
+// estimate approximates an operand's cardinality: base relation size for
+// scans, recursing through unary operators; unions add, joins multiply
+// (crude, but only relative order matters).
+func estimate(q Query, db *relation.Database) float64 {
+	switch q := q.(type) {
+	case Scan:
+		if r := db.Relation(q.Rel); r != nil {
+			return float64(r.Len())
+		}
+		return 1
+	case Select:
+		return estimate(q.Child, db) / 2
+	case Project:
+		return estimate(q.Child, db)
+	case Rename:
+		return estimate(q.Child, db)
+	case Union:
+		return estimate(q.Left, db) + estimate(q.Right, db)
+	case Join:
+		return estimate(q.Left, db) * estimate(q.Right, db) / 2
+	default:
+		return 1
+	}
+}
+
+// joinEstimate scores joining an accumulated schema with a new operand:
+// sharing attributes divides the product by a selectivity factor per
+// shared attribute; pure cross products keep the full product (worst).
+func joinEstimate(accSize float64, accSchema relation.Schema, opSize float64, opSchema relation.Schema) float64 {
+	shared := len(accSchema.Common(opSchema))
+	est := accSize * opSize
+	for i := 0; i < shared; i++ {
+		est /= 4 // assumed per-attribute selectivity
+	}
+	return est
+}
+
+// orderJoins greedily builds a left-deep join over the operands.
+func orderJoins(operands []Query, db *relation.Database) Query {
+	if len(operands) == 1 {
+		return operands[0]
+	}
+	type item struct {
+		q      Query
+		size   float64
+		schema relation.Schema
+	}
+	items := make([]item, 0, len(operands))
+	for _, op := range operands {
+		schema, err := SchemaOf(op, db)
+		if err != nil {
+			// Invalid operand: keep the original order, validation will
+			// report the error at evaluation time.
+			return NatJoin(operands...)
+		}
+		items = append(items, item{q: op, size: estimate(op, db), schema: schema})
+	}
+	// Seed: the pair with the smallest estimated join.
+	bi, bj := 0, 1
+	best := joinEstimate(items[0].size, items[0].schema, items[1].size, items[1].schema)
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if e := joinEstimate(items[i].size, items[i].schema, items[j].size, items[j].schema); e < best {
+				best, bi, bj = e, i, j
+			}
+		}
+	}
+	acc := Join{Left: items[bi].q, Right: items[bj].q}
+	accSchema := items[bi].schema.Join(items[bj].schema)
+	accSize := best
+	used := make([]bool, len(items))
+	used[bi], used[bj] = true, true
+
+	var result Query = acc
+	for picked := 2; picked < len(items); picked++ {
+		next := -1
+		var nextEst float64
+		for i, it := range items {
+			if used[i] {
+				continue
+			}
+			e := joinEstimate(accSize, accSchema, it.size, it.schema)
+			// Prefer attribute-sharing operands over cross products.
+			if len(accSchema.Common(it.schema)) == 0 {
+				e *= 1e6
+			}
+			if next < 0 || e < nextEst {
+				next, nextEst = i, e
+			}
+		}
+		result = Join{Left: result, Right: items[next].q}
+		accSchema = accSchema.Join(items[next].schema)
+		accSize = nextEst
+		used[next] = true
+	}
+	return result
+}

@@ -1,0 +1,382 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/relation"
+)
+
+// Parse reads the textual query syntax emitted by Format:
+//
+//	query   := ident                              (scan)
+//	         | "select"  "(" cond ";" query ")"
+//	         | "project" "(" attrs ";" query ")"
+//	         | "join"    "(" query {"," query} ")"
+//	         | "union"   "(" query {"," query} ")"
+//	         | "rename"  "(" maps ";" query ")"
+//	cond    := or
+//	or      := and {"or" and}
+//	and     := unary {"and" unary}
+//	unary   := "not" unary | "(" cond ")" | atom | "true"
+//	atom    := ident op (ident | "'" text "'" | int)
+//	op      := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	maps    := ident "->" ident {"," ident "->" ident}
+//
+// join and union with more than two operands fold left-deep. Identifiers
+// are letters, digits, '_' and '.', starting with a letter.
+func Parse(input string) (Query, error) {
+	p := &parser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("algebra: trailing input at byte %d: %q", p.pos, p.rest())
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 24 {
+		r = r[:24] + "..."
+	}
+	return r
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("algebra: parse error at byte %d (%q): %s", p.pos, p.rest(), fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) eat(c byte) bool {
+	p.skipSpace()
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(c byte) error {
+	if !p.eat(c) {
+		return p.errf("expected %q", string(c))
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c == '.' || ('0' <= c && c <= '9')
+}
+
+func (p *parser) ident() (string, bool) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(p.src[p.pos]) {
+		return "", false
+	}
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], true
+}
+
+// peekIdent reads an identifier without consuming it.
+func (p *parser) peekIdent() string {
+	save := p.pos
+	id, _ := p.ident()
+	p.pos = save
+	return id
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	id, ok := p.ident()
+	if !ok {
+		return nil, p.errf("expected query")
+	}
+	switch id {
+	case "select":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(';'); err != nil {
+			return nil, err
+		}
+		child, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Select{Child: child, Cond: cond}, nil
+
+	case "project":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var attrs []relation.Attribute
+		for {
+			a, ok := p.ident()
+			if !ok {
+				return nil, p.errf("expected attribute name")
+			}
+			attrs = append(attrs, a)
+			if !p.eat(',') {
+				break
+			}
+		}
+		if err := p.expect(';'); err != nil {
+			return nil, err
+		}
+		child, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Project{Child: child, Attrs: attrs}, nil
+
+	case "join", "union":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var qs []Query
+		for {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			qs = append(qs, q)
+			if !p.eat(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(qs) < 2 {
+			return nil, p.errf("%s needs at least two operands", id)
+		}
+		if id == "join" {
+			return NatJoin(qs...), nil
+		}
+		return Un(qs...), nil
+
+	case "rename":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		theta := make(map[relation.Attribute]relation.Attribute)
+		for {
+			from, ok := p.ident()
+			if !ok {
+				return nil, p.errf("expected attribute name in rename")
+			}
+			p.skipSpace()
+			if !strings.HasPrefix(p.src[p.pos:], "->") {
+				return nil, p.errf("expected -> in rename")
+			}
+			p.pos += 2
+			to, ok := p.ident()
+			if !ok {
+				return nil, p.errf("expected target attribute in rename")
+			}
+			theta[from] = to
+			if !p.eat(',') {
+				break
+			}
+		}
+		if err := p.expect(';'); err != nil {
+			return nil, err
+		}
+		child, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Rename{Child: child, Theta: theta}, nil
+
+	default:
+		return Scan{Rel: id}, nil
+	}
+}
+
+func (p *parser) parseCond() (Condition, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Condition, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIdent() == "or" {
+		p.ident()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Condition, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIdent() == "and" {
+		p.ident()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Condition, error) {
+	p.skipSpace()
+	if p.peekIdent() == "not" {
+		p.ident()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Inner: inner}, nil
+	}
+	if p.eat('(') {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Condition, error) {
+	attr, ok := p.ident()
+	if !ok {
+		return nil, p.errf("expected attribute in condition")
+	}
+	if attr == "true" {
+		return True{}, nil
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	switch {
+	case p.peek() == '\'':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated string constant")
+		}
+		val := p.src[start:p.pos]
+		p.pos++
+		return AttrConst{Attr: attr, Op: op, Val: relation.String(val)}, nil
+	case p.peek() == '-' || ('0' <= p.peek() && p.peek() <= '9'):
+		start := p.pos
+		if p.peek() == '-' {
+			p.pos++
+		}
+		for p.pos < len(p.src) && '0' <= p.src[p.pos] && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer constant: %v", err)
+		}
+		return AttrConst{Attr: attr, Op: op, Val: relation.Int(n)}, nil
+	default:
+		other, ok := p.ident()
+		if !ok {
+			return nil, p.errf("expected constant or attribute after operator")
+		}
+		return AttrAttr{Left: attr, Op: op, Right: other}, nil
+	}
+}
+
+func (p *parser) parseOp() (CmpOp, error) {
+	p.skipSpace()
+	two := ""
+	if p.pos+1 < len(p.src) {
+		two = p.src[p.pos : p.pos+2]
+	}
+	switch two {
+	case "!=":
+		p.pos += 2
+		return OpNe, nil
+	case "<=":
+		p.pos += 2
+		return OpLe, nil
+	case ">=":
+		p.pos += 2
+		return OpGe, nil
+	}
+	switch p.peek() {
+	case '=':
+		p.pos++
+		return OpEq, nil
+	case '<':
+		p.pos++
+		return OpLt, nil
+	case '>':
+		p.pos++
+		return OpGt, nil
+	}
+	return 0, p.errf("expected comparison operator")
+}

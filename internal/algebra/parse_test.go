@@ -1,0 +1,144 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseScan(t *testing.T) {
+	q, err := Parse("UserGroup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := q.(Scan)
+	if !ok || s.Rel != "UserGroup" {
+		t.Errorf("got %#v", q)
+	}
+}
+
+func TestParseProjectJoin(t *testing.T) {
+	q, err := Parse("project(user, file; join(UserGroup, GroupFile))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := q.(Project)
+	if !ok {
+		t.Fatalf("root %T", q)
+	}
+	if len(p.Attrs) != 2 || p.Attrs[0] != "user" || p.Attrs[1] != "file" {
+		t.Errorf("attrs %v", p.Attrs)
+	}
+	if _, ok := p.Child.(Join); !ok {
+		t.Errorf("child %T", p.Child)
+	}
+}
+
+func TestParseSelectConditions(t *testing.T) {
+	cases := []string{
+		"select(A = 'x'; R)",
+		"select(A != 'x' and B = C; R)",
+		"select(A < 3 or not B >= -2; R)",
+		"select((A = 'x' or B = 'y') and C = 'z'; R)",
+		"select(true; R)",
+	}
+	for _, src := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if _, ok := q.(Select); !ok {
+			t.Errorf("Parse(%q) root %T", src, q)
+		}
+	}
+}
+
+func TestParseNaryFoldsLeftDeep(t *testing.T) {
+	q, err := Parse("join(A, B, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := q.(Join)
+	if !ok {
+		t.Fatalf("root %T", q)
+	}
+	if _, ok := j.Left.(Join); !ok {
+		t.Errorf("expected left-deep join, got left %T", j.Left)
+	}
+	u, err := Parse("union(A, B, C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.(Union); !ok {
+		t.Fatalf("root %T", u)
+	}
+}
+
+func TestParseRename(t *testing.T) {
+	q, err := Parse("rename(A -> A1, B -> B1; R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := q.(Rename)
+	if !ok {
+		t.Fatalf("root %T", q)
+	}
+	if r.Theta["A"] != "A1" || r.Theta["B"] != "B1" {
+		t.Errorf("theta %v", r.Theta)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"project(; R)",
+		"project(A R)",
+		"select(A =; R)",
+		"select(A = 'unterminated; R)",
+		"join(R)",
+		"union(R)",
+		"rename(A; R)",
+		"rename(A -> ; R)",
+		"R extra",
+		"select(A ~ 'x'; R)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// Round trip: Format then Parse yields a structurally equal query.
+func TestFormatParseRoundTrip(t *testing.T) {
+	queries := []Query{
+		R("R"),
+		Pi([]relation.Attribute{"user", "file"}, NatJoin(R("UserGroup"), R("GroupFile"))),
+		Sigma(And{Left: Eq("A", "x"), Right: AttrConst{Attr: "B", Op: OpLt, Val: relation.Int(10)}}, R("R")),
+		Sigma(Or{Left: Not{Inner: Eq("A", "x")}, Right: EqAttr("A", "B")}, R("R")),
+		Un(NatJoin(R("R1"), R("S1")), NatJoin(R("R2"), R("S2"))),
+		Delta(map[relation.Attribute]relation.Attribute{"A": "A1"}, R("R")),
+		Sigma(True{}, R("R")),
+	}
+	for _, q := range queries {
+		src := Format(q)
+		back, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(Format(%s)): %v", src, err)
+			continue
+		}
+		if !Equal(q, back) {
+			t.Errorf("round trip changed query:\n  in:  %s\n  out: %s", src, Format(back))
+		}
+	}
+}
+
+func TestFormatMath(t *testing.T) {
+	q := Pi([]relation.Attribute{"A", "C"}, NatJoin(R("R1"), R("R2")))
+	got := FormatMath(q)
+	want := "Π_{A,C}((R1 ⋈ R2))"
+	if got != want {
+		t.Errorf("FormatMath=%q want %q", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Format renders q in the textual syntax accepted by Parse:
+//
+//	project(A, C; join(R1, R2))
+//	select(A = 'a' and B = 'b'; R)
+//	union(q1, q2)
+//	rename(A -> A1; R)
+//
+// Unicode rendering for papers and logs is provided by FormatMath.
+func Format(q Query) string {
+	var b strings.Builder
+	format(&b, q)
+	return b.String()
+}
+
+func format(b *strings.Builder, q Query) {
+	switch q := q.(type) {
+	case Scan:
+		b.WriteString(q.Rel)
+	case Select:
+		b.WriteString("select(")
+		b.WriteString(formatCond(q.Cond))
+		b.WriteString("; ")
+		format(b, q.Child)
+		b.WriteString(")")
+	case Project:
+		b.WriteString("project(")
+		b.WriteString(strings.Join(q.Attrs, ", "))
+		b.WriteString("; ")
+		format(b, q.Child)
+		b.WriteString(")")
+	case Join:
+		b.WriteString("join(")
+		format(b, q.Left)
+		b.WriteString(", ")
+		format(b, q.Right)
+		b.WriteString(")")
+	case Union:
+		b.WriteString("union(")
+		format(b, q.Left)
+		b.WriteString(", ")
+		format(b, q.Right)
+		b.WriteString(")")
+	case Rename:
+		b.WriteString("rename(")
+		keys := thetaKeys(q.Theta)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s -> %s", k, q.Theta[k])
+		}
+		b.WriteString("; ")
+		format(b, q.Child)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "?%T", q)
+	}
+}
+
+// formatCond renders a condition in the parser's syntax, quoting string
+// constants and leaving integers bare.
+func formatCond(c Condition) string {
+	switch c := c.(type) {
+	case AttrConst:
+		if c.Val.Kind() == relation.KindInt {
+			return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Val)
+		}
+		return fmt.Sprintf("%s %s '%s'", c.Attr, c.Op, c.Val.Str())
+	case AttrAttr:
+		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+	case And:
+		return "(" + formatCond(c.Left) + " and " + formatCond(c.Right) + ")"
+	case Or:
+		return "(" + formatCond(c.Left) + " or " + formatCond(c.Right) + ")"
+	case Not:
+		return "not " + formatCond(c.Inner)
+	case True:
+		return "true"
+	default:
+		return fmt.Sprintf("?%T", c)
+	}
+}
+
+// FormatMath renders q with the paper's mathematical symbols:
+// Π_{A,C}(R1 ⋈ R2), σ_{A='a'}(R), Q1 ∪ Q2, δ_{A→A1}(R).
+func FormatMath(q Query) string {
+	switch q := q.(type) {
+	case Scan:
+		return q.Rel
+	case Select:
+		return "σ_{" + formatCond(q.Cond) + "}(" + FormatMath(q.Child) + ")"
+	case Project:
+		return "Π_{" + strings.Join(q.Attrs, ",") + "}(" + FormatMath(q.Child) + ")"
+	case Join:
+		return "(" + FormatMath(q.Left) + " ⋈ " + FormatMath(q.Right) + ")"
+	case Union:
+		return "(" + FormatMath(q.Left) + " ∪ " + FormatMath(q.Right) + ")"
+	case Rename:
+		var parts []string
+		for _, k := range thetaKeys(q.Theta) {
+			parts = append(parts, k+"→"+q.Theta[k])
+		}
+		return "δ_{" + strings.Join(parts, ",") + "}(" + FormatMath(q.Child) + ")"
+	default:
+		return fmt.Sprintf("?%T", q)
+	}
+}

@@ -1,0 +1,134 @@
+package algebra
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestFormatAllNodes(t *testing.T) {
+	cases := []struct {
+		q    Query
+		want string
+	}{
+		{R("R"), "R"},
+		{Sigma(Eq("A", "x"), R("R")), "select(A = 'x'; R)"},
+		{Sigma(AttrConst{Attr: "A", Op: OpLt, Val: relation.Int(3)}, R("R")), "select(A < 3; R)"},
+		{Pi([]relation.Attribute{"A", "B"}, R("R")), "project(A, B; R)"},
+		{NatJoin(R("R"), R("S")), "join(R, S)"},
+		{Un(R("R"), R("S")), "union(R, S)"},
+		{Delta(map[relation.Attribute]relation.Attribute{"A": "X", "B": "Y"}, R("R")),
+			"rename(A -> X, B -> Y; R)"},
+		{Sigma(True{}, R("R")), "select(true; R)"},
+		{Sigma(Not{Inner: EqAttr("A", "B")}, R("R")), "select(not A = B; R)"},
+	}
+	for _, c := range cases {
+		if got := Format(c.q); got != c.want {
+			t.Errorf("Format=%q want %q", got, c.want)
+		}
+	}
+}
+
+func TestFormatMathAllNodes(t *testing.T) {
+	q := Un(
+		Sigma(Eq("A", "x"), Delta(map[relation.Attribute]relation.Attribute{"B": "A"}, R("S"))),
+		Pi([]relation.Attribute{"A"}, R("R")),
+	)
+	got := FormatMath(q)
+	for _, want := range []string{"σ_{", "δ_{B→A}", "Π_{A}", "∪"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("FormatMath=%q missing %q", got, want)
+		}
+	}
+}
+
+func TestFormatDeterministicThetaOrder(t *testing.T) {
+	q := Delta(map[relation.Attribute]relation.Attribute{"Z": "Z1", "A": "A1", "M": "M1"}, R("R"))
+	first := Format(q)
+	for i := 0; i < 20; i++ {
+		if Format(q) != first {
+			t.Fatal("rename rendering is nondeterministic")
+		}
+	}
+	if !strings.Contains(first, "A -> A1, M -> M1, Z -> Z1") {
+		t.Errorf("theta keys not sorted: %q", first)
+	}
+}
+
+// Property: Format → Parse is the identity (structural) on random valid
+// queries, covering every operator and condition shape the generator
+// emits.
+func TestFormatParseRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomPrintableQuery(r, 1+r.Intn(4))
+		src := Format(q)
+		back, err := Parse(src)
+		if err != nil {
+			t.Logf("Parse(%q): %v", src, err)
+			return false
+		}
+		if !Equal(q, back) {
+			t.Logf("round trip changed %q -> %q", src, Format(back))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomPrintableQuery emits random query trees; schemas need not be
+// consistent since only syntax round-trips are checked.
+func randomPrintableQuery(r *rand.Rand, depth int) Query {
+	if depth <= 0 {
+		return R([]string{"R", "S", "T1", "Emp"}[r.Intn(4)])
+	}
+	switch r.Intn(5) {
+	case 0:
+		return Sigma(randomPrintableCond(r, 2), randomPrintableQuery(r, depth-1))
+	case 1:
+		attrs := []relation.Attribute{"A", "B", "C"}[:1+r.Intn(3)]
+		return Pi(attrs, randomPrintableQuery(r, depth-1))
+	case 2:
+		return NatJoin(randomPrintableQuery(r, depth-1), randomPrintableQuery(r, depth-1))
+	case 3:
+		return Un(randomPrintableQuery(r, depth-1), randomPrintableQuery(r, depth-1))
+	default:
+		return Delta(map[relation.Attribute]relation.Attribute{"A": "A1"}, randomPrintableQuery(r, depth-1))
+	}
+}
+
+func randomPrintableCond(r *rand.Rand, depth int) Condition {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Eq("A", "v1")
+		case 1:
+			return AttrConst{Attr: "B", Op: CmpOp(r.Intn(6)), Val: relation.Int(int64(r.Intn(10) - 5))}
+		case 2:
+			return EqAttr("A", "B")
+		default:
+			return True{}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return And{Left: randomPrintableCond(r, depth-1), Right: randomPrintableCond(r, depth-1)}
+	case 1:
+		return Or{Left: randomPrintableCond(r, depth-1), Right: randomPrintableCond(r, depth-1)}
+	default:
+		return Not{Inner: randomPrintableCond(r, depth-1)}
+	}
+}

@@ -1,0 +1,165 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// NodeStats records the work one operator did during an instrumented
+// evaluation.
+type NodeStats struct {
+	// Op names the operator ("scan R1", "join", "project", ...).
+	Op string
+	// OutputRows is the cardinality of the node's result.
+	OutputRows int
+	// WorkRows counts row combinations examined (probe matches for joins,
+	// input rows otherwise). For the Theorem 2.5 instances this is where
+	// the Σ n^(n-|Si|) intermediate blow-up shows up.
+	WorkRows int
+	// Depth is the node's depth in the query tree (root = 0).
+	Depth int
+}
+
+// EvalStats is the result of an instrumented evaluation: the view plus a
+// per-node cost profile in post-order.
+type EvalStats struct {
+	View  *relation.Relation
+	Nodes []NodeStats
+}
+
+// TotalWork sums WorkRows over all nodes — a machine-independent cost
+// measure used by the benchmark harness to demonstrate complexity shapes
+// without trusting wall clocks.
+func (s *EvalStats) TotalWork() int {
+	total := 0
+	for _, n := range s.Nodes {
+		total += n.WorkRows
+	}
+	return total
+}
+
+// MaxIntermediate returns the largest intermediate result size.
+func (s *EvalStats) MaxIntermediate() int {
+	max := 0
+	for _, n := range s.Nodes {
+		if n.OutputRows > max {
+			max = n.OutputRows
+		}
+	}
+	return max
+}
+
+// Profile renders the per-node statistics as an indented table.
+func (s *EvalStats) Profile() string {
+	var b strings.Builder
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "%s%-12s out=%-8d work=%d\n",
+			strings.Repeat("  ", n.Depth), n.Op, n.OutputRows, n.WorkRows)
+	}
+	return b.String()
+}
+
+// EvalWithStats evaluates q over db recording per-operator costs.
+func EvalWithStats(q Query, db *relation.Database) (*EvalStats, error) {
+	if err := Validate(q, db); err != nil {
+		return nil, err
+	}
+	stats := &EvalStats{}
+	out := statsEval(q, db, stats, 0)
+	view := relation.New(DefaultViewName, out.Schema())
+	for _, t := range out.Tuples() {
+		view.Insert(t)
+	}
+	stats.View = view
+	return stats, nil
+}
+
+// statsEval mirrors evalNode with instrumentation; nodes are appended in
+// post-order so children precede parents.
+func statsEval(q Query, db *relation.Database, stats *EvalStats, depth int) *relation.Relation {
+	record := func(op string, out *relation.Relation, work int) *relation.Relation {
+		stats.Nodes = append(stats.Nodes, NodeStats{Op: op, OutputRows: out.Len(), WorkRows: work, Depth: depth})
+		return out
+	}
+	switch q := q.(type) {
+	case Scan:
+		r := db.Relation(q.Rel)
+		return record("scan "+q.Rel, r, r.Len())
+	case Select:
+		child := statsEval(q.Child, db, stats, depth+1)
+		out := relation.New("σ", child.Schema())
+		for _, t := range child.Tuples() {
+			if q.Cond.Holds(child.Schema(), t) {
+				out.Insert(t)
+			}
+		}
+		return record("select", out, child.Len())
+	case Project:
+		child := statsEval(q.Child, db, stats, depth+1)
+		schema, _ := child.Schema().Project(q.Attrs)
+		positions := attrPositions(child.Schema(), q.Attrs)
+		out := relation.New("π", schema)
+		for _, t := range child.Tuples() {
+			out.Insert(t.Project(positions))
+		}
+		return record("project", out, child.Len())
+	case Join:
+		left := statsEval(q.Left, db, stats, depth+1)
+		right := statsEval(q.Right, db, stats, depth+1)
+		ls, rs := left.Schema(), right.Schema()
+		common := ls.Common(rs)
+		out := relation.New("⋈", ls.Join(rs))
+		var rightExtra []int
+		for _, a := range rs.Attrs() {
+			if !ls.Has(a) {
+				i, _ := rs.Index(a)
+				rightExtra = append(rightExtra, i)
+			}
+		}
+		leftKeyPos := attrPositions(ls, common)
+		rightKeyPos := attrPositions(rs, common)
+		buckets := make(map[string][]relation.Tuple, right.Len())
+		for _, rt := range right.Tuples() {
+			k := rt.Project(rightKeyPos).Key()
+			buckets[k] = append(buckets[k], rt)
+		}
+		work := 0
+		for _, lt := range left.Tuples() {
+			k := lt.Project(leftKeyPos).Key()
+			for _, rt := range buckets[k] {
+				work++
+				joined := make(relation.Tuple, 0, out.Schema().Len())
+				joined = append(joined, lt...)
+				for _, p := range rightExtra {
+					joined = append(joined, rt[p])
+				}
+				out.Insert(joined)
+			}
+		}
+		return record("join", out, work)
+	case Union:
+		left := statsEval(q.Left, db, stats, depth+1)
+		right := statsEval(q.Right, db, stats, depth+1)
+		out := relation.New("∪", left.Schema())
+		for _, t := range left.Tuples() {
+			out.Insert(t)
+		}
+		positions := attrPositions(right.Schema(), left.Schema().Attrs())
+		for _, t := range right.Tuples() {
+			out.Insert(t.Project(positions))
+		}
+		return record("union", out, left.Len()+right.Len())
+	case Rename:
+		child := statsEval(q.Child, db, stats, depth+1)
+		schema, _ := child.Schema().Rename(q.Theta)
+		out := relation.New("δ", schema)
+		for _, t := range child.Tuples() {
+			out.Insert(t)
+		}
+		return record("rename", out, child.Len())
+	default:
+		panic(fmt.Sprintf("algebra: statsEval: unknown node %T", q))
+	}
+}

@@ -1,0 +1,144 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestEvalWithStatsMatchesEval(t *testing.T) {
+	db := userGroupDB()
+	q := Pi([]relation.Attribute{"user", "file"}, NatJoin(R("UserGroup"), R("GroupFile")))
+	plain := MustEval(q, db)
+	stats, err := EvalWithStats(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(stats.View) {
+		t.Error("instrumented evaluation changed the view")
+	}
+}
+
+func TestEvalWithStatsNodeProfile(t *testing.T) {
+	db := userGroupDB()
+	q := Pi([]relation.Attribute{"user", "file"}, NatJoin(R("UserGroup"), R("GroupFile")))
+	stats, err := EvalWithStats(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-order: scan, scan, join, project.
+	if len(stats.Nodes) != 4 {
+		t.Fatalf("nodes=%d want 4", len(stats.Nodes))
+	}
+	if stats.Nodes[2].Op != "join" || stats.Nodes[3].Op != "project" {
+		t.Errorf("post-order wrong: %+v", stats.Nodes)
+	}
+	// Join work = number of matched pairs = 5.
+	if stats.Nodes[2].WorkRows != 5 {
+		t.Errorf("join work=%d want 5", stats.Nodes[2].WorkRows)
+	}
+	if stats.Nodes[2].OutputRows != 5 {
+		t.Errorf("join output=%d want 5", stats.Nodes[2].OutputRows)
+	}
+	// Projection collapses to 4 output rows.
+	if stats.Nodes[3].OutputRows != 4 {
+		t.Errorf("project output=%d want 4", stats.Nodes[3].OutputRows)
+	}
+	if stats.TotalWork() <= 0 || stats.MaxIntermediate() != 5 {
+		t.Errorf("TotalWork=%d MaxIntermediate=%d", stats.TotalWork(), stats.MaxIntermediate())
+	}
+	if !strings.Contains(stats.Profile(), "join") {
+		t.Error("Profile missing join row")
+	}
+}
+
+func TestEvalWithStatsSelectUnionRename(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	r.InsertStrings("y")
+	db.MustAdd(r)
+	s := relation.New("S", relation.NewSchema("B"))
+	s.InsertStrings("x")
+	db.MustAdd(s)
+	q := Un(
+		Sigma(Eq("A", "x"), R("R")),
+		Delta(map[relation.Attribute]relation.Attribute{"B": "A"}, R("S")),
+	)
+	stats, err := EvalWithStats(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.View.Len() != 1 {
+		t.Errorf("view=%v want deduplicated {x}", stats.View)
+	}
+	ops := make(map[string]bool)
+	for _, n := range stats.Nodes {
+		ops[n.Op] = true
+	}
+	for _, want := range []string{"select", "union", "rename"} {
+		if !ops[want] {
+			t.Errorf("missing %s node in %v", want, stats.Nodes)
+		}
+	}
+}
+
+func TestEvalWithStatsError(t *testing.T) {
+	db := userGroupDB()
+	if _, err := EvalWithStats(R("Ghost"), db); err == nil {
+		t.Error("unknown relation must error")
+	}
+}
+
+// The Theorem 2.5 blow-up: on the Figure 3 family the intermediate join
+// work grows like n^Θ(n) while the view stays a single tuple. This is the
+// mechanism behind the hardness, demonstrated with the work counter.
+func TestStatsShowTheorem25Blowup(t *testing.T) {
+	// Reimplementation of a small Figure 3 instance inline to avoid an
+	// import cycle with the reduction package.
+	build := func(n int) (*relation.Database, Query) {
+		db := relation.NewDatabase()
+		attrs := []relation.Attribute{"S"}
+		for i := 1; i <= n; i++ {
+			attrs = append(attrs, "A"+string(rune('0'+i)))
+		}
+		r0 := relation.New("R0", relation.NewSchema(attrs...))
+		row := make(relation.Tuple, n+1)
+		row[0] = relation.String("s1")
+		for i := 1; i <= n; i++ {
+			row[i] = relation.String("d")
+		}
+		row[1] = relation.String("x1") // set {x1}
+		r0.Insert(row)
+		db.MustAdd(r0)
+		joins := []Query{R("R0")}
+		for i := 1; i <= n; i++ {
+			ri := relation.New("R"+string(rune('0'+i)),
+				relation.NewSchema("A"+string(rune('0'+i)), "B"+string(rune('0'+i)), "C"))
+			ri.InsertStrings("x"+string(rune('0'+i)), "alpha0", "c")
+			for j := 1; j <= n; j++ {
+				ri.InsertStrings("d", "alpha"+string(rune('0'+j)), "c")
+			}
+			db.MustAdd(ri)
+			joins = append(joins, R(ri.Name()))
+		}
+		return db, Pi([]relation.Attribute{"C"}, NatJoin(joins...))
+	}
+	work := make(map[int]int)
+	for _, n := range []int{2, 3, 4} {
+		db, q := build(n)
+		stats, err := EvalWithStats(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.View.Len() != 1 {
+			t.Fatalf("n=%d: view=%v want single (c)", n, stats.View)
+		}
+		work[n] = stats.TotalWork()
+	}
+	// Super-linear growth: the work ratio must exceed the size ratio.
+	if !(work[3] > 2*work[2] && work[4] > 2*work[3]) {
+		t.Errorf("expected super-linear intermediate growth, got %v", work)
+	}
+}

@@ -1,0 +1,55 @@
+package annotation_test
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/annotation"
+	"repro/internal/relation"
+)
+
+func exampleDB() *relation.Database {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("john", "staff")
+	ug.InsertStrings("john", "admin")
+	ug.InsertStrings("mary", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("staff", "f1")
+	gf.InsertStrings("admin", "f1")
+	gf.InsertStrings("admin", "f2")
+	db.MustAdd(gf)
+	return db
+}
+
+// Annotating the file cell of (john, f2): the only source is
+// GroupFile(admin, f2).file, and it unavoidably also annotates
+// (mary, f2).file — one side-effect, certified minimal.
+func ExamplePlace() {
+	db := exampleDB()
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	p, _ := annotation.Place(q, db, relation.StringTuple("john", "f2"), "file")
+	fmt.Println("place on:", p.Source)
+	fmt.Println("side-effects:", p.SideEffects)
+	// Output:
+	// place on: (GroupFile, (admin, f2), file)
+	// side-effects: 1
+}
+
+// Forward propagation (§3 rules): where does an annotation on john's
+// admin membership surface?
+func ExampleForwardPropagate() {
+	db := exampleDB()
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	src := relation.Loc("UserGroup", relation.StringTuple("john", "admin"), "user")
+	reached, _ := annotation.ForwardPropagate(q, db, src)
+	for _, l := range reached.Sorted() {
+		fmt.Println(l)
+	}
+	// Output:
+	// (V, (john, f1), user)
+	// (V, (john, f2), user)
+}

@@ -1,0 +1,447 @@
+// Package annotation implements the annotation model of §3 of the paper:
+// annotations live on locations (R, t, A), are carried from source to view
+// by the forward propagation rules (one per monotone operator), and the
+// annotation placement problem asks for a source location whose annotation
+// reaches a given view location with the fewest side-effects.
+//
+// The central computation is where-provenance: for every view location,
+// the set of source locations whose annotation would propagate there. The
+// propagation rules are implemented exactly as stated:
+//
+//	Selection:  (R,t',A) → (σ_C(R),t,A)        if t = t'
+//	Projection: (R,t',A) → (Π_B(R),t,A)        if A ∈ B and t'.B = t
+//	Join:       (R1,t1,A) → (R1⋈R2,t,A)        if t.R1 = t1   (symm. R2)
+//	Union:      (R1,t1,A) → (R1∪R2,t,A)        if t = t1      (symm. R2)
+//	Renaming:   (R,t,A)  → (δ_θ(R),t',θ(A))    if t' = t
+//
+// "Equality of similarly named fields" is the propagation reason; explicit
+// equality in selection conditions does NOT transport annotations across
+// attributes, which is why σ_{A=B} does not copy A's annotations to B.
+package annotation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// locSet is a small set of source-location ids (dense ints), kept sorted.
+// Where-provenance sets are typically tiny; sorted slices beat maps here
+// and give canonical forms for free.
+type locSet []int32
+
+func (s locSet) has(id int32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == id
+}
+
+// union merges two sorted sets.
+func (s locSet) union(t locSet) locSet {
+	if len(t) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return t
+	}
+	out := make(locSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// interner assigns dense ids to source locations.
+type interner struct {
+	ids  map[string]int32
+	locs []relation.Location
+}
+
+func newInterner() *interner { return &interner{ids: make(map[string]int32)} }
+
+func (in *interner) id(l relation.Location) int32 {
+	k := l.Key()
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id := int32(len(in.locs))
+	in.ids[k] = id
+	in.locs = append(in.locs, l)
+	return id
+}
+
+func (in *interner) lookup(l relation.Location) (int32, bool) {
+	id, ok := in.ids[l.Key()]
+	return id, ok
+}
+
+// WhereView is a view evaluated with where-provenance: every (tuple,
+// attribute) position carries the set of source locations that propagate
+// to it under the forward rules.
+type WhereView struct {
+	// View is Q(S), named algebra.DefaultViewName.
+	View *relation.Relation
+	// where maps view tuple key → per-position source location sets.
+	where map[string][]locSet
+	in    *interner
+}
+
+// ComputeWhere evaluates q over db with full where-provenance tracking.
+// Polynomial in the total size of all intermediate results.
+func ComputeWhere(q algebra.Query, db *relation.Database) (*WhereView, error) {
+	if err := algebra.Validate(q, db); err != nil {
+		return nil, err
+	}
+	in := newInterner()
+	ar, err := annEval(q, db, in)
+	if err != nil {
+		return nil, err
+	}
+	view := relation.New(algebra.DefaultViewName, ar.rel.Schema())
+	for _, t := range ar.rel.Tuples() {
+		view.Insert(t)
+	}
+	return &WhereView{View: view, where: ar.ann, in: in}, nil
+}
+
+// WhereOf returns the source locations whose annotation propagates to view
+// location (t, attr): the where-provenance of that location. Nil if the
+// tuple or attribute is absent.
+func (wv *WhereView) WhereOf(t relation.Tuple, attr relation.Attribute) []relation.Location {
+	sets, ok := wv.where[t.Key()]
+	if !ok {
+		return nil
+	}
+	pos, ok := wv.View.Schema().Index(attr)
+	if !ok {
+		return nil
+	}
+	set := sets[pos]
+	out := make([]relation.Location, len(set))
+	for i, id := range set {
+		out[i] = wv.in.locs[id]
+	}
+	return out
+}
+
+// PropagatesTo reports whether annotating source location src would
+// annotate view location (t, attr).
+func (wv *WhereView) PropagatesTo(src relation.Location, t relation.Tuple, attr relation.Attribute) bool {
+	id, ok := wv.in.lookup(src)
+	if !ok {
+		return false
+	}
+	sets, ok := wv.where[t.Key()]
+	if !ok {
+		return false
+	}
+	pos, ok := wv.View.Schema().Index(attr)
+	if !ok {
+		return false
+	}
+	return sets[pos].has(id)
+}
+
+// Affected returns every view location annotated by placing an annotation
+// at source location src — the forward image of src, including the target
+// itself when it propagates.
+func (wv *WhereView) Affected(src relation.Location) *relation.LocationSet {
+	out := relation.NewLocationSet()
+	id, ok := wv.in.lookup(src)
+	if !ok {
+		return out
+	}
+	attrs := wv.View.Schema().Attrs()
+	for _, t := range wv.View.Tuples() {
+		sets := wv.where[t.Key()]
+		for pos, set := range sets {
+			if set.has(id) {
+				out.Add(relation.Loc(wv.View.Name(), t, attrs[pos]))
+			}
+		}
+	}
+	return out
+}
+
+// SourceLocations returns every source location that reaches at least one
+// view location (the union of all where-sets), in interning order.
+func (wv *WhereView) SourceLocations() []relation.Location {
+	seen := make([]bool, len(wv.in.locs))
+	for _, sets := range wv.where {
+		for _, set := range sets {
+			for _, id := range set {
+				seen[id] = true
+			}
+		}
+	}
+	var out []relation.Location
+	for i, ok := range seen {
+		if ok {
+			out = append(out, wv.in.locs[i])
+		}
+	}
+	return out
+}
+
+// annRel is an intermediate relation whose tuples carry per-position
+// where-provenance sets.
+type annRel struct {
+	rel *relation.Relation
+	ann map[string][]locSet
+}
+
+func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, error) {
+	switch q := q.(type) {
+	case algebra.Scan:
+		base := db.Relation(q.Rel)
+		out := &annRel{rel: base, ann: make(map[string][]locSet, base.Len())}
+		attrs := base.Schema().Attrs()
+		for _, t := range base.Tuples() {
+			sets := make([]locSet, len(attrs))
+			for i, a := range attrs {
+				sets[i] = locSet{in.id(relation.Loc(q.Rel, t, a))}
+			}
+			out.ann[t.Key()] = sets
+		}
+		return out, nil
+
+	case algebra.Select:
+		child, err := annEval(q.Child, db, in)
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.New("σ", child.rel.Schema())
+		ann := make(map[string][]locSet)
+		for _, t := range child.rel.Tuples() {
+			if q.Cond.Holds(child.rel.Schema(), t) {
+				rel.Insert(t)
+				ann[t.Key()] = child.ann[t.Key()]
+			}
+		}
+		return &annRel{rel: rel, ann: ann}, nil
+
+	case algebra.Project:
+		child, err := annEval(q.Child, db, in)
+		if err != nil {
+			return nil, err
+		}
+		schema, perr := child.rel.Schema().Project(q.Attrs)
+		if perr != nil {
+			return nil, perr
+		}
+		positions := make([]int, len(q.Attrs))
+		for i, a := range q.Attrs {
+			positions[i], _ = child.rel.Schema().Index(a)
+		}
+		rel := relation.New("π", schema)
+		ann := make(map[string][]locSet)
+		for _, t := range child.rel.Tuples() {
+			pt := t.Project(positions)
+			rel.Insert(pt)
+			childSets := child.ann[t.Key()]
+			k := pt.Key()
+			cur, ok := ann[k]
+			if !ok {
+				cur = make([]locSet, len(positions))
+				ann[k] = cur
+			}
+			// Projection merges all pre-images: every child tuple with
+			// t'.B = t contributes its sets (rule 2).
+			for i, p := range positions {
+				cur[i] = cur[i].union(childSets[p])
+			}
+		}
+		return &annRel{rel: rel, ann: ann}, nil
+
+	case algebra.Join:
+		left, err := annEval(q.Left, db, in)
+		if err != nil {
+			return nil, err
+		}
+		right, err := annEval(q.Right, db, in)
+		if err != nil {
+			return nil, err
+		}
+		ls, rs := left.rel.Schema(), right.rel.Schema()
+		outSchema := ls.Join(rs)
+		rel := relation.New("⋈", outSchema)
+		ann := make(map[string][]locSet)
+		common := ls.Common(rs)
+		buckets := make(map[string][]relation.Tuple)
+		for _, rt := range right.rel.Tuples() {
+			k := relation.ProjectAttrs(rs, rt, common).Key()
+			buckets[k] = append(buckets[k], rt)
+		}
+		// Output position → (left position, right position); -1 if absent
+		// on that side. Common attributes pull from both (rules for R1 and
+		// R2 both apply).
+		type srcPos struct{ l, r int }
+		mapping := make([]srcPos, outSchema.Len())
+		for i, a := range outSchema.Attrs() {
+			lp, lok := ls.Index(a)
+			rp, rok := rs.Index(a)
+			sp := srcPos{l: -1, r: -1}
+			if lok {
+				sp.l = lp
+			}
+			if rok {
+				sp.r = rp
+			}
+			mapping[i] = sp
+		}
+		for _, lt := range left.rel.Tuples() {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			lsets := left.ann[lt.Key()]
+			for _, rt := range buckets[k] {
+				rsets := right.ann[rt.Key()]
+				joined := make(relation.Tuple, 0, outSchema.Len())
+				joined = append(joined, lt...)
+				for _, a := range rs.Attrs() {
+					if !ls.Has(a) {
+						p, _ := rs.Index(a)
+						joined = append(joined, rt[p])
+					}
+				}
+				rel.Insert(joined)
+				sets := make([]locSet, len(mapping))
+				for i, sp := range mapping {
+					var s locSet
+					if sp.l >= 0 {
+						s = s.union(lsets[sp.l])
+					}
+					if sp.r >= 0 {
+						s = s.union(rsets[sp.r])
+					}
+					sets[i] = s
+				}
+				ann[joined.Key()] = sets
+			}
+		}
+		return &annRel{rel: rel, ann: ann}, nil
+
+	case algebra.Union:
+		left, err := annEval(q.Left, db, in)
+		if err != nil {
+			return nil, err
+		}
+		right, err := annEval(q.Right, db, in)
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.New("∪", left.rel.Schema())
+		ann := make(map[string][]locSet)
+		for _, t := range left.rel.Tuples() {
+			rel.Insert(t)
+			sets := make([]locSet, len(left.ann[t.Key()]))
+			copy(sets, left.ann[t.Key()])
+			ann[t.Key()] = sets
+		}
+		attrs := left.rel.Schema().Attrs()
+		positions := make([]int, len(attrs))
+		for i, a := range attrs {
+			positions[i], _ = right.rel.Schema().Index(a)
+		}
+		for _, t := range right.rel.Tuples() {
+			aligned := t.Project(positions)
+			rel.Insert(aligned)
+			rsets := right.ann[t.Key()]
+			k := aligned.Key()
+			cur, ok := ann[k]
+			if !ok {
+				cur = make([]locSet, len(attrs))
+				ann[k] = cur
+			}
+			for i, p := range positions {
+				cur[i] = cur[i].union(rsets[p])
+			}
+		}
+		return &annRel{rel: rel, ann: ann}, nil
+
+	case algebra.Rename:
+		child, err := annEval(q.Child, db, in)
+		if err != nil {
+			return nil, err
+		}
+		schema, rerr := child.rel.Schema().Rename(q.Theta)
+		if rerr != nil {
+			return nil, rerr
+		}
+		rel := relation.New("δ", schema)
+		ann := make(map[string][]locSet, len(child.ann))
+		for _, t := range child.rel.Tuples() {
+			rel.Insert(t)
+			ann[t.Key()] = child.ann[t.Key()]
+		}
+		return &annRel{rel: rel, ann: ann}, nil
+
+	default:
+		return nil, fmt.Errorf("annotation: unknown query node %T", q)
+	}
+}
+
+// ForwardPropagate computes the view locations annotated by a single
+// annotation placed at src, by evaluating the query once with full
+// where-provenance. The Mark variant below avoids the full computation.
+func ForwardPropagate(q algebra.Query, db *relation.Database, src relation.Location) (*relation.LocationSet, error) {
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		return nil, err
+	}
+	return wv.Affected(src), nil
+}
+
+// PropagationRelation materializes the relation R(Q,S) of Theorem 3.1
+// between source locations and view locations, as a sorted list of pairs.
+// Used by the normal-form preservation tests.
+func PropagationRelation(q algebra.Query, db *relation.Database) ([][2]relation.Location, error) {
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]relation.Location
+	attrs := wv.View.Schema().Attrs()
+	for _, t := range wv.View.Tuples() {
+		sets := wv.where[t.Key()]
+		for pos, set := range sets {
+			vloc := relation.Loc(wv.View.Name(), t, attrs[pos])
+			for _, id := range set {
+				out = append(out, [2]relation.Location{wv.in.locs[id], vloc})
+			}
+		}
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+func sortPairs(ps [][2]relation.Location) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a[0].Key() != b[0].Key() {
+			return a[0].Less(b[0])
+		}
+		return a[1].Less(b[1])
+	})
+}

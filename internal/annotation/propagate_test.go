@@ -1,0 +1,469 @@
+package annotation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+func userGroupDB() *relation.Database {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("john", "staff")
+	ug.InsertStrings("john", "admin")
+	ug.InsertStrings("mary", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("staff", "f1")
+	gf.InsertStrings("admin", "f1")
+	gf.InsertStrings("admin", "f2")
+	db.MustAdd(gf)
+	return db
+}
+
+func TestLocSet(t *testing.T) {
+	var s locSet
+	s = s.union(locSet{3})
+	s = s.union(locSet{1, 5})
+	s = s.union(locSet{3, 5})
+	want := locSet{1, 3, 5}
+	if len(s) != 3 {
+		t.Fatalf("union=%v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("union=%v want %v", s, want)
+		}
+	}
+	if !s.has(3) || s.has(2) || s.has(0) || s.has(9) {
+		t.Error("has wrong")
+	}
+}
+
+func TestScanPropagation(t *testing.T) {
+	db := userGroupDB()
+	wv, err := ComputeWhere(algebra.R("UserGroup"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.StringTuple("john", "staff")
+	srcs := wv.WhereOf(tu, "user")
+	if len(srcs) != 1 {
+		t.Fatalf("scan where-set size %d", len(srcs))
+	}
+	want := relation.Loc("UserGroup", tu, "user")
+	if srcs[0].Key() != want.Key() {
+		t.Errorf("got %v want %v", srcs[0], want)
+	}
+}
+
+func TestSelectionKeepsPropagation(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Sigma(algebra.Eq("group", "admin"), algebra.R("UserGroup"))
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.StringTuple("mary", "admin")
+	srcs := wv.WhereOf(tu, "group")
+	if len(srcs) != 1 || srcs[0].Rel != "UserGroup" {
+		t.Errorf("selection where-set %v", srcs)
+	}
+	// Filtered-out tuples have no view locations at all.
+	if wv.View.Contains(relation.StringTuple("john", "staff")) {
+		t.Error("selection let a non-matching tuple through")
+	}
+}
+
+// σ_{A=B} must NOT copy annotations between A and B (the paper's "explicit
+// equality is not used" remark).
+func TestSelectionEqualityDoesNotTransport(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A", "B"))
+	r.InsertStrings("x", "x")
+	db.MustAdd(r)
+	q := algebra.Sigma(algebra.EqAttr("A", "B"), algebra.R("R"))
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.StringTuple("x", "x")
+	aSrc := wv.WhereOf(tu, "A")
+	if len(aSrc) != 1 || aSrc[0].Attr != "A" {
+		t.Errorf("A's annotation sources %v must be exactly (R,t,A)", aSrc)
+	}
+	bSrc := wv.WhereOf(tu, "B")
+	if len(bSrc) != 1 || bSrc[0].Attr != "B" {
+		t.Errorf("B's annotation sources %v must be exactly (R,t,B)", bSrc)
+	}
+}
+
+// Projection merges pre-images: both (john,staff) and (john,admin)
+// propagate their user-attribute annotation to the single view tuple
+// (john).
+func TestProjectionMergesPreimages(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Pi([]relation.Attribute{"user"}, algebra.R("UserGroup"))
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := wv.WhereOf(relation.StringTuple("john"), "user")
+	if len(srcs) != 2 {
+		t.Fatalf("projection pre-image merge: got %d sources, want 2: %v", len(srcs), srcs)
+	}
+}
+
+// Join: common attribute receives annotations from both operands; private
+// attributes from their own side only.
+func TestJoinPropagation(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile"))
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.StringTuple("john", "staff", "f1")
+	groupSrcs := wv.WhereOf(tu, "group")
+	if len(groupSrcs) != 2 {
+		t.Fatalf("common attribute should have 2 sources, got %v", groupSrcs)
+	}
+	rels := map[string]bool{}
+	for _, s := range groupSrcs {
+		rels[s.Rel] = true
+	}
+	if !rels["UserGroup"] || !rels["GroupFile"] {
+		t.Errorf("common attribute sources from wrong relations: %v", groupSrcs)
+	}
+	userSrcs := wv.WhereOf(tu, "user")
+	if len(userSrcs) != 1 || userSrcs[0].Rel != "UserGroup" {
+		t.Errorf("left-private attribute sources %v", userSrcs)
+	}
+	fileSrcs := wv.WhereOf(tu, "file")
+	if len(fileSrcs) != 1 || fileSrcs[0].Rel != "GroupFile" {
+		t.Errorf("right-private attribute sources %v", fileSrcs)
+	}
+}
+
+func TestUnionMergesBothSides(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	db.MustAdd(r)
+	s := relation.New("S", relation.NewSchema("A"))
+	s.InsertStrings("x")
+	db.MustAdd(s)
+	wv, err := ComputeWhere(algebra.Un(algebra.R("R"), algebra.R("S")), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := wv.WhereOf(relation.StringTuple("x"), "A")
+	if len(srcs) != 2 {
+		t.Fatalf("union should merge both sides: %v", srcs)
+	}
+}
+
+func TestRenamePropagation(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	db.MustAdd(r)
+	q := algebra.Delta(map[relation.Attribute]relation.Attribute{"A": "A1"}, algebra.R("R"))
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := wv.WhereOf(relation.StringTuple("x"), "A1")
+	if len(srcs) != 1 || srcs[0].Attr != "A" {
+		t.Errorf("rename must map θ(A) back to source A: %v", srcs)
+	}
+}
+
+func TestAffectedAndPropagatesTo(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	wv, err := ComputeWhere(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annotating user of UG(john,staff) reaches only (john,f1).user —
+	// (john,f1) also derives via admin but the user attribute of the
+	// staff tuple reaches only tuples whose user component came from it.
+	src := relation.Loc("UserGroup", relation.StringTuple("john", "staff"), "user")
+	aff := wv.Affected(src)
+	if aff.Len() != 1 {
+		t.Fatalf("Affected=%v want 1 location", aff.Sorted())
+	}
+	if !wv.PropagatesTo(src, relation.StringTuple("john", "f1"), "user") {
+		t.Error("PropagatesTo misses the expected view location")
+	}
+	if wv.PropagatesTo(src, relation.StringTuple("john", "f2"), "user") {
+		t.Error("annotation must not reach (john,f2): staff grants no f2")
+	}
+	// Unknown source location: affects nothing.
+	ghost := relation.Loc("UserGroup", relation.StringTuple("zz", "zz"), "user")
+	if wv.Affected(ghost).Len() != 0 {
+		t.Error("unknown location should affect nothing")
+	}
+}
+
+func TestForwardPropagate(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	// The admin membership of john feeds (john,f1) and (john,f2).
+	src := relation.Loc("UserGroup", relation.StringTuple("john", "admin"), "user")
+	got, err := ForwardPropagate(q, db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("ForwardPropagate=%v want 2 locations", got.Sorted())
+	}
+}
+
+// View-defined constants carry no annotation (remark after Theorem 3.1) —
+// modelled here by a projection dropping the annotated column: annotations
+// on dropped columns reach nothing.
+func TestDroppedColumnCarriesNothing(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Pi([]relation.Attribute{"user"}, algebra.R("UserGroup"))
+	src := relation.Loc("UserGroup", relation.StringTuple("john", "staff"), "group")
+	got, err := ForwardPropagate(q, db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("annotation on projected-away column must vanish: %v", got.Sorted())
+	}
+}
+
+// Cross-engine property: every where-provenance source of a view cell
+// belongs to the lineage of that view tuple — the §3 location-level rules
+// never invent sources outside the tuple-level derivations.
+func TestWhereSourcesSubsetOfLineageQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	q := algebra.Pi([]relation.Attribute{"A", "C"},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		r1 := relation.New("R1", relation.NewSchema("A", "B"))
+		r2 := relation.New("R2", relation.NewSchema("B", "C"))
+		for i := 0; i < 2+r.Intn(4); i++ {
+			r1.Insert(relation.NewTuple(relation.Int(int64(r.Intn(2))), relation.Int(int64(r.Intn(2)))))
+			r2.Insert(relation.NewTuple(relation.Int(int64(r.Intn(2))), relation.Int(int64(r.Intn(2)))))
+		}
+		db.MustAdd(r1)
+		db.MustAdd(r2)
+		wv, err := ComputeWhere(q, db)
+		if err != nil {
+			return false
+		}
+		lres, err := provenance.ComputeLineage(q, db)
+		if err != nil {
+			return false
+		}
+		for _, vt := range wv.View.Tuples() {
+			lin := lres.Lineage(vt)
+			for _, attr := range wv.View.Schema().Attrs() {
+				for _, src := range wv.WhereOf(vt, attr) {
+					if !lin.Contains(relation.SourceTuple{Rel: src.Rel, Tuple: src.Tuple}) {
+						t.Logf("where source %v of (%v).%s outside lineage %v", src, vt, attr, lin)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 3.1: normalization preserves the propagation relation R(Q,S), on
+// random queries and databases.
+func TestNormalFormPreservesPropagationQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 250,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		mk := func(name string, attrs ...relation.Attribute) {
+			rel := relation.New(name, relation.NewSchema(attrs...))
+			for i := 0; i < 2+r.Intn(5); i++ {
+				tu := make(relation.Tuple, len(attrs))
+				for j := range tu {
+					tu[j] = relation.Int(int64(r.Intn(3)))
+				}
+				rel.Insert(tu)
+			}
+			db.MustAdd(rel)
+		}
+		mk("R", "A", "B")
+		mk("S", "B", "C")
+		mk("T", "A", "B")
+		q := randomAnnQuery(r, 1+r.Intn(3))
+		if algebra.Validate(q, db) != nil {
+			return true
+		}
+		before, err := PropagationRelation(q, db)
+		if err != nil {
+			return true
+		}
+		after, err := PropagationRelation(algebra.Normalize(q), db)
+		if err != nil {
+			t.Logf("normalized query fails: %s: %v", algebra.Format(algebra.Normalize(q)), err)
+			return false
+		}
+		if len(before) != len(after) {
+			t.Logf("propagation relation size changed %d -> %d for %s => %s",
+				len(before), len(after), algebra.Format(q), algebra.Format(algebra.Normalize(q)))
+			return false
+		}
+		for i := range before {
+			if before[i][0].Key() != after[i][0].Key() || before[i][1].Key() != after[i][1].Key() {
+				t.Logf("propagation pair %d differs for %s", i, algebra.Format(q))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Join reordering preserves the propagation relation: the §3 join rule is
+// symmetric in the operands, so OptimizeJoins must not change R(Q,S).
+func TestOptimizeJoinsPreservesPropagationQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		k := 2 + r.Intn(3)
+		var operands []algebra.Query
+		for i := 1; i <= k; i++ {
+			a1 := "A" + string(rune('0'+i-1))
+			a2 := "A" + string(rune('0'+i))
+			rel := relation.New("C"+string(rune('0'+i)), relation.NewSchema(a1, a2))
+			for j := 0; j < 1+r.Intn(6); j++ {
+				rel.Insert(relation.NewTuple(
+					relation.Int(int64(r.Intn(3))), relation.Int(int64(r.Intn(3)))))
+			}
+			db.MustAdd(rel)
+			operands = append(operands, algebra.Scan{Rel: rel.Name()})
+		}
+		r.Shuffle(len(operands), func(i, j int) {
+			operands[i], operands[j] = operands[j], operands[i]
+		})
+		q := algebra.NatJoin(operands...)
+		opt := algebra.OptimizeJoins(q, db)
+		before, err := PropagationRelation(q, db)
+		if err != nil {
+			return true
+		}
+		after, err := PropagationRelation(opt, db)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(before) != len(after) {
+			t.Logf("propagation size changed %d -> %d", len(before), len(after))
+			return false
+		}
+		// View schemas may have reordered attributes; compare as sets of
+		// (source, view tuple values + attr) with tuples aligned by name.
+		key := func(p [2]relation.Location, schema relation.Schema, ref relation.Schema) string {
+			aligned := relation.ProjectAttrs(schema, p[1].Tuple, ref.Attrs())
+			return p[0].Key() + "→" + aligned.Key() + "/" + p[1].Attr
+		}
+		sBefore, err := algebra.SchemaOf(q, db)
+		if err != nil {
+			return true
+		}
+		sAfter, err := algebra.SchemaOf(opt, db)
+		if err != nil {
+			return false
+		}
+		beforeSet := make(map[string]bool, len(before))
+		for _, p := range before {
+			beforeSet[key(p, sBefore, sBefore)] = true
+		}
+		for _, p := range after {
+			if !beforeSet[key(p, sAfter, sBefore)] {
+				t.Logf("propagation pair appeared: %v", p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomAnnQuery builds random queries over R(A,B), S(B,C), T(A,B)
+// including renames, unions, joins, selects and projects.
+func randomAnnQuery(r *rand.Rand, depth int) algebra.Query {
+	if depth <= 0 {
+		return ab(r, 0)
+	}
+	switch r.Intn(5) {
+	case 0:
+		return algebra.Union{Left: ab(r, depth-1), Right: ab(r, depth-1)}
+	case 1:
+		return algebra.Select{Child: randomAnnQuery(r, depth-1), Cond: algebra.True{}}
+	case 2:
+		return algebra.Project{Child: algebra.Join{Left: ab(r, depth-1), Right: algebra.Scan{Rel: "S"}},
+			Attrs: []relation.Attribute{"A", "C"}}
+	case 3:
+		return algebra.Rename{Child: ab(r, depth-1),
+			Theta: map[relation.Attribute]relation.Attribute{"A": "Z"}}
+	default:
+		return ab(r, depth-1)
+	}
+}
+
+// ab builds a random query with schema exactly (A,B).
+func ab(r *rand.Rand, depth int) algebra.Query {
+	if depth <= 0 {
+		if r.Intn(2) == 0 {
+			return algebra.Scan{Rel: "R"}
+		}
+		return algebra.Scan{Rel: "T"}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return algebra.Union{Left: ab(r, depth-1), Right: ab(r, depth-1)}
+	case 1:
+		return algebra.Select{Child: ab(r, depth-1),
+			Cond: algebra.AttrConst{Attr: "B", Op: algebra.OpNe, Val: relation.Int(int64(r.Intn(3)))}}
+	case 2:
+		return algebra.Project{Child: algebra.Join{Left: ab(r, depth-1), Right: algebra.Scan{Rel: "S"}},
+			Attrs: []relation.Attribute{"A", "B"}}
+	default:
+		return ab(r, depth-1)
+	}
+}

@@ -1,0 +1,147 @@
+package annotation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+func userFileQuery() algebra.Query {
+	return algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+}
+
+func TestStoreAnnotateAndAt(t *testing.T) {
+	s := NewStore()
+	loc := relation.Loc("R", relation.StringTuple("a"), "A")
+	id := s.Annotate(loc, "check this", "ann")
+	if id != 1 || s.Len() != 1 {
+		t.Fatalf("id=%d len=%d", id, s.Len())
+	}
+	got := s.At(loc)
+	if len(got) != 1 || got[0].Text != "check this" || got[0].Author != "ann" {
+		t.Errorf("At=%v", got)
+	}
+	if _, ok := s.Get(1); !ok {
+		t.Error("Get(1) failed")
+	}
+	if _, ok := s.Get(99); ok {
+		t.Error("Get(99) should fail")
+	}
+}
+
+func TestStoreReplyThreads(t *testing.T) {
+	s := NewStore()
+	loc := relation.Loc("R", relation.StringTuple("a"), "A")
+	root := s.Annotate(loc, "suspicious value", "ann")
+	r1, err := s.Reply(root, "agreed", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reply(r1, "fixed upstream", "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reply(999, "orphan", "eve"); err == nil {
+		t.Error("reply to missing annotation must fail")
+	}
+	thread := s.Thread(root)
+	if len(thread) != 3 {
+		t.Fatalf("thread length %d want 3", len(thread))
+	}
+	if thread[1].Parent != root || thread[2].Parent != r1 {
+		t.Errorf("thread structure wrong: %v", thread)
+	}
+	// Replies inherit the location and therefore propagate together.
+	if len(s.At(loc)) != 3 {
+		t.Errorf("all thread annotations share the location: %v", s.At(loc))
+	}
+	if !strings.Contains(thread[1].String(), "(on #1)") {
+		t.Errorf("rendering misses parent: %s", thread[1])
+	}
+}
+
+func TestMaterializeAnnotatedView(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	s := NewStore()
+	// Annotate the file value of GroupFile(admin, f2): surfaces on
+	// (john,f2).file and (mary,f2).file.
+	s.Annotate(relation.Loc("GroupFile", relation.StringTuple("admin", "f2"), "file"), "deprecated file", "ann")
+	av, err := s.Materialize(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := av.AnnotatedCells()
+	if len(cells) != 2 {
+		t.Fatalf("annotated cells=%d want 2: %v", len(cells), cells)
+	}
+	got := av.Cell(relation.StringTuple("john", "f2"), "file")
+	if len(got) != 1 || got[0].Text != "deprecated file" {
+		t.Errorf("Cell=%v", got)
+	}
+	if len(av.Cell(relation.StringTuple("john", "f1"), "file")) != 0 {
+		t.Error("annotation leaked to (john,f1)")
+	}
+	if !strings.Contains(av.Render(), "deprecated file") {
+		t.Error("Render misses annotation")
+	}
+}
+
+func TestMaterializeMergesThroughProjection(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Pi([]relation.Attribute{"user"}, algebra.R("UserGroup"))
+	s := NewStore()
+	s.Annotate(relation.Loc("UserGroup", relation.StringTuple("john", "staff"), "user"), "a", "x")
+	s.Annotate(relation.Loc("UserGroup", relation.StringTuple("john", "admin"), "user"), "b", "y")
+	av, err := s.Materialize(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := av.Cell(relation.StringTuple("john"), "user")
+	if len(got) != 2 {
+		t.Fatalf("projection must merge both annotations: %v", got)
+	}
+	if got[0].ID > got[1].ID {
+		t.Error("annotations must sort by id")
+	}
+}
+
+func TestPlaceAndStore(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	s := NewStore()
+	p, id, err := s.PlaceAndStore(q, db, relation.StringTuple("john", "f2"), "user", "wrong person?", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 || s.Len() != 1 {
+		t.Fatalf("id=%d len=%d", id, s.Len())
+	}
+	// Materializing must show the annotation exactly on the Affected set.
+	av, err := s.Materialize(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(av.AnnotatedCells()) != p.Affected.Len() {
+		t.Errorf("materialized %d cells, placement affected %d",
+			len(av.AnnotatedCells()), p.Affected.Len())
+	}
+	for _, c := range av.AnnotatedCells() {
+		if !p.Affected.Has(c.Location) {
+			t.Errorf("cell %v not in Affected", c.Location)
+		}
+	}
+}
+
+func TestPlaceAndStoreError(t *testing.T) {
+	db := userGroupDB()
+	s := NewStore()
+	if _, _, err := s.PlaceAndStore(userFileQuery(), db, relation.StringTuple("no", "pe"), "user", "x", "y"); err == nil {
+		t.Error("missing tuple must fail")
+	}
+	if s.Len() != 0 {
+		t.Error("failed placement must not store anything")
+	}
+}

@@ -1,0 +1,257 @@
+// Package core is the top-level API of the reproduction: it routes each of
+// the paper's three problems — view side-effect deletion, source
+// side-effect deletion, annotation placement — to the right algorithm
+// according to the dichotomy tables, and reports which complexity class
+// and algorithm applied.
+//
+// The three dichotomies (§2.1, §2.2, §3.1):
+//
+//	problem            PJ        JU        SPU   SJ/SJU
+//	view side-effect   NP-hard   NP-hard   P     P (SJ)
+//	source side-effect NP-hard   NP-hard   P     P (SJ)
+//	annotation         NP-hard   P (SJU)   P     P
+//
+// For NP-hard inputs the router falls back to exact solvers (worst-case
+// exponential, with caps) or, for source minimization, an optional greedy
+// H_n-approximation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/annotation"
+	"repro/internal/deletion"
+	"repro/internal/relation"
+)
+
+// Objective selects which quantity a deletion minimizes.
+type Objective uint8
+
+// The two objectives of §2.
+const (
+	// MinimizeViewSideEffects is the view side-effect problem (§2.1).
+	MinimizeViewSideEffects Objective = iota
+	// MinimizeSourceDeletions is the source side-effect problem (§2.2).
+	MinimizeSourceDeletions
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == MinimizeViewSideEffects {
+		return "minimize view side-effects"
+	}
+	return "minimize source deletions"
+}
+
+// DeleteOptions tunes the solvers used on NP-hard inputs.
+type DeleteOptions struct {
+	// MaxWitnesses caps the witness basis per view tuple (0 = unlimited).
+	MaxWitnesses int
+	// MaxCandidates caps the view-side exact search (0 = unlimited).
+	MaxCandidates int
+	// Greedy switches the source objective on NP-hard inputs to the
+	// greedy hitting-set approximation instead of the exact solver.
+	Greedy bool
+}
+
+// DeleteReport is the outcome of a routed deletion request.
+type DeleteReport struct {
+	// Class is the complexity class of the query for the problem.
+	Class algebra.Class
+	// Fragment is the query's operator fragment (e.g. "PJ", "SPU").
+	Fragment string
+	// Algorithm names the algorithm that ran.
+	Algorithm string
+	// Result is the computed deletion.
+	Result *deletion.Result
+	// Exact reports whether the result is certified optimal.
+	Exact bool
+}
+
+// Delete removes the target tuple from the view Q(S) by deleting source
+// tuples, minimizing the requested objective. The algorithm is chosen by
+// the dichotomy:
+//
+//   - SPU queries use the unique-solution algorithms of Theorems 2.3/2.8;
+//   - SJ queries use the single-witness algorithms of Theorems 2.4/2.9;
+//   - chain-join PJ queries minimizing source deletions use the min-cut
+//     algorithm of Theorem 2.6;
+//   - everything else uses the exact witness-based solvers (or greedy for
+//     the source objective when opts.Greedy is set).
+func Delete(q algebra.Query, db *relation.Database, target relation.Tuple, obj Objective, opts DeleteOptions) (*DeleteReport, error) {
+	ops := algebra.OperatorsOf(q)
+	var problem algebra.Problem
+	if obj == MinimizeViewSideEffects {
+		problem = algebra.ProblemViewSideEffect
+	} else {
+		problem = algebra.ProblemSourceSideEffect
+	}
+	report := &DeleteReport{
+		Class:    algebra.ClassifyOps(ops, problem),
+		Fragment: algebra.Fragment(q),
+	}
+
+	isSPU := !ops.HasAny(algebra.OpJoin | algebra.OpRename)
+	isSJ := !ops.HasAny(algebra.OpProject | algebra.OpUnion | algebra.OpRename)
+
+	switch {
+	case isSPU:
+		res, err := deletion.ViewSPU(q, db, target)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "SPU unique solution (Thm 2.3/2.8)"
+		report.Result = res
+		report.Exact = true
+
+	case isSJ:
+		res, err := deletion.ViewSJ(q, db, target)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "SJ single witness (Thm 2.4/2.9)"
+		report.Result = res
+		report.Exact = true
+
+	case obj == MinimizeSourceDeletions:
+		if _, err := deletion.DetectChain(q, db); err == nil {
+			res, cerr := deletion.SourceChainMinCut(q, db, target)
+			if cerr != nil {
+				return nil, cerr
+			}
+			report.Algorithm = "chain-join min cut (Thm 2.6)"
+			report.Result = res
+			report.Exact = true
+			break
+		}
+		if opts.Greedy {
+			res, err := deletion.SourceGreedy(q, db, target, opts.MaxWitnesses)
+			if err != nil {
+				return nil, err
+			}
+			report.Algorithm = "greedy hitting set (H_n-approx)"
+			report.Result = &res.Result
+			report.Exact = false
+		} else {
+			res, err := deletion.SourceExact(q, db, target, opts.MaxWitnesses)
+			if err != nil {
+				return nil, err
+			}
+			report.Algorithm = "exact minimum hitting set"
+			report.Result = &res.Result
+			report.Exact = true
+		}
+
+	default: // view objective, NP-hard class
+		// The §2.1.1 remark: PJ queries joining on keys have unique
+		// witnesses and the side-effect decision is polynomial. Try that
+		// fast path before the exponential search.
+		if keyed, kerr := deletion.KeyJoinCheck(q, db); kerr == nil && keyed {
+			res, uerr := deletion.ViewUniqueWitness(q, db, target)
+			if uerr != nil {
+				return nil, uerr // only ErrNotInView once uniqueness holds
+			}
+			report.Algorithm = "unique-witness key join (§2.1.1 remark)"
+			report.Result = res
+			report.Exact = true
+			break
+		}
+		res, err := deletion.ViewExact(q, db, target, deletion.ViewOptions{
+			MaxWitnesses:  opts.MaxWitnesses,
+			MaxCandidates: opts.MaxCandidates,
+		})
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "exact minimal-hitting-set search"
+		report.Result = &res.Result
+		report.Exact = res.Exhausted
+	}
+	return report, nil
+}
+
+// AnnotateReport is the outcome of a routed annotation placement request.
+type AnnotateReport struct {
+	Class     algebra.Class
+	Fragment  string
+	Algorithm string
+	Placement *annotation.Placement
+}
+
+// Annotate places an annotation on view location (target, attr) with
+// minimal side-effects, routing by the §3.1 dichotomy: SPU queries use the
+// scan algorithm of Theorem 3.3, join queries without projection use the
+// component enumeration of Theorem 3.4, and PJ queries fall back to the
+// exact candidate scan (worst-case exponential in query size, per Theorem
+// 3.2).
+func Annotate(q algebra.Query, db *relation.Database, target relation.Tuple, attr relation.Attribute) (*AnnotateReport, error) {
+	ops := algebra.OperatorsOf(q)
+	report := &AnnotateReport{
+		Class:    algebra.ClassifyOps(ops, algebra.ProblemAnnotationPlacement),
+		Fragment: algebra.Fragment(q),
+	}
+	switch {
+	case !ops.HasAny(algebra.OpJoin | algebra.OpRename):
+		p, err := annotation.PlaceSPU(q, db, target, attr)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "SPU scan (Thm 3.3)"
+		report.Placement = p
+	case !ops.HasAny(algebra.OpProject):
+		p, err := annotation.PlaceSJU(q, db, target, attr)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "SJU component enumeration (Thm 3.4)"
+		report.Placement = p
+	default:
+		p, err := annotation.Place(q, db, target, attr)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "exact candidate scan"
+		report.Placement = p
+	}
+	return report, nil
+}
+
+// TableRow is one line of a dichotomy table.
+type TableRow struct {
+	Fragment string
+	Class    algebra.Class
+}
+
+// DichotomyTable returns the paper's table for the given problem, computed
+// from the live classifier (not hard-coded) over representative queries of
+// each fragment.
+func DichotomyTable(p algebra.Problem) []TableRow {
+	fragments := []struct {
+		name string
+		ops  algebra.Ops
+	}{
+		{"queries involving PJ", algebra.OpProject | algebra.OpJoin},
+		{"queries involving JU", algebra.OpJoin | algebra.OpUnion},
+		{"SPU", algebra.OpSelect | algebra.OpProject | algebra.OpUnion},
+		{"SJ", algebra.OpSelect | algebra.OpJoin},
+		{"SJU", algebra.OpSelect | algebra.OpJoin | algebra.OpUnion},
+	}
+	rows := make([]TableRow, 0, len(fragments))
+	for _, f := range fragments {
+		rows = append(rows, TableRow{
+			Fragment: f.name,
+			Class:    algebra.ClassifyOps(f.ops, p),
+		})
+	}
+	return rows
+}
+
+// FormatTable renders a dichotomy table in the paper's layout.
+func FormatTable(p algebra.Problem) string {
+	out := fmt.Sprintf("%-24s %s\n", "Query class", p)
+	for _, row := range DichotomyTable(p) {
+		out += fmt.Sprintf("%-24s %s\n", row.Fragment, row.Class)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package deletion implements the paper's two view-deletion problems over
+// monotone SPJRU queries:
+//
+//   - the view side-effect problem (§2.1): find source deletions that
+//     remove a given view tuple while deleting as few other view tuples as
+//     possible (and decide whether a side-effect-free deletion exists);
+//   - the source side-effect problem (§2.2): remove the view tuple with as
+//     few source deletions as possible.
+//
+// For the polynomial classes the package provides the algorithms of
+// Theorems 2.3, 2.4, 2.8 and 2.9, plus the chain-join min-cut algorithm of
+// Theorem 2.6. For the NP-hard classes (PJ, JU) it provides exact solvers
+// built on the witness basis and a greedy O(log n) approximation matching
+// the set-cover structure of Theorems 2.5 and 2.7, and the Cui–Widom
+// lineage-enumeration baseline the paper compares against.
+package deletion
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// Result is a solved deletion-propagation instance.
+type Result struct {
+	// T is the set of source tuples to delete, sorted.
+	T []relation.SourceTuple
+	// SideEffects lists the view tuples other than the target that
+	// disappear when T is deleted, sorted.
+	SideEffects []relation.Tuple
+}
+
+// SideEffectFree reports whether only the target view tuple is removed.
+func (r *Result) SideEffectFree() bool { return len(r.SideEffects) == 0 }
+
+// String renders the result compactly.
+func (r *Result) String() string {
+	return fmt.Sprintf("delete %d source tuple(s), %d view side-effect(s)", len(r.T), len(r.SideEffects))
+}
+
+// ErrNotInView is returned when the target tuple is not in Q(S).
+var ErrNotInView = fmt.Errorf("deletion: target tuple not in view")
+
+// ErrClass is returned by class-specific algorithms when the query is
+// outside their fragment.
+type ErrClass struct {
+	Want string
+	Got  algebra.Ops
+}
+
+func (e *ErrClass) Error() string {
+	return fmt.Sprintf("deletion: algorithm requires a %s query, got %s", e.Want, e.Got)
+}
+
+// SideEffectsOf computes, by direct re-evaluation, the view tuples other
+// than target that are lost when T is deleted from db. It also reports
+// whether the target itself was removed. This is the ground-truth checker
+// used by tests and by solvers that do not track witnesses.
+func SideEffectsOf(q algebra.Query, db *relation.Database, T []relation.SourceTuple, target relation.Tuple) (effects []relation.Tuple, targetGone bool, err error) {
+	before, err := algebra.Eval(q, db)
+	if err != nil {
+		return nil, false, err
+	}
+	after, err := algebra.Eval(q, db.DeleteAll(T))
+	if err != nil {
+		return nil, false, err
+	}
+	for _, t := range before.Minus(after) {
+		if t.Equal(target) {
+			targetGone = true
+			continue
+		}
+		effects = append(effects, t)
+	}
+	sortTuples(effects)
+	return effects, targetGone, nil
+}
+
+func sortTuples(ts []relation.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+}
+
+func finishResult(T []relation.SourceTuple, effects []relation.Tuple) *Result {
+	relation.SortSourceTuples(T)
+	sortTuples(effects)
+	return &Result{T: T, SideEffects: effects}
+}
+
+// destroyedBy reports whether deleting the tuples in hit (a key set)
+// destroys every witness of a view tuple.
+func destroyedBy(witnesses []provenance.Witness, hit map[string]bool) bool {
+	for _, w := range witnesses {
+		intersects := false
+		for _, st := range w.Tuples() {
+			if hit[st.Key()] {
+				intersects = true
+				break
+			}
+		}
+		if !intersects {
+			return false
+		}
+	}
+	return true
+}
+
+// sideEffectsFromBasis computes the view side-effects of deleting delSet
+// using the witness basis of every view tuple: a view tuple dies iff every
+// one of its witnesses is hit. Equivalent to SideEffectsOf but without
+// re-evaluating the query.
+func sideEffectsFromBasis(res *provenance.Result, delSet map[string]bool, target relation.Tuple) []relation.Tuple {
+	var out []relation.Tuple
+	for _, vt := range res.View.Tuples() {
+		if vt.Equal(target) {
+			continue
+		}
+		if destroyedBy(res.Witnesses(vt), delSet) {
+			out = append(out, vt)
+		}
+	}
+	return out
+}
+
+func keySet(ts []relation.SourceTuple) map[string]bool {
+	m := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		m[t.Key()] = true
+	}
+	return m
+}

@@ -1,0 +1,140 @@
+package deletion
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// ViewHeuristic is a best-effort polynomial heuristic for the view
+// side-effect problem on NP-hard inputs: it builds a hitting set of the
+// target's witnesses greedily, at each step choosing the source tuple that
+// hits the most remaining witnesses while (tie-break) destroying the
+// fewest additional view tuples.
+//
+// No quality guarantee is possible — the paper shows even deciding
+// side-effect-freeness is NP-hard, so the problem is inapproximable — but
+// the heuristic is a practical fallback when ViewExact's search space
+// explodes, and the ablation bench quantifies the quality gap.
+func ViewHeuristic(q algebra.Query, db *relation.Database, target relation.Tuple, maxWitnesses int) (*Result, error) {
+	res, err := provenance.ComputeLimited(q, db, provenance.Limit{MaxWitnesses: maxWitnesses})
+	if err != nil {
+		return nil, err
+	}
+	ws := res.Witnesses(target)
+	if len(ws) == 0 {
+		return nil, ErrNotInView
+	}
+	remaining := make([]provenance.Witness, len(ws))
+	copy(remaining, ws)
+	chosen := make(map[string]relation.SourceTuple)
+
+	for len(remaining) > 0 {
+		// Candidate tuples: anything in a remaining witness.
+		hitCount := make(map[string]int)
+		byKey := make(map[string]relation.SourceTuple)
+		for _, w := range remaining {
+			for _, st := range w.Tuples() {
+				k := st.Key()
+				hitCount[k]++
+				byKey[k] = st
+			}
+		}
+		// Pick max hits; tie-break on marginal view damage, then key.
+		bestKey := ""
+		bestHits := -1
+		bestDamage := -1
+		for k, hits := range hitCount {
+			if hits < bestHits {
+				continue
+			}
+			damage := marginalDamage(res, chosen, byKey[k], target)
+			if hits > bestHits ||
+				(hits == bestHits && (damage < bestDamage || (damage == bestDamage && k < bestKey))) {
+				bestKey, bestHits, bestDamage = k, hits, damage
+			}
+		}
+		chosen[bestKey] = byKey[bestKey]
+		// Drop hit witnesses.
+		var next []provenance.Witness
+		for _, w := range remaining {
+			if !w.Contains(byKey[bestKey]) {
+				next = append(next, w)
+			}
+		}
+		remaining = next
+	}
+
+	T := make([]relation.SourceTuple, 0, len(chosen))
+	for _, st := range chosen {
+		T = append(T, st)
+	}
+	effects := sideEffectsFromBasis(res, keySet(T), target)
+	return finishResult(T, effects), nil
+}
+
+// marginalDamage counts the view tuples (other than the target) destroyed
+// by chosen ∪ {cand} using the witness basis.
+func marginalDamage(res *provenance.Result, chosen map[string]relation.SourceTuple, cand relation.SourceTuple, target relation.Tuple) int {
+	hit := make(map[string]bool, len(chosen)+1)
+	for k := range chosen {
+		hit[k] = true
+	}
+	hit[cand.Key()] = true
+	n := 0
+	for _, vt := range res.View.Tuples() {
+		if vt.Equal(target) {
+			continue
+		}
+		if destroyedBy(res.Witnesses(vt), hit) {
+			n++
+		}
+	}
+	return n
+}
+
+// SourceGreedyGroup approximates the minimum source deletion removing a
+// whole set of view tuples: greedy hitting set over their combined
+// witness bases.
+func SourceGreedyGroup(q algebra.Query, db *relation.Database, targets []relation.Tuple, maxWitnesses int) (*SourceExactResult, error) {
+	res, err := provenance.ComputeLimited(q, db, provenance.Limit{MaxWitnesses: maxWitnesses})
+	if err != nil {
+		return nil, err
+	}
+	targets, err = GroupTargets(res.View, targets)
+	if err != nil {
+		return nil, err
+	}
+	var allWitnesses []provenance.Witness
+	isTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t.Key()] = true
+		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
+	}
+	in, elems, err := witnessesToInstance(allWitnesses)
+	if err != nil {
+		return nil, err
+	}
+	chosen, err := greedyHittingSetIndices(in)
+	if err != nil {
+		return nil, err
+	}
+	T := make([]relation.SourceTuple, len(chosen))
+	for i, e := range chosen {
+		T[i] = elems[e]
+	}
+	delSet := keySet(T)
+	var effects []relation.Tuple
+	for _, vt := range res.View.Tuples() {
+		if isTarget[vt.Key()] {
+			continue
+		}
+		if destroyedBy(res.Witnesses(vt), delSet) {
+			effects = append(effects, vt)
+		}
+	}
+	return &SourceExactResult{
+		Result:    *finishResult(T, effects),
+		Witnesses: len(allWitnesses),
+	}, nil
+}

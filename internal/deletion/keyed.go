@@ -1,0 +1,163 @@
+package deletion
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// This file implements the remark after Theorem 2.1: "most joins are
+// performed on foreign keys. It is easy to show that project join queries
+// based on key constraints (e.g. lossless joins with respect to a set of
+// functional dependencies) allow us to decide whether there is a
+// side-effect-free deletion in polynomial time."
+//
+// The mechanism: when every join step matches on a key of one side, every
+// view tuple has a unique witness (the join is lossless and projection
+// cannot merge distinct derivations into one output tuple more than once
+// per witness), so the SJ-style component analysis of Theorem 2.4 applies
+// and everything is polynomial.
+
+// KeyJoinCheck reports whether every view tuple of q over db has a unique
+// witness, which holds in particular for PJ queries whose joins follow
+// key/foreign-key constraints. It is the precondition of ViewUniqueWitness.
+//
+// The check itself runs in polynomial time for key joins because the
+// witness basis stays linear; on adversarial non-key inputs it degrades
+// with the basis size, so callers can bound it with maxWitnesses (2 is
+// enough to disprove uniqueness).
+func KeyJoinCheck(q algebra.Query, db *relation.Database) (bool, error) {
+	res, err := provenance.ComputeLimited(q, db, provenance.Limit{MaxWitnesses: 2})
+	if err != nil {
+		if provenanceLimitErr(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, vt := range res.View.Tuples() {
+		if len(res.Witnesses(vt)) != 1 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func provenanceLimitErr(err error) bool {
+	type unwrapper interface{ Unwrap() error }
+	for err != nil {
+		if err == provenance.ErrLimit {
+			return true
+		}
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// JoinsOnKeys verifies syntactically that a normalized PJ query joins on
+// keys: for every Join node, the shared attributes contain a key of at
+// least one operand (checked against the current instance). This is the
+// foreign-key shape of the paper's remark; it implies unique witnesses.
+func JoinsOnKeys(q algebra.Query, db *relation.Database) (bool, error) {
+	n := algebra.Normalize(q)
+	var check func(algebra.Query) (bool, error)
+	check = func(q algebra.Query) (bool, error) {
+		switch q := q.(type) {
+		case algebra.Join:
+			lok, err := check(q.Left)
+			if err != nil || !lok {
+				return false, err
+			}
+			rok, err := check(q.Right)
+			if err != nil || !rok {
+				return false, err
+			}
+			ls, err := algebra.SchemaOf(q.Left, db)
+			if err != nil {
+				return false, err
+			}
+			rs, err := algebra.SchemaOf(q.Right, db)
+			if err != nil {
+				return false, err
+			}
+			common := ls.Common(rs)
+			if len(common) == 0 {
+				return false, nil // cross product: never key-joined
+			}
+			lrel, err := algebra.EvalNamed(q.Left, db, "side")
+			if err != nil {
+				return false, err
+			}
+			rrel, err := algebra.EvalNamed(q.Right, db, "side")
+			if err != nil {
+				return false, err
+			}
+			return lrel.IsKey(common) || rrel.IsKey(common), nil
+		default:
+			for _, c := range algebra.Children(q) {
+				ok, err := check(c)
+				if err != nil || !ok {
+					return ok, err
+				}
+			}
+			return true, nil
+		}
+	}
+	return check(n)
+}
+
+// ViewUniqueWitness solves the view side-effect problem in polynomial time
+// for queries where every view tuple has a unique witness — PJ queries
+// joining on keys, per the paper's remark. It returns ErrNotKeyJoin when
+// uniqueness fails, in which case the caller must fall back to ViewExact.
+func ViewUniqueWitness(q algebra.Query, db *relation.Database, target relation.Tuple) (*Result, error) {
+	res, err := provenance.Compute(q, db)
+	if err != nil {
+		return nil, err
+	}
+	ws := res.Witnesses(target)
+	if len(ws) == 0 {
+		return nil, ErrNotInView
+	}
+	if len(ws) != 1 {
+		return nil, fmt.Errorf("%w: target has %d witnesses", ErrNotKeyJoin, len(ws))
+	}
+	for _, vt := range res.View.Tuples() {
+		if len(res.Witnesses(vt)) != 1 {
+			return nil, fmt.Errorf("%w: view tuple %v has %d witnesses", ErrNotKeyJoin, vt, len(res.Witnesses(vt)))
+		}
+	}
+	// Unique witnesses: exactly the SJ analysis of Theorem 2.4 — delete
+	// the component shared with fewest other view tuples.
+	best := -1
+	var bestComp relation.SourceTuple
+	var bestEffects []relation.Tuple
+	for _, comp := range ws[0].Tuples() {
+		var effects []relation.Tuple
+		for _, vt := range res.View.Tuples() {
+			if vt.Equal(target) {
+				continue
+			}
+			if res.Witnesses(vt)[0].Contains(comp) {
+				effects = append(effects, vt)
+			}
+		}
+		if best < 0 || len(effects) < best {
+			best = len(effects)
+			bestComp = comp
+			bestEffects = effects
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return finishResult([]relation.SourceTuple{bestComp}, bestEffects), nil
+}
+
+// ErrNotKeyJoin reports that the unique-witness precondition fails.
+var ErrNotKeyJoin = fmt.Errorf("deletion: query is not a key join (witnesses are not unique)")

@@ -1,0 +1,133 @@
+package deletion
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// Group deletion: remove a SET of view tuples at once. Cui–Widom's system
+// translates batches of view deletions; the witness machinery generalizes
+// directly — every witness of every target must be hit, and side-effects
+// are the non-target view tuples destroyed.
+
+// GroupTargets dedups and validates a target list against the view.
+func GroupTargets(view *relation.Relation, targets []relation.Tuple) ([]relation.Tuple, error) {
+	seen := make(map[string]bool, len(targets))
+	var out []relation.Tuple
+	for _, t := range targets {
+		if !view.Contains(t) {
+			return nil, fmt.Errorf("%w: %v", ErrNotInView, t)
+		}
+		if !seen[t.Key()] {
+			seen[t.Key()] = true
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("deletion: empty target set")
+	}
+	return out, nil
+}
+
+// ViewExactGroup minimizes view side-effects while deleting every target
+// tuple: it enumerates minimal hitting sets of the union of the targets'
+// witness bases and scores each by the non-target view tuples destroyed.
+func ViewExactGroup(q algebra.Query, db *relation.Database, targets []relation.Tuple, opt ViewOptions) (*ViewExactResult, error) {
+	res, err := provenance.ComputeLimited(q, db, provenance.Limit{MaxWitnesses: opt.MaxWitnesses})
+	if err != nil {
+		return nil, err
+	}
+	targets, err = GroupTargets(res.View, targets)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	var allWitnesses []provenance.Witness
+	for _, t := range targets {
+		isTarget[t.Key()] = true
+		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
+	}
+
+	out := &ViewExactResult{Exhausted: true}
+	bestScore := -1
+	consider := func(hs []relation.SourceTuple) bool {
+		out.Candidates++
+		delSet := keySet(hs)
+		var effects []relation.Tuple
+		for _, vt := range res.View.Tuples() {
+			if isTarget[vt.Key()] {
+				continue
+			}
+			if destroyedBy(res.Witnesses(vt), delSet) {
+				effects = append(effects, vt)
+			}
+		}
+		if bestScore < 0 || len(effects) < bestScore {
+			bestScore = len(effects)
+			cp := append([]relation.SourceTuple(nil), hs...)
+			out.Result = *finishResult(cp, effects)
+		}
+		if bestScore == 0 {
+			return false
+		}
+		return opt.MaxCandidates == 0 || out.Candidates < opt.MaxCandidates
+	}
+	if !enumerateMinimalHittingSets(allWitnesses, consider) {
+		out.Exhausted = bestScore == 0
+	}
+	if bestScore < 0 {
+		return nil, fmt.Errorf("deletion: no hitting set for group of %d targets", len(targets))
+	}
+	return out, nil
+}
+
+// SourceExactGroup minimizes the number of source deletions removing every
+// target: a minimum hitting set of the combined witness bases.
+func SourceExactGroup(q algebra.Query, db *relation.Database, targets []relation.Tuple, maxWitnesses int) (*SourceExactResult, error) {
+	res, err := provenance.ComputeLimited(q, db, provenance.Limit{MaxWitnesses: maxWitnesses})
+	if err != nil {
+		return nil, err
+	}
+	targets, err = GroupTargets(res.View, targets)
+	if err != nil {
+		return nil, err
+	}
+	var allWitnesses []provenance.Witness
+	for _, t := range targets {
+		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
+	}
+	in, elems, err := witnessesToInstance(allWitnesses)
+	if err != nil {
+		return nil, err
+	}
+	chosen, err := exactHittingSetIndices(in)
+	if err != nil {
+		return nil, err
+	}
+	T := make([]relation.SourceTuple, len(chosen))
+	for i, e := range chosen {
+		T[i] = elems[e]
+	}
+	// Side effects: destroyed non-target view tuples.
+	delSet := keySet(T)
+	isTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t.Key()] = true
+	}
+	var effects []relation.Tuple
+	for _, vt := range res.View.Tuples() {
+		if isTarget[vt.Key()] {
+			continue
+		}
+		if destroyedBy(res.Witnesses(vt), delSet) {
+			effects = append(effects, vt)
+		}
+	}
+	return &SourceExactResult{
+		Result:    *finishResult(T, effects),
+		Witnesses: len(allWitnesses),
+	}, nil
+}

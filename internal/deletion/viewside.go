@@ -1,0 +1,267 @@
+package deletion
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// ViewSPU implements Theorem 2.3: for SPU queries the deletion problem has
+// a unique minimal solution — delete every source tuple that satisfies a
+// branch's selection and projects onto the target — and that solution is
+// always side-effect-free. Linear passes over the source relations.
+func ViewSPU(q algebra.Query, db *relation.Database, target relation.Tuple) (*Result, error) {
+	ops := algebra.OperatorsOf(q)
+	if ops.HasAny(algebra.OpJoin | algebra.OpRename) {
+		return nil, &ErrClass{Want: "SPU", Got: ops}
+	}
+	// For SPU queries the lineage of the target is exactly the set of
+	// tuples that individually (re)produce it, so all must go.
+	lin, err := provenance.LineageOf(q, db, target)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotInView, err)
+	}
+	T := lin.Tuples()
+	effects, gone, err := SideEffectsOf(q, db, T, target)
+	if err != nil {
+		return nil, err
+	}
+	if !gone {
+		return nil, fmt.Errorf("deletion: ViewSPU failed to remove target %v", target)
+	}
+	return finishResult(T, effects), nil
+}
+
+// ViewSJ implements Theorem 2.4: for SJ queries every output tuple has a
+// single witness with one component per joined relation; deleting the
+// component with the fewest co-occurrences in other output tuples is
+// optimal, and a side-effect-free deletion exists iff some component
+// appears in no other output tuple. Polynomial time.
+func ViewSJ(q algebra.Query, db *relation.Database, target relation.Tuple) (*Result, error) {
+	ops := algebra.OperatorsOf(q)
+	if ops.HasAny(algebra.OpProject | algebra.OpUnion) {
+		return nil, &ErrClass{Want: "SJ", Got: ops}
+	}
+	res, err := provenance.Compute(q, db)
+	if err != nil {
+		return nil, err
+	}
+	ws := res.Witnesses(target)
+	if len(ws) == 0 {
+		return nil, ErrNotInView
+	}
+	if len(ws) != 1 {
+		return nil, fmt.Errorf("deletion: SJ query has %d witnesses for %v, want 1", len(ws), target)
+	}
+	// For each component t.Ri, the side-effect of deleting it is the set
+	// of other output tuples whose witness contains it.
+	best := -1
+	var bestComp relation.SourceTuple
+	var bestEffects []relation.Tuple
+	for _, comp := range ws[0].Tuples() {
+		var effects []relation.Tuple
+		for _, vt := range res.View.Tuples() {
+			if vt.Equal(target) {
+				continue
+			}
+			vws := res.Witnesses(vt)
+			if len(vws) > 0 && vws[0].Contains(comp) {
+				effects = append(effects, vt)
+			}
+		}
+		if best < 0 || len(effects) < best {
+			best = len(effects)
+			bestComp = comp
+			bestEffects = effects
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return finishResult([]relation.SourceTuple{bestComp}, bestEffects), nil
+}
+
+// ViewOptions tunes the exact solver for the NP-hard classes.
+type ViewOptions struct {
+	// MaxWitnesses caps the per-tuple witness basis (0 = unlimited).
+	MaxWitnesses int
+	// MaxCandidates caps the number of minimal hitting sets explored
+	// (0 = unlimited). When the cap is hit the result is the best found
+	// so far and Result is still valid, but optimality is not guaranteed;
+	// Exhausted on the result reports this.
+	MaxCandidates int
+}
+
+// ViewExactResult extends Result with solver metadata.
+type ViewExactResult struct {
+	Result
+	// Candidates is the number of minimal witness-hitting sets examined.
+	Candidates int
+	// Exhausted reports whether the search space was fully explored; if
+	// false the result is the best found within the candidate cap.
+	Exhausted bool
+}
+
+// ViewExact solves the view side-effect problem exactly for any monotone
+// query, by enumerating the minimal hitting sets of the target's witness
+// basis and scoring each by the view tuples it destroys. Monotonicity
+// makes the optimum a minimal hitting set (deleting more source tuples
+// never removes fewer view tuples), so the enumeration is complete.
+// Worst-case exponential — Theorem 2.1/2.2 show this is unavoidable.
+func ViewExact(q algebra.Query, db *relation.Database, target relation.Tuple, opt ViewOptions) (*ViewExactResult, error) {
+	res, err := provenance.ComputeLimited(q, db, provenance.Limit{MaxWitnesses: opt.MaxWitnesses})
+	if err != nil {
+		return nil, err
+	}
+	ws := res.Witnesses(target)
+	if len(ws) == 0 {
+		return nil, ErrNotInView
+	}
+
+	out := &ViewExactResult{Exhausted: true}
+	bestScore := -1
+	consider := func(hs []relation.SourceTuple) bool {
+		out.Candidates++
+		effects := sideEffectsFromBasis(res, keySet(hs), target)
+		if bestScore < 0 || len(effects) < bestScore {
+			bestScore = len(effects)
+			cp := append([]relation.SourceTuple(nil), hs...)
+			out.Result = *finishResult(cp, effects)
+		}
+		if bestScore == 0 {
+			return false // cannot improve
+		}
+		return opt.MaxCandidates == 0 || out.Candidates < opt.MaxCandidates
+	}
+	if !enumerateMinimalHittingSets(ws, consider) {
+		out.Exhausted = bestScore == 0
+	}
+	if bestScore < 0 {
+		return nil, fmt.Errorf("deletion: no hitting set found for %v (empty witness?)", target)
+	}
+	return out, nil
+}
+
+// HasSideEffectFreeDeletion decides the §2.1 decision problem: is there a
+// source deletion removing the target and nothing else from the view?
+func HasSideEffectFreeDeletion(q algebra.Query, db *relation.Database, target relation.Tuple, opt ViewOptions) (bool, *ViewExactResult, error) {
+	r, err := ViewExact(q, db, target, opt)
+	if err != nil {
+		return false, nil, err
+	}
+	return r.SideEffectFree(), r, nil
+}
+
+// enumerateMinimalHittingSets visits every minimal hitting set of the
+// witness list (as sets of source tuples), calling consider for each; if
+// consider returns false enumeration stops early and the function returns
+// false. Duplicates are suppressed.
+func enumerateMinimalHittingSets(ws []provenance.Witness, consider func([]relation.SourceTuple) bool) bool {
+	seen := make(map[string]bool)
+	var cur []relation.SourceTuple
+	curKeys := make(map[string]bool)
+
+	// isMinimal: every chosen element is the sole hitter of some witness.
+	isMinimal := func() bool {
+		for _, e := range cur {
+			soleSomewhere := false
+			for _, w := range ws {
+				if !w.Contains(e) {
+					continue
+				}
+				sole := true
+				for _, f := range cur {
+					if f.Key() != e.Key() && w.Contains(f) {
+						sole = false
+						break
+					}
+				}
+				if sole {
+					soleSomewhere = true
+					break
+				}
+			}
+			if !soleSomewhere {
+				return false
+			}
+		}
+		return true
+	}
+
+	canonical := func() string {
+		keys := make([]string, len(cur))
+		for i, e := range cur {
+			keys[i] = e.Key()
+		}
+		sortStrings(keys)
+		return joinStrings(keys)
+	}
+
+	var rec func() bool
+	rec = func() bool {
+		// Find the first witness not yet hit.
+		var pending *provenance.Witness
+		for i := range ws {
+			hit := false
+			for _, st := range ws[i].Tuples() {
+				if curKeys[st.Key()] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				pending = &ws[i]
+				break
+			}
+		}
+		if pending == nil {
+			if !isMinimal() {
+				return true
+			}
+			key := canonical()
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			return consider(cur)
+		}
+		for _, st := range pending.Tuples() {
+			if curKeys[st.Key()] {
+				continue
+			}
+			cur = append(cur, st)
+			curKeys[st.Key()] = true
+			ok := rec()
+			cur = cur[:len(cur)-1]
+			delete(curKeys, st.Key())
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec()
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func joinStrings(ss []string) string {
+	n := 0
+	for _, s := range ss {
+		n += len(s) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, s := range ss {
+		b = append(b, s...)
+		b = append(b, 1)
+	}
+	return string(b)
+}

@@ -1,0 +1,230 @@
+// Package flow implements max-flow / min-cut on directed graphs with
+// Dinic's algorithm, plus the node-split construction used by Theorem 2.6:
+// the chain-join source side-effect problem reduces to a minimum vertex
+// cut in a layered witness network, which node splitting turns into an
+// edge min-cut.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the capacity used for uncuttable edges.
+const Inf = int64(math.MaxInt64) / 4
+
+// Graph is a directed graph with integer capacities, built once and then
+// solved. Nodes are dense integers from AddNode.
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int // node -> indices into edges
+}
+
+type edge struct {
+	to, rev int   // head node; index of reverse edge in adj[to]
+	cap     int64 // residual capacity
+	initial int64 // original capacity (for cut reporting)
+	id      int   // user edge id (-1 for reverse edges)
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode allocates a new node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddNodes allocates k nodes and returns the index of the first.
+func (g *Graph) AddNodes(k int) int {
+	first := g.n
+	for i := 0; i < k; i++ {
+		g.AddNode()
+	}
+	return first
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and user id,
+// returning the id. Ids let callers map cut edges back to domain objects.
+func (g *Graph) AddEdge(u, v int, capacity int64, id int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: edge %d->%d outside graph of %d nodes", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	g.adj[u] = append(g.adj[u], len(g.edges))
+	g.edges = append(g.edges, edge{to: v, rev: len(g.adj[v]), cap: capacity, initial: capacity, id: id})
+	g.adj[v] = append(g.adj[v], len(g.edges))
+	g.edges = append(g.edges, edge{to: u, rev: len(g.adj[u]) - 1, cap: 0, initial: 0, id: -1})
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm. The graph
+// is consumed: residual capacities reflect the flow afterwards, which is
+// what MinCut reads.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, s)
+		level[s] = 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.adj[u] {
+				e := &g.edges[ei]
+				if e.cap > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, f int64) int64
+	dfs = func(u int, f int64) int64 {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			ei := g.adj[u][iter[u]]
+			e := &g.edges[ei]
+			if e.cap <= 0 || level[e.to] != level[u]+1 {
+				continue
+			}
+			pushed := f
+			if e.cap < pushed {
+				pushed = e.cap
+			}
+			got := dfs(e.to, pushed)
+			if got > 0 {
+				e.cap -= got
+				g.reverse(ei).cap += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *Graph) reverse(ei int) *edge {
+	e := g.edges[ei]
+	return &g.edges[g.adj[e.to][e.rev]]
+}
+
+// MinCut returns the user ids of the saturated edges crossing the minimum
+// s-t cut, after MaxFlow has run: edges u→v with u reachable from s in the
+// residual graph and v not. Reverse edges (id -1) never appear.
+func (g *Graph) MinCut(s int) []int {
+	reach := g.residualReachable(s)
+	var ids []int
+	for u := 0; u < g.n; u++ {
+		if !reach[u] {
+			continue
+		}
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if e.id >= 0 && !reach[e.to] && e.initial > 0 {
+				ids = append(ids, e.id)
+			}
+		}
+	}
+	return ids
+}
+
+func (g *Graph) residualReachable(s int) []bool {
+	reach := make([]bool, g.n)
+	stack := []int{s}
+	reach[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if e.cap > 0 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return reach
+}
+
+// VertexCutNetwork builds the node-split network of Theorem 2.6's proof: a
+// layered graph whose internal vertices each carry unit capacity (split
+// into v_in→v_out) while layer-to-layer edges are infinite. Use AddLayer,
+// Connect, then Solve.
+type VertexCutNetwork struct {
+	g           *Graph
+	s, t        int
+	inNode      []int // per vertex
+	outNode     []int
+	numVertices int
+}
+
+// NewVertexCutNetwork creates a network with source and sink.
+func NewVertexCutNetwork() *VertexCutNetwork {
+	g := NewGraph()
+	return &VertexCutNetwork{g: g, s: g.AddNode(), t: g.AddNode()}
+}
+
+// AddVertex adds a unit-capacity vertex and returns its index (also its
+// cut id).
+func (n *VertexCutNetwork) AddVertex() int {
+	id := n.numVertices
+	in := n.g.AddNode()
+	out := n.g.AddNode()
+	n.inNode = append(n.inNode, in)
+	n.outNode = append(n.outNode, out)
+	n.g.AddEdge(in, out, 1, id)
+	n.numVertices++
+	return id
+}
+
+// ConnectSource wires the source to vertex v.
+func (n *VertexCutNetwork) ConnectSource(v int) { n.g.AddEdge(n.s, n.inNode[v], Inf, -1) }
+
+// ConnectSink wires vertex v to the sink.
+func (n *VertexCutNetwork) ConnectSink(v int) { n.g.AddEdge(n.outNode[v], n.t, Inf, -1) }
+
+// Connect wires vertex u to vertex v (u's out to v's in, infinite
+// capacity).
+func (n *VertexCutNetwork) Connect(u, v int) { n.g.AddEdge(n.outNode[u], n.inNode[v], Inf, -1) }
+
+// Solve returns the minimum vertex cut: its size and the vertex indices to
+// remove so that no s-t path survives.
+func (n *VertexCutNetwork) Solve() (int64, []int) {
+	f := n.g.MaxFlow(n.s, n.t)
+	return f, n.g.MinCut(n.s)
+}

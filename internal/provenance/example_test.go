@@ -1,0 +1,55 @@
+package provenance_test
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// Witnesses of (john, f1) under Π_{user,file}(UserGroup ⋈ GroupFile):
+// the staff path and the admin path, each minimal (footnote 4).
+func ExampleCompute() {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("john", "staff")
+	ug.InsertStrings("john", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("staff", "f1")
+	gf.InsertStrings("admin", "f1")
+	db.MustAdd(gf)
+
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	res, _ := provenance.Compute(q, db)
+	for _, w := range res.Witnesses(relation.StringTuple("john", "f1")) {
+		fmt.Println(w)
+	}
+	// Output:
+	// {GroupFile(admin, f1), UserGroup(john, admin)}
+	// {GroupFile(staff, f1), UserGroup(john, staff)}
+}
+
+// A proof tree is the original form of why-provenance: the operator-level
+// derivation of a view tuple.
+func ExampleProofs() {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("mary", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("admin", "f2")
+	db.MustAdd(gf)
+
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	trees, _ := provenance.Proofs(q, db, relation.StringTuple("mary", "f2"), 1)
+	fmt.Print(trees[0].Render())
+	// Output:
+	// project -> (mary, f2)
+	//   join -> (mary, admin, f2)
+	//     scan UserGroup(mary, admin)
+	//     scan GroupFile(admin, f2)
+}

@@ -1,0 +1,157 @@
+package provenance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+func TestApplyDeletionBasic(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	res, err := Compute(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete UG(john,admin): (john,f2) loses its only witness, (john,f1)
+	// keeps the staff witness.
+	T := []relation.SourceTuple{st("UserGroup", "john", "admin")}
+	after := res.ApplyDeletion(T)
+	if after.View.Contains(relation.StringTuple("john", "f2")) {
+		t.Error("(john,f2) must leave the view")
+	}
+	if !after.View.Contains(relation.StringTuple("john", "f1")) {
+		t.Error("(john,f1) must survive via staff")
+	}
+	if got := len(after.Witnesses(relation.StringTuple("john", "f1"))); got != 1 {
+		t.Errorf("surviving witnesses=%d want 1", got)
+	}
+	// Receiver unchanged.
+	if !res.View.Contains(relation.StringTuple("john", "f2")) {
+		t.Error("ApplyDeletion mutated the receiver")
+	}
+}
+
+// Property: incremental maintenance agrees with recomputation from
+// scratch, on random databases and random deletion sets.
+func TestApplyDeletionMatchesRecomputeQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	q := algebra.Pi([]relation.Attribute{"A", "C"},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		r1 := relation.New("R1", relation.NewSchema("A", "B"))
+		r2 := relation.New("R2", relation.NewSchema("B", "C"))
+		for i := 0; i < 2+r.Intn(5); i++ {
+			r1.Insert(relation.NewTuple(relation.Int(int64(r.Intn(3))), relation.Int(int64(r.Intn(3)))))
+			r2.Insert(relation.NewTuple(relation.Int(int64(r.Intn(3))), relation.Int(int64(r.Intn(3)))))
+		}
+		db.MustAdd(r1)
+		db.MustAdd(r2)
+		res, err := Compute(q, db)
+		if err != nil {
+			return false
+		}
+		var T []relation.SourceTuple
+		for _, s := range db.AllSourceTuples() {
+			if r.Intn(3) == 0 {
+				T = append(T, s)
+			}
+		}
+		incr := res.ApplyDeletion(T)
+		fresh, err := Compute(q, db.DeleteAll(T))
+		if err != nil {
+			return false
+		}
+		if !incr.View.Equal(fresh.View) {
+			t.Logf("views differ after deleting %v", T)
+			return false
+		}
+		for _, vt := range fresh.View.Tuples() {
+			fw, iw := fresh.Witnesses(vt), incr.Witnesses(vt)
+			if len(fw) != len(iw) {
+				t.Logf("tuple %v: fresh %d witnesses, incremental %d", vt, len(fw), len(iw))
+				return false
+			}
+			keys := make(map[string]bool, len(iw))
+			for _, w := range iw {
+				keys[w.Key()] = true
+			}
+			for _, w := range fw {
+				if !keys[w.Key()] {
+					t.Logf("tuple %v: witness %v missing incrementally", vt, w)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-engine property: where-provenance sources always point into the
+// lineage of their tuple — the location-level and tuple-level provenance
+// theories agree.
+func TestWhereSourcesWithinLineageQuick(t *testing.T) {
+	// Implemented in the annotation package's terms here to avoid an
+	// import cycle: we only need lineage and witness machinery plus the
+	// annotation API, which lives one level up. The check runs through
+	// the deletion/annotation integration tests as well; this version
+	// pins the tuple-level inclusion via witnesses.
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	q := algebra.Pi([]relation.Attribute{"A", "C"},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		r1 := relation.New("R1", relation.NewSchema("A", "B"))
+		r2 := relation.New("R2", relation.NewSchema("B", "C"))
+		for i := 0; i < 2+r.Intn(4); i++ {
+			r1.Insert(relation.NewTuple(relation.Int(int64(r.Intn(2))), relation.Int(int64(r.Intn(2)))))
+			r2.Insert(relation.NewTuple(relation.Int(int64(r.Intn(2))), relation.Int(int64(r.Intn(2)))))
+		}
+		db.MustAdd(r1)
+		db.MustAdd(r2)
+		lres, err := ComputeLineage(q, db)
+		if err != nil {
+			return false
+		}
+		res, err := Compute(q, db)
+		if err != nil {
+			return false
+		}
+		// Witness union == lineage for every tuple (both poly objects).
+		for _, vt := range res.View.Tuples() {
+			lin := lres.Lineage(vt)
+			for _, w := range res.Witnesses(vt) {
+				for _, s := range w.Tuples() {
+					if !lin.Contains(s) {
+						t.Logf("witness tuple %v outside lineage of %v", s, vt)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// Lineage is the Cui–Widom-style flat provenance of a view tuple: the set
+// of source tuples that participate in at least one derivation of the
+// tuple. For monotone queries it equals the union of the tuple's minimal
+// witnesses, and it is computable in polynomial time (in data complexity)
+// — unlike the witness basis itself.
+type Lineage struct {
+	set   map[string]relation.SourceTuple
+	order []string
+}
+
+// NewLineage builds a lineage set.
+func NewLineage(ts ...relation.SourceTuple) *Lineage {
+	l := &Lineage{set: make(map[string]relation.SourceTuple)}
+	for _, t := range ts {
+		l.add(t)
+	}
+	return l
+}
+
+func (l *Lineage) add(t relation.SourceTuple) {
+	k := t.Key()
+	if _, ok := l.set[k]; ok {
+		return
+	}
+	l.set[k] = t
+	l.order = append(l.order, k)
+}
+
+func (l *Lineage) addAll(m *Lineage) {
+	for _, k := range m.order {
+		l.add(m.set[k])
+	}
+}
+
+// Len returns the number of source tuples in the lineage.
+func (l *Lineage) Len() int { return len(l.set) }
+
+// Contains reports membership of a source tuple.
+func (l *Lineage) Contains(st relation.SourceTuple) bool {
+	_, ok := l.set[st.Key()]
+	return ok
+}
+
+// Tuples returns the source tuples sorted by key.
+func (l *Lineage) Tuples() []relation.SourceTuple {
+	keys := append([]string(nil), l.order...)
+	sort.Strings(keys)
+	out := make([]relation.SourceTuple, len(keys))
+	for i, k := range keys {
+		out[i] = l.set[k]
+	}
+	return out
+}
+
+// ByRelation splits the lineage per source relation, the shape Cui–Widom's
+// algorithms work with.
+func (l *Lineage) ByRelation() map[string][]relation.Tuple {
+	out := make(map[string][]relation.Tuple)
+	for _, st := range l.Tuples() {
+		out[st.Rel] = append(out[st.Rel], st.Tuple)
+	}
+	return out
+}
+
+// String renders the lineage as a set of source tuples.
+func (l *Lineage) String() string {
+	parts := make([]string, 0, l.Len())
+	for _, st := range l.Tuples() {
+		parts = append(parts, st.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// LineageResult carries a computed view together with per-tuple lineage.
+type LineageResult struct {
+	View *relation.Relation
+	lin  map[string]*Lineage
+}
+
+// Lineage returns the lineage of view tuple t, or nil if absent.
+func (r *LineageResult) Lineage(t relation.Tuple) *Lineage { return r.lin[t.Key()] }
+
+// ComputeLineage evaluates q over db tracking lineage for every view tuple.
+// Runs in polynomial time in the size of db and of all intermediate
+// results.
+func ComputeLineage(q algebra.Query, db *relation.Database) (*LineageResult, error) {
+	if err := algebra.Validate(q, db); err != nil {
+		return nil, err
+	}
+	lr, err := lineageEval(q, db)
+	if err != nil {
+		return nil, err
+	}
+	view := relation.New(algebra.DefaultViewName, lr.rel.Schema())
+	for _, t := range lr.rel.Tuples() {
+		view.Insert(t)
+	}
+	return &LineageResult{View: view, lin: lr.lin}, nil
+}
+
+// LineageOf computes the lineage of one view tuple.
+func LineageOf(q algebra.Query, db *relation.Database, t relation.Tuple) (*Lineage, error) {
+	res, err := ComputeLineage(q, db)
+	if err != nil {
+		return nil, err
+	}
+	l := res.Lineage(t)
+	if l == nil {
+		return nil, fmt.Errorf("provenance: tuple %v not in view", t)
+	}
+	return l, nil
+}
+
+type linRel struct {
+	rel *relation.Relation
+	lin map[string]*Lineage
+}
+
+func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
+	merge := func(dst map[string]*Lineage, key string, src *Lineage) {
+		if cur, ok := dst[key]; ok {
+			cur.addAll(src)
+		} else {
+			cp := NewLineage()
+			cp.addAll(src)
+			dst[key] = cp
+		}
+	}
+	switch q := q.(type) {
+	case algebra.Scan:
+		base := db.Relation(q.Rel)
+		out := &linRel{rel: base, lin: make(map[string]*Lineage, base.Len())}
+		for _, t := range base.Tuples() {
+			out.lin[t.Key()] = NewLineage(relation.SourceTuple{Rel: q.Rel, Tuple: t})
+		}
+		return out, nil
+
+	case algebra.Select:
+		child, err := lineageEval(q.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.New("σ", child.rel.Schema())
+		lin := make(map[string]*Lineage)
+		for _, t := range child.rel.Tuples() {
+			if q.Cond.Holds(child.rel.Schema(), t) {
+				rel.Insert(t)
+				lin[t.Key()] = child.lin[t.Key()]
+			}
+		}
+		return &linRel{rel: rel, lin: lin}, nil
+
+	case algebra.Project:
+		child, err := lineageEval(q.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		schema, perr := child.rel.Schema().Project(q.Attrs)
+		if perr != nil {
+			return nil, perr
+		}
+		rel := relation.New("π", schema)
+		lin := make(map[string]*Lineage)
+		for _, t := range child.rel.Tuples() {
+			pt := relation.ProjectAttrs(child.rel.Schema(), t, q.Attrs)
+			rel.Insert(pt)
+			merge(lin, pt.Key(), child.lin[t.Key()])
+		}
+		return &linRel{rel: rel, lin: lin}, nil
+
+	case algebra.Join:
+		left, err := lineageEval(q.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		right, err := lineageEval(q.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		ls, rs := left.rel.Schema(), right.rel.Schema()
+		rel := relation.New("⋈", ls.Join(rs))
+		lin := make(map[string]*Lineage)
+		common := ls.Common(rs)
+		buckets := make(map[string][]relation.Tuple)
+		for _, rt := range right.rel.Tuples() {
+			k := relation.ProjectAttrs(rs, rt, common).Key()
+			buckets[k] = append(buckets[k], rt)
+		}
+		var rightExtra []relation.Attribute
+		for _, a := range rs.Attrs() {
+			if !ls.Has(a) {
+				rightExtra = append(rightExtra, a)
+			}
+		}
+		for _, lt := range left.rel.Tuples() {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			for _, rt := range buckets[k] {
+				joined := append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
+				rel.Insert(joined)
+				merge(lin, joined.Key(), left.lin[lt.Key()])
+				merge(lin, joined.Key(), right.lin[rt.Key()])
+			}
+		}
+		return &linRel{rel: rel, lin: lin}, nil
+
+	case algebra.Union:
+		left, err := lineageEval(q.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		right, err := lineageEval(q.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.New("∪", left.rel.Schema())
+		lin := make(map[string]*Lineage)
+		for _, t := range left.rel.Tuples() {
+			rel.Insert(t)
+			merge(lin, t.Key(), left.lin[t.Key()])
+		}
+		attrs := left.rel.Schema().Attrs()
+		for _, t := range right.rel.Tuples() {
+			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
+			rel.Insert(aligned)
+			merge(lin, aligned.Key(), right.lin[t.Key()])
+		}
+		return &linRel{rel: rel, lin: lin}, nil
+
+	case algebra.Rename:
+		child, err := lineageEval(q.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		schema, rerr := child.rel.Schema().Rename(q.Theta)
+		if rerr != nil {
+			return nil, rerr
+		}
+		rel := relation.New("δ", schema)
+		lin := make(map[string]*Lineage, len(child.lin))
+		for _, t := range child.rel.Tuples() {
+			rel.Insert(t)
+			lin[t.Key()] = child.lin[t.Key()]
+		}
+		return &linRel{rel: rel, lin: lin}, nil
+
+	default:
+		return nil, fmt.Errorf("provenance: unknown query node %T", q)
+	}
+}

@@ -1,0 +1,251 @@
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// ProofTree is the why-provenance of §1 in its original form: "the
+// reason, e.g., a proof tree, for the existence of a data item in the
+// output". Each node records the operator that produced a tuple and the
+// child derivations it consumed. A tuple with several derivations has
+// several proof trees; Proofs enumerates them (capped).
+type ProofTree struct {
+	// Op names the operator ("scan", "select", "project", "join",
+	// "union", "rename").
+	Op string
+	// Rel is the base relation name for scan nodes.
+	Rel string
+	// Tuple is the tuple produced at this node.
+	Tuple relation.Tuple
+	// Children are the sub-derivations (none for scans, one for unary
+	// operators, two for join).
+	Children []*ProofTree
+}
+
+// Leaves returns the source tuples at the leaves of the proof — exactly
+// one witness of the root tuple.
+func (p *ProofTree) Leaves() Witness {
+	var acc []relation.SourceTuple
+	var walk func(*ProofTree)
+	walk = func(n *ProofTree) {
+		if n.Op == "scan" {
+			acc = append(acc, relation.SourceTuple{Rel: n.Rel, Tuple: n.Tuple})
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p)
+	return NewWitness(acc...)
+}
+
+// Render draws the proof tree as indented text.
+func (p *ProofTree) Render() string {
+	var b strings.Builder
+	var walk func(n *ProofTree, depth int)
+	walk = func(n *ProofTree, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.Op == "scan" {
+			fmt.Fprintf(&b, "scan %s%v\n", n.Rel, n.Tuple)
+		} else {
+			fmt.Fprintf(&b, "%s -> %v\n", n.Op, n.Tuple)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return b.String()
+}
+
+// Proofs enumerates proof trees of the target view tuple, up to max trees
+// (0 = all). The enumeration follows the same recursion as the witness
+// basis; distinct trees may share leaves.
+func Proofs(q algebra.Query, db *relation.Database, target relation.Tuple, max int) ([]*ProofTree, error) {
+	if err := algebra.Validate(q, db); err != nil {
+		return nil, err
+	}
+	trees, err := proofEval(q, db, max)
+	if err != nil {
+		return nil, err
+	}
+	out := trees[target.Key()]
+	if len(out) == 0 {
+		return nil, fmt.Errorf("provenance: tuple %v not in view", target)
+	}
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out, nil
+}
+
+// proofEval computes all proof trees per output tuple key. The cap bounds
+// per-tuple tree lists at every node to keep adversarial queries from
+// exhausting memory before the caller's cut-off applies.
+func proofEval(q algebra.Query, db *relation.Database, max int) (map[string][]*ProofTree, error) {
+	capTrees := func(ts []*ProofTree) []*ProofTree {
+		if max > 0 && len(ts) > max {
+			return ts[:max]
+		}
+		return ts
+	}
+	switch q := q.(type) {
+	case algebra.Scan:
+		base := db.Relation(q.Rel)
+		out := make(map[string][]*ProofTree, base.Len())
+		for _, t := range base.Tuples() {
+			out[t.Key()] = []*ProofTree{{Op: "scan", Rel: q.Rel, Tuple: t}}
+		}
+		return out, nil
+
+	case algebra.Select:
+		child, err := proofEval(q.Child, db, max)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := algebra.SchemaOf(q.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string][]*ProofTree)
+		for key, trees := range child {
+			t := trees[0].Tuple
+			if q.Cond.Holds(schema, t) {
+				wrapped := make([]*ProofTree, len(trees))
+				for i, tr := range trees {
+					wrapped[i] = &ProofTree{Op: "select", Tuple: t, Children: []*ProofTree{tr}}
+				}
+				out[key] = capTrees(wrapped)
+			}
+		}
+		return out, nil
+
+	case algebra.Project:
+		child, err := proofEval(q.Child, db, max)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := algebra.SchemaOf(q.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string][]*ProofTree)
+		for _, trees := range child {
+			t := trees[0].Tuple
+			pt := relation.ProjectAttrs(schema, t, q.Attrs)
+			for _, tr := range trees {
+				out[pt.Key()] = append(out[pt.Key()], &ProofTree{Op: "project", Tuple: pt, Children: []*ProofTree{tr}})
+			}
+			out[pt.Key()] = capTrees(out[pt.Key()])
+		}
+		return out, nil
+
+	case algebra.Join:
+		left, err := proofEval(q.Left, db, max)
+		if err != nil {
+			return nil, err
+		}
+		right, err := proofEval(q.Right, db, max)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := algebra.SchemaOf(q.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := algebra.SchemaOf(q.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		common := ls.Common(rs)
+		var rightExtra []relation.Attribute
+		for _, a := range rs.Attrs() {
+			if !ls.Has(a) {
+				rightExtra = append(rightExtra, a)
+			}
+		}
+		buckets := make(map[string][][]*ProofTree)
+		var bucketTuples = make(map[string][]relation.Tuple)
+		for _, rtrees := range right {
+			rt := rtrees[0].Tuple
+			k := relation.ProjectAttrs(rs, rt, common).Key()
+			buckets[k] = append(buckets[k], rtrees)
+			bucketTuples[k] = append(bucketTuples[k], rt)
+		}
+		out := make(map[string][]*ProofTree)
+		for _, ltrees := range left {
+			lt := ltrees[0].Tuple
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			for bi, rtrees := range buckets[k] {
+				rt := bucketTuples[k][bi]
+				joined := append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
+				jk := joined.Key()
+				for _, ltr := range ltrees {
+					for _, rtr := range rtrees {
+						out[jk] = append(out[jk], &ProofTree{Op: "join", Tuple: joined, Children: []*ProofTree{ltr, rtr}})
+					}
+				}
+				out[jk] = capTrees(out[jk])
+			}
+		}
+		return out, nil
+
+	case algebra.Union:
+		left, err := proofEval(q.Left, db, max)
+		if err != nil {
+			return nil, err
+		}
+		right, err := proofEval(q.Right, db, max)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := algebra.SchemaOf(q.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := algebra.SchemaOf(q.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string][]*ProofTree)
+		for _, trees := range left {
+			t := trees[0].Tuple
+			for _, tr := range trees {
+				out[t.Key()] = append(out[t.Key()], &ProofTree{Op: "union", Tuple: t, Children: []*ProofTree{tr}})
+			}
+		}
+		for _, trees := range right {
+			t := trees[0].Tuple
+			aligned := relation.ProjectAttrs(rs, t, ls.Attrs())
+			for _, tr := range trees {
+				out[aligned.Key()] = append(out[aligned.Key()], &ProofTree{Op: "union", Tuple: aligned, Children: []*ProofTree{tr}})
+			}
+			out[aligned.Key()] = capTrees(out[aligned.Key()])
+		}
+		return out, nil
+
+	case algebra.Rename:
+		child, err := proofEval(q.Child, db, max)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string][]*ProofTree, len(child))
+		for key, trees := range child {
+			t := trees[0].Tuple
+			wrapped := make([]*ProofTree, len(trees))
+			for i, tr := range trees {
+				wrapped[i] = &ProofTree{Op: "rename", Tuple: t, Children: []*ProofTree{tr}}
+			}
+			out[key] = capTrees(wrapped)
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("provenance: unknown query node %T", q)
+	}
+}

@@ -1,0 +1,147 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+func TestProofsScan(t *testing.T) {
+	db := userGroupDB()
+	trees, err := Proofs(algebra.R("UserGroup"), db, relation.StringTuple("john", "staff"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 || trees[0].Op != "scan" || trees[0].Rel != "UserGroup" {
+		t.Errorf("trees=%v", trees)
+	}
+}
+
+func TestProofsUserFile(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	trees, err := Proofs(q, db, relation.StringTuple("john", "f1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("got %d proof trees, want 2 (staff and admin paths)", len(trees))
+	}
+	// Each proof's leaves form a verified witness.
+	for _, tr := range trees {
+		if tr.Op != "project" {
+			t.Errorf("root op %q want project", tr.Op)
+		}
+		w := tr.Leaves()
+		ok, err := VerifyWitness(q, db, relation.StringTuple("john", "f1"), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("proof leaves %v are not a witness", w)
+		}
+	}
+}
+
+func TestProofsLeavesMatchWitnessBasis(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	res, err := Compute(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vt := range res.View.Tuples() {
+		trees, err := Proofs(q, db, vt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromProofs := make(map[string]bool)
+		for _, tr := range trees {
+			fromProofs[tr.Leaves().Key()] = true
+		}
+		for _, w := range res.Witnesses(vt) {
+			if !fromProofs[w.Key()] {
+				t.Errorf("tuple %v: witness %v has no proof tree", vt, w)
+			}
+		}
+	}
+}
+
+func TestProofsCap(t *testing.T) {
+	db := userGroupDB()
+	trees, err := Proofs(userFileQuery(), db, relation.StringTuple("john", "f1"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 {
+		t.Errorf("cap ignored: %d trees", len(trees))
+	}
+}
+
+func TestProofsMissingTuple(t *testing.T) {
+	db := userGroupDB()
+	if _, err := Proofs(userFileQuery(), db, relation.StringTuple("no", "pe"), 0); err == nil {
+		t.Error("missing tuple must error")
+	}
+}
+
+func TestProofsUnionRename(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	db.MustAdd(r)
+	s := relation.New("S", relation.NewSchema("B"))
+	s.InsertStrings("x")
+	db.MustAdd(s)
+	q := algebra.Un(
+		algebra.R("R"),
+		algebra.Delta(map[relation.Attribute]relation.Attribute{"B": "A"}, algebra.R("S")),
+	)
+	trees, err := Proofs(q, db, relation.StringTuple("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("union of two derivations should give 2 proofs, got %d", len(trees))
+	}
+	ops := map[string]bool{}
+	for _, tr := range trees {
+		if tr.Op != "union" {
+			t.Errorf("root %q want union", tr.Op)
+		}
+		ops[tr.Children[0].Op] = true
+	}
+	if !ops["scan"] || !ops["rename"] {
+		t.Errorf("expected one scan-child and one rename-child proof: %v", ops)
+	}
+}
+
+func TestProofsSelect(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.Sigma(algebra.Eq("group", "admin"), algebra.R("UserGroup"))
+	trees, err := Proofs(q, db, relation.StringTuple("mary", "admin"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 1 || trees[0].Op != "select" {
+		t.Fatalf("trees=%v", trees)
+	}
+}
+
+func TestProofRender(t *testing.T) {
+	db := userGroupDB()
+	trees, err := Proofs(userFileQuery(), db, relation.StringTuple("mary", "f2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := trees[0].Render()
+	if !strings.Contains(out, "project") || !strings.Contains(out, "join") || !strings.Contains(out, "scan UserGroup") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+	// Depth structure: scans indented deeper than the join.
+	if strings.Index(out, "join") > strings.Index(out, "scan") {
+		t.Errorf("join should render before its scan children:\n%s", out)
+	}
+}

@@ -1,0 +1,464 @@
+// Package provenance implements the two notions of provenance the paper
+// connects its problems to: why-provenance (witnesses — footnote 4: a
+// witness for a tuple t in a view is a minimal subset S' of the source S
+// with t ∈ Q(S')) and the flat lineage of Cui–Widom used by the baseline
+// deletion translator. Where-provenance, the annotation-propagation side,
+// lives in package annotation, which evaluates queries with location
+// tracking.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// Witness is a set of source tuples sufficient for an output tuple to
+// appear; elements are kept sorted by key so witnesses have canonical
+// string forms. The witness basis computed by Compute keeps only minimal
+// witnesses, matching the paper's definition.
+type Witness struct {
+	tuples []relation.SourceTuple
+	keys   []string
+}
+
+// NewWitness builds a witness from source tuples, deduplicating.
+func NewWitness(ts ...relation.SourceTuple) Witness {
+	m := make(map[string]relation.SourceTuple, len(ts))
+	for _, t := range ts {
+		m[t.Key()] = t
+	}
+	w := Witness{
+		tuples: make([]relation.SourceTuple, 0, len(m)),
+		keys:   make([]string, 0, len(m)),
+	}
+	for k := range m {
+		w.keys = append(w.keys, k)
+	}
+	sort.Strings(w.keys)
+	for _, k := range w.keys {
+		w.tuples = append(w.tuples, m[k])
+	}
+	return w
+}
+
+// UnionWitness returns w ∪ v.
+func UnionWitness(w, v Witness) Witness {
+	return NewWitness(append(append([]relation.SourceTuple(nil), w.tuples...), v.tuples...)...)
+}
+
+// Len returns the number of source tuples in the witness.
+func (w Witness) Len() int { return len(w.tuples) }
+
+// Tuples returns the source tuples, sorted by key. Callers must not modify
+// the slice.
+func (w Witness) Tuples() []relation.SourceTuple { return w.tuples }
+
+// Key returns the canonical string identity of the witness.
+func (w Witness) Key() string { return strings.Join(w.keys, "\x01") }
+
+// Contains reports whether the witness includes the given source tuple.
+func (w Witness) Contains(st relation.SourceTuple) bool {
+	k := st.Key()
+	i := sort.SearchStrings(w.keys, k)
+	return i < len(w.keys) && w.keys[i] == k
+}
+
+// SubsetOf reports whether every tuple of w is in v.
+func (w Witness) SubsetOf(v Witness) bool {
+	if len(w.keys) > len(v.keys) {
+		return false
+	}
+	i := 0
+	for _, k := range w.keys {
+		for i < len(v.keys) && v.keys[i] < k {
+			i++
+		}
+		if i >= len(v.keys) || v.keys[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the witness as {R(a,b), S(b,c)}.
+func (w Witness) String() string {
+	parts := make([]string, len(w.tuples))
+	for i, t := range w.tuples {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// minimizeWitnesses deduplicates and removes non-minimal witnesses
+// (supersets of other witnesses), returning a canonical, key-sorted basis.
+func minimizeWitnesses(ws []Witness) []Witness {
+	// Dedup first.
+	seen := make(map[string]Witness, len(ws))
+	for _, w := range ws {
+		seen[w.Key()] = w
+	}
+	uniq := make([]Witness, 0, len(seen))
+	for _, w := range seen {
+		uniq = append(uniq, w)
+	}
+	// Sort by size so subset checks only need to look at smaller ones.
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].Len() != uniq[j].Len() {
+			return uniq[i].Len() < uniq[j].Len()
+		}
+		return uniq[i].Key() < uniq[j].Key()
+	})
+	var out []Witness
+	for _, w := range uniq {
+		minimal := true
+		for _, kept := range out {
+			if kept.SubsetOf(w) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Result carries a computed view together with the witness basis of every
+// view tuple.
+type Result struct {
+	// View is the evaluated view Q(S).
+	View *relation.Relation
+	// basis maps view tuple keys to minimal witnesses.
+	basis map[string][]Witness
+}
+
+// Witnesses returns the minimal witnesses of view tuple t (nil if t is not
+// in the view).
+func (r *Result) Witnesses(t relation.Tuple) []Witness { return r.basis[t.Key()] }
+
+// ApplyDeletion derives the witness basis of Q(S \ T) from the basis of
+// Q(S) without re-evaluating the query: witnesses intersecting T are
+// discarded, tuples with no surviving witness leave the view. Valid for
+// monotone queries, where deletions can only remove derivations, never
+// create them. Returns a fresh Result; the receiver is unchanged.
+func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
+	deleted := make(map[string]bool, len(T))
+	for _, st := range T {
+		deleted[st.Key()] = true
+	}
+	out := &Result{
+		View:  relation.New(r.View.Name(), r.View.Schema()),
+		basis: make(map[string][]Witness, len(r.basis)),
+	}
+	for _, t := range r.View.Tuples() {
+		var kept []Witness
+		for _, w := range r.basis[t.Key()] {
+			hit := false
+			for _, st := range w.Tuples() {
+				if deleted[st.Key()] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) > 0 {
+			out.View.Insert(t)
+			out.basis[t.Key()] = kept
+		}
+	}
+	return out
+}
+
+// Limit bounds witness-basis computation. The basis can be exponential in
+// query size (Corollary 3.1 shows even witness membership is NP-hard for
+// PJ queries), so callers working with adversarial queries set MaxWitnesses.
+type Limit struct {
+	// MaxWitnesses caps the number of witnesses tracked per tuple at any
+	// node; 0 means unlimited.
+	MaxWitnesses int
+}
+
+// ErrLimit is returned (wrapped) when a Limit is exceeded.
+var ErrLimit = fmt.Errorf("provenance: witness limit exceeded")
+
+// Compute evaluates q over db and returns the view with the full witness
+// basis of every tuple.
+func Compute(q algebra.Query, db *relation.Database) (*Result, error) {
+	return ComputeLimited(q, db, Limit{})
+}
+
+// ComputeLimited is Compute with a cap on the witness basis size.
+func ComputeLimited(q algebra.Query, db *relation.Database, lim Limit) (*Result, error) {
+	if err := algebra.Validate(q, db); err != nil {
+		return nil, err
+	}
+	wr, err := witnessEval(q, db, lim)
+	if err != nil {
+		return nil, err
+	}
+	view := relation.New(algebra.DefaultViewName, wr.rel.Schema())
+	for _, t := range wr.rel.Tuples() {
+		view.Insert(t)
+	}
+	return &Result{View: view, basis: wr.wit}, nil
+}
+
+// witRel is an intermediate relation annotated with witness bases.
+type witRel struct {
+	rel *relation.Relation
+	wit map[string][]Witness
+}
+
+func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, error) {
+	check := func(ws []Witness) error {
+		if lim.MaxWitnesses > 0 && len(ws) > lim.MaxWitnesses {
+			return fmt.Errorf("%w: %d witnesses > cap %d", ErrLimit, len(ws), lim.MaxWitnesses)
+		}
+		return nil
+	}
+	switch q := q.(type) {
+	case algebra.Scan:
+		base := db.Relation(q.Rel)
+		out := &witRel{rel: base, wit: make(map[string][]Witness, base.Len())}
+		for _, t := range base.Tuples() {
+			out.wit[t.Key()] = []Witness{NewWitness(relation.SourceTuple{Rel: q.Rel, Tuple: t})}
+		}
+		return out, nil
+
+	case algebra.Select:
+		child, err := witnessEval(q.Child, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.New("σ", child.rel.Schema())
+		wit := make(map[string][]Witness)
+		for _, t := range child.rel.Tuples() {
+			if q.Cond.Holds(child.rel.Schema(), t) {
+				rel.Insert(t)
+				wit[t.Key()] = child.wit[t.Key()]
+			}
+		}
+		return &witRel{rel: rel, wit: wit}, nil
+
+	case algebra.Project:
+		child, err := witnessEval(q.Child, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		schema, perr := child.rel.Schema().Project(q.Attrs)
+		if perr != nil {
+			return nil, perr
+		}
+		rel := relation.New("π", schema)
+		acc := make(map[string][]Witness)
+		for _, t := range child.rel.Tuples() {
+			pt := relation.ProjectAttrs(child.rel.Schema(), t, q.Attrs)
+			rel.Insert(pt)
+			acc[pt.Key()] = append(acc[pt.Key()], child.wit[t.Key()]...)
+		}
+		wit := make(map[string][]Witness, len(acc))
+		for k, ws := range acc {
+			m := minimizeWitnesses(ws)
+			if err := check(m); err != nil {
+				return nil, err
+			}
+			wit[k] = m
+		}
+		return &witRel{rel: rel, wit: wit}, nil
+
+	case algebra.Join:
+		left, err := witnessEval(q.Left, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		right, err := witnessEval(q.Right, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		ls, rs := left.rel.Schema(), right.rel.Schema()
+		out := relation.New("⋈", ls.Join(rs))
+		acc := make(map[string][]Witness)
+		common := ls.Common(rs)
+		// Hash the right side on the common attributes.
+		buckets := make(map[string][]relation.Tuple)
+		for _, rt := range right.rel.Tuples() {
+			k := relation.ProjectAttrs(rs, rt, common).Key()
+			buckets[k] = append(buckets[k], rt)
+		}
+		var rightExtra []relation.Attribute
+		for _, a := range rs.Attrs() {
+			if !ls.Has(a) {
+				rightExtra = append(rightExtra, a)
+			}
+		}
+		for _, lt := range left.rel.Tuples() {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			for _, rt := range buckets[k] {
+				joined := append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
+				out.Insert(joined)
+				jk := joined.Key()
+				for _, wl := range left.wit[lt.Key()] {
+					for _, wr := range right.wit[rt.Key()] {
+						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
+					}
+				}
+			}
+		}
+		wit := make(map[string][]Witness, len(acc))
+		for k, ws := range acc {
+			m := minimizeWitnesses(ws)
+			if err := check(m); err != nil {
+				return nil, err
+			}
+			wit[k] = m
+		}
+		return &witRel{rel: out, wit: wit}, nil
+
+	case algebra.Union:
+		left, err := witnessEval(q.Left, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		right, err := witnessEval(q.Right, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		out := relation.New("∪", left.rel.Schema())
+		acc := make(map[string][]Witness)
+		for _, t := range left.rel.Tuples() {
+			out.Insert(t)
+			acc[t.Key()] = append(acc[t.Key()], left.wit[t.Key()]...)
+		}
+		attrs := left.rel.Schema().Attrs()
+		for _, t := range right.rel.Tuples() {
+			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
+			out.Insert(aligned)
+			acc[aligned.Key()] = append(acc[aligned.Key()], right.wit[t.Key()]...)
+		}
+		wit := make(map[string][]Witness, len(acc))
+		for k, ws := range acc {
+			m := minimizeWitnesses(ws)
+			if err := check(m); err != nil {
+				return nil, err
+			}
+			wit[k] = m
+		}
+		return &witRel{rel: out, wit: wit}, nil
+
+	case algebra.Rename:
+		child, err := witnessEval(q.Child, db, lim)
+		if err != nil {
+			return nil, err
+		}
+		schema, rerr := child.rel.Schema().Rename(q.Theta)
+		if rerr != nil {
+			return nil, rerr
+		}
+		rel := relation.New("δ", schema)
+		wit := make(map[string][]Witness, len(child.wit))
+		for _, t := range child.rel.Tuples() {
+			rel.Insert(t)
+			wit[t.Key()] = child.wit[t.Key()]
+		}
+		return &witRel{rel: rel, wit: wit}, nil
+
+	default:
+		return nil, fmt.Errorf("provenance: unknown query node %T", q)
+	}
+}
+
+// VerifyWitness checks the defining property of a witness directly: t must
+// be in Q restricted to exactly the witness tuples, and the witness must be
+// minimal (removing any single tuple loses t). It is used by tests and by
+// the exhaustive baseline.
+func VerifyWitness(q algebra.Query, db *relation.Database, t relation.Tuple, w Witness) (bool, error) {
+	restricted, err := restrictTo(db, w)
+	if err != nil {
+		return false, err
+	}
+	v, err := algebra.Eval(q, restricted)
+	if err != nil {
+		return false, err
+	}
+	if !v.Contains(t) {
+		return false, nil
+	}
+	for _, drop := range w.Tuples() {
+		sub, err := algebra.Eval(q, restricted.DeleteAll([]relation.SourceTuple{drop}))
+		if err != nil {
+			return false, err
+		}
+		if sub.Contains(t) {
+			return false, nil // not minimal
+		}
+	}
+	return true, nil
+}
+
+// restrictTo builds the sub-database containing exactly the witness tuples
+// (empty versions of every other relation are kept so the query stays
+// valid).
+func restrictTo(db *relation.Database, w Witness) (*relation.Database, error) {
+	keep := make(map[string]bool, w.Len())
+	for _, st := range w.Tuples() {
+		if !db.Contains(st) {
+			return nil, fmt.Errorf("provenance: witness tuple %s not in database", st)
+		}
+		keep[st.Key()] = true
+	}
+	out := relation.NewDatabase()
+	for _, r := range db.Relations() {
+		nr := relation.New(r.Name(), r.Schema())
+		for _, t := range r.Tuples() {
+			if keep[(relation.SourceTuple{Rel: r.Name(), Tuple: t}).Key()] {
+				nr.Insert(t)
+			}
+		}
+		out.MustAdd(nr)
+	}
+	return out, nil
+}
+
+// WitnessesNaive computes the minimal witnesses of t by brute force over
+// subsets of the source restricted to the tuples in t's lineage. It is the
+// ablation baseline for Compute and is only feasible on tiny inputs.
+func WitnessesNaive(q algebra.Query, db *relation.Database, t relation.Tuple) ([]Witness, error) {
+	lin, err := LineageOf(q, db, t)
+	if err != nil {
+		return nil, err
+	}
+	cand := lin.Tuples()
+	if len(cand) > 20 {
+		return nil, fmt.Errorf("provenance: naive witness enumeration over %d candidates is infeasible", len(cand))
+	}
+	var found []Witness
+	for mask := 0; mask < 1<<len(cand); mask++ {
+		var sub []relation.SourceTuple
+		for i, st := range cand {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, st)
+			}
+		}
+		w := NewWitness(sub...)
+		restricted, err := restrictTo(db, w)
+		if err != nil {
+			return nil, err
+		}
+		v, err := algebra.Eval(q, restricted)
+		if err != nil {
+			return nil, err
+		}
+		if v.Contains(t) {
+			found = append(found, w)
+		}
+	}
+	return minimizeWitnesses(found), nil
+}

@@ -1,0 +1,291 @@
+package provenance
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+func userGroupDB() *relation.Database {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	ug.InsertStrings("john", "staff")
+	ug.InsertStrings("john", "admin")
+	ug.InsertStrings("mary", "admin")
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	gf.InsertStrings("staff", "f1")
+	gf.InsertStrings("admin", "f1")
+	gf.InsertStrings("admin", "f2")
+	db.MustAdd(gf)
+	return db
+}
+
+func userFileQuery() algebra.Query {
+	return algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+}
+
+func st(rel string, vals ...string) relation.SourceTuple {
+	return relation.SourceTuple{Rel: rel, Tuple: relation.StringTuple(vals...)}
+}
+
+func TestWitnessBasics(t *testing.T) {
+	w := NewWitness(st("R", "a"), st("S", "b"), st("R", "a"))
+	if w.Len() != 2 {
+		t.Errorf("Len=%d want 2 (dedup)", w.Len())
+	}
+	if !w.Contains(st("R", "a")) || w.Contains(st("R", "z")) {
+		t.Error("Contains wrong")
+	}
+	v := NewWitness(st("R", "a"))
+	if !v.SubsetOf(w) || w.SubsetOf(v) {
+		t.Error("SubsetOf wrong")
+	}
+	u := UnionWitness(v, NewWitness(st("T", "t")))
+	if u.Len() != 2 {
+		t.Errorf("UnionWitness Len=%d", u.Len())
+	}
+}
+
+func TestWitnessKeyCanonical(t *testing.T) {
+	a := NewWitness(st("R", "a"), st("S", "b"))
+	b := NewWitness(st("S", "b"), st("R", "a"))
+	if a.Key() != b.Key() {
+		t.Error("witness key must not depend on construction order")
+	}
+}
+
+func TestMinimizeWitnesses(t *testing.T) {
+	w1 := NewWitness(st("R", "a"))
+	w2 := NewWitness(st("R", "a"), st("S", "b")) // superset of w1
+	w3 := NewWitness(st("S", "c"))
+	out := minimizeWitnesses([]Witness{w2, w1, w3, w1})
+	if len(out) != 2 {
+		t.Fatalf("minimize kept %d, want 2: %v", len(out), out)
+	}
+	for _, w := range out {
+		if w.Key() == w2.Key() {
+			t.Error("non-minimal witness survived")
+		}
+	}
+}
+
+// The (john, f1) view tuple of the §2.1.1 example has two witnesses:
+// {UG(john,staff), GF(staff,f1)} and {UG(john,admin), GF(admin,f1)}.
+func TestComputeUserFileWitnesses(t *testing.T) {
+	db := userGroupDB()
+	res, err := Compute(userFileQuery(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.Witnesses(relation.StringTuple("john", "f1"))
+	if len(ws) != 2 {
+		t.Fatalf("got %d witnesses, want 2: %v", len(ws), ws)
+	}
+	for _, w := range ws {
+		if w.Len() != 2 {
+			t.Errorf("witness size %d, want 2: %v", w.Len(), w)
+		}
+		ok, err := VerifyWitness(userFileQuery(), db, relation.StringTuple("john", "f1"), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("witness %v fails verification", w)
+		}
+	}
+	// (mary, f2) has exactly one witness.
+	ws = res.Witnesses(relation.StringTuple("mary", "f2"))
+	if len(ws) != 1 {
+		t.Errorf("(mary,f2) witnesses=%d want 1", len(ws))
+	}
+}
+
+func TestComputeSelectUnionWitnesses(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", relation.NewSchema("A"))
+	r.InsertStrings("x")
+	db.MustAdd(r)
+	s := relation.New("S", relation.NewSchema("A"))
+	s.InsertStrings("x")
+	db.MustAdd(s)
+	res, err := Compute(algebra.Un(algebra.R("R"), algebra.R("S")), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.Witnesses(relation.StringTuple("x"))
+	if len(ws) != 2 {
+		t.Fatalf("union tuple should have 2 single-tuple witnesses, got %v", ws)
+	}
+	for _, w := range ws {
+		if w.Len() != 1 {
+			t.Errorf("union witness must be a single tuple: %v", w)
+		}
+	}
+}
+
+func TestComputeLimit(t *testing.T) {
+	db := userGroupDB()
+	_, err := ComputeLimited(userFileQuery(), db, Limit{MaxWitnesses: 1})
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("expected ErrLimit, got %v", err)
+	}
+}
+
+func TestVerifyWitnessRejectsNonWitness(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	target := relation.StringTuple("john", "f1")
+	// Not sufficient: only one half of a witness.
+	ok, err := VerifyWitness(q, db, target, NewWitness(st("UserGroup", "john", "staff")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("insufficient set accepted as witness")
+	}
+	// Not minimal: both witnesses together.
+	ok, err = VerifyWitness(q, db, target, NewWitness(
+		st("UserGroup", "john", "staff"), st("GroupFile", "staff", "f1"),
+		st("UserGroup", "john", "admin"), st("GroupFile", "admin", "f1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("non-minimal set accepted as witness")
+	}
+}
+
+func TestLineageMatchesWitnessUnion(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	res, err := Compute(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := ComputeLineage(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vt := range res.View.Tuples() {
+		lin := lres.Lineage(vt)
+		union := NewLineage()
+		for _, w := range res.Witnesses(vt) {
+			for _, s := range w.Tuples() {
+				union.add(s)
+			}
+		}
+		if lin.Len() != union.Len() {
+			t.Errorf("tuple %v: lineage %v != union of witnesses %v", vt, lin, union)
+			continue
+		}
+		for _, s := range union.Tuples() {
+			if !lin.Contains(s) {
+				t.Errorf("tuple %v: lineage missing %v", vt, s)
+			}
+		}
+	}
+}
+
+func TestLineageByRelation(t *testing.T) {
+	db := userGroupDB()
+	lin, err := LineageOf(userFileQuery(), db, relation.StringTuple("john", "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := lin.ByRelation()
+	if len(by["UserGroup"]) != 2 || len(by["GroupFile"]) != 2 {
+		t.Errorf("ByRelation=%v", by)
+	}
+}
+
+func TestLineageOfMissingTuple(t *testing.T) {
+	db := userGroupDB()
+	if _, err := LineageOf(userFileQuery(), db, relation.StringTuple("nobody", "f9")); err == nil {
+		t.Error("expected error for missing view tuple")
+	}
+}
+
+func TestWitnessesNaiveAgreesWithCompute(t *testing.T) {
+	db := userGroupDB()
+	q := userFileQuery()
+	res, err := Compute(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vt := range res.View.Tuples() {
+		naive, err := WitnessesNaive(q, db, vt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := res.Witnesses(vt)
+		if len(naive) != len(fast) {
+			t.Errorf("tuple %v: naive %d witnesses, fast %d", vt, len(naive), len(fast))
+			continue
+		}
+		fastKeys := make(map[string]bool, len(fast))
+		for _, w := range fast {
+			fastKeys[w.Key()] = true
+		}
+		for _, w := range naive {
+			if !fastKeys[w.Key()] {
+				t.Errorf("tuple %v: naive witness %v missing from fast basis", vt, w)
+			}
+		}
+	}
+}
+
+// Property: every witness in the computed basis verifies (sufficient and
+// minimal) on random small databases and a PJ query.
+func TestWitnessBasisSoundQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	q := algebra.Pi([]relation.Attribute{"A", "C"},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		r1 := relation.New("R1", relation.NewSchema("A", "B"))
+		r2 := relation.New("R2", relation.NewSchema("B", "C"))
+		for i := 0; i < 2+r.Intn(5); i++ {
+			r1.Insert(relation.NewTuple(relation.Int(int64(r.Intn(3))), relation.Int(int64(r.Intn(3)))))
+		}
+		for i := 0; i < 2+r.Intn(5); i++ {
+			r2.Insert(relation.NewTuple(relation.Int(int64(r.Intn(3))), relation.Int(int64(r.Intn(3)))))
+		}
+		db.MustAdd(r1)
+		db.MustAdd(r2)
+		res, err := Compute(q, db)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, vt := range res.View.Tuples() {
+			for _, w := range res.Witnesses(vt) {
+				ok, err := VerifyWitness(q, db, vt, w)
+				if err != nil || !ok {
+					t.Logf("witness %v of %v fails: ok=%v err=%v", w, vt, ok, err)
+					return false
+				}
+			}
+			if len(res.Witnesses(vt)) == 0 {
+				t.Logf("view tuple %v has empty witness basis", vt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

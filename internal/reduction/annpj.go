@@ -1,0 +1,188 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// AnnPJInstance is the output of the Theorem 3.2 reduction: a 3SAT formula
+// (not necessarily monotone) becomes a PJ annotation placement instance
+// where a side-effect-free annotation of the first output tuple's C1
+// attribute exists iff the formula is satisfiable.
+type AnnPJInstance struct {
+	Formula *sat.Formula
+	DB      *relation.Database
+	Query   algebra.Query
+	// TargetTuple is (c1, ..., cm); TargetAttr is C1.
+	TargetTuple relation.Tuple
+	TargetAttr  relation.Attribute
+	// OtherTuple is (c1, ..., c'm), the tuple that must NOT be annotated.
+	OtherTuple relation.Tuple
+}
+
+// EncodeAnnPJ builds the Theorem 3.2 instance. Clause Ci over variables
+// (v1, v2, v3) becomes relation Ri(Ci, xv1, xv2, xv3) holding the seven
+// assignments satisfying the clause (values T/F) plus a dummy row
+// (ci, d, d, d); Rm additionally holds (c'm, d, d, d). The query is
+// Π_{C1..Cm}(R1 ⋈ ... ⋈ Rm); shared variables join across clause
+// relations by attribute name.
+func EncodeAnnPJ(f *sat.Formula) (*AnnPJInstance, error) {
+	m := len(f.Clauses)
+	if m == 0 {
+		return nil, fmt.Errorf("reduction: empty formula")
+	}
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			return nil, fmt.Errorf("reduction: Theorem 3.2 needs exactly-3 literal clauses; clause %d has %d", i, len(c))
+		}
+	}
+	// The proof needs the clause-sharing graph connected: otherwise a join
+	// combination can mix assignment rows with dummy rows from an
+	// unconnected clause and the annotation leaks to the second output
+	// tuple even for satisfiable formulas. Connected 3SAT is still
+	// NP-hard, so this is the usual without-loss-of-generality step.
+	if !clausesConnected(f) {
+		return nil, fmt.Errorf("reduction: Theorem 3.2 needs a clause-connected formula (clauses sharing variables form one component)")
+	}
+	db := relation.NewDatabase()
+	var joins []algebra.Query
+	var projAttrs []relation.Attribute
+	for ci, clause := range f.Clauses {
+		cAttr := fmt.Sprintf("C%d", ci+1)
+		projAttrs = append(projAttrs, cAttr)
+		attrs := []relation.Attribute{cAttr}
+		for _, lit := range clause {
+			attrs = append(attrs, varName(lit.Var()))
+		}
+		rel := relation.New(fmt.Sprintf("R%d", ci+1), relation.NewSchema(attrs...))
+		cVal := fmt.Sprintf("c%d", ci+1)
+		// The seven satisfying assignments of the clause: all 8 T/F
+		// combinations minus the unique falsifying one (every literal
+		// false).
+		for mask := 0; mask < 8; mask++ {
+			vals := make([]string, 3)
+			satisfied := false
+			for j, lit := range clause {
+				bit := mask&(1<<j) != 0
+				if bit {
+					vals[j] = "T"
+				} else {
+					vals[j] = "F"
+				}
+				if bit == lit.Positive() {
+					satisfied = true
+				}
+			}
+			if !satisfied {
+				continue
+			}
+			rel.InsertStrings(append([]string{cVal}, vals...)...)
+		}
+		rel.InsertStrings(cVal, "d", "d", "d")
+		if ci == m-1 {
+			rel.InsertStrings(fmt.Sprintf("cp%d", m), "d", "d", "d")
+		}
+		db.MustAdd(rel)
+		joins = append(joins, algebra.R(rel.Name()))
+	}
+	q := algebra.Pi(projAttrs, algebra.NatJoin(joins...))
+
+	target := make(relation.Tuple, m)
+	other := make(relation.Tuple, m)
+	for i := 0; i < m; i++ {
+		target[i] = relation.String(fmt.Sprintf("c%d", i+1))
+		other[i] = relation.String(fmt.Sprintf("c%d", i+1))
+	}
+	other[m-1] = relation.String(fmt.Sprintf("cp%d", m))
+	return &AnnPJInstance{
+		Formula:     f,
+		DB:          db,
+		Query:       q,
+		TargetTuple: target,
+		TargetAttr:  "C1",
+		OtherTuple:  other,
+	}, nil
+}
+
+// clausesConnected reports whether the graph on clauses with edges between
+// variable-sharing clauses is connected.
+func clausesConnected(f *sat.Formula) bool {
+	m := len(f.Clauses)
+	if m <= 1 {
+		return true
+	}
+	vars := make([]map[int]bool, m)
+	for i, c := range f.Clauses {
+		vars[i] = make(map[int]bool, 3)
+		for _, l := range c {
+			vars[i][l.Var()] = true
+		}
+	}
+	seen := make([]bool, m)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := 0; v < m; v++ {
+			if seen[v] {
+				continue
+			}
+			shares := false
+			for x := range vars[u] {
+				if vars[v][x] {
+					shares = true
+					break
+				}
+			}
+			if shares {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == m
+}
+
+// AssignmentLocation returns the source location the proof annotates for a
+// satisfying assignment: attribute C1 of the R1 row matching the
+// assignment on clause 1's variables.
+func (in *AnnPJInstance) AssignmentLocation(a sat.Assignment) relation.Location {
+	clause := in.Formula.Clauses[0]
+	vals := make([]string, 0, 4)
+	vals = append(vals, "c1")
+	for _, lit := range clause {
+		if a[lit.Var()] {
+			vals = append(vals, "T")
+		} else {
+			vals = append(vals, "F")
+		}
+	}
+	return relation.Loc("R1", relation.StringTuple(vals...), "C1")
+}
+
+// DecodeLocation reads the partial assignment off an annotated source
+// location (an R1 assignment row); ok is false for dummy rows.
+func (in *AnnPJInstance) DecodeLocation(loc relation.Location) (sat.Assignment, bool) {
+	if loc.Rel != "R1" || len(loc.Tuple) != 4 {
+		return nil, false
+	}
+	a := make(sat.Assignment, in.Formula.NumVars+1)
+	clause := in.Formula.Clauses[0]
+	for j, lit := range clause {
+		switch loc.Tuple[j+1] {
+		case relation.String("T"):
+			a[lit.Var()] = true
+		case relation.String("F"):
+			a[lit.Var()] = false
+		default:
+			return nil, false // dummy row
+		}
+	}
+	return a, true
+}

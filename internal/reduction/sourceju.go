@@ -1,0 +1,125 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/setcover"
+)
+
+// SourceJUInstance is the output of the Theorem 2.7 reduction: minimum
+// source deletions for the all-a tuple of a union of renamed joins equal
+// minimum hitting sets. This is the one reduction in the paper that needs
+// renaming (δ), and whether hardness holds without it is stated as open.
+type SourceJUInstance struct {
+	SetSystem *setcover.Instance
+	DB        *relation.Database
+	Query     algebra.Query
+	// Target is the k-ary all-a tuple, k being the padded set size.
+	Target relation.Tuple
+	// K is the common (padded) set size.
+	K int
+}
+
+// EncodeSourceJU builds the Theorem 2.7 instance. Sets are padded to a
+// common size k with fresh elements (the proof's normalization); element
+// xi becomes the unary relation Ri(A) = {(a)}; set Si = {xi1..xik} becomes
+// the query δ_{A→A1}(Ri1) ⋈ ... ⋈ δ_{A→Ak}(Rik); the full query is their
+// union and the target the single k-ary tuple (a,...,a).
+func EncodeSourceJU(sys *setcover.Instance) (*SourceJUInstance, error) {
+	if len(sys.Sets) == 0 {
+		return nil, fmt.Errorf("reduction: no sets")
+	}
+	k := 0
+	for i, s := range sys.Sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("reduction: set %d is empty; hitting set infeasible", i)
+		}
+		if len(s) > k {
+			k = len(s)
+		}
+	}
+	// Pad with fresh elements: universe grows by up to (k-1) per set; we
+	// allocate distinct pad elements per set so padding never helps a
+	// hitting set.
+	padded := make([][]int, len(sys.Sets))
+	next := sys.Universe
+	for i, s := range sys.Sets {
+		padded[i] = append([]int(nil), s...)
+		for len(padded[i]) < k {
+			padded[i] = append(padded[i], next)
+			next++
+		}
+	}
+	totalElems := next
+
+	db := relation.NewDatabase()
+	for e := 0; e < totalElems; e++ {
+		r := relation.New(fmt.Sprintf("R%d", e+1), relation.NewSchema("A"))
+		r.InsertStrings("a")
+		db.MustAdd(r)
+	}
+	var subqueries []algebra.Query
+	for _, set := range padded {
+		parts := make([]algebra.Query, k)
+		for j, e := range set {
+			parts[j] = algebra.Delta(
+				map[relation.Attribute]relation.Attribute{"A": fmt.Sprintf("A%d", j+1)},
+				algebra.R(fmt.Sprintf("R%d", e+1)))
+		}
+		subqueries = append(subqueries, algebra.NatJoin(parts...))
+	}
+	target := make(relation.Tuple, k)
+	for i := range target {
+		target[i] = relation.String("a")
+	}
+	return &SourceJUInstance{
+		SetSystem: sys,
+		DB:        db,
+		Query:     algebra.Un(subqueries...),
+		Target:    target,
+		K:         k,
+	}, nil
+}
+
+// EncodeHittingSet maps a hitting set to the proof's deletion: remove the
+// (a) tuple of Ri for every chosen element.
+func (in *SourceJUInstance) EncodeHittingSet(elements []int) []relation.SourceTuple {
+	var T []relation.SourceTuple
+	for _, e := range elements {
+		T = append(T, relation.SourceTuple{
+			Rel: fmt.Sprintf("R%d", e+1), Tuple: relation.StringTuple("a")})
+	}
+	return T
+}
+
+// DecodeDeletion maps a deletion back to the hit elements (original
+// universe only; deletions of pad relations are dropped, which can only
+// shrink the set — the proof's padding makes pad elements useless).
+func (in *SourceJUInstance) DecodeDeletion(T []relation.SourceTuple) []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, st := range T {
+		var e int
+		if n, _ := fmt.Sscanf(st.Rel, "R%d", &e); n == 1 && e >= 1 && e <= in.SetSystem.Universe && !seen[e-1] {
+			seen[e-1] = true
+			out = append(out, e-1)
+		}
+	}
+	return out
+}
+
+// VerifyAgainstHittingSet checks the reduction equivalence on an instance:
+// the optimum source deletion size must equal the optimum hitting set
+// size. Exposed for tests and the benchmark harness.
+func (in *SourceJUInstance) VerifyAgainstHittingSet(minDeletion int) error {
+	hs, err := setcover.ExactHittingSet(in.SetSystem)
+	if err != nil {
+		return err
+	}
+	if len(hs) != minDeletion {
+		return fmt.Errorf("reduction: min deletion %d != min hitting set %d", minDeletion, len(hs))
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/setcover"
+)
+
+// SourcePJInstance is the output of the Theorem 2.5 reduction (Figure 3):
+// minimum source deletions for the (c) tuple of Π_C(R0 ⋈ R1 ⋈ ... ⋈ Rn)
+// equal minimum hitting sets of the encoded set system. The reduction is
+// approximation-preserving, which is how the paper inherits the set-cover
+// threshold.
+type SourcePJInstance struct {
+	SetSystem *setcover.Instance
+	DB        *relation.Database
+	Query     algebra.Query
+	// Target is the single-attribute view tuple (c).
+	Target relation.Tuple
+}
+
+// EncodeSourcePJ builds the Figure 3 relations: R0(S, A1..An) holds the
+// characteristic vector of each set (value xi at position Ai when xi ∈ Si,
+// dummy d otherwise); each Ri(Ai, Bi, C) holds (xi, α0, c) and n dummy
+// rows (d, α1, c) ... (d, αn, c).
+//
+// Caution: the query joins n+1 relations and the intermediate result has
+// Σ_i n^(n-|Si|) tuples — that blow-up is the point of the hardness proof.
+// Keep the universe small when evaluating.
+func EncodeSourcePJ(sys *setcover.Instance) (*SourcePJInstance, error) {
+	n := sys.Universe
+	if n < 1 {
+		return nil, fmt.Errorf("reduction: empty universe")
+	}
+	for i, s := range sys.Sets {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("reduction: set %d is empty; hitting set infeasible", i)
+		}
+	}
+	attrs := make([]relation.Attribute, 0, n+1)
+	attrs = append(attrs, "S")
+	for i := 1; i <= n; i++ {
+		attrs = append(attrs, fmt.Sprintf("A%d", i))
+	}
+	r0 := relation.New("R0", relation.NewSchema(attrs...))
+	for si, set := range sys.Sets {
+		row := make(relation.Tuple, n+1)
+		row[0] = relation.String(fmt.Sprintf("s%d", si+1))
+		for i := 1; i <= n; i++ {
+			row[i] = relation.String("d")
+		}
+		for _, e := range set {
+			row[e+1] = relation.String(varName(e + 1))
+		}
+		r0.Insert(row)
+	}
+	db := relation.NewDatabase()
+	db.MustAdd(r0)
+	joins := []algebra.Query{algebra.R("R0")}
+	for i := 1; i <= n; i++ {
+		ri := relation.New(fmt.Sprintf("R%d", i),
+			relation.NewSchema(fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", i), "C"))
+		ri.InsertStrings(varName(i), "alpha0", "c")
+		for j := 1; j <= n; j++ {
+			ri.InsertStrings("d", fmt.Sprintf("alpha%d", j), "c")
+		}
+		db.MustAdd(ri)
+		joins = append(joins, algebra.R(ri.Name()))
+	}
+	q := algebra.Pi([]relation.Attribute{"C"}, algebra.NatJoin(joins...))
+	return &SourcePJInstance{
+		SetSystem: sys,
+		DB:        db,
+		Query:     q,
+		Target:    relation.StringTuple("c"),
+	}, nil
+}
+
+// EncodeHittingSet maps a hitting set (element indices, 0-based) to the
+// proof's source deletion: delete (xp, α0, c) from Rp for each chosen
+// element.
+func (in *SourcePJInstance) EncodeHittingSet(elements []int) []relation.SourceTuple {
+	var T []relation.SourceTuple
+	for _, e := range elements {
+		T = append(T, relation.SourceTuple{
+			Rel:   fmt.Sprintf("R%d", e+1),
+			Tuple: relation.StringTuple(varName(e+1), "alpha0", "c"),
+		})
+	}
+	return T
+}
+
+// DecodeDeletion maps a source deletion back to a hitting set following
+// the proof's normalization: a deleted (xp, α0, c) contributes element p;
+// deleted R0 rows contribute any element of their set; a full block of
+// dummy rows in some Rq contributes every element. The returned slice is
+// a valid hitting set whenever the deletion removes the target.
+func (in *SourcePJInstance) DecodeDeletion(T []relation.SourceTuple) []int {
+	chosen := make(map[int]bool)
+	dummyCount := make(map[int]int)
+	for _, st := range T {
+		var p int
+		if n, _ := fmt.Sscanf(st.Rel, "R%d", &p); n == 1 && p >= 1 {
+			if len(st.Tuple) == 3 && st.Tuple[0] == relation.String(varName(p)) {
+				chosen[p-1] = true
+			} else if len(st.Tuple) == 3 && st.Tuple[0] == relation.String("d") {
+				dummyCount[p]++
+			}
+		}
+		if st.Rel == "R0" && len(st.Tuple) == in.SetSystem.Universe+1 {
+			// Replace a deleted set row by one of its elements.
+			for si, set := range in.SetSystem.Sets {
+				if st.Tuple[0] == relation.String(fmt.Sprintf("s%d", si+1)) && len(set) > 0 {
+					chosen[set[0]] = true
+				}
+			}
+		}
+	}
+	// A fully deleted dummy block in Rq hits every set avoiding q; the
+	// proof replaces it by all elements.
+	for q, cnt := range dummyCount {
+		if cnt >= in.SetSystem.Universe {
+			for e := 0; e < in.SetSystem.Universe; e++ {
+				chosen[e] = true
+			}
+			_ = q
+		}
+	}
+	var out []int
+	for e := 0; e < in.SetSystem.Universe; e++ {
+		if chosen[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Figure3 returns a small concrete instance in the layout of Figure 3:
+// the set system S1 = {x1, x3}, S2 = {x2, x3} over universe {x1, x2, x3}.
+func Figure3() *SourcePJInstance {
+	in, err := EncodeSourcePJ(setcover.MustInstance(3, []int{0, 2}, []int{1, 2}))
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,118 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// ViewJUInstance is the output of the Theorem 2.2 reduction: 2(m+n) unary
+// relations and a union-of-joins query whose (T, F) tuple has a
+// side-effect-free deletion iff the encoded monotone 3SAT formula is
+// satisfiable.
+type ViewJUInstance struct {
+	Formula *sat.Formula
+	DB      *relation.Database
+	Query   algebra.Query
+	// Target is the view tuple (T, F).
+	Target relation.Tuple
+}
+
+// EncodeViewJU builds the Theorem 2.2 instance: per variable xi, Ri(A1) =
+// {(T)} and R'i(A2) = {(F)}; per clause Ci, Si(A2) = {(ci)} and S'i(A1) =
+// {(ci)}. The query is the union of one 3-way union of joins per clause
+// (positive clauses use Ri ⋈ Si, negative use R'i ⋈ S'i) plus Rj ⋈ R'j per
+// variable.
+func EncodeViewJU(f *sat.Formula) (*ViewJUInstance, error) {
+	if !f.IsMonotone() || !f.Is3CNF() {
+		return nil, fmt.Errorf("reduction: Theorem 2.2 needs a monotone 3CNF formula")
+	}
+	db := relation.NewDatabase()
+	for v := 1; v <= f.NumVars; v++ {
+		r := relation.New(fmt.Sprintf("R%d", v), relation.NewSchema("A1"))
+		r.InsertStrings("T")
+		db.MustAdd(r)
+		rp := relation.New(fmt.Sprintf("Rp%d", v), relation.NewSchema("A2"))
+		rp.InsertStrings("F")
+		db.MustAdd(rp)
+	}
+	for ci := range f.Clauses {
+		s := relation.New(fmt.Sprintf("S%d", ci+1), relation.NewSchema("A2"))
+		s.InsertStrings(fmt.Sprintf("c%d", ci+1))
+		db.MustAdd(s)
+		sp := relation.New(fmt.Sprintf("Sp%d", ci+1), relation.NewSchema("A1"))
+		sp.InsertStrings(fmt.Sprintf("c%d", ci+1))
+		db.MustAdd(sp)
+	}
+	var subqueries []algebra.Query
+	for ci, clause := range f.Clauses {
+		for _, lit := range clause {
+			if clause.AllPositive() {
+				subqueries = append(subqueries, algebra.NatJoin(
+					algebra.R(fmt.Sprintf("R%d", lit.Var())),
+					algebra.R(fmt.Sprintf("S%d", ci+1))))
+			} else {
+				subqueries = append(subqueries, algebra.NatJoin(
+					algebra.R(fmt.Sprintf("Sp%d", ci+1)),
+					algebra.R(fmt.Sprintf("Rp%d", lit.Var()))))
+			}
+		}
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		subqueries = append(subqueries, algebra.NatJoin(
+			algebra.R(fmt.Sprintf("R%d", v)),
+			algebra.R(fmt.Sprintf("Rp%d", v))))
+	}
+	return &ViewJUInstance{
+		Formula: f,
+		DB:      db,
+		Query:   algebra.Un(subqueries...),
+		Target:  relation.StringTuple("T", "F"),
+	}, nil
+}
+
+// EncodeAssignment maps a satisfying assignment to the proof's deletion:
+// delete F from R'i when xi is true, T from Ri when false.
+func (in *ViewJUInstance) EncodeAssignment(a sat.Assignment) []relation.SourceTuple {
+	var T []relation.SourceTuple
+	for v := 1; v <= in.Formula.NumVars; v++ {
+		if a[v] {
+			T = append(T, relation.SourceTuple{
+				Rel: fmt.Sprintf("Rp%d", v), Tuple: relation.StringTuple("F")})
+		} else {
+			T = append(T, relation.SourceTuple{
+				Rel: fmt.Sprintf("R%d", v), Tuple: relation.StringTuple("T")})
+		}
+	}
+	return T
+}
+
+// DecodeDeletion reads an assignment off a deletion: xi is true iff the T
+// tuple of Ri survives (i.e. the deletion took F from R'i instead).
+func (in *ViewJUInstance) DecodeDeletion(T []relation.SourceTuple) sat.Assignment {
+	deletedT := make(map[int]bool)
+	for _, st := range T {
+		var v int
+		if n, _ := fmt.Sscanf(st.Rel, "R%d", &v); n == 1 && st.Rel == fmt.Sprintf("R%d", v) {
+			deletedT[v] = true
+		}
+	}
+	a := make(sat.Assignment, in.Formula.NumVars+1)
+	for v := 1; v <= in.Formula.NumVars; v++ {
+		a[v] = !deletedT[v]
+	}
+	return a
+}
+
+// Figure2 returns the reduction instance of Figure 2 (same formula as
+// Figure 1). Its view has exactly the four tuples (c1,F), (T,c2), (c3,F),
+// (T,F) shown in the paper.
+func Figure2() *ViewJUInstance {
+	in, err := EncodeViewJU(sat.PaperFormula())
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,131 @@
+// Package reduction makes the paper's NP-hardness proofs executable. Each
+// theorem's reduction is implemented as an encoder from the source problem
+// (monotone 3SAT, 3SAT, hitting set) to a view-update instance, together
+// with a decoder mapping solutions back and verifiers checking the
+// equivalence both ways. The concrete instances of Figures 1, 2 and 3 are
+// exposed for byte-level comparison with the paper.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// ViewPJInstance is the output of the Theorem 2.1 reduction: deciding
+// whether the target has a side-effect-free deletion in the PJ view is
+// equivalent to satisfiability of the encoded monotone 3SAT formula.
+type ViewPJInstance struct {
+	Formula *sat.Formula
+	DB      *relation.Database
+	Query   algebra.Query
+	// Target is the view tuple (a, c) to delete.
+	Target relation.Tuple
+}
+
+// EncodeViewPJ builds the Theorem 2.1 instance from a monotone 3SAT
+// formula: R1(A,B) and R2(B,C) with variable rows (a,xi) / (xi,c), clause
+// rows (ai, xij) for all-positive clauses and (xij, cj) for all-negative
+// clauses, under the query Π_{A,C}(R1 ⋈ R2).
+func EncodeViewPJ(f *sat.Formula) (*ViewPJInstance, error) {
+	if !f.IsMonotone() {
+		return nil, fmt.Errorf("reduction: Theorem 2.1 needs a monotone formula")
+	}
+	if !f.Is3CNF() {
+		return nil, fmt.Errorf("reduction: Theorem 2.1 needs a 3CNF formula")
+	}
+	r1 := relation.New("R1", relation.NewSchema("A", "B"))
+	r2 := relation.New("R2", relation.NewSchema("B", "C"))
+	for v := 1; v <= f.NumVars; v++ {
+		r1.InsertStrings("a", varName(v))
+		r2.InsertStrings(varName(v), "c")
+	}
+	for ci, clause := range f.Clauses {
+		switch {
+		case clause.AllPositive():
+			ai := fmt.Sprintf("a%d", ci+1)
+			for _, lit := range clause {
+				r1.InsertStrings(ai, varName(lit.Var()))
+			}
+		case clause.AllNegative():
+			cj := fmt.Sprintf("c%d", ci+1)
+			for _, lit := range clause {
+				r2.InsertStrings(varName(lit.Var()), cj)
+			}
+		default:
+			return nil, fmt.Errorf("reduction: clause %v is not monotone", clause)
+		}
+	}
+	db := relation.NewDatabase()
+	db.MustAdd(r1)
+	db.MustAdd(r2)
+	q := algebra.Pi([]relation.Attribute{"A", "C"},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	return &ViewPJInstance{
+		Formula: f,
+		DB:      db,
+		Query:   q,
+		Target:  relation.StringTuple("a", "c"),
+	}, nil
+}
+
+func varName(v int) string { return fmt.Sprintf("x%d", v) }
+
+// EncodeAssignment maps a satisfying assignment to the side-effect-free
+// deletion the proof constructs: delete (a, xi) when xi is true, (xi, c)
+// when false.
+func (in *ViewPJInstance) EncodeAssignment(a sat.Assignment) []relation.SourceTuple {
+	var T []relation.SourceTuple
+	for v := 1; v <= in.Formula.NumVars; v++ {
+		if a[v] {
+			T = append(T, relation.SourceTuple{Rel: "R1", Tuple: relation.StringTuple("a", varName(v))})
+		} else {
+			T = append(T, relation.SourceTuple{Rel: "R2", Tuple: relation.StringTuple(varName(v), "c")})
+		}
+	}
+	return T
+}
+
+// DecodeDeletion maps a source deletion back to the assignment the proof
+// reads off: deleting (a, xi) sets xi true, deleting (xi, c) sets it
+// false; variables touched both ways default to true (the proof's
+// without-loss-of-generality step), untouched variables to false.
+func (in *ViewPJInstance) DecodeDeletion(T []relation.SourceTuple) sat.Assignment {
+	a := make(sat.Assignment, in.Formula.NumVars+1)
+	for _, st := range T {
+		if st.Rel == "R1" && len(st.Tuple) == 2 && st.Tuple[0] == relation.String("a") {
+			if v, ok := parseVar(st.Tuple[1]); ok {
+				a[v] = true
+			}
+		}
+	}
+	return a
+}
+
+func parseVar(v relation.Value) (int, bool) {
+	s := v.Str()
+	if len(s) < 2 || s[0] != 'x' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, n > 0
+}
+
+// Figure1 returns the reduction instance of Figure 1: the encoding of
+// (x̄1+x̄2+x̄3)(x2+x4+x5)(x̄4+x̄1+x̄3).
+func Figure1() *ViewPJInstance {
+	in, err := EncodeViewPJ(sat.PaperFormula())
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,157 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of relations — the source database S of
+// the paper. Relation names are unique.
+type Database struct {
+	rels  map[string]*Relation
+	order []string // insertion order of relation names
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add inserts relation r. It returns an error if a relation with the same
+// name already exists.
+func (db *Database) Add(r *Relation) error {
+	if _, ok := db.rels[r.Name()]; ok {
+		return fmt.Errorf("relation: database already has relation %q", r.Name())
+	}
+	db.rels[r.Name()] = r
+	db.order = append(db.order, r.Name())
+	return nil
+}
+
+// MustAdd is Add but panics on duplicate names; convenient in tests and
+// generators where names are controlled.
+func (db *Database) MustAdd(r *Relation) {
+	if err := db.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the relation with the given name, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// Has reports whether the database contains a relation with the given name.
+func (db *Database) Has(name string) bool {
+	_, ok := db.rels[name]
+	return ok
+}
+
+// Names returns the relation names in insertion order.
+func (db *Database) Names() []string { return db.order }
+
+// Relations returns the relations in insertion order.
+func (db *Database) Relations() []*Relation {
+	out := make([]*Relation, 0, len(db.order))
+	for _, n := range db.order {
+		out = append(out, db.rels[n])
+	}
+	return out
+}
+
+// Size returns the total number of tuples across all relations.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, n := range db.order {
+		c.MustAdd(db.rels[n].Clone())
+	}
+	return c
+}
+
+// SourceTuple identifies one tuple of one relation in a database; the unit
+// of deletion in the paper's view-deletion problems.
+type SourceTuple struct {
+	Rel   string
+	Tuple Tuple
+}
+
+// Key returns a canonical map key for the source tuple.
+func (s SourceTuple) Key() string { return s.Rel + "\x00" + s.Tuple.Key() }
+
+// String renders the source tuple as R(v1, v2).
+func (s SourceTuple) String() string { return s.Rel + s.Tuple.String() }
+
+// SortSourceTuples orders source tuples by relation name then tuple value,
+// for deterministic output.
+func SortSourceTuples(ts []SourceTuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Rel != ts[j].Rel {
+			return ts[i].Rel < ts[j].Rel
+		}
+		return ts[i].Tuple.Less(ts[j].Tuple)
+	})
+}
+
+// Contains reports whether the database has the given source tuple.
+func (db *Database) Contains(st SourceTuple) bool {
+	r := db.rels[st.Rel]
+	return r != nil && r.Contains(st.Tuple)
+}
+
+// DeleteAll returns a copy of the database with the given source tuples
+// removed: the S \ T of the paper. Missing tuples are ignored. The receiver
+// is not modified.
+func (db *Database) DeleteAll(T []SourceTuple) *Database {
+	drop := make(map[string]map[string]bool)
+	for _, st := range T {
+		m := drop[st.Rel]
+		if m == nil {
+			m = make(map[string]bool)
+			drop[st.Rel] = m
+		}
+		m[st.Tuple.Key()] = true
+	}
+	c := NewDatabase()
+	for _, n := range db.order {
+		r := db.rels[n]
+		nr := New(r.Name(), r.Schema())
+		dropped := drop[n]
+		for _, t := range r.Tuples() {
+			if dropped != nil && dropped[t.Key()] {
+				continue
+			}
+			nr.Insert(t)
+		}
+		c.MustAdd(nr)
+	}
+	return c
+}
+
+// AllSourceTuples enumerates every tuple of every relation in insertion
+// order — the candidate deletion set for exhaustive solvers.
+func (db *Database) AllSourceTuples() []SourceTuple {
+	var out []SourceTuple
+	for _, n := range db.order {
+		for _, t := range db.rels[n].Tuples() {
+			out = append(out, SourceTuple{Rel: n, Tuple: t})
+		}
+	}
+	return out
+}
+
+// String renders the database as relation tables separated by blank lines.
+func (db *Database) String() string {
+	var parts []string
+	for _, n := range db.order {
+		parts = append(parts, db.rels[n].Table())
+	}
+	return strings.Join(parts, "\n")
+}

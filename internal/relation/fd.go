@@ -1,0 +1,80 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FD is a functional dependency X → Y on a named relation. The paper's
+// §2.1.1 remark — joins on keys make the side-effect-free decision
+// polynomial — and the related-work pointers to Dayal–Bernstein and Keller
+// all work with FDs, so the model carries them.
+type FD struct {
+	Rel         string
+	Determinant []Attribute
+	Dependent   []Attribute
+}
+
+// String renders the FD as R: A B -> C.
+func (fd FD) String() string {
+	return fmt.Sprintf("%s: %s -> %s", fd.Rel,
+		strings.Join(fd.Determinant, " "), strings.Join(fd.Dependent, " "))
+}
+
+// Holds checks the dependency against the current contents of the
+// database: no two tuples agreeing on the determinant may disagree on the
+// dependent.
+func (fd FD) Holds(db *Database) (bool, error) {
+	r := db.Relation(fd.Rel)
+	if r == nil {
+		return false, fmt.Errorf("relation: FD references unknown relation %q", fd.Rel)
+	}
+	for _, a := range fd.Determinant {
+		if !r.Schema().Has(a) {
+			return false, fmt.Errorf("relation: FD determinant %q not in %s%s", a, fd.Rel, r.Schema())
+		}
+	}
+	for _, a := range fd.Dependent {
+		if !r.Schema().Has(a) {
+			return false, fmt.Errorf("relation: FD dependent %q not in %s%s", a, fd.Rel, r.Schema())
+		}
+	}
+	byDet := make(map[string]Tuple, r.Len())
+	for _, t := range r.Tuples() {
+		dk := ProjectAttrs(r.Schema(), t, fd.Determinant).Key()
+		dep := ProjectAttrs(r.Schema(), t, fd.Dependent)
+		if prev, ok := byDet[dk]; ok {
+			if !prev.Equal(dep) {
+				return false, nil
+			}
+		} else {
+			byDet[dk] = dep
+		}
+	}
+	return true, nil
+}
+
+// IsKey reports whether attrs functionally determine the whole relation in
+// its current contents: no two distinct tuples agree on attrs. A key in
+// the instance sense, which is what lossless-join reasoning needs.
+func (r *Relation) IsKey(attrs []Attribute) bool {
+	for _, a := range attrs {
+		if !r.Schema().Has(a) {
+			return false
+		}
+	}
+	seen := make(map[string]bool, r.Len())
+	for _, t := range r.Tuples() {
+		k := ProjectAttrs(r.Schema(), t, attrs).Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// Key declares attrs a key of rel: shorthand for the FD attrs → schema.
+func Key(rel string, schema Schema, attrs ...Attribute) FD {
+	return FD{Rel: rel, Determinant: attrs, Dependent: schema.Attrs()}
+}

@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"sort"
+)
+
+// Location is the paper's annotation target: a triple (R, t, A) referring
+// to attribute A of tuple t in relation R. For view locations R is the
+// (synthetic) name of the view.
+type Location struct {
+	Rel   string
+	Tuple Tuple
+	Attr  Attribute
+}
+
+// Loc constructs a location.
+func Loc(rel string, t Tuple, a Attribute) Location {
+	return Location{Rel: rel, Tuple: t, Attr: a}
+}
+
+// Key returns a canonical map key for the location.
+func (l Location) Key() string { return l.Rel + "\x00" + l.Tuple.Key() + "\x00" + l.Attr }
+
+// String renders the location as (R, (v1, v2), A).
+func (l Location) String() string {
+	return "(" + l.Rel + ", " + l.Tuple.String() + ", " + l.Attr + ")"
+}
+
+// Less orders locations by relation, tuple, then attribute.
+func (l Location) Less(m Location) bool {
+	if l.Rel != m.Rel {
+		return l.Rel < m.Rel
+	}
+	if !l.Tuple.Equal(m.Tuple) {
+		return l.Tuple.Less(m.Tuple)
+	}
+	return l.Attr < m.Attr
+}
+
+// SortLocations orders a slice of locations deterministically.
+func SortLocations(ls []Location) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
+}
+
+// LocationSet is a set of locations keyed by Location.Key.
+type LocationSet struct {
+	m     map[string]Location
+	order []string
+}
+
+// NewLocationSet creates an empty location set, optionally seeded.
+func NewLocationSet(ls ...Location) *LocationSet {
+	s := &LocationSet{m: make(map[string]Location)}
+	for _, l := range ls {
+		s.Add(l)
+	}
+	return s
+}
+
+// Add inserts l, reporting whether it was new.
+func (s *LocationSet) Add(l Location) bool {
+	k := l.Key()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = l
+	s.order = append(s.order, k)
+	return true
+}
+
+// AddAll inserts every location from t.
+func (s *LocationSet) AddAll(t *LocationSet) {
+	for _, k := range t.order {
+		s.Add(t.m[k])
+	}
+}
+
+// Has reports membership.
+func (s *LocationSet) Has(l Location) bool {
+	_, ok := s.m[l.Key()]
+	return ok
+}
+
+// Len returns the number of locations in the set.
+func (s *LocationSet) Len() int { return len(s.m) }
+
+// Locations returns the locations in insertion order.
+func (s *LocationSet) Locations() []Location {
+	out := make([]Location, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.m[k])
+	}
+	return out
+}
+
+// Sorted returns the locations in canonical order.
+func (s *LocationSet) Sorted() []Location {
+	out := s.Locations()
+	SortLocations(out)
+	return out
+}
+
+// Minus returns the locations of s not present in t.
+func (s *LocationSet) Minus(t *LocationSet) []Location {
+	var out []Location
+	for _, k := range s.order {
+		l := s.m[k]
+		if !t.Has(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets hold exactly the same locations.
+func (s *LocationSet) Equal(t *LocationSet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for _, k := range s.order {
+		if !t.Has(s.m[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllLocations enumerates every (R, t, A) location of the database.
+func (db *Database) AllLocations() []Location {
+	var out []Location
+	for _, n := range db.order {
+		r := db.rels[n]
+		for _, t := range r.Tuples() {
+			for _, a := range r.Schema().Attrs() {
+				out = append(out, Location{Rel: n, Tuple: t, Attr: a})
+			}
+		}
+	}
+	return out
+}

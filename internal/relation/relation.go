@@ -1,0 +1,201 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named set of tuples over a schema. Tuples are kept in
+// insertion order for deterministic iteration, with a key index enforcing
+// set semantics (inserting a duplicate is a no-op, as in the paper's
+// set-based model).
+type Relation struct {
+	name   string
+	schema Schema
+	tuples []Tuple
+	index  map[string]int // tuple key -> position in tuples
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema Schema) *Relation {
+	return &Relation{name: name, schema: schema, index: make(map[string]int)}
+}
+
+// NewFromTuples creates a relation and inserts the given tuples.
+func NewFromTuples(name string, schema Schema, tuples ...Tuple) *Relation {
+	r := New(name, schema)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds tuple t. It reports whether the tuple was new (set
+// semantics). It panics if the arity does not match the schema.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.schema.Len() {
+		panic(fmt.Sprintf("relation: inserting arity-%d tuple into %s%s", len(t), r.name, r.schema))
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// InsertStrings is shorthand for Insert(StringTuple(ss...)).
+func (r *Relation) InsertStrings(ss ...string) bool { return r.Insert(StringTuple(ss...)) }
+
+// Contains reports whether the relation holds tuple t.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// ContainsKey reports whether the relation holds a tuple with the given key.
+func (r *Relation) ContainsKey(key string) bool {
+	_, ok := r.index[key]
+	return ok
+}
+
+// Delete removes tuple t, reporting whether it was present. Deletion is
+// O(n) in the worst case because positions shift; relations in this code
+// base are rebuilt wholesale on bulk deletes (see Database.DeleteAll).
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	i, ok := r.index[k]
+	if !ok {
+		return false
+	}
+	delete(r.index, k)
+	r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+	for j := i; j < len(r.tuples); j++ {
+		r.index[r.tuples[j].Key()] = j
+	}
+	return true
+}
+
+// Tuples returns the tuples in insertion order. The slice and its tuples
+// must not be modified by callers.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Tuple returns the i-th tuple in insertion order.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.name, r.schema)
+	for _, t := range r.tuples {
+		c.Insert(t)
+	}
+	return c
+}
+
+// WithName returns a copy of the relation under a different name.
+func (r *Relation) WithName(name string) *Relation {
+	c := r.Clone()
+	c.name = name
+	return c
+}
+
+// Equal reports whether two relations have equal schemas (same order) and
+// the same set of tuples, regardless of insertion order.
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.schema.Equal(s.schema) || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns the tuples of r that are not in s (schemas must agree as
+// sets; comparison is by key after positional alignment when orders match).
+func (r *Relation) Minus(s *Relation) []Tuple {
+	var out []Tuple
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SortedTuples returns the tuples in lexicographic order, for deterministic
+// printing and testing.
+func (r *Relation) SortedTuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// String renders the relation as a small ASCII table, rows sorted.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s {", r.name, r.schema)
+	for i, t := range r.SortedTuples() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Table renders the relation as a multi-line ASCII table with a header,
+// matching the layout of the figures in the paper.
+func (r *Relation) Table() string {
+	attrs := r.schema.Attrs()
+	widths := make([]int, len(attrs))
+	for i, a := range attrs {
+		widths[i] = len(a)
+	}
+	rows := r.SortedTuples()
+	cells := make([][]string, len(rows))
+	for ri, t := range rows {
+		cells[ri] = make([]string, len(t))
+		for ci, v := range t {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(r.name + "\n")
+	writeRow := func(vals []string) {
+		for ci, s := range vals {
+			if ci > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			for p := len(s); p < widths[ci]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(attrs)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute names a column. Attribute comparison is case-sensitive, as in
+// the paper where A, B, C, A1, ... are distinct symbols.
+type Attribute = string
+
+// Schema is an ordered list of distinct attribute names. The order fixes the
+// positional layout of tuples; set-level operations (union compatibility,
+// natural-join attribute overlap) ignore order.
+type Schema struct {
+	attrs []Attribute
+	pos   map[Attribute]int
+}
+
+// NewSchema builds a schema from the given attribute names. It panics if an
+// attribute repeats, which is a programmer error in query construction.
+func NewSchema(attrs ...Attribute) Schema {
+	s := Schema{attrs: append([]Attribute(nil), attrs...), pos: make(map[Attribute]int, len(attrs))}
+	for i, a := range s.attrs {
+		if _, dup := s.pos[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema", a))
+		}
+		s.pos[a] = i
+	}
+	return s
+}
+
+// Len returns the arity of the schema.
+func (s Schema) Len() int { return len(s.attrs) }
+
+// Attrs returns the attributes in positional order. The returned slice must
+// not be modified.
+func (s Schema) Attrs() []Attribute { return s.attrs }
+
+// Attr returns the attribute at position i.
+func (s Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Index returns the position of attribute a and whether it exists.
+func (s Schema) Index(a Attribute) (int, bool) {
+	i, ok := s.pos[a]
+	return i, ok
+}
+
+// Has reports whether the schema contains attribute a.
+func (s Schema) Has(a Attribute) bool {
+	_, ok := s.pos[a]
+	return ok
+}
+
+// Equal reports whether two schemas have the same attributes in the same
+// order.
+func (s Schema) Equal(t Schema) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i, a := range s.attrs {
+		if t.attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSet reports whether two schemas have the same attributes, ignoring
+// order. Union in the paper requires union-compatible schemas; we accept
+// reordered schemas and normalize positionally at evaluation time.
+func (s Schema) SameSet(t Schema) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for _, a := range s.attrs {
+		if !t.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Common returns the attributes shared by s and t, in s's order. Natural
+// join equates exactly these.
+func (s Schema) Common(t Schema) []Attribute {
+	var out []Attribute
+	for _, a := range s.attrs {
+		if t.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether the two schemas share no attribute. Chain joins
+// (Theorem 2.6) require non-consecutive relations to be disjoint.
+func (s Schema) Disjoint(t Schema) bool { return len(s.Common(t)) == 0 }
+
+// Join returns the schema of the natural join s ⋈ t: s's attributes followed
+// by t's attributes that are not in s.
+func (s Schema) Join(t Schema) Schema {
+	out := append([]Attribute(nil), s.attrs...)
+	for _, a := range t.attrs {
+		if !s.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return NewSchema(out...)
+}
+
+// Project returns the sub-schema consisting of the given attributes, in the
+// given order. It returns an error if an attribute is missing.
+func (s Schema) Project(attrs []Attribute) (Schema, error) {
+	for _, a := range attrs {
+		if !s.Has(a) {
+			return Schema{}, fmt.Errorf("relation: projection attribute %q not in schema %s", a, s)
+		}
+	}
+	return NewSchema(attrs...), nil
+}
+
+// Rename applies the attribute mapping θ to the schema. Attributes not in
+// the mapping are kept. It returns an error if the result has duplicates.
+func (s Schema) Rename(theta map[Attribute]Attribute) (Schema, error) {
+	out := make([]Attribute, len(s.attrs))
+	seen := make(map[Attribute]bool, len(s.attrs))
+	for i, a := range s.attrs {
+		b := a
+		if nb, ok := theta[a]; ok {
+			b = nb
+		}
+		if seen[b] {
+			return Schema{}, fmt.Errorf("relation: renaming produces duplicate attribute %q", b)
+		}
+		seen[b] = true
+		out[i] = b
+	}
+	return NewSchema(out...), nil
+}
+
+// Sorted returns the attribute names in lexicographic order. Used for
+// deterministic printing.
+func (s Schema) Sorted() []Attribute {
+	out := append([]Attribute(nil), s.attrs...)
+	sort.Strings(out)
+	return out
+}
+
+// String renders the schema as (A, B, C).
+func (s Schema) String() string {
+	return "(" + strings.Join(s.attrs, ", ") + ")"
+}

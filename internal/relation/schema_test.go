@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("A", "B", "C")
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if i, ok := s.Index("B"); !ok || i != 1 {
+		t.Errorf("Index(B)=%d,%v", i, ok)
+	}
+	if _, ok := s.Index("Z"); ok {
+		t.Error("Index(Z) should be absent")
+	}
+	if !s.Has("C") || s.Has("D") {
+		t.Error("Has misbehaves")
+	}
+	if s.String() != "(A, B, C)" {
+		t.Errorf("String=%q", s.String())
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSchema with duplicate attribute should panic")
+		}
+	}()
+	NewSchema("A", "A")
+}
+
+func TestSchemaEqualAndSameSet(t *testing.T) {
+	a := NewSchema("A", "B")
+	b := NewSchema("B", "A")
+	c := NewSchema("A", "B")
+	if !a.Equal(c) {
+		t.Error("identical schemas must be Equal")
+	}
+	if a.Equal(b) {
+		t.Error("reordered schemas are not Equal")
+	}
+	if !a.SameSet(b) {
+		t.Error("reordered schemas are SameSet")
+	}
+	if a.SameSet(NewSchema("A", "C")) {
+		t.Error("different attribute sets are not SameSet")
+	}
+}
+
+func TestSchemaCommonDisjointJoin(t *testing.T) {
+	r := NewSchema("A", "B")
+	s := NewSchema("B", "C")
+	common := r.Common(s)
+	if len(common) != 1 || common[0] != "B" {
+		t.Errorf("Common=%v", common)
+	}
+	if r.Disjoint(s) {
+		t.Error("R and S share B")
+	}
+	if !r.Disjoint(NewSchema("C", "D")) {
+		t.Error("disjoint schemas misreported")
+	}
+	j := r.Join(s)
+	if !j.Equal(NewSchema("A", "B", "C")) {
+		t.Errorf("Join=%v", j)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := NewSchema("A", "B", "C")
+	p, err := s.Project([]Attribute{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(NewSchema("C", "A")) {
+		t.Errorf("Project=%v", p)
+	}
+	if _, err := s.Project([]Attribute{"Z"}); err == nil {
+		t.Error("projecting a missing attribute must fail")
+	}
+}
+
+func TestSchemaRename(t *testing.T) {
+	s := NewSchema("A", "B")
+	r, err := s.Rename(map[Attribute]Attribute{"A": "A1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(NewSchema("A1", "B")) {
+		t.Errorf("Rename=%v", r)
+	}
+	if _, err := s.Rename(map[Attribute]Attribute{"A": "B"}); err == nil {
+		t.Error("renaming onto an existing attribute must fail")
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	tp := StringTuple("a", "b", "c")
+	if !tp.Equal(StringTuple("a", "b", "c")) {
+		t.Error("Equal fails on identical tuples")
+	}
+	if tp.Equal(StringTuple("a", "b")) {
+		t.Error("Equal fails on different arities")
+	}
+	p := tp.Project([]int{2, 0})
+	if !p.Equal(StringTuple("c", "a")) {
+		t.Errorf("Project=%v", p)
+	}
+	cl := tp.Clone()
+	cl[0] = String("z")
+	if tp[0] != String("a") {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestProjectAttrs(t *testing.T) {
+	s := NewSchema("A", "B", "C")
+	tp := StringTuple("1", "2", "3")
+	got := ProjectAttrs(s, tp, []Attribute{"C", "A"})
+	if !got.Equal(StringTuple("3", "1")) {
+		t.Errorf("ProjectAttrs=%v", got)
+	}
+}
+
+func TestAgreeOn(t *testing.T) {
+	sr := NewSchema("A", "B")
+	ss := NewSchema("B", "C")
+	r := StringTuple("a", "x")
+	s1 := StringTuple("x", "c")
+	s2 := StringTuple("y", "c")
+	if !AgreeOn(sr, r, ss, s1, []Attribute{"B"}) {
+		t.Error("tuples agreeing on B misreported")
+	}
+	if AgreeOn(sr, r, ss, s2, []Attribute{"B"}) {
+		t.Error("tuples disagreeing on B misreported")
+	}
+}

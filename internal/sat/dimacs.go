@@ -1,0 +1,115 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS parses a CNF formula in DIMACS format:
+//
+//	c a comment
+//	p cnf 3 2
+//	1 -2 3 0
+//	-1 2 0
+//
+// Clauses may span lines; each ends with 0. The declared counts are
+// validated against the content.
+func ReadDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var f *Formula
+	declaredClauses := -1
+	var current Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("sat: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad clause count %q", lineNo, fields[3])
+			}
+			f = &Formula{NumVars: n}
+			declaredClauses = m
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, current)
+				current = nil
+				continue
+			}
+			if l := Literal(v); l.Var() > f.NumVars {
+				return nil, fmt.Errorf("sat: line %d: literal %d exceeds declared %d variables", lineNo, v, f.NumVars)
+			}
+			current = append(current, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sat: no problem line")
+	}
+	if len(current) > 0 {
+		return nil, fmt.Errorf("sat: unterminated final clause (missing 0)")
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("sat: declared %d clauses, found %d", declaredClauses, len(f.Clauses))
+	}
+	return f, nil
+}
+
+// ReadDIMACSString parses DIMACS from a string.
+func ReadDIMACSString(s string) (*Formula, error) {
+	return ReadDIMACS(strings.NewReader(s))
+}
+
+// WriteDIMACS emits the formula in DIMACS format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		parts := make([]string, 0, len(c)+1)
+		for _, l := range c {
+			parts = append(parts, strconv.Itoa(int(l)))
+		}
+		parts = append(parts, "0")
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDIMACSString renders the formula in DIMACS format.
+func WriteDIMACSString(f *Formula) string {
+	var b strings.Builder
+	_ = WriteDIMACS(&b, f)
+	return b.String()
+}

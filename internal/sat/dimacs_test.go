@@ -1,0 +1,92 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadDIMACSBasic(t *testing.T) {
+	f, err := ReadDIMACSString(`c example
+p cnf 3 2
+1 -2 3 0
+-1 2 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != Literal(-2) {
+		t.Errorf("clause 0: %v", f.Clauses[0])
+	}
+}
+
+func TestReadDIMACSMultilineClause(t *testing.T) {
+	f, err := ReadDIMACSString("p cnf 3 1\n1 2\n3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 3 {
+		t.Errorf("clauses=%v", f.Clauses)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no problem line
+		"1 2 0\n",                     // clause before header
+		"p cnf 3\n",                   // short header
+		"p dnf 3 1\n1 0\n",            // wrong format tag
+		"p cnf x 1\n1 0\n",            // bad var count
+		"p cnf 3 y\n1 0\n",            // bad clause count
+		"p cnf 3 1\n1 z 0\n",          // bad literal
+		"p cnf 2 1\n3 0\n",            // literal out of range
+		"p cnf 2 1\n1\n",              // unterminated clause
+		"p cnf 2 2\n1 0\n",            // count mismatch
+		"p cnf 2 1\n1 0\np cnf 2 1\n", // duplicate header
+	}
+	for _, c := range cases {
+		if _, err := ReadDIMACSString(c); err == nil {
+			t.Errorf("ReadDIMACS(%q) should fail", c)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		f := Random3SAT(r, 3+r.Intn(6), 1+r.Intn(8))
+		out := WriteDIMACSString(f)
+		back, err := ReadDIMACSString(out)
+		if err != nil {
+			t.Fatalf("re-parse: %v\n%s", err, out)
+		}
+		if back.NumVars != f.NumVars || len(back.Clauses) != len(f.Clauses) {
+			t.Fatalf("round trip changed shape")
+		}
+		for i, c := range f.Clauses {
+			for j, l := range c {
+				if back.Clauses[i][j] != l {
+					t.Fatalf("clause %d literal %d changed", i, j)
+				}
+			}
+		}
+		// Same satisfiability either way.
+		if Satisfiable(f) != Satisfiable(back) {
+			t.Fatal("round trip changed satisfiability")
+		}
+	}
+}
+
+func TestWriteDIMACSHeader(t *testing.T) {
+	f := New(2, Clause{1, -2})
+	out := WriteDIMACSString(f)
+	if !strings.HasPrefix(out, "p cnf 2 1\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1 -2 0") {
+		t.Errorf("clause line wrong: %q", out)
+	}
+}

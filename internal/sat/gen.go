@@ -1,0 +1,135 @@
+package sat
+
+import (
+	"math/rand"
+)
+
+// RandomMonotone3SAT generates a random monotone 3-CNF formula with n
+// variables and m clauses: each clause is all-positive or all-negative
+// with equal probability, variables drawn without replacement. This is the
+// input family for the reductions of Theorems 2.1 and 2.2.
+func RandomMonotone3SAT(r *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sat: RandomMonotone3SAT needs at least 3 variables")
+	}
+	f := &Formula{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := sampleDistinct(r, n, 3)
+		neg := r.Intn(2) == 1
+		c := make(Clause, 3)
+		for j, v := range vars {
+			if neg {
+				c[j] = Literal(-v)
+			} else {
+				c[j] = Literal(v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Random3SAT generates a random 3-CNF formula with independent literal
+// signs — the input family for Theorem 3.2's annotation reduction.
+func Random3SAT(r *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sat: Random3SAT needs at least 3 variables")
+	}
+	f := &Formula{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := sampleDistinct(r, n, 3)
+		c := make(Clause, 3)
+		for j, v := range vars {
+			if r.Intn(2) == 1 {
+				c[j] = Literal(-v)
+			} else {
+				c[j] = Literal(v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// RandomConnected3SAT generates a random 3-CNF formula whose clause graph
+// (clauses adjacent when they share a variable) is connected: every clause
+// after the first reuses a variable from an earlier clause. Required by
+// the Theorem 3.2 reduction.
+func RandomConnected3SAT(r *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sat: RandomConnected3SAT needs at least 3 variables")
+	}
+	f := &Formula{NumVars: n}
+	var usedVars []int
+	seen := make(map[int]bool)
+	noteVar := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			usedVars = append(usedVars, v)
+		}
+	}
+	for i := 0; i < m; i++ {
+		var vars []int
+		if i == 0 {
+			vars = sampleDistinct(r, n, 3)
+		} else {
+			anchor := usedVars[r.Intn(len(usedVars))]
+			vars = []int{anchor}
+			for len(vars) < 3 {
+				v := 1 + r.Intn(n)
+				dup := false
+				for _, w := range vars {
+					if w == v {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					vars = append(vars, v)
+				}
+			}
+		}
+		c := make(Clause, 3)
+		for j, v := range vars {
+			noteVar(v)
+			if r.Intn(2) == 1 {
+				c[j] = Literal(-v)
+			} else {
+				c[j] = Literal(v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// sampleDistinct draws k distinct integers from 1..n.
+func sampleDistinct(r *rand.Rand, n, k int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := 1 + r.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PaperFormula returns the monotone 3SAT instance used in Figures 1 and 2
+// of the paper: (x̄1 + x̄2 + x̄3)(x2 + x4 + x5)(x̄4 + x̄1 + x̄3).
+//
+// The polarity bars are not visible in plain-text copies of the paper, but
+// the figures determine them: in Figure 1, R1 holds "a2" rows over
+// {x2,x4,x5} (so clause 2 is the all-positive one) and R2 holds "c1" rows
+// over {x1,x2,x3} and "c3" rows over {x4,x1,x3} (so clauses 1 and 3 are
+// all-negative); Figure 2 wires R′1,R′2,R′3 to S′1, R2,R4,R5 to S2, and
+// R′4,R′1,R′3 to S′3, confirming the same polarities and literal order.
+func PaperFormula() *Formula {
+	return New(5,
+		Clause{-1, -2, -3},
+		Clause{2, 4, 5},
+		Clause{-4, -1, -3},
+	)
+}

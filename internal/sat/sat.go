@@ -1,0 +1,305 @@
+// Package sat implements CNF formulas and a DPLL satisfiability solver.
+// The paper's NP-hardness reductions (Theorems 2.1, 2.2 and 3.2) start
+// from 3SAT and monotone 3SAT; this package makes those reductions
+// executable and independently checkable: the reduction output is solved
+// by the view-update machinery and the answer compared against DPLL.
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Literal is a signed variable reference: +v is the positive literal of
+// variable v, -v the negated one. Variables are numbered from 1.
+type Literal int
+
+// Var returns the variable of the literal.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is unnegated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Literal) Neg() Literal { return -l }
+
+// String renders the literal as x3 or ¬x3.
+func (l Literal) String() string {
+	if l < 0 {
+		return fmt.Sprintf("¬x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// String renders the clause as (x1 ∨ ¬x2 ∨ x3).
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// AllPositive reports whether every literal is positive.
+func (c Clause) AllPositive() bool {
+	for _, l := range c {
+		if !l.Positive() {
+			return false
+		}
+	}
+	return true
+}
+
+// AllNegative reports whether every literal is negated.
+func (c Clause) AllNegative() bool {
+	for _, l := range c {
+		if l.Positive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// New creates a formula with n variables and the given clauses. It panics
+// if a clause references a variable outside 1..n (programmer error in
+// instance construction).
+func New(n int, clauses ...Clause) *Formula {
+	f := &Formula{NumVars: n}
+	for _, c := range clauses {
+		f.AddClause(c...)
+	}
+	return f
+}
+
+// AddClause appends a clause, validating variable bounds.
+func (f *Formula) AddClause(lits ...Literal) {
+	for _, l := range lits {
+		if l == 0 || l.Var() > f.NumVars {
+			panic(fmt.Sprintf("sat: literal %d out of range 1..%d", l, f.NumVars))
+		}
+	}
+	f.Clauses = append(f.Clauses, append(Clause(nil), lits...))
+}
+
+// IsMonotone reports whether every clause is all-positive or all-negative —
+// the "monotone" 3SAT variant of Gold used by Theorems 2.1 and 2.2.
+func (f *Formula) IsMonotone() bool {
+	for _, c := range f.Clauses {
+		if !c.AllPositive() && !c.AllNegative() {
+			return false
+		}
+	}
+	return true
+}
+
+// Is3CNF reports whether every clause has at most three literals.
+func (f *Formula) Is3CNF() bool {
+	for _, c := range f.Clauses {
+		if len(c) > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula as a conjunction of clauses.
+func (f *Formula) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Assignment maps variables 1..n to truth values. Index 0 is unused.
+type Assignment []bool
+
+// Satisfies reports whether the assignment makes every clause true.
+func (a Assignment) Satisfies(f *Formula) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v := l.Var()
+			if v < len(a) && a[v] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the assignment as x1=T x2=F ...
+func (a Assignment) String() string {
+	var parts []string
+	for v := 1; v < len(a); v++ {
+		tv := "F"
+		if a[v] {
+			tv = "T"
+		}
+		parts = append(parts, fmt.Sprintf("x%d=%s", v, tv))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Solve decides satisfiability with DPLL (unit propagation, pure-literal
+// elimination, most-frequent-variable branching). It returns a satisfying
+// assignment when one exists.
+func Solve(f *Formula) (Assignment, bool) {
+	s := solver{n: f.NumVars}
+	clauses := make([]Clause, len(f.Clauses))
+	copy(clauses, f.Clauses)
+	asg := make([]int8, f.NumVars+1) // 0 unassigned, +1 true, -1 false
+	if !s.dpll(clauses, asg) {
+		return nil, false
+	}
+	out := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = asg[v] > 0 // unassigned variables default to false
+	}
+	return out, true
+}
+
+type solver struct {
+	n int
+}
+
+// simplify applies the partial assignment: satisfied clauses drop, false
+// literals vanish. It reports false on an empty clause.
+func simplify(clauses []Clause, asg []int8) ([]Clause, bool) {
+	out := make([]Clause, 0, len(clauses))
+	for _, c := range clauses {
+		var kept Clause
+		satisfied := false
+		for _, l := range c {
+			switch {
+			case asg[l.Var()] == 0:
+				kept = append(kept, l)
+			case (asg[l.Var()] > 0) == l.Positive():
+				satisfied = true
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if len(kept) == 0 {
+			return nil, false
+		}
+		out = append(out, kept)
+	}
+	return out, true
+}
+
+func (s *solver) dpll(clauses []Clause, asg []int8) bool {
+	for {
+		var ok bool
+		clauses, ok = simplify(clauses, asg)
+		if !ok {
+			return false
+		}
+		if len(clauses) == 0 {
+			return true
+		}
+		// Unit propagation.
+		progress := false
+		for _, c := range clauses {
+			if len(c) == 1 {
+				l := c[0]
+				if asg[l.Var()] != 0 {
+					continue
+				}
+				if l.Positive() {
+					asg[l.Var()] = 1
+				} else {
+					asg[l.Var()] = -1
+				}
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Pure literal elimination.
+		polarity := make(map[int]int8)
+		for _, c := range clauses {
+			for _, l := range c {
+				v := l.Var()
+				var p int8 = -1
+				if l.Positive() {
+					p = 1
+				}
+				if cur, seen := polarity[v]; !seen {
+					polarity[v] = p
+				} else if cur != p {
+					polarity[v] = 0
+				}
+			}
+		}
+		pure := false
+		for v, p := range polarity {
+			if p != 0 && asg[v] == 0 {
+				asg[v] = p
+				pure = true
+			}
+		}
+		if pure {
+			continue
+		}
+		// Branch on the most frequent unassigned variable.
+		counts := make(map[int]int)
+		for _, c := range clauses {
+			for _, l := range c {
+				counts[l.Var()]++
+			}
+		}
+		best, bestCount := 0, -1
+		vars := make([]int, 0, len(counts))
+		for v := range counts {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars) // deterministic branching
+		for _, v := range vars {
+			if counts[v] > bestCount {
+				best, bestCount = v, counts[v]
+			}
+		}
+		for _, val := range []int8{1, -1} {
+			cp := make([]int8, len(asg))
+			copy(cp, asg)
+			cp[best] = val
+			if s.dpll(clauses, cp) {
+				copy(asg, cp)
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Satisfiable is Solve discarding the assignment.
+func Satisfiable(f *Formula) bool {
+	_, ok := Solve(f)
+	return ok
+}

@@ -1,0 +1,297 @@
+package sat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLiteral(t *testing.T) {
+	l := Literal(3)
+	if l.Var() != 3 || !l.Positive() || l.Neg() != Literal(-3) {
+		t.Error("positive literal ops wrong")
+	}
+	n := Literal(-7)
+	if n.Var() != 7 || n.Positive() || n.Neg() != Literal(7) {
+		t.Error("negative literal ops wrong")
+	}
+	if l.String() != "x3" || n.String() != "¬x7" {
+		t.Errorf("String: %s %s", l, n)
+	}
+}
+
+func TestClausePolarity(t *testing.T) {
+	if !(Clause{1, 2}).AllPositive() || (Clause{1, -2}).AllPositive() {
+		t.Error("AllPositive wrong")
+	}
+	if !(Clause{-1, -2}).AllNegative() || (Clause{1, -2}).AllNegative() {
+		t.Error("AllNegative wrong")
+	}
+}
+
+func TestFormulaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range literal must panic")
+		}
+	}()
+	New(2, Clause{3})
+}
+
+func TestIsMonotoneIs3CNF(t *testing.T) {
+	m := New(3, Clause{1, 2, 3}, Clause{-1, -2, -3})
+	if !m.IsMonotone() || !m.Is3CNF() {
+		t.Error("monotone 3CNF misclassified")
+	}
+	mixed := New(3, Clause{1, -2, 3})
+	if mixed.IsMonotone() {
+		t.Error("mixed clause is not monotone")
+	}
+	wide := New(4, Clause{1, 2, 3, 4})
+	if wide.Is3CNF() {
+		t.Error("4-literal clause is not 3CNF")
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	f := New(1, Clause{1})
+	a, ok := Solve(f)
+	if !ok || !a[1] {
+		t.Errorf("Solve(x1)=%v,%v", a, ok)
+	}
+	f = New(1, Clause{1}, Clause{-1})
+	if _, ok := Solve(f); ok {
+		t.Error("x1 ∧ ¬x1 must be UNSAT")
+	}
+}
+
+func TestSolveKnownSat(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (¬x2 ∨ ¬x3)
+	f := New(3, Clause{1, 2}, Clause{-1, 3}, Clause{-2, -3})
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("formula is satisfiable")
+	}
+	if !a.Satisfies(f) {
+		t.Errorf("returned assignment %v does not satisfy formula", a)
+	}
+}
+
+func TestSolveKnownUnsat(t *testing.T) {
+	// All four clauses over two variables: UNSAT.
+	f := New(2, Clause{1, 2}, Clause{1, -2}, Clause{-1, 2}, Clause{-1, -2})
+	if _, ok := Solve(f); ok {
+		t.Error("complete 2-variable formula must be UNSAT")
+	}
+}
+
+func TestPaperFormula(t *testing.T) {
+	f := PaperFormula()
+	if !f.IsMonotone() || !f.Is3CNF() || f.NumVars != 5 || len(f.Clauses) != 3 {
+		t.Fatalf("paper formula malformed: %v", f)
+	}
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("paper formula is satisfiable (e.g. all false + x2)")
+	}
+	if !a.Satisfies(f) {
+		t.Error("solver returned bad assignment")
+	}
+}
+
+// bruteForceSat is the oracle for the property test.
+func bruteForceSat(f *Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: DPLL agrees with brute force on random small formulas, and any
+// returned assignment satisfies the formula.
+func TestSolveAgainstBruteForceQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		m := 1 + r.Intn(12)
+		var f *Formula
+		if r.Intn(2) == 0 {
+			f = RandomMonotone3SAT(r, n, m)
+		} else {
+			f = Random3SAT(r, n, m)
+		}
+		want := bruteForceSat(f)
+		a, got := Solve(f)
+		if got != want {
+			t.Logf("disagreement on %v: dpll=%v brute=%v", f, got, want)
+			return false
+		}
+		if got && !a.Satisfies(f) {
+			t.Logf("bad assignment for %v", f)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := RandomMonotone3SAT(r, 10, 20)
+	if !f.IsMonotone() {
+		t.Error("RandomMonotone3SAT produced non-monotone formula")
+	}
+	if len(f.Clauses) != 20 || f.NumVars != 10 {
+		t.Error("wrong instance shape")
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause width %d", len(c))
+		}
+		seen := map[int]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatalf("repeated variable in clause %v", c)
+			}
+			seen[l.Var()] = true
+		}
+	}
+	g := Random3SAT(r, 10, 20)
+	if len(g.Clauses) != 20 {
+		t.Error("Random3SAT wrong clause count")
+	}
+}
+
+// pigeonhole builds PHP(n): n+1 pigeons into n holes — classically UNSAT
+// and a stress case forcing the solver through real search.
+func pigeonhole(n int) *Formula {
+	// Variable v(p,h) = (p-1)*n + h for pigeon p ∈ [1,n+1], hole h ∈ [1,n].
+	v := func(p, h int) Literal { return Literal((p-1)*n + h) }
+	f := &Formula{NumVars: (n + 1) * n}
+	// Every pigeon sits somewhere.
+	for p := 1; p <= n+1; p++ {
+		var c Clause
+		for h := 1; h <= n; h++ {
+			c = append(c, v(p, h))
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	// No two pigeons share a hole.
+	for h := 1; h <= n; h++ {
+		for p1 := 1; p1 <= n+1; p1++ {
+			for p2 := p1 + 1; p2 <= n+1; p2++ {
+				f.Clauses = append(f.Clauses, Clause{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return f
+}
+
+func TestSolvePigeonhole(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		if Satisfiable(pigeonhole(n)) {
+			t.Errorf("PHP(%d) must be UNSAT", n)
+		}
+	}
+	// Sanity: PHP with enough holes (n pigeons, n holes) is satisfiable —
+	// drop the last pigeon's clauses by building a square instance.
+	f := pigeonhole(3)
+	// Removing the "every pigeon sits" clause of pigeon 4 makes it SAT.
+	var kept []Clause
+	for _, c := range f.Clauses {
+		if len(c) == 3 && c[0].Var() > 9 { // pigeon 4's placement clause
+			continue
+		}
+		kept = append(kept, c)
+	}
+	sq := &Formula{NumVars: f.NumVars, Clauses: kept}
+	if !Satisfiable(sq) {
+		t.Error("square pigeonhole variant should be satisfiable")
+	}
+}
+
+func TestSolveLargerRandomSatisfiable(t *testing.T) {
+	// Low clause density → almost surely satisfiable; checks the solver
+	// scales past toy sizes and returns valid assignments.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		f := Random3SAT(r, 30, 60)
+		if a, ok := Solve(f); ok {
+			if !a.Satisfies(f) {
+				t.Fatal("invalid assignment on large instance")
+			}
+		}
+	}
+}
+
+func TestRandomConnected3SATIsConnected(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		f := RandomConnected3SAT(r, 4+r.Intn(5), 2+r.Intn(5))
+		// Union-find over clauses via shared variables.
+		m := len(f.Clauses)
+		parent := make([]int, m)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		varsOf := func(c Clause) map[int]bool {
+			s := map[int]bool{}
+			for _, l := range c {
+				s[l.Var()] = true
+			}
+			return s
+		}
+		for i := 0; i < m; i++ {
+			vi := varsOf(f.Clauses[i])
+			for j := i + 1; j < m; j++ {
+				shared := false
+				for _, l := range f.Clauses[j] {
+					if vi[l.Var()] {
+						shared = true
+						break
+					}
+				}
+				if shared {
+					parent[find(i)] = find(j)
+				}
+			}
+		}
+		root := find(0)
+		for i := 1; i < m; i++ {
+			if find(i) != root {
+				t.Fatalf("trial %d: clause graph disconnected: %v", trial, f)
+			}
+		}
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	a := Assignment{false, true, false}
+	if a.String() != "x1=T x2=F" {
+		t.Errorf("Assignment.String=%q", a.String())
+	}
+}

@@ -1,0 +1,284 @@
+// Package setcover implements the set cover and hitting set problems: the
+// greedy H_n-approximation and an exact branch-and-bound solver. The
+// paper's source side-effect hardness results (Theorems 2.5 and 2.7) are
+// approximation-preserving reductions from hitting set, which is the dual
+// of set cover and shares its Θ(log n) approximability threshold (Feige).
+package setcover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Instance is a set system: Sets[i] lists the elements (0-based) of the
+// i-th set; Universe is the number of elements.
+type Instance struct {
+	Universe int
+	Sets     [][]int
+}
+
+// NewInstance builds and validates an instance.
+func NewInstance(universe int, sets ...[]int) (*Instance, error) {
+	in := &Instance{Universe: universe}
+	for i, s := range sets {
+		for _, e := range s {
+			if e < 0 || e >= universe {
+				return nil, fmt.Errorf("setcover: set %d has element %d outside universe [0,%d)", i, e, universe)
+			}
+		}
+		in.Sets = append(in.Sets, dedupInts(s))
+	}
+	return in, nil
+}
+
+// MustInstance is NewInstance but panics on invalid input.
+func MustInstance(universe int, sets ...[]int) *Instance {
+	in, err := NewInstance(universe, sets...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func dedupInts(s []int) []int {
+	m := make(map[int]bool, len(s))
+	var out []int
+	for _, e := range s {
+		if !m[e] {
+			m[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Coverable reports whether the union of all sets is the whole universe
+// (a prerequisite for set cover feasibility).
+func (in *Instance) Coverable() bool {
+	covered := make([]bool, in.Universe)
+	for _, s := range in.Sets {
+		for _, e := range s {
+			covered[e] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCover reports whether the chosen set indices cover the universe.
+func (in *Instance) IsCover(chosen []int) bool {
+	covered := make([]bool, in.Universe)
+	for _, i := range chosen {
+		if i < 0 || i >= len(in.Sets) {
+			return false
+		}
+		for _, e := range in.Sets[i] {
+			covered[e] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsHittingSet reports whether the chosen elements intersect every set.
+func (in *Instance) IsHittingSet(elements []int) bool {
+	chosen := make(map[int]bool, len(elements))
+	for _, e := range elements {
+		chosen[e] = true
+	}
+	for _, s := range in.Sets {
+		hit := false
+		for _, e := range s {
+			if chosen[e] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyCover runs the classical greedy algorithm: repeatedly pick the set
+// covering the most uncovered elements. It guarantees a cover of cost at
+// most H(n) · OPT and returns the chosen set indices in pick order, or an
+// error if the instance is not coverable.
+func GreedyCover(in *Instance) ([]int, error) {
+	if !in.Coverable() {
+		return nil, fmt.Errorf("setcover: instance not coverable")
+	}
+	covered := make([]bool, in.Universe)
+	remaining := in.Universe
+	var chosen []int
+	used := make([]bool, len(in.Sets))
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i, s := range in.Sets {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("setcover: greedy stalled with %d uncovered", remaining)
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return chosen, nil
+}
+
+// ExactCover finds a minimum set cover by branch and bound on the
+// lowest-indexed uncovered element. Exponential in the worst case; meant
+// for instances with tens of sets.
+func ExactCover(in *Instance) ([]int, error) {
+	if !in.Coverable() {
+		return nil, fmt.Errorf("setcover: instance not coverable")
+	}
+	// coverers[e] lists sets containing element e.
+	coverers := make([][]int, in.Universe)
+	for i, s := range in.Sets {
+		for _, e := range s {
+			coverers[e] = append(coverers[e], i)
+		}
+	}
+	greedy, err := GreedyCover(in)
+	if err != nil {
+		return nil, err
+	}
+	best := append([]int(nil), greedy...)
+	var cur []int
+	covered := make([]int, in.Universe) // coverage count
+	remaining := in.Universe
+
+	var take func(i int)
+	var untake func(i int)
+	take = func(i int) {
+		cur = append(cur, i)
+		for _, e := range in.Sets[i] {
+			if covered[e] == 0 {
+				remaining--
+			}
+			covered[e]++
+		}
+	}
+	untake = func(i int) {
+		cur = cur[:len(cur)-1]
+		for _, e := range in.Sets[i] {
+			covered[e]--
+			if covered[e] == 0 {
+				remaining++
+			}
+		}
+	}
+
+	var rec func()
+	rec = func() {
+		if len(cur) >= len(best) {
+			return // cannot improve
+		}
+		if remaining == 0 {
+			best = append([]int(nil), cur...)
+			return
+		}
+		// Branch on the first uncovered element.
+		e := -1
+		for i := 0; i < in.Universe; i++ {
+			if covered[i] == 0 {
+				e = i
+				break
+			}
+		}
+		for _, i := range coverers[e] {
+			take(i)
+			rec()
+			untake(i)
+		}
+	}
+	rec()
+	sort.Ints(best)
+	return best, nil
+}
+
+// Dual converts between hitting set and set cover: the hitting set problem
+// on in equals the set cover problem on the dual instance whose "sets" are
+// the element-membership lists. Element e of in becomes dual set e; set i
+// of in becomes dual element i.
+func (in *Instance) Dual() *Instance {
+	dual := &Instance{Universe: len(in.Sets)}
+	member := make([][]int, in.Universe)
+	for i, s := range in.Sets {
+		for _, e := range s {
+			member[e] = append(member[e], i)
+		}
+	}
+	dual.Sets = member
+	return dual
+}
+
+// GreedyHittingSet approximates minimum hitting set by running greedy
+// cover on the dual. Returns chosen element indices.
+func GreedyHittingSet(in *Instance) ([]int, error) {
+	chosen, err := GreedyCover(in.Dual())
+	if err != nil {
+		return nil, fmt.Errorf("setcover: hitting set infeasible (some set is empty): %w", err)
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// ExactHittingSet finds a minimum hitting set via the dual.
+func ExactHittingSet(in *Instance) ([]int, error) {
+	chosen, err := ExactCover(in.Dual())
+	if err != nil {
+		return nil, fmt.Errorf("setcover: hitting set infeasible (some set is empty): %w", err)
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// HarmonicBound returns H(n) = 1 + 1/2 + ... + 1/n, the greedy
+// approximation guarantee for a universe of size n.
+func HarmonicBound(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1.0 / float64(i)
+	}
+	return h
+}
+
+// LogThreshold returns ln n, the Feige inapproximability threshold
+// referenced in the paper (no polynomial algorithm achieves o(log n)
+// unless NP ⊆ DTIME(n^{log log n})).
+func LogThreshold(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log(float64(n))
+}

@@ -1,0 +1,238 @@
+package setcover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(3, []int{0, 3}); err == nil {
+		t.Error("out-of-universe element must error")
+	}
+	in, err := NewInstance(3, []int{0, 1, 1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Sets[0]) != 2 {
+		t.Error("duplicate elements must dedup")
+	}
+}
+
+func TestCoverable(t *testing.T) {
+	if !MustInstance(2, []int{0}, []int{1}).Coverable() {
+		t.Error("coverable instance misreported")
+	}
+	if MustInstance(2, []int{0}).Coverable() {
+		t.Error("uncoverable instance misreported")
+	}
+}
+
+func TestIsCoverIsHittingSet(t *testing.T) {
+	in := MustInstance(3, []int{0, 1}, []int{1, 2}, []int{2})
+	if !in.IsCover([]int{0, 1}) {
+		t.Error("{S0,S1} covers {0,1,2}")
+	}
+	if in.IsCover([]int{0}) {
+		t.Error("{S0} does not cover")
+	}
+	if in.IsCover([]int{99}) {
+		t.Error("invalid index must not count as cover")
+	}
+	if !in.IsHittingSet([]int{1, 2}) {
+		t.Error("{1,2} hits all sets")
+	}
+	if in.IsHittingSet([]int{0}) {
+		t.Error("{0} misses S2 and S1... wait S1={1,2}; {0} misses it")
+	}
+}
+
+func TestGreedyCoverSimple(t *testing.T) {
+	in := MustInstance(4, []int{0, 1, 2}, []int{0}, []int{3})
+	chosen, err := GreedyCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(chosen) {
+		t.Errorf("greedy result %v is not a cover", chosen)
+	}
+	if len(chosen) != 2 {
+		t.Errorf("greedy picked %d sets, want 2", len(chosen))
+	}
+}
+
+func TestGreedyCoverInfeasible(t *testing.T) {
+	in := MustInstance(2, []int{0})
+	if _, err := GreedyCover(in); err == nil {
+		t.Error("uncoverable instance must error")
+	}
+}
+
+func TestExactCoverOptimal(t *testing.T) {
+	// Classic greedy-trap: greedy takes the big set then needs 2 more;
+	// optimum is the two disjoint sets.
+	in := MustInstance(6,
+		[]int{0, 1, 2, 3}, // greedy bait
+		[]int{0, 1, 4},
+		[]int{2, 3, 5},
+	)
+	exact, err := ExactCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 2 || !in.IsCover(exact) {
+		t.Errorf("exact=%v want the two 3-element sets", exact)
+	}
+}
+
+func TestHittingSetDuality(t *testing.T) {
+	// Sets {0,1}, {1,2}: element 1 hits both.
+	in := MustInstance(3, []int{0, 1}, []int{1, 2})
+	hs, err := ExactHittingSet(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 || hs[0] != 1 {
+		t.Errorf("ExactHittingSet=%v want [1]", hs)
+	}
+	ghs, err := GreedyHittingSet(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsHittingSet(ghs) {
+		t.Errorf("greedy hitting set %v invalid", ghs)
+	}
+}
+
+func TestHittingSetEmptySetInfeasible(t *testing.T) {
+	in := MustInstance(2, []int{0}, nil)
+	if _, err := GreedyHittingSet(in); err == nil {
+		t.Error("empty set cannot be hit")
+	}
+	if _, err := ExactHittingSet(in); err == nil {
+		t.Error("empty set cannot be hit (exact)")
+	}
+}
+
+func TestHarmonicBound(t *testing.T) {
+	if h := HarmonicBound(1); h != 1 {
+		t.Errorf("H(1)=%v", h)
+	}
+	if h := HarmonicBound(3); h < 1.83 || h > 1.84 {
+		t.Errorf("H(3)=%v want ~1.833", h)
+	}
+	if LogThreshold(1) != 0 {
+		t.Error("LogThreshold(1) should be 0")
+	}
+}
+
+// exactBrute is the oracle: smallest cover by subset enumeration.
+func exactBrute(in *Instance) int {
+	m := len(in.Sets)
+	best := m + 1
+	for mask := 0; mask < 1<<m; mask++ {
+		var chosen []int
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, i)
+			}
+		}
+		if len(chosen) < best && in.IsCover(chosen) {
+			best = len(chosen)
+		}
+	}
+	return best
+}
+
+// Property: on random coverable instances, ExactCover is optimal (matches
+// brute force) and GreedyCover is within the H(n) bound of it.
+func TestCoverQualityQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		sets := make([][]int, 0, m+n)
+		for i := 0; i < m; i++ {
+			var s []int
+			for e := 0; e < n; e++ {
+				if r.Intn(2) == 0 {
+					s = append(s, e)
+				}
+			}
+			sets = append(sets, s)
+		}
+		// Guarantee coverability with singletons.
+		for e := 0; e < n; e++ {
+			sets = append(sets, []int{e})
+		}
+		in := MustInstance(n, sets...)
+		exact, err := ExactCover(in)
+		if err != nil {
+			return false
+		}
+		if !in.IsCover(exact) {
+			return false
+		}
+		if len(exact) != exactBrute(in) {
+			t.Logf("exact=%d brute=%d", len(exact), exactBrute(in))
+			return false
+		}
+		greedy, err := GreedyCover(in)
+		if err != nil || !in.IsCover(greedy) {
+			return false
+		}
+		if float64(len(greedy)) > HarmonicBound(n)*float64(len(exact))+1e-9 {
+			t.Logf("greedy=%d exceeds H(%d)*opt=%v", len(greedy), n, HarmonicBound(n)*float64(len(exact)))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hitting sets produced via the dual really hit, and the exact
+// one is no larger than the greedy one.
+func TestHittingSetQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		sets := make([][]int, m)
+		for i := range sets {
+			sets[i] = []int{r.Intn(n)} // non-empty guaranteed
+			for e := 0; e < n; e++ {
+				if r.Intn(3) == 0 {
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		in := MustInstance(n, sets...)
+		exact, err := ExactHittingSet(in)
+		if err != nil {
+			return false
+		}
+		greedy, err := GreedyHittingSet(in)
+		if err != nil {
+			return false
+		}
+		return in.IsHittingSet(exact) && in.IsHittingSet(greedy) && len(exact) <= len(greedy)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package workload generates the synthetic databases and queries used by
+// the examples and the benchmark harness: the UserGroup/GroupFile scenario
+// of §2.1.1 (after Cui–Widom), random two-relation PJ instances, chain
+// joins for Theorem 2.6, SPU/SJU instances for the polynomial rows of the
+// dichotomy tables, and a curated-annotation scenario standing in for the
+// biological annotation services (BioDAS) the paper motivates annotations
+// with.
+//
+// All generators take an explicit *rand.Rand so benches are deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// UserGroupFile builds the paper's motivating scenario: UserGroup(user,
+// group) and GroupFile(group, file) with the query Π_{user,file}(UserGroup
+// ⋈ GroupFile). Each user joins 1..maxGroups groups; each file is shared
+// by 1..maxShares groups.
+func UserGroupFile(r *rand.Rand, users, groups, files, maxGroups, maxShares int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	ug := relation.New("UserGroup", relation.NewSchema("user", "group"))
+	for u := 0; u < users; u++ {
+		k := 1 + r.Intn(maxGroups)
+		for i := 0; i < k; i++ {
+			ug.InsertStrings("u"+strconv.Itoa(u), "g"+strconv.Itoa(r.Intn(groups)))
+		}
+	}
+	db.MustAdd(ug)
+	gf := relation.New("GroupFile", relation.NewSchema("group", "file"))
+	for f := 0; f < files; f++ {
+		k := 1 + r.Intn(maxShares)
+		for i := 0; i < k; i++ {
+			gf.InsertStrings("g"+strconv.Itoa(r.Intn(groups)), "f"+strconv.Itoa(f))
+		}
+	}
+	db.MustAdd(gf)
+	q := algebra.Pi([]relation.Attribute{"user", "file"},
+		algebra.NatJoin(algebra.R("UserGroup"), algebra.R("GroupFile")))
+	return db, q
+}
+
+// TwoRelationPJ builds a random Π_{A,C}(R1(A,B) ⋈ R2(B,C)) instance with
+// the given rows per relation and attribute domain sizes.
+func TwoRelationPJ(r *rand.Rand, rows, domain int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	r1 := relation.New("R1", relation.NewSchema("A", "B"))
+	r2 := relation.New("R2", relation.NewSchema("B", "C"))
+	for i := 0; i < rows; i++ {
+		r1.Insert(relation.NewTuple(
+			relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+		r2.Insert(relation.NewTuple(
+			relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+	}
+	db.MustAdd(r1)
+	db.MustAdd(r2)
+	q := algebra.Pi([]relation.Attribute{"A", "C"},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	return db, q
+}
+
+// Chain builds a k-relation chain R1(A0,A1) ⋈ ... ⋈ Rk(Ak-1,Ak) projected
+// onto (A0, Ak) — the family of Theorem 2.6 — with rows tuples per
+// relation over the given per-attribute domain.
+func Chain(r *rand.Rand, k, rows, domain int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	var qs []algebra.Query
+	for i := 1; i <= k; i++ {
+		schema := relation.NewSchema("A"+strconv.Itoa(i-1), "A"+strconv.Itoa(i))
+		rel := relation.New("R"+strconv.Itoa(i), schema)
+		for j := 0; j < rows; j++ {
+			rel.Insert(relation.NewTuple(
+				relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+		}
+		db.MustAdd(rel)
+		qs = append(qs, algebra.R(rel.Name()))
+	}
+	q := algebra.Pi([]relation.Attribute{"A0", "A" + strconv.Itoa(k)}, algebra.NatJoin(qs...))
+	return db, q
+}
+
+// SPU builds a random SPU instance: k base relations with a common schema
+// (A, B), the query being the union of a selection+projection per
+// relation — the polynomial row of both deletion tables.
+func SPU(r *rand.Rand, k, rows, domain int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	var qs []algebra.Query
+	for i := 1; i <= k; i++ {
+		rel := relation.New("R"+strconv.Itoa(i), relation.NewSchema("A", "B"))
+		for j := 0; j < rows; j++ {
+			rel.Insert(relation.NewTuple(
+				relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+		}
+		db.MustAdd(rel)
+		qs = append(qs, algebra.Pi([]relation.Attribute{"A"},
+			algebra.Sigma(algebra.AttrConst{Attr: "B", Op: algebra.OpGe, Val: relation.Int(0)},
+				algebra.R(rel.Name()))))
+	}
+	return db, algebra.Un(qs...)
+}
+
+// SJ builds a random SJ instance: R1(A,B) ⋈ R2(B,C) with a selection, no
+// projection — the other polynomial row.
+func SJ(r *rand.Rand, rows, domain int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	r1 := relation.New("R1", relation.NewSchema("A", "B"))
+	r2 := relation.New("R2", relation.NewSchema("B", "C"))
+	for i := 0; i < rows; i++ {
+		r1.Insert(relation.NewTuple(
+			relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+		r2.Insert(relation.NewTuple(
+			relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+	}
+	db.MustAdd(r1)
+	db.MustAdd(r2)
+	q := algebra.Sigma(algebra.AttrConst{Attr: "A", Op: algebra.OpGe, Val: relation.Int(0)},
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+	return db, q
+}
+
+// SJU builds a union of two SJ queries over disjoint relation pairs with a
+// shared output schema — the polynomial row of the annotation table that
+// is NP-hard for deletions.
+func SJU(r *rand.Rand, rows, domain int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	mk := func(name string, a1, a2 relation.Attribute) {
+		rel := relation.New(name, relation.NewSchema(a1, a2))
+		for i := 0; i < rows; i++ {
+			rel.Insert(relation.NewTuple(
+				relation.Int(int64(r.Intn(domain))), relation.Int(int64(r.Intn(domain)))))
+		}
+		db.MustAdd(rel)
+	}
+	mk("R1", "A", "B")
+	mk("R2", "B", "C")
+	mk("S1", "A", "B")
+	mk("S2", "B", "C")
+	q := algebra.Un(
+		algebra.NatJoin(algebra.R("R1"), algebra.R("R2")),
+		algebra.NatJoin(algebra.R("S1"), algebra.R("S2")),
+	)
+	return db, q
+}
+
+// Curation builds the annotation-curation scenario standing in for the
+// biological annotation servers of [9]: a Gene table, a Protein table
+// keyed by gene, and the published view joining them. Curators annotate
+// view cells and the system must find source cells to hold the annotation.
+func Curation(r *rand.Rand, genes, proteinsPerGene int) (*relation.Database, algebra.Query) {
+	db := relation.NewDatabase()
+	g := relation.New("Gene", relation.NewSchema("gene", "organism", "chromosome"))
+	organisms := []string{"human", "mouse", "fly", "yeast"}
+	for i := 0; i < genes; i++ {
+		g.InsertStrings(
+			fmt.Sprintf("G%04d", i),
+			organisms[r.Intn(len(organisms))],
+			"chr"+strconv.Itoa(1+r.Intn(22)))
+	}
+	db.MustAdd(g)
+	p := relation.New("Protein", relation.NewSchema("gene", "protein", "function"))
+	functions := []string{"kinase", "ligase", "receptor", "transport", "unknown"}
+	for i := 0; i < genes; i++ {
+		k := 1 + r.Intn(proteinsPerGene)
+		for j := 0; j < k; j++ {
+			p.InsertStrings(
+				fmt.Sprintf("G%04d", i),
+				fmt.Sprintf("P%04d_%d", i, j),
+				functions[r.Intn(len(functions))])
+		}
+	}
+	db.MustAdd(p)
+	q := algebra.Pi([]relation.Attribute{"gene", "organism", "protein", "function"},
+		algebra.NatJoin(algebra.R("Gene"), algebra.R("Protein")))
+	return db, q
+}
+
+// PickViewTuple evaluates q and returns a pseudo-random view tuple, or ok
+// = false when the view is empty.
+func PickViewTuple(r *rand.Rand, q algebra.Query, db *relation.Database) (relation.Tuple, bool) {
+	view, err := algebra.Eval(q, db)
+	if err != nil || view.Len() == 0 {
+		return nil, false
+	}
+	return view.Tuple(r.Intn(view.Len())), true
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/deletion"
+	"repro/internal/relation"
+)
+
+func TestUserGroupFileShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	db, q := UserGroupFile(r, 10, 4, 8, 2, 2)
+	if db.Relation("UserGroup") == nil || db.Relation("GroupFile") == nil {
+		t.Fatal("missing relations")
+	}
+	if algebra.Fragment(q) != "PJ" {
+		t.Errorf("fragment %q want PJ", algebra.Fragment(q))
+	}
+	view, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() == 0 {
+		t.Error("view should be non-empty with these parameters")
+	}
+	if !view.Schema().Equal(relation.NewSchema("user", "file")) {
+		t.Errorf("view schema %v", view.Schema())
+	}
+}
+
+func TestTwoRelationPJShape(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	db, q := TwoRelationPJ(r, 20, 4)
+	if algebra.Fragment(q) != "PJ" {
+		t.Errorf("fragment %q", algebra.Fragment(q))
+	}
+	if db.Relation("R1").Len() == 0 || db.Relation("R2").Len() == 0 {
+		t.Error("empty relations")
+	}
+	if _, err := algebra.Eval(q, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	db, q := Chain(r, 4, 10, 3)
+	if len(db.Names()) != 4 {
+		t.Errorf("relations=%d want 4", len(db.Names()))
+	}
+	info, err := deletion.DetectChain(q, db)
+	if err != nil {
+		t.Fatalf("generated chain not detected: %v", err)
+	}
+	if len(info.Relations) != 4 {
+		t.Errorf("chain length %d", len(info.Relations))
+	}
+}
+
+func TestSPUShape(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	db, q := SPU(r, 3, 15, 4)
+	if algebra.Fragment(q) != "SPU" {
+		t.Errorf("fragment %q want SPU", algebra.Fragment(q))
+	}
+	if _, err := algebra.Eval(q, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSJShape(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db, q := SJ(r, 15, 4)
+	if algebra.Fragment(q) != "SJ" {
+		t.Errorf("fragment %q want SJ", algebra.Fragment(q))
+	}
+	if _, err := algebra.Eval(q, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSJUShape(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	db, q := SJU(r, 15, 3)
+	if algebra.Fragment(q) != "JU" && algebra.Fragment(q) != "SJU" {
+		t.Errorf("fragment %q want (S)JU", algebra.Fragment(q))
+	}
+	if algebra.OperatorsOf(q).HasAny(algebra.OpProject) {
+		t.Error("SJU workload must not project")
+	}
+	if _, err := algebra.Eval(q, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurationShape(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	db, q := Curation(r, 12, 2)
+	view, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every protein row joins its gene: view rows == protein rows.
+	if view.Len() != db.Relation("Protein").Len() {
+		t.Errorf("view=%d proteins=%d", view.Len(), db.Relation("Protein").Len())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a1, q1 := UserGroupFile(rand.New(rand.NewSource(9)), 8, 3, 6, 2, 2)
+	a2, q2 := UserGroupFile(rand.New(rand.NewSource(9)), 8, 3, 6, 2, 2)
+	if !algebra.Equal(q1, q2) {
+		t.Error("queries differ across same-seed runs")
+	}
+	for _, name := range a1.Names() {
+		if !a1.Relation(name).Equal(a2.Relation(name)) {
+			t.Errorf("relation %s differs across same-seed runs", name)
+		}
+	}
+}
+
+func TestPickViewTuple(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	db, q := SJ(r, 10, 3)
+	if tu, ok := PickViewTuple(r, q, db); ok {
+		view, _ := algebra.Eval(q, db)
+		if !view.Contains(tu) {
+			t.Error("picked tuple not in view")
+		}
+	}
+}
