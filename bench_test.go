@@ -26,8 +26,10 @@ import (
 	"repro/internal/annotation"
 	"repro/internal/core"
 	"repro/internal/deletion"
+	"repro/internal/engine"
 	"repro/internal/provenance"
 	"repro/internal/reduction"
+	"repro/internal/relation"
 	"repro/internal/sat"
 	"repro/internal/setcover"
 	"repro/internal/workload"
@@ -653,6 +655,150 @@ func BenchmarkAblation_JoinOrder(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := algebra.Eval(opt, db); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Prepared-view engine vs one-shot solvers ---
+
+// engineWorkload is the shared instance for the engine benchmarks: big
+// enough that re-evaluating the view and rebuilding the witness basis per
+// request dominates the one-shot path.
+func engineWorkload() (*relation.Database, algebra.Query) {
+	// View of ~1800 (user, file) pairs; source-minimal deletions kill ~7
+	// view tuples each, so 100 sequential deletions stay well within it.
+	r := rand.New(rand.NewSource(25))
+	return workload.UserGroupFile(r, 120, 40, 100, 3, 3)
+}
+
+// BenchmarkEngine_RepeatedDelete pits the prepared engine — solve on the
+// cached witness basis, maintain view and basis incrementally — against
+// the one-shot router — re-evaluate and rebuild per request — on the same
+// workload of 100 sequential deletions against the same view. Both paths
+// delete the first remaining view tuple each round. The streams start
+// identical but may diverge: both sides find minimum-cardinality source
+// deletions, yet on ties the router's chain-min-cut and the engine's
+// hitting-set solver can pick different sets, shifting later targets. The
+// comparison is between the two serving paths end to end, not the same
+// algorithm with and without caching.
+func BenchmarkEngine_RepeatedDelete(b *testing.B) {
+	const deletions = 100
+	b.Run("prepared-incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, q := engineWorkload()
+			e := engine.New(db)
+			if err := e.Prepare("v", q); err != nil {
+				b.Fatal(err)
+			}
+			for d := 0; d < deletions; d++ {
+				view, err := e.Query("v")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if view.Len() == 0 {
+					b.Fatal("view exhausted before 100 deletions")
+				}
+				if _, err := e.Delete("v", view.Tuple(0), core.MinimizeSourceDeletions, core.DeleteOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, q := engineWorkload()
+			for d := 0; d < deletions; d++ {
+				view, err := algebra.Eval(q, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if view.Len() == 0 {
+					b.Fatal("view exhausted before 100 deletions")
+				}
+				rep, err := core.Delete(q, db, view.Tuple(0), core.MinimizeSourceDeletions, core.DeleteOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				db = db.DeleteAll(rep.Result.T)
+			}
+		}
+	})
+}
+
+// BenchmarkEngine_RepeatedAnnotate compares serving annotation placements
+// from the cached where-provenance index against one-shot Place calls that
+// re-evaluate the query with location tracking per request.
+func BenchmarkEngine_RepeatedAnnotate(b *testing.B) {
+	const requests = 100
+	db, q := engineWorkload()
+	view, err := algebra.Eval(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if view.Len() < requests {
+		b.Fatalf("view too small: %d", view.Len())
+	}
+	attr := view.Schema().Attrs()[1]
+	b.Run("prepared-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(db)
+			if err := e.Prepare("v", q); err != nil {
+				b.Fatal(err)
+			}
+			for d := 0; d < requests; d++ {
+				if _, err := e.Annotate("v", view.Tuple(d), attr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < requests; d++ {
+				if _, err := annotation.Place(q, db, view.Tuple(d), attr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkEngine_GroupDelete compares one batched DeleteGroup request
+// against the same targets deleted one by one through the engine: the
+// batch amortizes one basis pass and one maintenance sweep.
+func BenchmarkEngine_GroupDelete(b *testing.B) {
+	const batch = 8
+	db, q := engineWorkload()
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(db)
+			if err := e.Prepare("v", q); err != nil {
+				b.Fatal(err)
+			}
+			view, _ := e.Query("v")
+			targets := append([]relation.Tuple(nil), view.Tuples()[:batch]...)
+			if _, err := e.DeleteGroup("v", targets, core.MinimizeSourceDeletions, core.DeleteOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-tuple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(db)
+			if err := e.Prepare("v", q); err != nil {
+				b.Fatal(err)
+			}
+			view, _ := e.Query("v")
+			targets := append([]relation.Tuple(nil), view.Tuples()[:batch]...)
+			for _, tg := range targets {
+				cur, _ := e.Query("v")
+				if !cur.Contains(tg) {
+					continue // removed as a side-effect of an earlier delete
+				}
+				if _, err := e.Delete("v", tg, core.MinimizeSourceDeletions, core.DeleteOptions{}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

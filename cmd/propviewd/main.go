@@ -1,0 +1,81 @@
+// Command propviewd serves prepared views over HTTP: a long-lived
+// deployment of the paper's solvers for sustained traffic, backed by
+// internal/engine's cached witness bases and incremental maintenance.
+//
+//	propviewd -db data.txt [-addr :8080] [-prepare name=QUERY ...]
+//
+// JSON endpoints (see the README for a curl walkthrough):
+//
+//	POST /prepare  {"name": "access", "query": "project(user, file; join(UserGroup, GroupFile))"}
+//	GET  /query?view=access
+//	POST /delete   {"view": "access", "tuple": ["john", "f2"], "objective": "view"}
+//	POST /delete   {"view": "access", "tuples": [["john","f1"],["john","f2"]], "objective": "source"}
+//	POST /annotate {"view": "access", "tuple": ["john", "f1"], "attr": "file"}
+//	GET  /stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+func main() {
+	fs := flag.NewFlagSet("propviewd", flag.ExitOnError)
+	dbPath := fs.String("db", "", "path to the text database file (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	var prepares prepareFlags
+	fs.Var(&prepares, "prepare", "view to prepare at boot, as name=QUERY (repeatable)")
+	fs.Parse(os.Args[1:])
+	if *dbPath == "" {
+		fs.Usage()
+		fmt.Fprintln(os.Stderr, "propviewd: -db is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*dbPath)
+	if err != nil {
+		log.Fatalf("propviewd: %v", err)
+	}
+	db, err := relation.ReadDatabaseString(string(raw))
+	if err != nil {
+		log.Fatalf("propviewd: %v", err)
+	}
+	e := engine.New(db)
+	for _, p := range prepares {
+		if err := e.PrepareText(p.name, p.query); err != nil {
+			log.Fatalf("propviewd: prepare %s: %v", p.name, err)
+		}
+		log.Printf("prepared view %q: %s", p.name, p.query)
+	}
+	log.Printf("propviewd serving %d relation(s) on %s", len(db.Names()), *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      newServer(e),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // NP-hard deletes can legitimately run long
+		IdleTimeout:  2 * time.Minute,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+type prepareFlag struct{ name, query string }
+
+type prepareFlags []prepareFlag
+
+func (p *prepareFlags) String() string { return fmt.Sprintf("%d views", len(*p)) }
+
+func (p *prepareFlags) Set(s string) error {
+	name, query, ok := strings.Cut(s, "=")
+	if !ok || name == "" || query == "" {
+		return fmt.Errorf("want name=QUERY, got %q", s)
+	}
+	*p = append(*p, prepareFlag{name: name, query: query})
+	return nil
+}

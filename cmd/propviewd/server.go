@@ -1,0 +1,358 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/annotation"
+	"repro/internal/core"
+	"repro/internal/deletion"
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// newServer wires the JSON endpoints onto an engine. Split from main so the
+// handler tests drive it through httptest.
+func newServer(e *engine.Engine) http.Handler {
+	s := &server{engine: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/prepare", s.handlePrepare)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/annotate", s.handleAnnotate)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+type server struct {
+	engine *engine.Engine
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statusOf maps domain errors onto HTTP statuses: unknown names and absent
+// tuples are 404, a conflicting prepare is 409, everything else a caller
+// sent us is 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownView),
+		errors.Is(err, deletion.ErrNotInView),
+		errors.Is(err, annotation.ErrNoPlacement):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrConflict):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// maxBodyBytes caps request bodies; the largest legitimate payload is a
+// batched /delete, far under a megabyte.
+const maxBodyBytes = 1 << 20
+
+// decodeBody strictly decodes one JSON object from a size-capped request
+// body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// requireMethod answers 405 and reports false on a method mismatch.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		return false
+	}
+	return true
+}
+
+// parseTuple converts a JSON tuple (array of strings) against a schema
+// arity.
+func parseTuple(vals []string, arity int) (relation.Tuple, error) {
+	if len(vals) != arity {
+		return nil, fmt.Errorf("tuple has %d values, view needs %d", len(vals), arity)
+	}
+	t := make(relation.Tuple, len(vals))
+	for i, s := range vals {
+		t[i] = relation.ParseValue(s, true)
+	}
+	return t, nil
+}
+
+func renderTuple(t relation.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// --- /prepare ---
+
+type prepareRequest struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+type prepareResponse struct {
+	Name     string   `json:"name"`
+	Query    string   `json:"query"`
+	Fragment string   `json:"fragment"`
+	Schema   []string `json:"schema"`
+	ViewSize int      `json:"view_size"`
+}
+
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req prepareRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.engine.PrepareText(req.Name, req.Query); err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := s.engine.Describe(req.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	schema, err := s.engine.Schema(req.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, prepareResponse{
+		Name:     req.Name,
+		Query:    info.Query,
+		Fragment: info.Fragment,
+		Schema:   schema.Attrs(),
+		ViewSize: info.ViewSize,
+	})
+}
+
+// --- /query ---
+
+type queryResponse struct {
+	View   string     `json:"view"`
+	Schema []string   `json:"schema"`
+	Tuples [][]string `json:"tuples"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	name := r.URL.Query().Get("view")
+	if name == "" {
+		writeErr(w, fmt.Errorf("missing ?view= parameter"))
+		return
+	}
+	view, err := s.engine.Query(name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := queryResponse{View: name, Schema: view.Schema().Attrs(), Tuples: [][]string{}}
+	for _, t := range view.SortedTuples() {
+		resp.Tuples = append(resp.Tuples, renderTuple(t))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /delete ---
+
+type deleteRequest struct {
+	View      string     `json:"view"`
+	Tuple     []string   `json:"tuple,omitempty"`  // single target
+	Tuples    [][]string `json:"tuples,omitempty"` // batched targets
+	Objective string     `json:"objective,omitempty"`
+	Greedy    bool       `json:"greedy,omitempty"`
+}
+
+type sourceTupleJSON struct {
+	Rel   string   `json:"rel"`
+	Tuple []string `json:"tuple"`
+}
+
+type deleteResponse struct {
+	View        string            `json:"view"`
+	Class       string            `json:"class"`
+	Fragment    string            `json:"fragment"`
+	Algorithm   string            `json:"algorithm"`
+	Exact       bool              `json:"exact"`
+	Deletions   []sourceTupleJSON `json:"deletions"`
+	SideEffects [][]string        `json:"side_effects"`
+	ViewSize    int               `json:"view_size"`
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req deleteRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	schema, err := s.engine.Schema(req.View)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	arity := schema.Len()
+
+	var obj core.Objective
+	switch req.Objective {
+	case "", "view":
+		obj = core.MinimizeViewSideEffects
+	case "source":
+		obj = core.MinimizeSourceDeletions
+	default:
+		writeErr(w, fmt.Errorf("objective must be \"view\" or \"source\", got %q", req.Objective))
+		return
+	}
+
+	var rep *core.DeleteReport
+	opts := core.DeleteOptions{Greedy: req.Greedy}
+	switch {
+	case len(req.Tuple) > 0 && len(req.Tuples) > 0:
+		writeErr(w, fmt.Errorf("give either tuple or tuples, not both"))
+		return
+	case len(req.Tuple) > 0:
+		target, perr := parseTuple(req.Tuple, arity)
+		if perr != nil {
+			writeErr(w, perr)
+			return
+		}
+		rep, err = s.engine.Delete(req.View, target, obj, opts)
+	case len(req.Tuples) > 0:
+		targets := make([]relation.Tuple, len(req.Tuples))
+		for i, vals := range req.Tuples {
+			if targets[i], err = parseTuple(vals, arity); err != nil {
+				writeErr(w, err)
+				return
+			}
+		}
+		rep, err = s.engine.DeleteGroup(req.View, targets, obj, opts)
+	default:
+		writeErr(w, fmt.Errorf("missing tuple (or tuples) to delete"))
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	resp := deleteResponse{
+		View:        req.View,
+		Class:       rep.Class.String(),
+		Fragment:    rep.Fragment,
+		Algorithm:   rep.Algorithm,
+		Exact:       rep.Exact,
+		Deletions:   []sourceTupleJSON{},
+		SideEffects: [][]string{},
+	}
+	for _, st := range rep.Result.T {
+		resp.Deletions = append(resp.Deletions, sourceTupleJSON{Rel: st.Rel, Tuple: renderTuple(st.Tuple)})
+	}
+	for _, t := range rep.Result.SideEffects {
+		resp.SideEffects = append(resp.SideEffects, renderTuple(t))
+	}
+	if info, derr := s.engine.Describe(req.View); derr == nil {
+		resp.ViewSize = info.ViewSize
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /annotate ---
+
+type annotateRequest struct {
+	View  string   `json:"view"`
+	Tuple []string `json:"tuple"`
+	Attr  string   `json:"attr"`
+}
+
+type locationJSON struct {
+	Rel   string   `json:"rel"`
+	Tuple []string `json:"tuple"`
+	Attr  string   `json:"attr"`
+}
+
+type annotateResponse struct {
+	View        string       `json:"view"`
+	Class       string       `json:"class"`
+	Fragment    string       `json:"fragment"`
+	Algorithm   string       `json:"algorithm"`
+	Source      locationJSON `json:"source"`
+	SideEffects int          `json:"side_effects"`
+}
+
+func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req annotateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	schema, err := s.engine.Schema(req.View)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	target, err := parseTuple(req.Tuple, schema.Len())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := s.engine.Annotate(req.View, target, req.Attr)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, annotateResponse{
+		View:      req.View,
+		Class:     rep.Class.String(),
+		Fragment:  rep.Fragment,
+		Algorithm: rep.Algorithm,
+		Source: locationJSON{
+			Rel:   rep.Placement.Source.Rel,
+			Tuple: renderTuple(rep.Placement.Source.Tuple),
+			Attr:  string(rep.Placement.Source.Attr),
+		},
+		SideEffects: rep.Placement.SideEffects,
+	})
+}
+
+// --- /stats ---
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+const testDB = `
+relation UserGroup(user, group)
+john, staff
+john, admin
+mary, admin
+
+relation GroupFile(group, file)
+staff, f1
+admin, f1
+admin, f2
+`
+
+const testQuery = "project(user, file; join(UserGroup, GroupFile))"
+
+func newTestServer(t *testing.T, prepare bool) http.Handler {
+	t.Helper()
+	db, err := relation.ReadDatabaseString(testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(db)
+	if prepare {
+		if err := e.PrepareText("access", testQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return newServer(e)
+}
+
+// do issues one request and decodes the JSON response body.
+func do(t *testing.T, h http.Handler, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, url, nil)
+	} else {
+		req = httptest.NewRequest(method, url, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, url, rec.Body.String())
+	}
+	return rec.Code, decoded
+}
+
+func TestHandlers(t *testing.T) {
+	cases := []struct {
+		name       string
+		prepare    bool // prepare "access" before the request
+		method     string
+		url        string
+		body       string
+		wantStatus int
+		check      func(t *testing.T, resp map[string]any)
+	}{
+		{
+			name:   "prepare ok",
+			method: http.MethodPost, url: "/prepare",
+			body:       `{"name": "access", "query": "` + testQuery + `"}`,
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				if resp["view_size"].(float64) != 4 {
+					t.Errorf("view_size = %v, want 4", resp["view_size"])
+				}
+				if resp["fragment"].(string) != "PJ" {
+					t.Errorf("fragment = %v, want PJ", resp["fragment"])
+				}
+			},
+		},
+		{
+			name: "prepare same query is idempotent", prepare: true,
+			method: http.MethodPost, url: "/prepare",
+			body:       `{"name": "access", "query": "` + testQuery + `"}`,
+			wantStatus: http.StatusOK,
+		},
+		{
+			name: "conflicting prepare", prepare: true,
+			method: http.MethodPost, url: "/prepare",
+			body:       `{"name": "access", "query": "project(user; UserGroup)"}`,
+			wantStatus: http.StatusConflict,
+		},
+		{
+			name:   "prepare bad JSON",
+			method: http.MethodPost, url: "/prepare",
+			body:       `{"name": "x", `,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:   "prepare unknown field",
+			method: http.MethodPost, url: "/prepare",
+			body:       `{"name": "x", "sql": "select 1"}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:   "prepare unparsable query",
+			method: http.MethodPost, url: "/prepare",
+			body:       `{"name": "x", "query": "select * from t"}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:   "prepare wrong method",
+			method: http.MethodGet, url: "/prepare",
+			wantStatus: http.StatusMethodNotAllowed,
+		},
+		{
+			name: "query ok", prepare: true,
+			method: http.MethodGet, url: "/query?view=access",
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				if n := len(resp["tuples"].([]any)); n != 4 {
+					t.Errorf("%d tuples, want 4", n)
+				}
+			},
+		},
+		{
+			name: "query unknown view", prepare: true,
+			method: http.MethodGet, url: "/query?view=nope",
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name: "query missing view param", prepare: true,
+			method: http.MethodGet, url: "/query",
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "delete ok", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access", "tuple": ["john", "f2"], "objective": "view"}`,
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				if n := len(resp["deletions"].([]any)); n == 0 {
+					t.Error("no deletions reported")
+				}
+				// Deleting UserGroup(john, admin) removes (john,f2) with no
+				// side-effects: (john,f1) survives via the staff route.
+				if resp["view_size"].(float64) != 3 {
+					t.Errorf("view_size = %v, want 3", resp["view_size"])
+				}
+				if n := len(resp["side_effects"].([]any)); n != 0 {
+					t.Errorf("%d side-effects, want 0", n)
+				}
+			},
+		},
+		{
+			name: "delete batched", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access", "tuples": [["john","f1"],["mary","f1"]], "objective": "source"}`,
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				if alg := resp["algorithm"].(string); !strings.Contains(alg, "batched") {
+					t.Errorf("algorithm %q not marked batched", alg)
+				}
+			},
+		},
+		{
+			name: "delete tuple not in view", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access", "tuple": ["ghost", "f9"]}`,
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name: "delete unknown view", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "nope", "tuple": ["john", "f2"]}`,
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name: "delete bad JSON", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `not json`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "delete wrong arity", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access", "tuple": ["john"]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "delete bad objective", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access", "tuple": ["john", "f2"], "objective": "fastest"}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "delete missing tuple", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access"}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "delete both tuple and tuples", prepare: true,
+			method: http.MethodPost, url: "/delete",
+			body:       `{"view": "access", "tuple": ["john","f1"], "tuples": [["mary","f1"]]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "annotate ok", prepare: true,
+			method: http.MethodPost, url: "/annotate",
+			body:       `{"view": "access", "tuple": ["john", "f1"], "attr": "file"}`,
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				src := resp["source"].(map[string]any)
+				if src["rel"].(string) == "" {
+					t.Error("placement missing source relation")
+				}
+			},
+		},
+		{
+			name: "annotate unknown attribute", prepare: true,
+			method: http.MethodPost, url: "/annotate",
+			body:       `{"view": "access", "tuple": ["john", "f1"], "attr": "nope"}`,
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name: "annotate unknown view", prepare: true,
+			method: http.MethodPost, url: "/annotate",
+			body:       `{"view": "nope", "tuple": ["john", "f1"], "attr": "file"}`,
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name: "annotate bad JSON", prepare: true,
+			method: http.MethodPost, url: "/annotate",
+			body:       `[1, 2, 3]`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "stats ok", prepare: true,
+			method: http.MethodGet, url: "/stats",
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				views := resp["views"].([]any)
+				if len(views) != 1 {
+					t.Fatalf("%d views in stats, want 1", len(views))
+				}
+				v := views[0].(map[string]any)
+				if v["name"].(string) != "access" || v["view_size"].(float64) != 4 {
+					t.Errorf("unexpected view stats %v", v)
+				}
+			},
+		},
+		{
+			name: "stats wrong method", prepare: true,
+			method: http.MethodPost, url: "/stats", body: `{}`,
+			wantStatus: http.StatusMethodNotAllowed,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newTestServer(t, tc.prepare)
+			status, resp := do(t, h, tc.method, tc.url, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status %d, want %d (response %v)", status, tc.wantStatus, resp)
+			}
+			if status != http.StatusOK {
+				if _, ok := resp["error"]; !ok {
+					t.Errorf("error response without error field: %v", resp)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, resp)
+			}
+		})
+	}
+}
+
+// TestServerSession drives a realistic session across endpoints against one
+// engine: prepare, query, delete, re-query, annotate, stats.
+func TestServerSession(t *testing.T) {
+	h := newTestServer(t, false)
+	if code, _ := do(t, h, http.MethodPost, "/prepare", `{"name": "access", "query": "`+testQuery+`"}`); code != 200 {
+		t.Fatalf("prepare: %d", code)
+	}
+	if code, resp := do(t, h, http.MethodGet, "/query?view=access", ""); code != 200 || len(resp["tuples"].([]any)) != 4 {
+		t.Fatalf("query: %d %v", code, resp)
+	}
+	code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "objective": "source"}`)
+	if code != 200 {
+		t.Fatalf("delete: %d %v", code, resp)
+	}
+	code, resp = do(t, h, http.MethodGet, "/query?view=access", "")
+	if code != 200 {
+		t.Fatalf("re-query: %d", code)
+	}
+	for _, raw := range resp["tuples"].([]any) {
+		vals := raw.([]any)
+		if vals[0].(string) == "john" && vals[1].(string) == "f2" {
+			t.Fatal("deleted tuple still served")
+		}
+	}
+	if code, _ := do(t, h, http.MethodPost, "/annotate", `{"view": "access", "tuple": ["mary", "f1"], "attr": "file"}`); code != 200 {
+		t.Fatalf("annotate after delete: %d", code)
+	}
+	code, resp = do(t, h, http.MethodGet, "/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if resp["deletes"].(float64) != 1 || resp["annotates"].(float64) != 1 {
+		t.Errorf("stats counters %v", resp)
+	}
+}

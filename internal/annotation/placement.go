@@ -48,6 +48,14 @@ func Place(q algebra.Query, db *relation.Database, t relation.Tuple, attr relati
 	return placeOn(wv, t, attr)
 }
 
+// PlaceOn solves the placement problem against a precomputed
+// where-provenance view, skipping the ComputeWhere evaluation Place pays on
+// every call. The prepared-view engine (internal/engine) caches a WhereView
+// per prepared query and serves all placement requests through this.
+func PlaceOn(wv *WhereView, t relation.Tuple, attr relation.Attribute) (*Placement, error) {
+	return placeOn(wv, t, attr)
+}
+
 // placeOn runs the candidate scan on a precomputed where-provenance view.
 func placeOn(wv *WhereView, t relation.Tuple, attr relation.Attribute) (*Placement, error) {
 	if !wv.View.Contains(t) {

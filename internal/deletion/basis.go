@@ -1,0 +1,106 @@
+package deletion
+
+import (
+	"fmt"
+
+	"repro/internal/provenance"
+	"repro/internal/relation"
+	"repro/internal/setcover"
+)
+
+// Basis-driven entry points: the same solvers as ViewExact, SourceExact and
+// the group variants, but taking a precomputed *provenance.Result instead of
+// recomputing the witness basis from (q, db). Side-effects are derived from
+// the basis as well (a view tuple dies iff every witness is hit), so no call
+// here re-evaluates the query. The prepared-view engine (internal/engine)
+// maintains its basis incrementally across deletions and answers every
+// request through these.
+
+// ViewExactBasis solves the view side-effect problem exactly on a
+// precomputed witness basis, enumerating the minimal hitting sets of the
+// target's witnesses and scoring each by the view tuples it destroys.
+func ViewExactBasis(res *provenance.Result, target relation.Tuple, opt ViewOptions) (*ViewExactResult, error) {
+	return ViewExactGroupBasis(res, []relation.Tuple{target}, opt)
+}
+
+// ViewExactGroupBasis is ViewExactGroup on a precomputed basis: one
+// enumeration over the union of all targets' witnesses, amortizing a single
+// basis pass across the whole batch.
+func ViewExactGroupBasis(res *provenance.Result, targets []relation.Tuple, opt ViewOptions) (*ViewExactResult, error) {
+	targets, err := GroupTargets(res.View, targets)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	var allWitnesses []provenance.Witness
+	for _, t := range targets {
+		isTarget[t.Key()] = true
+		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
+	}
+
+	out := &ViewExactResult{Exhausted: true}
+	bestScore := -1
+	consider := func(hs []relation.SourceTuple) bool {
+		out.Candidates++
+		effects := sideEffectsFromBasisGroup(res, keySet(hs), isTarget)
+		if bestScore < 0 || len(effects) < bestScore {
+			bestScore = len(effects)
+			cp := append([]relation.SourceTuple(nil), hs...)
+			out.Result = *finishResult(cp, effects)
+		}
+		if bestScore == 0 {
+			return false
+		}
+		return opt.MaxCandidates == 0 || out.Candidates < opt.MaxCandidates
+	}
+	if !enumerateMinimalHittingSets(allWitnesses, consider) {
+		out.Exhausted = bestScore == 0
+	}
+	if bestScore < 0 {
+		return nil, fmt.Errorf("deletion: no hitting set for group of %d targets", len(targets))
+	}
+	return out, nil
+}
+
+// SourceExactGroupBasis is SourceExactGroup on a precomputed basis.
+func SourceExactGroupBasis(res *provenance.Result, targets []relation.Tuple) (*SourceExactResult, error) {
+	return sourceBasis(res, targets, exactHittingSetIndices)
+}
+
+// SourceGreedyGroupBasis is the greedy-approximate batched source deletion
+// on a precomputed basis.
+func SourceGreedyGroupBasis(res *provenance.Result, targets []relation.Tuple) (*SourceExactResult, error) {
+	return sourceBasis(res, targets, greedyHittingSetIndices)
+}
+
+// sourceBasis hits every witness of every target with the given hitting-set
+// solver and reads side-effects off the basis.
+func sourceBasis(res *provenance.Result, targets []relation.Tuple, solve func(*setcover.Instance) ([]int, error)) (*SourceExactResult, error) {
+	targets, err := GroupTargets(res.View, targets)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	var allWitnesses []provenance.Witness
+	for _, t := range targets {
+		isTarget[t.Key()] = true
+		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
+	}
+	in, elems, err := witnessesToInstance(allWitnesses)
+	if err != nil {
+		return nil, err
+	}
+	chosen, err := solve(in)
+	if err != nil {
+		return nil, fmt.Errorf("deletion: %w", err)
+	}
+	T := make([]relation.SourceTuple, len(chosen))
+	for i, e := range chosen {
+		T[i] = elems[e]
+	}
+	effects := sideEffectsFromBasisGroup(res, keySet(T), isTarget)
+	return &SourceExactResult{
+		Result:    *finishResult(T, effects),
+		Witnesses: len(allWitnesses),
+	}, nil
+}

@@ -112,9 +112,16 @@ func destroyedBy(witnesses []provenance.Witness, hit map[string]bool) bool {
 // one of its witnesses is hit. Equivalent to SideEffectsOf but without
 // re-evaluating the query.
 func sideEffectsFromBasis(res *provenance.Result, delSet map[string]bool, target relation.Tuple) []relation.Tuple {
+	return sideEffectsFromBasisGroup(res, delSet, map[string]bool{target.Key(): true})
+}
+
+// sideEffectsFromBasisGroup is sideEffectsFromBasis for a set of targets:
+// a view tuple dies iff every one of its witnesses is hit, and tuples in
+// the target set are not side-effects.
+func sideEffectsFromBasisGroup(res *provenance.Result, delSet, isTarget map[string]bool) []relation.Tuple {
 	var out []relation.Tuple
 	for _, vt := range res.View.Tuples() {
-		if vt.Equal(target) {
+		if isTarget[vt.Key()] {
 			continue
 		}
 		if destroyedBy(res.Witnesses(vt), delSet) {

@@ -40,48 +40,7 @@ func ViewExactGroup(q algebra.Query, db *relation.Database, targets []relation.T
 	if err != nil {
 		return nil, err
 	}
-	targets, err = GroupTargets(res.View, targets)
-	if err != nil {
-		return nil, err
-	}
-	isTarget := make(map[string]bool, len(targets))
-	var allWitnesses []provenance.Witness
-	for _, t := range targets {
-		isTarget[t.Key()] = true
-		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
-	}
-
-	out := &ViewExactResult{Exhausted: true}
-	bestScore := -1
-	consider := func(hs []relation.SourceTuple) bool {
-		out.Candidates++
-		delSet := keySet(hs)
-		var effects []relation.Tuple
-		for _, vt := range res.View.Tuples() {
-			if isTarget[vt.Key()] {
-				continue
-			}
-			if destroyedBy(res.Witnesses(vt), delSet) {
-				effects = append(effects, vt)
-			}
-		}
-		if bestScore < 0 || len(effects) < bestScore {
-			bestScore = len(effects)
-			cp := append([]relation.SourceTuple(nil), hs...)
-			out.Result = *finishResult(cp, effects)
-		}
-		if bestScore == 0 {
-			return false
-		}
-		return opt.MaxCandidates == 0 || out.Candidates < opt.MaxCandidates
-	}
-	if !enumerateMinimalHittingSets(allWitnesses, consider) {
-		out.Exhausted = bestScore == 0
-	}
-	if bestScore < 0 {
-		return nil, fmt.Errorf("deletion: no hitting set for group of %d targets", len(targets))
-	}
-	return out, nil
+	return ViewExactGroupBasis(res, targets, opt)
 }
 
 // SourceExactGroup minimizes the number of source deletions removing every
@@ -91,43 +50,5 @@ func SourceExactGroup(q algebra.Query, db *relation.Database, targets []relation
 	if err != nil {
 		return nil, err
 	}
-	targets, err = GroupTargets(res.View, targets)
-	if err != nil {
-		return nil, err
-	}
-	var allWitnesses []provenance.Witness
-	for _, t := range targets {
-		allWitnesses = append(allWitnesses, res.Witnesses(t)...)
-	}
-	in, elems, err := witnessesToInstance(allWitnesses)
-	if err != nil {
-		return nil, err
-	}
-	chosen, err := exactHittingSetIndices(in)
-	if err != nil {
-		return nil, err
-	}
-	T := make([]relation.SourceTuple, len(chosen))
-	for i, e := range chosen {
-		T[i] = elems[e]
-	}
-	// Side effects: destroyed non-target view tuples.
-	delSet := keySet(T)
-	isTarget := make(map[string]bool, len(targets))
-	for _, t := range targets {
-		isTarget[t.Key()] = true
-	}
-	var effects []relation.Tuple
-	for _, vt := range res.View.Tuples() {
-		if isTarget[vt.Key()] {
-			continue
-		}
-		if destroyedBy(res.Witnesses(vt), delSet) {
-			effects = append(effects, vt)
-		}
-	}
-	return &SourceExactResult{
-		Result:    *finishResult(T, effects),
-		Witnesses: len(allWitnesses),
-	}, nil
+	return SourceExactGroupBasis(res, targets)
 }

@@ -115,33 +115,7 @@ func ViewExact(q algebra.Query, db *relation.Database, target relation.Tuple, op
 	if err != nil {
 		return nil, err
 	}
-	ws := res.Witnesses(target)
-	if len(ws) == 0 {
-		return nil, ErrNotInView
-	}
-
-	out := &ViewExactResult{Exhausted: true}
-	bestScore := -1
-	consider := func(hs []relation.SourceTuple) bool {
-		out.Candidates++
-		effects := sideEffectsFromBasis(res, keySet(hs), target)
-		if bestScore < 0 || len(effects) < bestScore {
-			bestScore = len(effects)
-			cp := append([]relation.SourceTuple(nil), hs...)
-			out.Result = *finishResult(cp, effects)
-		}
-		if bestScore == 0 {
-			return false // cannot improve
-		}
-		return opt.MaxCandidates == 0 || out.Candidates < opt.MaxCandidates
-	}
-	if !enumerateMinimalHittingSets(ws, consider) {
-		out.Exhausted = bestScore == 0
-	}
-	if bestScore < 0 {
-		return nil, fmt.Errorf("deletion: no hitting set found for %v (empty witness?)", target)
-	}
-	return out, nil
+	return ViewExactBasis(res, target, opt)
 }
 
 // HasSideEffectFreeDeletion decides the §2.1 decision problem: is there a

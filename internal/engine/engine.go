@@ -1,0 +1,480 @@
+// Package engine is the prepared-view serving layer: the long-lived object
+// a server process holds when the paper's one-shot solvers must answer
+// sustained traffic against the same views.
+//
+// Prepare runs the algebra layer once per view — validation, Theorem 3.1
+// normalization, join-order optimization — then materializes the view and
+// computes the witness basis (why-provenance) and the where-provenance
+// index. Query, Witnesses, Delete, DeleteGroup and Annotate requests are
+// answered from that cached state:
+//
+//   - deletions solve on the cached basis (internal/deletion's *Basis
+//     solvers) and maintain the materialized view and basis of every
+//     prepared view incrementally via provenance.Result.ApplyDeletion,
+//     instead of re-evaluating the query and rebuilding the basis per
+//     request;
+//   - DeleteGroup amortizes one basis pass and one hitting-set solve across
+//     a whole batch of targets;
+//   - annotation placement scans the cached where-provenance index. The
+//     index has no incremental maintenance rule (a source deletion can
+//     shrink the where-set of a *surviving* view tuple, e.g. when a
+//     projection pre-image dies with its join partner), so it is rebuilt
+//     lazily on the first Annotate after a deletion.
+//
+// Concurrency: readers are lock-free on immutable copy-on-write snapshots;
+// writers are serialized and publish a new snapshot generation per
+// deletion. The engine owns a private clone of the source database and
+// never mutates a published generation, so concurrent Query/Annotate
+// readers and Delete writers are race-free by construction (see
+// race_test.go).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/annotation"
+	"repro/internal/core"
+	"repro/internal/deletion"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// ErrUnknownView is returned (wrapped) when a request names a view that was
+// never prepared.
+var ErrUnknownView = fmt.Errorf("engine: unknown view")
+
+// ErrConflict is returned (wrapped) when Prepare reuses a view name for a
+// different query.
+var ErrConflict = fmt.Errorf("engine: view already prepared with a different query")
+
+// snapshot is one immutable generation of a prepared view: the source
+// database generation it reflects, the materialized view with its witness
+// basis, and the lazily-built where-provenance index. Snapshots are never
+// mutated after publication; writers replace them wholesale.
+type snapshot struct {
+	db   *relation.Database // source generation this snapshot reflects
+	prov *provenance.Result // materialized view + witness basis
+
+	whereOnce  sync.Once
+	whereBuilt atomic.Bool
+	where      *annotation.WhereView
+	whereErr   error
+}
+
+// whereView returns the where-provenance index, computing it at most once
+// per generation. The first Annotate after a deletion pays one evaluation;
+// subsequent ones on the same generation are free.
+func (s *snapshot) whereView(plan algebra.Query) (*annotation.WhereView, error) {
+	s.whereOnce.Do(func() {
+		s.where, s.whereErr = annotation.ComputeWhere(plan, s.db)
+		s.whereBuilt.Store(true)
+	})
+	return s.where, s.whereErr
+}
+
+// prepared is one registered view: its plan (fixed at Prepare time) and the
+// current snapshot generation.
+type prepared struct {
+	name string
+	src  string        // canonical textual form of the original query
+	plan algebra.Query // normalized + join-optimized
+	frag string
+	cls  struct {
+		view, source, ann algebra.Class
+	}
+
+	snap atomic.Pointer[snapshot]
+	gen  atomic.Int64 // deletion generations maintained through
+}
+
+// Engine serves prepared views over a private copy of a source database.
+type Engine struct {
+	mu    sync.RWMutex // guards views map and db pointer
+	wmu   sync.Mutex   // serializes writers (solve + publish is atomic)
+	db    *relation.Database
+	views map[string]*prepared
+
+	// Request counters (atomic; Stats assembles them).
+	nPrepares  atomic.Int64
+	nQueries   atomic.Int64
+	nDeletes   atomic.Int64
+	nAnnotates atomic.Int64
+	nDeleted   atomic.Int64 // source tuples deleted
+	nMaint     atomic.Int64 // incremental basis maintenance passes
+}
+
+// New creates an engine over a private deep copy of db: later mutations of
+// the caller's database do not reach the engine, which is what makes the
+// published snapshots immutable.
+func New(db *relation.Database) *Engine {
+	return &Engine{db: db.Clone(), views: make(map[string]*prepared)}
+}
+
+// Prepare registers q under name: the query is validated, normalized
+// (Theorem 3.1 — propagation-preserving, so cached provenance answers match
+// the original query), join-order optimized, evaluated, and its witness
+// basis and where-provenance index are computed and cached. The where
+// index is computed eagerly (a second evaluation) so the first Annotate is
+// as cheap as the rest; deletion-only deployments that mind the prepare
+// cost can still serve — the index is rebuilt lazily on post-deletion
+// generations. Preparing the same (name, query) pair again is a no-op;
+// reusing a name for a different query returns ErrConflict.
+func (e *Engine) Prepare(name string, q algebra.Query) error {
+	return e.PrepareLimited(name, q, provenance.Limit{})
+}
+
+// PrepareLimited is Prepare with a cap on the witness basis, for
+// adversarial queries whose basis is exponential (Corollary 3.1). The cap
+// is enforced here — once a basis is prepared under it, incremental
+// maintenance only ever shrinks it, so every later Delete stays within the
+// cap too.
+func (e *Engine) PrepareLimited(name string, q algebra.Query, lim provenance.Limit) error {
+	if name == "" {
+		return fmt.Errorf("engine: empty view name")
+	}
+	src := algebra.Format(q)
+
+	// Prepare is a writer: holding wmu guarantees the source generation
+	// read here is still current when the view is registered, so a
+	// concurrent Delete can never publish a generation this view's
+	// snapshot misses the maintenance pass for.
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+
+	e.mu.RLock()
+	existing := e.views[name]
+	db := e.db
+	e.mu.RUnlock()
+	if existing != nil {
+		if existing.src == src {
+			return nil
+		}
+		return fmt.Errorf("%w: %q is %s, not %s", ErrConflict, name, existing.src, src)
+	}
+
+	if err := algebra.Validate(q, db); err != nil {
+		return err
+	}
+	plan := algebra.OptimizeJoins(algebra.Normalize(q), db)
+	prov, err := provenance.ComputeLimited(plan, db, lim)
+	if err != nil {
+		return err
+	}
+	p := &prepared{name: name, src: src, plan: plan, frag: algebra.Fragment(q)}
+	p.cls.view = algebra.Classify(q, algebra.ProblemViewSideEffect)
+	p.cls.source = algebra.Classify(q, algebra.ProblemSourceSideEffect)
+	p.cls.ann = algebra.Classify(q, algebra.ProblemAnnotationPlacement)
+	snap := &snapshot{db: db, prov: prov}
+	if _, err := snap.whereView(plan); err != nil {
+		return err
+	}
+	p.snap.Store(snap)
+
+	e.mu.Lock()
+	e.views[name] = p
+	e.mu.Unlock()
+	e.nPrepares.Add(1)
+	return nil
+}
+
+// PrepareText is Prepare with a query in the textual syntax.
+func (e *Engine) PrepareText(name, querySrc string) error {
+	q, err := algebra.Parse(querySrc)
+	if err != nil {
+		return err
+	}
+	return e.Prepare(name, q)
+}
+
+// lookup resolves a prepared view by name.
+func (e *Engine) lookup(name string) (*prepared, error) {
+	e.mu.RLock()
+	p := e.views[name]
+	e.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownView, name)
+	}
+	return p, nil
+}
+
+// Views returns the prepared view names in lexicographic order.
+func (e *Engine) Views() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.views))
+	for n := range e.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns metadata about one prepared view. Unlike Stats it does
+// not walk witness lists (WitnessCount stays zero), and unlike Query it
+// does not count toward the served-query statistics — it is the cheap
+// accessor for servers composing responses.
+func (e *Engine) Describe(name string) (ViewStats, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return ViewStats{}, err
+	}
+	snap := p.snap.Load()
+	return ViewStats{
+		Name:       p.name,
+		Query:      p.src,
+		Fragment:   p.frag,
+		ViewSize:   snap.prov.View.Len(),
+		Generation: p.gen.Load(),
+		WhereReady: snap.whereBuilt.Load(),
+	}, nil
+}
+
+// Schema returns the prepared view's output schema. Like Describe it does
+// not count as a served query.
+func (e *Engine) Schema(name string) (relation.Schema, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return p.snap.Load().prov.View.Schema(), nil
+}
+
+// Query returns the materialized view — no evaluation happens. The returned
+// relation is a live snapshot shared with other readers; callers must not
+// modify it.
+func (e *Engine) Query(name string) (*relation.Relation, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e.nQueries.Add(1)
+	return p.snap.Load().prov.View, nil
+}
+
+// Witnesses returns the cached minimal witnesses of view tuple t (nil if t
+// is not in the view).
+func (e *Engine) Witnesses(name string, t relation.Tuple) ([]provenance.Witness, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e.nQueries.Add(1)
+	return p.snap.Load().prov.Witnesses(t), nil
+}
+
+// Delete removes target from the named view by deleting source tuples,
+// minimizing the requested objective. The solve runs on the cached witness
+// basis; the chosen deletions are then applied to the engine's source and
+// every prepared view's materialized state is maintained incrementally.
+//
+// Of the options, MaxCandidates and Greedy apply; opts.MaxWitnesses has no
+// effect here because the basis is fixed when the view is prepared — cap
+// it with PrepareLimited instead.
+func (e *Engine) Delete(name string, target relation.Tuple, obj core.Objective, opts core.DeleteOptions) (*core.DeleteReport, error) {
+	return e.delete(name, []relation.Tuple{target}, obj, opts, false)
+}
+
+// DeleteGroup removes a whole batch of view tuples in one request: one
+// basis pass and one hitting-set solve cover every target, and the
+// incremental maintenance runs once for the combined deletion set.
+func (e *Engine) DeleteGroup(name string, targets []relation.Tuple, obj core.Objective, opts core.DeleteOptions) (*core.DeleteReport, error) {
+	return e.delete(name, targets, obj, opts, true)
+}
+
+func (e *Engine) delete(name string, targets []relation.Tuple, obj core.Objective, opts core.DeleteOptions, group bool) (*core.DeleteReport, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+
+	// Serialize writers: the solve must see the generation it will replace.
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	snap := p.snap.Load()
+
+	report := &core.DeleteReport{Fragment: p.frag}
+	// MaxWitnesses is not forwarded: the basis was capped (or not) at
+	// Prepare time and only shrinks under maintenance.
+	vopt := deletion.ViewOptions{MaxCandidates: opts.MaxCandidates}
+	switch {
+	case obj == core.MinimizeViewSideEffects:
+		report.Class = p.cls.view
+		r, err := deletion.ViewExactGroupBasis(snap.prov, targets, vopt)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "cached-basis exact hitting-set search"
+		report.Result = &r.Result
+		report.Exact = r.Exhausted
+	case opts.Greedy:
+		report.Class = p.cls.source
+		r, err := deletion.SourceGreedyGroupBasis(snap.prov, targets)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "cached-basis greedy hitting set (H_n-approx)"
+		report.Result = &r.Result
+		report.Exact = false
+	default:
+		report.Class = p.cls.source
+		r, err := deletion.SourceExactGroupBasis(snap.prov, targets)
+		if err != nil {
+			return nil, err
+		}
+		report.Algorithm = "cached-basis exact minimum hitting set"
+		report.Result = &r.Result
+		report.Exact = true
+	}
+	if group {
+		report.Algorithm += " (batched)"
+	}
+
+	e.apply(report.Result.T)
+	e.nDeletes.Add(1)
+	e.nDeleted.Add(int64(len(report.Result.T)))
+	return report, nil
+}
+
+// apply publishes a new source generation with T removed and incrementally
+// maintains every prepared view. Callers hold wmu.
+func (e *Engine) apply(T []relation.SourceTuple) {
+	if len(T) == 0 {
+		return
+	}
+	e.mu.RLock()
+	db := e.db
+	ps := make([]*prepared, 0, len(e.views))
+	for _, p := range e.views {
+		ps = append(ps, p)
+	}
+	e.mu.RUnlock()
+
+	newDB := db.DeleteAll(T)
+	next := make([]*snapshot, len(ps))
+	for i, p := range ps {
+		old := p.snap.Load()
+		next[i] = &snapshot{db: newDB, prov: old.prov.ApplyDeletion(T)}
+		e.nMaint.Add(1)
+	}
+
+	e.mu.Lock()
+	e.db = newDB
+	for i, p := range ps {
+		p.snap.Store(next[i])
+		p.gen.Add(1)
+	}
+	e.mu.Unlock()
+}
+
+// Annotate places an annotation on view location (target, attr) with
+// minimal side-effects, scanning the cached where-provenance index.
+func (e *Engine) Annotate(name string, target relation.Tuple, attr relation.Attribute) (*core.AnnotateReport, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	snap := p.snap.Load()
+	wv, err := snap.whereView(p.plan)
+	if err != nil {
+		return nil, err
+	}
+	placement, err := annotation.PlaceOn(wv, target, attr)
+	if err != nil {
+		return nil, err
+	}
+	e.nAnnotates.Add(1)
+	return &core.AnnotateReport{
+		Class:     p.cls.ann,
+		Fragment:  p.frag,
+		Algorithm: "cached where-provenance candidate scan",
+		Placement: placement,
+	}, nil
+}
+
+// Database returns the current source generation. The returned database is
+// a live snapshot shared with readers; callers must not modify it.
+func (e *Engine) Database() *relation.Database {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.db
+}
+
+// ViewStats describes one prepared view's cached state.
+type ViewStats struct {
+	// Name is the prepared view's registered name.
+	Name string `json:"name"`
+	// Query is the canonical textual form of the original query.
+	Query string `json:"query"`
+	// Fragment is the operator fragment (e.g. "PJ", "SPU").
+	Fragment string `json:"fragment"`
+	// ViewSize is the current materialized-view cardinality.
+	ViewSize int `json:"view_size"`
+	// WitnessCount is the total number of cached minimal witnesses.
+	WitnessCount int `json:"witness_count"`
+	// Generation counts the deletion generations maintained through.
+	Generation int64 `json:"generation"`
+	// WhereReady reports whether the where-provenance index is built for
+	// the current generation.
+	WhereReady bool `json:"where_ready"`
+}
+
+// Stats is a point-in-time summary of the engine's state and traffic.
+type Stats struct {
+	// SourceSize is the total tuple count of the current source generation.
+	SourceSize int `json:"source_size"`
+	// Views describes every prepared view, sorted by name.
+	Views []ViewStats `json:"views"`
+	// Request counters.
+	Prepares  int64 `json:"prepares"`
+	Queries   int64 `json:"queries"`
+	Deletes   int64 `json:"deletes"`
+	Annotates int64 `json:"annotates"`
+	// DeletedSourceTuples is the total number of source tuples removed.
+	DeletedSourceTuples int64 `json:"deleted_source_tuples"`
+	// IncrementalMaintenances counts per-view ApplyDeletion passes (one per
+	// prepared view per applied deletion).
+	IncrementalMaintenances int64 `json:"incremental_maintenances"`
+}
+
+// Stats assembles the current counters and per-view summaries.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	db := e.db
+	ps := make([]*prepared, 0, len(e.views))
+	for _, p := range e.views {
+		ps = append(ps, p)
+	}
+	e.mu.RUnlock()
+
+	st := Stats{
+		SourceSize:              db.Size(),
+		Prepares:                e.nPrepares.Load(),
+		Queries:                 e.nQueries.Load(),
+		Deletes:                 e.nDeletes.Load(),
+		Annotates:               e.nAnnotates.Load(),
+		DeletedSourceTuples:     e.nDeleted.Load(),
+		IncrementalMaintenances: e.nMaint.Load(),
+	}
+	for _, p := range ps {
+		snap := p.snap.Load()
+		wit := 0
+		for _, t := range snap.prov.View.Tuples() {
+			wit += len(snap.prov.Witnesses(t))
+		}
+		st.Views = append(st.Views, ViewStats{
+			Name:         p.name,
+			Query:        p.src,
+			Fragment:     p.frag,
+			ViewSize:     snap.prov.View.Len(),
+			WitnessCount: wit,
+			Generation:   p.gen.Load(),
+			WhereReady:   snap.whereBuilt.Load(),
+		})
+	}
+	sort.Slice(st.Views, func(i, j int) bool { return st.Views[i].Name < st.Views[j].Name })
+	return st
+}

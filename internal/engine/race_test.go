@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/annotation"
+	"repro/internal/core"
+	"repro/internal/deletion"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// TestConcurrentServing interleaves Query/Witnesses/Annotate readers with
+// Delete writers (and a late Prepare) on one engine. Run under -race; the
+// assertions are secondary to the detector — readers must only ever observe
+// internally-consistent snapshots, and every request must either succeed or
+// fail with a domain error, never corrupt state.
+func TestConcurrentServing(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	db, q := workload.UserGroupFile(r, 20, 8, 15, 2, 2)
+	e := New(db)
+	if err := e.Prepare("v", q); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	var (
+		wg        sync.WaitGroup
+		done      atomic.Bool
+		readOK    atomic.Int64
+		writeOK   atomic.Int64
+		failures  atomic.Int64
+		firstFail atomic.Value
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		firstFail.CompareAndSwap(nil, err)
+	}
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				view, err := e.Query("v")
+				if err != nil {
+					fail(err)
+					return
+				}
+				n := view.Len()
+				if n == 0 {
+					continue
+				}
+				tu := view.Tuple(n / 2)
+				ws, err := e.Witnesses("v", tu)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if len(ws) == 0 {
+					// Allowed only if a writer swapped the snapshot between
+					// the two reads; the tuple must be gone from the current
+					// view in that case.
+					if cur, _ := e.Query("v"); cur.Contains(tu) {
+						fail(errors.New("view tuple with empty witness basis in a stable snapshot"))
+						return
+					}
+					continue
+				}
+				readOK.Add(1)
+				if _, err := e.Annotate("v", tu, view.Schema().Attrs()[0]); err != nil {
+					// A concurrent delete may have removed the tuple from
+					// the generation Annotate resolved.
+					if !errors.Is(err, annotation.ErrNoPlacement) {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// One late Prepare races the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e.PrepareText("groups", "project(user, group; UserGroup)"); err != nil {
+			fail(err)
+		}
+	}()
+
+	// Writer: keep deleting the first remaining view tuple. It waits for
+	// the first successful read so the interleaving is guaranteed (the
+	// solver is fast enough to finish all deletions before a reader's
+	// first round otherwise).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for readOK.Load() == 0 && failures.Load() == 0 {
+			runtime.Gosched()
+		}
+		for i := 0; i < 40; i++ {
+			view, err := e.Query("v")
+			if err != nil {
+				fail(err)
+				return
+			}
+			if view.Len() == 0 {
+				return
+			}
+			obj := core.MinimizeViewSideEffects
+			if i%2 == 1 {
+				obj = core.MinimizeSourceDeletions
+			}
+			if _, err := e.Delete("v", view.Tuple(0), obj, core.DeleteOptions{}); err != nil {
+				fail(err)
+				return
+			}
+			writeOK.Add(1)
+		}
+	}()
+
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d failures; first: %v", n, firstFail.Load())
+	}
+	if writeOK.Load() == 0 {
+		t.Fatal("writer made no progress")
+	}
+	if readOK.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+	if st := e.Stats(); st.Deletes != writeOK.Load() {
+		t.Errorf("stats count %d deletes, writer did %d", st.Deletes, writeOK.Load())
+	}
+	// The late-prepared view must be coherent with the final source: a
+	// Prepare racing the writers must never register a snapshot that missed
+	// a deletion's maintenance pass.
+	for _, name := range e.Views() {
+		p, err := e.lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, err := e.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := algebra.Eval(p.plan, e.Database())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Equal(fresh) {
+			t.Errorf("view %q stale against final source:\n%s\nvs\n%s", name, view.Table(), fresh.Table())
+		}
+	}
+}
+
+// TestConcurrentGroupDeletes stresses the batched path under -race: two
+// writers issue group deletions against a shared shrinking view while a
+// reader polls stats and the materialized view.
+func TestConcurrentGroupDeletes(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	db, q := workload.UserGroupFile(r, 16, 6, 12, 2, 2)
+	e := New(db)
+	if err := e.Prepare("v", q); err != nil {
+		t.Fatal(err)
+	}
+
+	var writers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < 10; j++ {
+				view, err := e.Query("v")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if view.Len() < 2 {
+					return
+				}
+				targets := []relation.Tuple{view.Tuple(0), view.Tuple(view.Len() - 1)}
+				// Writers race on the same shrinking view; not-in-view
+				// errors are expected, corruption is not.
+				if _, err := e.DeleteGroup("v", targets, core.MinimizeSourceDeletions, core.DeleteOptions{Greedy: j%2 == 0}); err != nil && !errors.Is(err, deletion.ErrNotInView) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var done atomic.Bool
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for !done.Load() {
+			_ = e.Stats()
+			if _, err := e.Query("v"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	done.Store(true)
+	reader.Wait()
+
+	// Final state is coherent: the maintained view equals a fresh
+	// evaluation over the engine's own source.
+	view, err := e.Query("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.lookup("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := algebra.Eval(p.plan, e.Database())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Equal(fresh) {
+		t.Fatalf("final maintained view diverged:\n%s\nvs\n%s", view.Table(), fresh.Table())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/annotation"
 	"repro/internal/core"
 	"repro/internal/deletion"
+	"repro/internal/engine"
 	"repro/internal/provenance"
 	"repro/internal/relation"
 )
@@ -152,6 +153,41 @@ var (
 	DichotomyTable = core.DichotomyTable
 	// FormatTable renders a dichotomy table.
 	FormatTable = core.FormatTable
+)
+
+// Prepared-view serving layer (internal/engine): the long-lived object a
+// server holds when the solvers must answer sustained traffic. Prepare
+// runs the algebra layer once and caches the witness basis and
+// where-provenance index; deletions are solved on the cached basis and
+// maintained incrementally; readers and writers are safe to run
+// concurrently.
+type (
+	// Engine serves prepared views with cached provenance.
+	Engine = engine.Engine
+	// EngineStats summarizes an engine's cached state and traffic.
+	EngineStats = engine.Stats
+	// EngineViewStats describes one prepared view inside EngineStats.
+	EngineViewStats = engine.ViewStats
+	// WitnessLimit caps witness-basis computation (Engine.PrepareLimited,
+	// Witnesses via ComputeLimited).
+	WitnessLimit = provenance.Limit
+)
+
+var (
+	// NewEngine creates a prepared-view engine over a private copy of db.
+	NewEngine = engine.New
+)
+
+// Engine sentinel errors.
+var (
+	// ErrUnknownView reports a request against a view that was never
+	// prepared.
+	ErrUnknownView = engine.ErrUnknownView
+	// ErrPrepareConflict reports a Prepare reusing a name for a different
+	// query.
+	ErrPrepareConflict = engine.ErrConflict
+	// ErrWitnessLimit reports a WitnessLimit exceeded (wrapped).
+	ErrWitnessLimit = provenance.ErrLimit
 )
 
 // Higher-level types.

@@ -1,6 +1,7 @@
 package propview_test
 
 import (
+	"errors"
 	"testing"
 
 	propview "repro"
@@ -132,5 +133,40 @@ func TestFacadeTables(t *testing.T) {
 		if propview.FormatTable(p) == "" {
 			t.Errorf("empty rendering for %v", p)
 		}
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	db, err := propview.ReadDatabaseString(exampleDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := propview.NewEngine(db)
+	if err := e.PrepareText("access", "project(user, file; join(UserGroup, GroupFile))"); err != nil {
+		t.Fatal(err)
+	}
+	view, err := e.Query("access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 4 {
+		t.Fatalf("prepared view has %d tuples, want 4", view.Len())
+	}
+	if _, err := e.Query("nope"); !errors.Is(err, propview.ErrUnknownView) {
+		t.Fatalf("got %v, want ErrUnknownView", err)
+	}
+	if err := e.PrepareText("access", "project(user; UserGroup)"); !errors.Is(err, propview.ErrPrepareConflict) {
+		t.Fatalf("got %v, want ErrPrepareConflict", err)
+	}
+	rep, err := e.Delete("access", propview.StringTuple("john", "f2"), propview.MinimizeViewSideEffects, propview.DeleteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Result.T) == 0 {
+		t.Fatal("no source deletions chosen")
+	}
+	var st propview.EngineStats = e.Stats()
+	if st.Deletes != 1 || len(st.Views) != 1 {
+		t.Fatalf("unexpected stats %+v", st)
 	}
 }
