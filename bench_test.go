@@ -17,10 +17,14 @@
 package propview_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/annotation"
@@ -803,6 +807,85 @@ func BenchmarkEngine_GroupDelete(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEngine_ParallelDelete{1,8,64}Views measures per-delete wall
+// time on the write pipeline as the number of prepared views grows: four
+// concurrent writers delete distinct tuples of the hot view while 0, 7 or
+// 63 sibling views must also be maintained on every commit. Concurrent
+// requests coalesce into shared group solves and each commit's per-view
+// maintenance fans out across the worker pool, so the reported ns/delete
+// should stay roughly flat from 1 to 64 views instead of growing linearly
+// with the view count (the pre-pipeline engine ran every view's
+// maintenance serially inside each writer's critical section).
+func benchmarkEngineParallelDelete(b *testing.B, nViews int) {
+	db, q := engineWorkload()
+	const writers = 4
+	const perWriter = 8
+	var totalDeletes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := engine.New(db, engine.Options{MaxBatchSize: 16, MaxCoalesceWait: 200 * time.Microsecond})
+		if err := e.Prepare("v", q); err != nil {
+			b.Fatal(err)
+		}
+		for s := 1; s < nViews; s++ {
+			sq := "project(user, group; UserGroup)"
+			if s%2 == 1 {
+				sq = "project(group, file; GroupFile)"
+			}
+			if err := e.PrepareText("sib"+strconv.Itoa(s), sq); err != nil {
+				b.Fatal(err)
+			}
+		}
+		view, err := e.Query("v")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sorted := view.SortedTuples()
+		need := writers * perWriter
+		if len(sorted) < need {
+			b.Fatalf("view too small: %d", len(sorted))
+		}
+		stride := len(sorted) / need
+		targets := make([]relation.Tuple, need)
+		for j := range targets {
+			targets[j] = sorted[j*stride]
+		}
+		b.StartTimer()
+
+		var ok atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < perWriter; j++ {
+					tg := targets[w*perWriter+j]
+					if _, err := e.Delete("v", tg, core.MinimizeSourceDeletions, core.DeleteOptions{}); err != nil {
+						// A sibling writer's deletion may have removed the
+						// target as a side-effect; anything else is a bug.
+						if !errors.Is(err, deletion.ErrNotInView) {
+							b.Error(err)
+						}
+						continue
+					}
+					ok.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if ok.Load() == 0 {
+			b.Fatal("no delete succeeded")
+		}
+		totalDeletes += ok.Load()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalDeletes), "ns/delete")
+	b.ReportMetric(float64(nViews), "views")
+}
+
+func BenchmarkEngine_ParallelDelete1Views(b *testing.B)  { benchmarkEngineParallelDelete(b, 1) }
+func BenchmarkEngine_ParallelDelete8Views(b *testing.B)  { benchmarkEngineParallelDelete(b, 8) }
+func BenchmarkEngine_ParallelDelete64Views(b *testing.B) { benchmarkEngineParallelDelete(b, 64) }
 
 // Router overhead: the core dispatch on top of the direct algorithms.
 func BenchmarkRouter_Delete(b *testing.B) {

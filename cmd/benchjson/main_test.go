@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngine_RepeatedDelete/prepared-incremental-8         	       2	  23458898 ns/op
+BenchmarkEngine_ParallelDelete64Views                          	       2	 138670148 ns/op	   4781702 ns/delete	        64.00 views
+--- BENCH: BenchmarkSomething
+    bench_test.go:42: a log line that must be skipped
+PASS
+ok  	repro	0.922s
+pkg: repro/internal/engine
+BenchmarkOther-4   	     100	     12345 ns/op	      16 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/engine	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("context not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkEngine_RepeatedDelete/prepared-incremental-8" || first.Package != "repro" {
+		t.Errorf("first record: %+v", first)
+	}
+	if first.Iterations != 2 || first.Metrics["ns/op"] != 23458898 {
+		t.Errorf("first metrics: %+v", first)
+	}
+
+	multi := rep.Benchmarks[1]
+	if multi.Metrics["ns/op"] != 138670148 || multi.Metrics["ns/delete"] != 4781702 || multi.Metrics["views"] != 64 {
+		t.Errorf("custom metrics not parsed: %+v", multi.Metrics)
+	}
+
+	other := rep.Benchmarks[2]
+	if other.Package != "repro/internal/engine" {
+		t.Errorf("package switch not tracked: %+v", other)
+	}
+	if other.Metrics["B/op"] != 16 || other.Metrics["allocs/op"] != 2 {
+		t.Errorf("alloc metrics not parsed: %+v", other.Metrics)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("PASS\nok  \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchless output", len(rep.Benchmarks))
+	}
+}

@@ -10,8 +10,14 @@
 //	GET  /query?view=access
 //	POST /delete   {"view": "access", "tuple": ["john", "f2"], "objective": "view"}
 //	POST /delete   {"view": "access", "tuples": [["john","f1"],["john","f2"]], "objective": "source"}
+//	POST /delete   {"view": "access", "tuple": ["john", "f2"], "async": true}
 //	POST /annotate {"view": "access", "tuple": ["john", "f1"], "attr": "file"}
 //	GET  /stats
+//
+// Writes flow through the engine's batching/coalescing pipeline; the
+// -write-workers, -max-batch and -coalesce-wait flags tune it. An async
+// delete (202 Accepted) commits from a bounded queue (-async-queue) whose
+// backpressure is a 429; an oversized request body is a 413.
 package main
 
 import (
@@ -31,6 +37,10 @@ func main() {
 	fs := flag.NewFlagSet("propviewd", flag.ExitOnError)
 	dbPath := fs.String("db", "", "path to the text database file (required)")
 	addr := fs.String("addr", ":8080", "listen address")
+	writeWorkers := fs.Int("write-workers", 0, "worker pool for per-view incremental maintenance (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 0, "max targets coalesced into one group solve (0 = default 32, 1 disables coalescing)")
+	coalesceWait := fs.Duration("coalesce-wait", 0, "how long a write batch waits for more arrivals before committing (0 = commit immediately; batching then comes from contention)")
+	asyncQueue := fs.Int("async-queue", 64, "bounded queue for async /delete commits (0 disables async mode)")
 	var prepares prepareFlags
 	fs.Var(&prepares, "prepare", "view to prepare at boot, as name=QUERY (repeatable)")
 	fs.Parse(os.Args[1:])
@@ -47,7 +57,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("propviewd: %v", err)
 	}
-	e := engine.New(db)
+	e := engine.New(db, engine.Options{
+		Workers:         *writeWorkers,
+		MaxBatchSize:    *maxBatch,
+		MaxCoalesceWait: *coalesceWait,
+	})
 	for _, p := range prepares {
 		if err := e.PrepareText(p.name, p.query); err != nil {
 			log.Fatalf("propviewd: prepare %s: %v", p.name, err)
@@ -57,7 +71,7 @@ func main() {
 	log.Printf("propviewd serving %d relation(s) on %s", len(db.Names()), *addr)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      newServer(e),
+		Handler:      newServer(e, *asyncQueue),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // NP-hard deletes can legitimately run long
 		IdleTimeout:  2 * time.Minute,

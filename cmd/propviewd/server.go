@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sync/atomic"
 
 	"repro/internal/annotation"
 	"repro/internal/core"
@@ -13,10 +15,29 @@ import (
 	"repro/internal/relation"
 )
 
-// newServer wires the JSON endpoints onto an engine. Split from main so the
-// handler tests drive it through httptest.
-func newServer(e *engine.Engine) http.Handler {
+// newServer wires the JSON endpoints onto an engine and, when asyncQueue
+// is positive, starts the background committer draining the bounded async
+// /delete queue. Split from main so the handler tests drive it through
+// httptest.
+func newServer(e *engine.Engine, asyncQueue int) http.Handler {
+	s := newServerState(e, asyncQueue)
+	if s.deletes != nil {
+		go s.runAsyncCommits()
+	}
+	return s.routes()
+}
+
+// newServerState builds the server without starting the async committer,
+// so tests can fill the queue deterministically and drain it by hand.
+func newServerState(e *engine.Engine, asyncQueue int) *server {
 	s := &server{engine: e}
+	if asyncQueue > 0 {
+		s.deletes = make(chan deleteJob, asyncQueue)
+	}
+	return s
+}
+
+func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/prepare", s.handlePrepare)
 	mux.HandleFunc("/query", s.handleQuery)
@@ -28,15 +49,75 @@ func newServer(e *engine.Engine) http.Handler {
 
 type server struct {
 	engine *engine.Engine
+
+	// deletes is the bounded async commit queue (nil when async mode is
+	// disabled). Accepted jobs are already validated: the view existed and
+	// the tuples parsed against its schema at enqueue time.
+	deletes chan deleteJob
+
+	asyncAccepted  atomic.Int64 // jobs enqueued (202)
+	asyncRejected  atomic.Int64 // jobs refused on a full queue (429)
+	asyncCompleted atomic.Int64 // jobs committed by the background worker
+	asyncFailed    atomic.Int64 // jobs whose commit failed (e.g. target vanished)
+}
+
+// deleteJob is one validated async delete awaiting commit.
+type deleteJob struct {
+	view    string
+	targets []relation.Tuple
+	obj     core.Objective
+	opts    core.DeleteOptions
+	group   bool
+}
+
+// runAsyncCommits drains the queue for the life of the process. Commits
+// submitted here flow through the engine's coalescing pipeline like any
+// synchronous writer, so queued deletes batch with concurrent traffic.
+func (s *server) runAsyncCommits() {
+	for job := range s.deletes {
+		s.runJob(job)
+	}
+}
+
+// drainAsync synchronously commits everything currently queued; test
+// helper standing in for the background committer.
+func (s *server) drainAsync() {
+	for {
+		select {
+		case job := <-s.deletes:
+			s.runJob(job)
+		default:
+			return
+		}
+	}
+}
+
+func (s *server) runJob(job deleteJob) {
+	var err error
+	if job.group {
+		_, err = s.engine.DeleteGroup(job.view, job.targets, job.obj, job.opts)
+	} else {
+		_, err = s.engine.Delete(job.view, job.targets[0], job.obj, job.opts)
+	}
+	if err != nil {
+		s.asyncFailed.Add(1)
+		log.Printf("propviewd: async delete on %q: %v", job.view, err)
+		return
+	}
+	s.asyncCompleted.Add(1)
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// errBodyTooLarge marks a request body that blew the decoder's size cap —
+// a distinct condition (413) from a malformed body (400).
+var errBodyTooLarge = errors.New("request body too large")
+
 // statusOf maps domain errors onto HTTP statuses: unknown names and absent
-// tuples are 404, a conflicting prepare is 409, everything else a caller
-// sent us is 400.
+// tuples are 404, a conflicting prepare is 409, an oversized body is 413,
+// everything else a caller sent us is 400.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrUnknownView),
@@ -45,6 +126,8 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrConflict):
 		return http.StatusConflict
+	case errors.Is(err, errBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
 	}
@@ -53,7 +136,11 @@ func statusOf(err error) int {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone; all that is left is to log. Typically a
+		// client hangup mid-response.
+		log.Printf("propviewd: encoding response: %v", err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, err error) {
@@ -65,11 +152,16 @@ func writeErr(w http.ResponseWriter, err error) {
 const maxBodyBytes = 1 << 20
 
 // decodeBody strictly decodes one JSON object from a size-capped request
-// body.
+// body. An oversized body maps to errBodyTooLarge (413), not a generic
+// bad-request error.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: limit is %d bytes", errBodyTooLarge, mbe.Limit)
+		}
 		return fmt.Errorf("bad request body: %v", err)
 	}
 	return nil
@@ -190,6 +282,10 @@ type deleteRequest struct {
 	Tuples    [][]string `json:"tuples,omitempty"` // batched targets
 	Objective string     `json:"objective,omitempty"`
 	Greedy    bool       `json:"greedy,omitempty"`
+	// Async commits the delete off the request path: the job enters a
+	// bounded queue (202 Accepted) and a background committer applies it
+	// through the engine's coalescing pipeline. A full queue answers 429.
+	Async bool `json:"async,omitempty"`
 }
 
 type sourceTupleJSON struct {
@@ -197,6 +293,12 @@ type sourceTupleJSON struct {
 	Tuple []string `json:"tuple"`
 }
 
+// deleteResponse describes a committed deletion. When concurrent /delete
+// requests coalesced in the engine, every participant receives the same
+// combined report: deletions and side_effects then cover the whole batch,
+// not just this request's target, and the algorithm string carries a
+// "coalesced" marker. Run the server with -max-batch 1 for strictly
+// per-request responses.
 type deleteResponse struct {
 	View        string            `json:"view"`
 	Class       string            `json:"class"`
@@ -235,8 +337,11 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var rep *core.DeleteReport
 	opts := core.DeleteOptions{Greedy: req.Greedy}
+	var (
+		targets []relation.Tuple
+		group   bool
+	)
 	switch {
 	case len(req.Tuple) > 0 && len(req.Tuples) > 0:
 		writeErr(w, fmt.Errorf("give either tuple or tuples, not both"))
@@ -247,19 +352,31 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, perr)
 			return
 		}
-		rep, err = s.engine.Delete(req.View, target, obj, opts)
+		targets = []relation.Tuple{target}
 	case len(req.Tuples) > 0:
-		targets := make([]relation.Tuple, len(req.Tuples))
+		group = true
+		targets = make([]relation.Tuple, len(req.Tuples))
 		for i, vals := range req.Tuples {
 			if targets[i], err = parseTuple(vals, arity); err != nil {
 				writeErr(w, err)
 				return
 			}
 		}
-		rep, err = s.engine.DeleteGroup(req.View, targets, obj, opts)
 	default:
 		writeErr(w, fmt.Errorf("missing tuple (or tuples) to delete"))
 		return
+	}
+
+	if req.Async {
+		s.enqueueAsync(w, deleteJob{view: req.View, targets: targets, obj: obj, opts: opts, group: group})
+		return
+	}
+
+	var rep *core.DeleteReport
+	if group {
+		rep, err = s.engine.DeleteGroup(req.View, targets, obj, opts)
+	} else {
+		rep, err = s.engine.Delete(req.View, targets[0], obj, opts)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -285,6 +402,39 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		resp.ViewSize = info.ViewSize
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// asyncAcceptedResponse acknowledges an enqueued async delete.
+type asyncAcceptedResponse struct {
+	View       string `json:"view"`
+	Queued     bool   `json:"queued"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+}
+
+// enqueueAsync admits a validated job to the bounded commit queue, or
+// pushes back: a full queue is the client's signal to retry later or fall
+// back to a synchronous delete.
+func (s *server) enqueueAsync(w http.ResponseWriter, job deleteJob) {
+	if s.deletes == nil {
+		writeErr(w, fmt.Errorf("async deletes are disabled on this server"))
+		return
+	}
+	select {
+	case s.deletes <- job:
+		s.asyncAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, asyncAcceptedResponse{
+			View:       job.view,
+			Queued:     true,
+			QueueDepth: len(s.deletes),
+			QueueCap:   cap(s.deletes),
+		})
+	default:
+		s.asyncRejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: "async delete queue full; retry later or delete synchronously",
+		})
+	}
 }
 
 // --- /annotate ---
@@ -350,9 +500,40 @@ func (s *server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 
 // --- /stats ---
 
+// asyncStats reports the async commit queue alongside the engine counters.
+type asyncStats struct {
+	Enabled    bool  `json:"enabled"`
+	QueueCap   int   `json:"queue_cap"`
+	QueueDepth int   `json:"queue_depth"`
+	Accepted   int64 `json:"accepted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Rejected   int64 `json:"rejected"`
+}
+
+// statsResponse embeds the engine stats so its fields stay at the top
+// level of the JSON object, with the server-side async queue nested under
+// "async".
+type statsResponse struct {
+	engine.Stats
+	Async asyncStats `json:"async"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	resp := statsResponse{Stats: s.engine.Stats()}
+	if s.deletes != nil {
+		resp.Async = asyncStats{
+			Enabled:    true,
+			QueueCap:   cap(s.deletes),
+			QueueDepth: len(s.deletes),
+			Accepted:   s.asyncAccepted.Load(),
+			Completed:  s.asyncCompleted.Load(),
+			Failed:     s.asyncFailed.Load(),
+			Rejected:   s.asyncRejected.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

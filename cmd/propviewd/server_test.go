@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/relation"
@@ -37,10 +38,11 @@ func newTestServer(t *testing.T, prepare bool) http.Handler {
 			t.Fatal(err)
 		}
 	}
-	return newServer(e)
+	return newServer(e, 64)
 }
 
-// do issues one request and decodes the JSON response body.
+// do issues one request, asserts the response declares JSON, and decodes
+// the body.
 func do(t *testing.T, h http.Handler, method, url, body string) (int, map[string]any) {
 	t.Helper()
 	var req *http.Request
@@ -51,6 +53,9 @@ func do(t *testing.T, h http.Handler, method, url, body string) (int, map[string
 	}
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s %s: Content-Type = %q, want application/json", method, url, ct)
+	}
 	var decoded map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
 		t.Fatalf("%s %s: non-JSON response %q", method, url, rec.Body.String())
@@ -277,6 +282,176 @@ func TestHandlers(t *testing.T) {
 				tc.check(t, resp)
 			}
 		})
+	}
+}
+
+// An oversized request body answers 413 with a distinct message, not a
+// generic 400.
+func TestOversizedBody(t *testing.T) {
+	h := newTestServer(t, true)
+	big := `{"view": "access", "tuple": ["john", "` + strings.Repeat("x", maxBodyBytes+1) + `"]}`
+	for _, url := range []string{"/prepare", "/delete", "/annotate"} {
+		code, resp := do(t, h, http.MethodPost, url, big)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", url, code)
+		}
+		if msg, _ := resp["error"].(string); !strings.Contains(msg, "request body too large") {
+			t.Errorf("%s: error %q does not name the oversized body", url, msg)
+		}
+	}
+}
+
+// newAsyncTestServer exposes the server state so tests can drive the async
+// queue deterministically (the background committer is NOT started).
+func newAsyncTestServer(t *testing.T, queue int) (*server, http.Handler) {
+	t.Helper()
+	db, err := relation.ReadDatabaseString(testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(db)
+	if err := e.PrepareText("access", testQuery); err != nil {
+		t.Fatal(err)
+	}
+	s := newServerState(e, queue)
+	return s, s.routes()
+}
+
+// An async delete is validated, accepted with 202, committed by the
+// (here: manual) drain, and visible in the view and the stats afterwards.
+func TestAsyncDelete(t *testing.T) {
+	s, h := newAsyncTestServer(t, 4)
+	code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async delete: status %d (%v), want 202", code, resp)
+	}
+	if resp["queued"] != true || resp["queue_depth"].(float64) != 1 || resp["queue_cap"].(float64) != 4 {
+		t.Fatalf("unexpected accepted response: %v", resp)
+	}
+	// Not committed yet: the view still serves the tuple.
+	if _, resp := do(t, h, http.MethodGet, "/query?view=access", ""); len(resp["tuples"].([]any)) != 4 {
+		t.Fatal("async delete committed before the queue drained")
+	}
+	s.drainAsync()
+	code, resp = do(t, h, http.MethodGet, "/query?view=access", "")
+	if code != http.StatusOK {
+		t.Fatalf("query after drain: %d", code)
+	}
+	for _, raw := range resp["tuples"].([]any) {
+		vals := raw.([]any)
+		if vals[0].(string) == "john" && vals[1].(string) == "f2" {
+			t.Fatal("async-deleted tuple still served after drain")
+		}
+	}
+	_, resp = do(t, h, http.MethodGet, "/stats", "")
+	async := resp["async"].(map[string]any)
+	if async["enabled"] != true || async["accepted"].(float64) != 1 || async["completed"].(float64) != 1 || async["failed"].(float64) != 0 {
+		t.Fatalf("async stats %v", async)
+	}
+	if resp["deletes"].(float64) != 1 {
+		t.Fatalf("engine delete counter %v after async commit, want 1", resp["deletes"])
+	}
+}
+
+// Async requests are validated before they are queued: bad ones are
+// rejected synchronously and never occupy queue slots.
+func TestAsyncDeleteValidatesBeforeEnqueue(t *testing.T) {
+	s, h := newAsyncTestServer(t, 4)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"view": "nope", "tuple": ["john", "f2"], "async": true}`, http.StatusNotFound},
+		{`{"view": "access", "tuple": ["john"], "async": true}`, http.StatusBadRequest},
+		{`{"view": "access", "tuple": ["john", "f2"], "objective": "fastest", "async": true}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, resp := do(t, h, http.MethodPost, "/delete", tc.body); code != tc.want {
+			t.Errorf("%s: status %d (%v), want %d", tc.body, code, resp, tc.want)
+		}
+	}
+	if n := len(s.deletes); n != 0 {
+		t.Fatalf("%d invalid jobs reached the queue", n)
+	}
+}
+
+// A full async queue pushes back with 429 instead of buffering without
+// bound; a group (tuples) async delete takes one slot like a single.
+func TestAsyncDeleteBackpressure(t *testing.T) {
+	s, h := newAsyncTestServer(t, 2)
+	ok := []string{
+		`{"view": "access", "tuple": ["john", "f2"], "async": true}`,
+		`{"view": "access", "tuples": [["john","f1"],["mary","f1"]], "objective": "source", "async": true}`,
+	}
+	for _, body := range ok {
+		if code, resp := do(t, h, http.MethodPost, "/delete", body); code != http.StatusAccepted {
+			t.Fatalf("fill: status %d (%v), want 202", code, resp)
+		}
+	}
+	code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["mary", "f2"], "async": true}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d (%v), want 429", code, resp)
+	}
+	if msg, _ := resp["error"].(string); !strings.Contains(msg, "queue full") {
+		t.Fatalf("429 error %q does not name the full queue", msg)
+	}
+	_, resp = do(t, h, http.MethodGet, "/stats", "")
+	async := resp["async"].(map[string]any)
+	if async["rejected"].(float64) != 1 || async["accepted"].(float64) != 2 || async["queue_depth"].(float64) != 2 {
+		t.Fatalf("async stats after backpressure: %v", async)
+	}
+	// Draining frees the queue and commits both jobs (the group one may
+	// legitimately fail if an earlier delete removed its targets — here it
+	// cannot, the targets are disjoint view tuples).
+	s.drainAsync()
+	_, resp = do(t, h, http.MethodGet, "/stats", "")
+	async = resp["async"].(map[string]any)
+	if async["completed"].(float64) != 2 || async["queue_depth"].(float64) != 0 {
+		t.Fatalf("async stats after drain: %v", async)
+	}
+}
+
+// With the queue disabled, async requests are refused outright.
+func TestAsyncDeleteDisabled(t *testing.T) {
+	_, h := newAsyncTestServer(t, 0)
+	code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "async": true}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("disabled async: status %d (%v), want 400", code, resp)
+	}
+	// And stats report it disabled.
+	_, resp = do(t, h, http.MethodGet, "/stats", "")
+	if async := resp["async"].(map[string]any); async["enabled"] != false {
+		t.Fatalf("async stats %v, want disabled", async)
+	}
+}
+
+// The background committer really does drain the queue end to end.
+func TestAsyncDeleteBackgroundCommit(t *testing.T) {
+	db, err := relation.ReadDatabaseString(testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(db)
+	if err := e.PrepareText("access", testQuery); err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(e, 8)
+	if code, _ := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "async": true}`); code != http.StatusAccepted {
+		t.Fatalf("async delete not accepted: %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		view, err := e.Query("access")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Contains(relation.StringTuple("john", "f2")) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async delete never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -3,7 +3,9 @@ package engine
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -118,6 +120,157 @@ func TestDifferentialIncrementalMaintenance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDifferentialCoalescedBatchIdentity proves the tentpole property of
+// the write pipeline: a coalesced batch commit — one group solve, one
+// parallel maintenance sweep, one published generation advance — leaves
+// the engine byte-identical (every view's table, every witness basis, the
+// source database, and every generation counter) to the same delete
+// requests applied one at a time with coalescing disabled.
+//
+// The deleted view is an identity projection, so every view tuple's sole
+// witness is its own source tuple and any solver is forced to pick exactly
+// the targeted tuples — the coalesced group solve and the sequential
+// singleton solves provably choose the same source deletions, making
+// byte-level comparison of the downstream state meaningful. The sibling
+// views (a join and a lossy projection with multi-witness tuples) exercise
+// the fan-out maintenance on non-trivial bases.
+func TestDifferentialCoalescedBatchIdentity(t *testing.T) {
+	const batchDB = `
+relation R(a, b)
+r1, x
+r2, x
+r3, y
+r4, y
+r5, z
+r6, z
+r7, w
+r8, w
+
+relation S(b, c)
+x, c1
+x, c2
+y, c2
+z, c3
+w, c1
+`
+	views := map[string]string{
+		"id":   "project(a, b; R)",
+		"join": "project(a, c; join(R, S))",
+		"cs":   "project(c; S)",
+	}
+	mkEngine := func(opt Options) *Engine {
+		db, err := relation.ReadDatabaseString(batchDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(db, opt)
+		for name, q := range views {
+			if err := e.PrepareText(name, q); err != nil {
+				t.Fatalf("prepare %s: %v", name, err)
+			}
+		}
+		return e
+	}
+
+	// The request mix: three singles and one group of two, all against the
+	// identity view. 6 targets total, 4 requests.
+	singles := []relation.Tuple{
+		relation.StringTuple("r1", "x"),
+		relation.StringTuple("r3", "y"),
+		relation.StringTuple("r5", "z"),
+	}
+	groupTargets := []relation.Tuple{
+		relation.StringTuple("r7", "w"),
+		relation.StringTuple("r8", "w"),
+	}
+	const reqs = 4
+	const targets = 5 // 3 singles + 1 group of 2; also the batch cap, so the batch fills exactly when the last request joins
+
+	for _, obj := range []core.Objective{core.MinimizeSourceDeletions, core.MinimizeViewSideEffects} {
+		// Coalescing engine: the batch admits exactly the full request mix,
+		// and the generous wait guarantees all four requests meet in one
+		// commit (the batch fills, waking the leader early).
+		coalesced := mkEngine(Options{MaxBatchSize: targets, MaxCoalesceWait: 10 * time.Second, Workers: 4})
+		var wg sync.WaitGroup
+		errs := make([]error, reqs)
+		for i, tg := range singles {
+			wg.Add(1)
+			go func(i int, tg relation.Tuple) {
+				defer wg.Done()
+				_, errs[i] = coalesced.Delete("id", tg, obj, core.DeleteOptions{})
+			}(i, tg)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[reqs-1] = coalesced.DeleteGroup("id", groupTargets, obj, core.DeleteOptions{})
+		}()
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%v: coalesced request %d: %v", obj, i, err)
+			}
+		}
+		cst := coalesced.Stats()
+		if cst.CommitBatches != 1 || cst.Deletes != reqs || cst.CoalescedDeletes != reqs {
+			t.Fatalf("%v: requests did not coalesce into one commit: %+v", obj, cst)
+		}
+
+		// Serial engine: same requests, one at a time, coalescing disabled.
+		serial := mkEngine(Options{MaxBatchSize: 1, Workers: 1})
+		for _, tg := range singles {
+			if _, err := serial.Delete("id", tg, obj, core.DeleteOptions{}); err != nil {
+				t.Fatalf("%v: serial delete: %v", obj, err)
+			}
+		}
+		if _, err := serial.DeleteGroup("id", groupTargets, obj, core.DeleteOptions{}); err != nil {
+			t.Fatalf("%v: serial group delete: %v", obj, err)
+		}
+		sst := serial.Stats()
+		if sst.CommitBatches != reqs || sst.CoalescedDeletes != 0 {
+			t.Fatalf("%v: serial engine coalesced: %+v", obj, sst)
+		}
+
+		// Byte-identical everything.
+		if got, want := relation.WriteDatabaseString(coalesced.Database()), relation.WriteDatabaseString(serial.Database()); got != want {
+			t.Fatalf("%v: source diverged\n got:\n%s\nwant:\n%s", obj, got, want)
+		}
+		for name := range views {
+			cv, err := coalesced.Query(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, err := serial.Query(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := cv.Table(), sv.Table(); got != want {
+				t.Fatalf("%v: view %q diverged\n got:\n%s\nwant:\n%s", obj, name, got, want)
+			}
+			if got, want := basisFingerprint(enginePerViewBasis(t, coalesced, name)), basisFingerprint(enginePerViewBasis(t, serial, name)); got != want {
+				t.Fatalf("%v: basis of %q diverged\n got:\n%s\nwant:\n%s", obj, name, got, want)
+			}
+			cd, err := coalesced.Describe(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sd, err := serial.Describe(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cd.Generation != sd.Generation {
+				t.Fatalf("%v: view %q generation %d coalesced vs %d serial", obj, name, cd.Generation, sd.Generation)
+			}
+			if cd.Generation != reqs {
+				t.Fatalf("%v: view %q generation %d, want %d (one per request)", obj, name, cd.Generation, reqs)
+			}
+		}
+		if cst.DeletedSourceTuples != sst.DeletedSourceTuples {
+			t.Fatalf("%v: deleted %d source tuples coalesced vs %d serial", obj, cst.DeletedSourceTuples, sst.DeletedSourceTuples)
+		}
 	}
 }
 

@@ -21,12 +21,19 @@
 //     projection pre-image dies with its join partner), so it is rebuilt
 //     lazily on the first Annotate after a deletion.
 //
-// Concurrency: readers are lock-free on immutable copy-on-write snapshots;
-// writers are serialized and publish a new snapshot generation per
-// deletion. The engine owns a private clone of the source database and
-// never mutates a published generation, so concurrent Query/Annotate
-// readers and Delete writers are race-free by construction (see
-// race_test.go).
+// Concurrency: readers are lock-free on immutable copy-on-write snapshots.
+// Writes flow through a batching/coalescing pipeline (pipeline.go):
+// concurrent Delete/DeleteGroup calls against the same view coalesce into
+// a single cached-basis group solve, commits are serialized by a commit
+// lock, and each commit's per-view incremental maintenance fans out across
+// a bounded worker pool — so delete latency does not scale with the number
+// of prepared views, and throughput under write contention does not
+// degrade to one solve per request. The engine owns a private clone of the
+// source database and never mutates a published generation, so concurrent
+// Query/Annotate readers and Delete writers are race-free by construction
+// (see race_test.go). Options tunes the pipeline (worker count, batch cap,
+// coalesce wait); the zero value keeps uncontended latency identical to a
+// serial engine.
 package engine
 
 import (
@@ -38,7 +45,6 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/annotation"
 	"repro/internal/core"
-	"repro/internal/deletion"
 	"repro/internal/provenance"
 	"repro/internal/relation"
 )
@@ -65,13 +71,22 @@ type snapshot struct {
 	whereErr   error
 }
 
+// computeWhere builds a where-provenance index; a package variable so
+// engine tests can inject index-computation failures (the error paths are
+// otherwise unreachable for a plan that already passed Prepare).
+var computeWhere = annotation.ComputeWhere
+
 // whereView returns the where-provenance index, computing it at most once
 // per generation. The first Annotate after a deletion pays one evaluation;
-// subsequent ones on the same generation are free.
+// subsequent ones on the same generation are free. A computation error is
+// cached like a result: it is surfaced on every Annotate against this
+// generation but never blocks Prepare or the deletion path.
 func (s *snapshot) whereView(plan algebra.Query) (*annotation.WhereView, error) {
 	s.whereOnce.Do(func() {
-		s.where, s.whereErr = annotation.ComputeWhere(plan, s.db)
-		s.whereBuilt.Store(true)
+		s.where, s.whereErr = computeWhere(plan, s.db)
+		if s.whereErr == nil {
+			s.whereBuilt.Store(true)
+		}
 	})
 	return s.where, s.whereErr
 }
@@ -88,13 +103,16 @@ type prepared struct {
 	}
 
 	snap atomic.Pointer[snapshot]
-	gen  atomic.Int64 // deletion generations maintained through
+	gen  atomic.Int64 // delete requests maintained through
+
+	batcher batcher // coalescing point for this view's writers
 }
 
 // Engine serves prepared views over a private copy of a source database.
 type Engine struct {
+	opt   Options
 	mu    sync.RWMutex // guards views map and db pointer
-	wmu   sync.Mutex   // serializes writers (solve + publish is atomic)
+	wmu   sync.Mutex   // commit lock: one batch solves+publishes at a time
 	db    *relation.Database
 	views map[string]*prepared
 
@@ -105,13 +123,20 @@ type Engine struct {
 	nAnnotates atomic.Int64
 	nDeleted   atomic.Int64 // source tuples deleted
 	nMaint     atomic.Int64 // incremental basis maintenance passes
+	nBatches   atomic.Int64 // committed write batches
+	nCoalesced atomic.Int64 // delete requests that shared a batch
 }
 
 // New creates an engine over a private deep copy of db: later mutations of
 // the caller's database do not reach the engine, which is what makes the
-// published snapshots immutable.
-func New(db *relation.Database) *Engine {
-	return &Engine{db: db.Clone(), views: make(map[string]*prepared)}
+// published snapshots immutable. An optional Options tunes the write
+// pipeline; omitted or zero fields take the documented defaults.
+func New(db *relation.Database, opts ...Options) *Engine {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Engine{opt: o.withDefaults(), db: db.Clone(), views: make(map[string]*prepared)}
 }
 
 // Prepare registers q under name: the query is validated, normalized
@@ -169,9 +194,12 @@ func (e *Engine) PrepareLimited(name string, q algebra.Query, lim provenance.Lim
 	p.cls.source = algebra.Classify(q, algebra.ProblemSourceSideEffect)
 	p.cls.ann = algebra.Classify(q, algebra.ProblemAnnotationPlacement)
 	snap := &snapshot{db: db, prov: prov}
-	if _, err := snap.whereView(plan); err != nil {
-		return err
-	}
+	// The where index is computed eagerly so the first Annotate is as cheap
+	// as the rest, but a failure here must not fail the Prepare: the
+	// deletion path never needs the index, and the package doc promises
+	// deletion-only deployments still serve. The error is cached in the
+	// snapshot and surfaced on Annotate.
+	snap.whereView(plan)
 	p.snap.Store(snap)
 
 	e.mu.Lock()
@@ -217,18 +245,27 @@ func (e *Engine) Views() []string {
 // not walk witness lists (WitnessCount stays zero), and unlike Query it
 // does not count toward the served-query statistics — it is the cheap
 // accessor for servers composing responses.
+//
+// The snapshot and generation counter are read together under the read
+// lock so they always describe the same published generation: commits
+// publish both under the write lock, and monitoring relies on the pairing
+// (same Generation ⇒ same snapshot, so WhereReady can only go false→true
+// between two observations of one generation).
 func (e *Engine) Describe(name string) (ViewStats, error) {
 	p, err := e.lookup(name)
 	if err != nil {
 		return ViewStats{}, err
 	}
+	e.mu.RLock()
 	snap := p.snap.Load()
+	gen := p.gen.Load()
+	e.mu.RUnlock()
 	return ViewStats{
 		Name:       p.name,
 		Query:      p.src,
 		Fragment:   p.frag,
 		ViewSize:   snap.prov.View.Len(),
-		Generation: p.gen.Load(),
+		Generation: gen,
 		WhereReady: snap.whereBuilt.Load(),
 	}, nil
 }
@@ -271,6 +308,11 @@ func (e *Engine) Witnesses(name string, t relation.Tuple) ([]provenance.Witness,
 // basis; the chosen deletions are then applied to the engine's source and
 // every prepared view's materialized state is maintained incrementally.
 //
+// Concurrent Delete/DeleteGroup calls against the same view with the same
+// objective and options may coalesce into a single group solve (see
+// pipeline.go); coalesced callers all receive the same report, which then
+// describes the combined batch and must be treated as read-only.
+//
 // Of the options, MaxCandidates and Greedy apply; opts.MaxWitnesses has no
 // effect here because the basis is fixed when the view is prepared — cap
 // it with PrepareLimited instead.
@@ -280,68 +322,49 @@ func (e *Engine) Delete(name string, target relation.Tuple, obj core.Objective, 
 
 // DeleteGroup removes a whole batch of view tuples in one request: one
 // basis pass and one hitting-set solve cover every target, and the
-// incremental maintenance runs once for the combined deletion set.
+// incremental maintenance runs once for the combined deletion set. Like
+// Delete, concurrent calls may coalesce into one larger group solve.
 func (e *Engine) DeleteGroup(name string, targets []relation.Tuple, obj core.Objective, opts core.DeleteOptions) (*core.DeleteReport, error) {
 	return e.delete(name, targets, obj, opts, true)
 }
 
+// delete routes a request through the write pipeline (pipeline.go): it
+// joins or opens the view's pending batch, and either leads the batch
+// through its commit or waits for the leader to finish. MaxWitnesses is
+// not forwarded: the basis was capped (or not) at Prepare time and only
+// shrinks under maintenance.
+//
+// Requests coalesced into the same batch share ONE group solve over the
+// union of their targets; every participant receives the same (read-only)
+// report describing the combined outcome.
 func (e *Engine) delete(name string, targets []relation.Tuple, obj core.Objective, opts core.DeleteOptions, group bool) (*core.DeleteReport, error) {
 	p, err := e.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-
-	// Serialize writers: the solve must see the generation it will replace.
-	e.wmu.Lock()
-	defer e.wmu.Unlock()
-	snap := p.snap.Load()
-
-	report := &core.DeleteReport{Fragment: p.frag}
-	// MaxWitnesses is not forwarded: the basis was capped (or not) at
-	// Prepare time and only shrinks under maintenance.
-	vopt := deletion.ViewOptions{MaxCandidates: opts.MaxCandidates}
-	switch {
-	case obj == core.MinimizeViewSideEffects:
-		report.Class = p.cls.view
-		r, err := deletion.ViewExactGroupBasis(snap.prov, targets, vopt)
-		if err != nil {
-			return nil, err
-		}
-		report.Algorithm = "cached-basis exact hitting-set search"
-		report.Result = &r.Result
-		report.Exact = r.Exhausted
-	case opts.Greedy:
-		report.Class = p.cls.source
-		r, err := deletion.SourceGreedyGroupBasis(snap.prov, targets)
-		if err != nil {
-			return nil, err
-		}
-		report.Algorithm = "cached-basis greedy hitting set (H_n-approx)"
-		report.Result = &r.Result
-		report.Exact = false
-	default:
-		report.Class = p.cls.source
-		r, err := deletion.SourceExactGroupBasis(snap.prov, targets)
-		if err != nil {
-			return nil, err
-		}
-		report.Algorithm = "cached-basis exact minimum hitting set"
-		report.Result = &r.Result
-		report.Exact = true
-	}
-	if group {
-		report.Algorithm += " (batched)"
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("engine: empty target set")
 	}
 
-	e.apply(report.Result.T)
-	e.nDeletes.Add(1)
-	e.nDeleted.Add(int64(len(report.Result.T)))
-	return report, nil
+	req := &deleteReq{targets: targets, group: group}
+	key := batchKey{obj: obj, greedy: opts.Greedy, maxCandidates: opts.MaxCandidates}
+	b, leader := p.batcher.join(req, key, e.opt.MaxBatchSize)
+	if leader {
+		e.runBatch(p, b)
+	} else {
+		<-b.done
+	}
+	return req.report, req.err
 }
 
 // apply publishes a new source generation with T removed and incrementally
-// maintains every prepared view. Callers hold wmu.
-func (e *Engine) apply(T []relation.SourceTuple) {
+// maintains every prepared view: the per-view ApplyDeletion passes are
+// independent, so they fan out across the bounded worker pool instead of
+// running serially. reqs is the number of coalesced delete requests this
+// commit carries; each view's generation counter advances by it, keeping
+// generation counts identical to applying the requests one at a time.
+// Callers hold wmu.
+func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 	if len(T) == 0 {
 		return
 	}
@@ -355,17 +378,17 @@ func (e *Engine) apply(T []relation.SourceTuple) {
 
 	newDB := db.DeleteAll(T)
 	next := make([]*snapshot, len(ps))
-	for i, p := range ps {
-		old := p.snap.Load()
+	e.fanOut(len(ps), func(i int) {
+		old := ps[i].snap.Load()
 		next[i] = &snapshot{db: newDB, prov: old.prov.ApplyDeletion(T)}
 		e.nMaint.Add(1)
-	}
+	})
 
 	e.mu.Lock()
 	e.db = newDB
 	for i, p := range ps {
 		p.snap.Store(next[i])
-		p.gen.Add(1)
+		p.gen.Add(int64(reqs))
 	}
 	e.mu.Unlock()
 }
@@ -436,17 +459,31 @@ type Stats struct {
 	// DeletedSourceTuples is the total number of source tuples removed.
 	DeletedSourceTuples int64 `json:"deleted_source_tuples"`
 	// IncrementalMaintenances counts per-view ApplyDeletion passes (one per
-	// prepared view per applied deletion).
+	// prepared view per committed write batch).
 	IncrementalMaintenances int64 `json:"incremental_maintenances"`
+	// CommitBatches counts committed write batches; Deletes/CommitBatches
+	// is the average coalescing factor.
+	CommitBatches int64 `json:"commit_batches"`
+	// CoalescedDeletes counts delete requests that shared their batch with
+	// at least one other request.
+	CoalescedDeletes int64 `json:"coalesced_deletes"`
 }
 
-// Stats assembles the current counters and per-view summaries.
+// Stats assembles the current counters and per-view summaries. Like
+// Describe, each view's snapshot and generation are captured as a pair
+// under the read lock; the witness walk happens afterwards, off-lock, on
+// the captured immutable snapshots.
 func (e *Engine) Stats() Stats {
+	type viewCapture struct {
+		p    *prepared
+		snap *snapshot
+		gen  int64
+	}
 	e.mu.RLock()
 	db := e.db
-	ps := make([]*prepared, 0, len(e.views))
+	ps := make([]viewCapture, 0, len(e.views))
 	for _, p := range e.views {
-		ps = append(ps, p)
+		ps = append(ps, viewCapture{p: p, snap: p.snap.Load(), gen: p.gen.Load()})
 	}
 	e.mu.RUnlock()
 
@@ -458,21 +495,22 @@ func (e *Engine) Stats() Stats {
 		Annotates:               e.nAnnotates.Load(),
 		DeletedSourceTuples:     e.nDeleted.Load(),
 		IncrementalMaintenances: e.nMaint.Load(),
+		CommitBatches:           e.nBatches.Load(),
+		CoalescedDeletes:        e.nCoalesced.Load(),
 	}
-	for _, p := range ps {
-		snap := p.snap.Load()
+	for _, c := range ps {
 		wit := 0
-		for _, t := range snap.prov.View.Tuples() {
-			wit += len(snap.prov.Witnesses(t))
+		for _, t := range c.snap.prov.View.Tuples() {
+			wit += len(c.snap.prov.Witnesses(t))
 		}
 		st.Views = append(st.Views, ViewStats{
-			Name:         p.name,
-			Query:        p.src,
-			Fragment:     p.frag,
-			ViewSize:     snap.prov.View.Len(),
+			Name:         c.p.name,
+			Query:        c.p.src,
+			Fragment:     c.p.frag,
+			ViewSize:     c.snap.prov.View.Len(),
 			WitnessCount: wit,
-			Generation:   p.gen.Load(),
-			WhereReady:   snap.whereBuilt.Load(),
+			Generation:   c.gen,
+			WhereReady:   c.snap.whereBuilt.Load(),
 		})
 	}
 	sort.Slice(st.Views, func(i, j int) bool { return st.Views[i].Name < st.Views[j].Name })

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/algebra"
+	"repro/internal/annotation"
 	"repro/internal/core"
 	"repro/internal/provenance"
 	"repro/internal/relation"
@@ -104,6 +105,65 @@ func TestPrepareLimited(t *testing.T) {
 	}
 	if _, err := e.Delete("v", relation.StringTuple("john", "f2"), core.MinimizeViewSideEffects, core.DeleteOptions{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A failing where-index computation must not fail Prepare: deletion-only
+// deployments still serve (the package doc's promise), and the error
+// surfaces only on Annotate. A later generation rebuilds the index lazily
+// and can recover.
+func TestPrepareServesWhenWhereIndexFails(t *testing.T) {
+	injected := errors.New("injected where-index failure")
+	orig := computeWhere
+	computeWhere = func(q algebra.Query, db *relation.Database) (*annotation.WhereView, error) {
+		return nil, injected
+	}
+	restored := false
+	defer func() {
+		if !restored {
+			computeWhere = orig
+		}
+	}()
+
+	db, err := relation.ReadDatabaseString(srcDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(db)
+	if err := e.PrepareText("access", srcQuery); err != nil {
+		t.Fatalf("Prepare failed on a where-index error: %v", err)
+	}
+	// The index is not ready, and Annotate surfaces the stored error.
+	vs, err := e.Describe("access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.WhereReady {
+		t.Error("WhereReady true for a failed where index")
+	}
+	if _, err := e.Annotate("access", relation.StringTuple("john", "f1"), "file"); !errors.Is(err, injected) {
+		t.Fatalf("Annotate: got %v, want the stored where error", err)
+	}
+	// Deletion-only serving still works.
+	if _, err := e.Delete("access", relation.StringTuple("john", "f2"), core.MinimizeViewSideEffects, core.DeleteOptions{}); err != nil {
+		t.Fatalf("Delete after a where-index failure: %v", err)
+	}
+	// The post-deletion generation rebuilds the index lazily; with the
+	// computation healthy again, Annotate recovers.
+	computeWhere = orig
+	restored = true
+	view, err := e.Query("access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() == 0 {
+		t.Skip("view emptied")
+	}
+	if _, err := e.Annotate("access", view.Tuple(0), "file"); err != nil {
+		t.Fatalf("Annotate on the rebuilt index: %v", err)
+	}
+	if vs, err := e.Describe("access"); err != nil || !vs.WhereReady {
+		t.Fatalf("where index not ready after recovery: %+v, %v", vs, err)
 	}
 }
 

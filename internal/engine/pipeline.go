@@ -1,0 +1,312 @@
+// The write pipeline: concurrent Delete/DeleteGroup requests against the
+// same view coalesce into one cached-basis group solve and one commit, and
+// the per-view incremental maintenance of a commit fans out across a
+// bounded worker pool.
+//
+// Life of a delete request:
+//
+//  1. join — the request enters the view's pending batch if one is open
+//     and compatible (same objective and solver options, combined target
+//     count within MaxBatchSize); otherwise it opens a new batch and
+//     becomes its leader.
+//  2. collect — the leader waits up to MaxCoalesceWait (or until the batch
+//     is full) for followers, then blocks on the engine's commit lock.
+//     Contention is the natural coalescing window: while an earlier batch
+//     is committing, later requests pile into the pending batch for free,
+//     so throughput under load no longer degrades to one solve per
+//     request even with MaxCoalesceWait = 0.
+//  3. commit — holding the commit lock, the leader freezes the batch,
+//     validates each request's targets against the current snapshot
+//     (requests with vanished targets fail individually; they never poison
+//     the batch), runs ONE group solve over the union of surviving
+//     targets (deletion.*GroupBasis), and applies the chosen source
+//     deletions with one maintenance sweep: every prepared view's
+//     ApplyDeletion runs on the worker pool, since each view's snapshot is
+//     independent of the others.
+//  4. publish — the new source generation and every view's new snapshot
+//     are published atomically; each view's generation counter advances by
+//     the number of coalesced requests, so for requests with distinct
+//     targets the generation counts are identical to applying the requests
+//     one at a time (see differential_test.go). Requests that target the
+//     SAME tuple and coalesce all succeed — they were concurrent and the
+//     tuple was present at the commit's snapshot — whereas a strict serial
+//     order would fail all but the first with ErrNotInView; coalescing
+//     linearizes such requests as simultaneous.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deletion"
+	"repro/internal/relation"
+)
+
+// Options tunes the engine's write pipeline. The zero value selects the
+// defaults noted on each field.
+type Options struct {
+	// Workers bounds the worker pool that fans out per-view incremental
+	// maintenance during a commit. Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxBatchSize caps the total number of target tuples coalesced into
+	// one group solve. A single DeleteGroup larger than the cap is still
+	// admitted, alone. Default: 32. Set to 1 to disable coalescing.
+	MaxBatchSize int
+	// MaxCoalesceWait is how long a batch leader waits for followers
+	// before committing. Zero (the default) means no artificial wait:
+	// batching then arises only from contention on the commit lock, which
+	// keeps uncontended latency unchanged.
+	MaxCoalesceWait time.Duration
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatchSize <= 0 {
+		o.MaxBatchSize = 32
+	}
+	if o.MaxCoalesceWait < 0 {
+		o.MaxCoalesceWait = 0
+	}
+	return o
+}
+
+// batchKey is the compatibility class of a delete request: only requests
+// solving for the same objective with the same solver options may share a
+// group solve.
+type batchKey struct {
+	obj           core.Objective
+	greedy        bool
+	maxCandidates int
+}
+
+// deleteReq is one caller's Delete or DeleteGroup inside a batch. The
+// leader fills report/err before closing the batch's done channel.
+type deleteReq struct {
+	targets []relation.Tuple
+	group   bool
+
+	report *core.DeleteReport
+	err    error
+}
+
+// batch is one coalesced unit of work: every request commits or fails
+// together in a single group solve + maintenance sweep.
+type batch struct {
+	key  batchKey
+	reqs []*deleteReq
+	size int           // total targets across reqs
+	full chan struct{} // closed when size reaches MaxBatchSize
+	done chan struct{} // closed after the leader commits
+}
+
+// batcher is the per-view coalescing point. Pending batches are keyed by
+// compatibility class, so a mixed stream (e.g. alternating objectives)
+// keeps one open batch per class instead of each incompatible arrival
+// orphaning the previous batch and degrading coalescing to size 1.
+type batcher struct {
+	mu      sync.Mutex
+	pending map[batchKey]*batch // open batches accepting joiners
+}
+
+// join adds req to the open batch of its compatibility class, or opens a
+// new batch with req as leader. Returns the batch and whether the caller
+// leads it.
+func (bt *batcher) join(req *deleteReq, key batchKey, maxSize int) (*batch, bool) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	if b := bt.pending[key]; b != nil && b.size+len(req.targets) <= maxSize {
+		b.reqs = append(b.reqs, req)
+		b.size += len(req.targets)
+		if b.size >= maxSize {
+			close(b.full)
+			delete(bt.pending, key) // full: stop admitting joiners
+		}
+		return b, false
+	}
+	b := &batch{
+		key:  key,
+		reqs: []*deleteReq{req},
+		size: len(req.targets),
+		full: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if b.size >= maxSize {
+		// An oversized (or cap-1) request runs alone; don't register it so
+		// nothing piles onto a batch that will never admit a joiner.
+		close(b.full)
+		return b, true
+	}
+	// A same-key batch at capacity was deleted above; a same-key batch
+	// below capacity was joined. So the slot is free here.
+	if bt.pending == nil {
+		bt.pending = make(map[batchKey]*batch)
+	}
+	bt.pending[key] = b
+	return b, true
+}
+
+// freeze closes the batch to new joiners; membership is final afterwards.
+func (bt *batcher) freeze(b *batch) {
+	bt.mu.Lock()
+	if bt.pending[b.key] == b {
+		delete(bt.pending, b.key)
+	}
+	bt.mu.Unlock()
+}
+
+// runBatch is the leader's path: collect followers, take the commit lock,
+// freeze and commit. The unlock and the done broadcast are deferred so a
+// panicking solver cannot wedge the engine (commit lock held forever) or
+// strand followers on b.done; followers of a panicked batch fail with an
+// error while the panic itself propagates on the leader's goroutine.
+func (e *Engine) runBatch(p *prepared, b *batch) {
+	if e.opt.MaxCoalesceWait > 0 {
+		timer := time.NewTimer(e.opt.MaxCoalesceWait)
+		select {
+		case <-b.full:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+	e.wmu.Lock()
+	defer close(b.done)
+	defer e.wmu.Unlock()
+	p.batcher.freeze(b)
+	defer func() {
+		if r := recover(); r != nil {
+			for _, req := range b.reqs {
+				if req.err == nil && req.report == nil {
+					req.err = fmt.Errorf("engine: delete batch panicked: %v", r)
+				}
+			}
+			panic(r)
+		}
+	}()
+	e.commit(p, b)
+}
+
+// validateTargets reports the first target absent from view, mirroring
+// deletion.GroupTargets' per-target check so a vanished target fails its
+// own request instead of the whole batch.
+func validateTargets(view *relation.Relation, targets []relation.Tuple) error {
+	_, err := deletion.GroupTargets(view, targets)
+	return err
+}
+
+// commit runs one group solve over every live request in the batch and
+// applies the result. Callers hold wmu.
+func (e *Engine) commit(p *prepared, b *batch) {
+	snap := p.snap.Load()
+
+	// Per-request validation: a target that vanished between enqueue and
+	// commit (typically deleted by the batch committed just before this
+	// one) fails only its own request.
+	live := b.reqs[:0:0]
+	var merged []relation.Tuple
+	for _, r := range b.reqs {
+		if err := validateTargets(snap.prov.View, r.targets); err != nil {
+			r.err = err
+			continue
+		}
+		live = append(live, r)
+		merged = append(merged, r.targets...)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	report := &core.DeleteReport{Fragment: p.frag}
+	vopt := deletion.ViewOptions{MaxCandidates: b.key.maxCandidates}
+	var solveErr error
+	switch {
+	case b.key.obj == core.MinimizeViewSideEffects:
+		report.Class = p.cls.view
+		r, err := deletion.ViewExactGroupBasis(snap.prov, merged, vopt)
+		if err != nil {
+			solveErr = err
+			break
+		}
+		report.Algorithm = "cached-basis exact hitting-set search"
+		report.Result = &r.Result
+		report.Exact = r.Exhausted
+	case b.key.greedy:
+		report.Class = p.cls.source
+		r, err := deletion.SourceGreedyGroupBasis(snap.prov, merged)
+		if err != nil {
+			solveErr = err
+			break
+		}
+		report.Algorithm = "cached-basis greedy hitting set (H_n-approx)"
+		report.Result = &r.Result
+		report.Exact = false
+	default:
+		report.Class = p.cls.source
+		r, err := deletion.SourceExactGroupBasis(snap.prov, merged)
+		if err != nil {
+			solveErr = err
+			break
+		}
+		report.Algorithm = "cached-basis exact minimum hitting set"
+		report.Result = &r.Result
+		report.Exact = true
+	}
+	if solveErr != nil {
+		for _, r := range live {
+			r.err = solveErr
+		}
+		return
+	}
+	if len(live) > 1 {
+		report.Algorithm += " (batched, coalesced)"
+	} else if live[0].group {
+		report.Algorithm += " (batched)"
+	}
+
+	e.apply(report.Result.T, len(live))
+	e.nDeletes.Add(int64(len(live)))
+	e.nDeleted.Add(int64(len(report.Result.T)))
+	e.nBatches.Add(1)
+	if len(live) > 1 {
+		e.nCoalesced.Add(int64(len(live)))
+	}
+	for _, r := range live {
+		r.report = report
+	}
+}
+
+// fanOut runs fn(0..n-1) on up to e.opt.Workers concurrent workers and
+// waits for all of them.
+func (e *Engine) fanOut(n int, fn func(i int)) {
+	workers := e.opt.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

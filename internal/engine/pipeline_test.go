@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deletion"
+	"repro/internal/relation"
+)
+
+// pipelineDB is an identity-friendly source: every tuple of R is the sole
+// witness of its own image under project(a, b; R), so any solver must
+// delete exactly the targeted source tuple — which makes coalesced and
+// sequential outcomes provably comparable.
+const pipelineDB = `
+relation R(a, b)
+r1, x
+r2, x
+r3, y
+r4, y
+r5, z
+r6, z
+
+relation S(b, c)
+x, c1
+y, c2
+z, c3
+`
+
+func pipelineEngine(t *testing.T, opts ...Options) *Engine {
+	t.Helper()
+	db, err := relation.ReadDatabaseString(pipelineDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(db, opts...)
+	if err := e.PrepareText("id", "project(a, b; R)"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers < 1 || o.MaxBatchSize != 32 || o.MaxCoalesceWait != 0 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	o = Options{Workers: 3, MaxBatchSize: 5, MaxCoalesceWait: -time.Second}.withDefaults()
+	if o.Workers != 3 || o.MaxBatchSize != 5 || o.MaxCoalesceWait != 0 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+}
+
+// join must coalesce compatible requests, split incompatible ones, and
+// close a batch once it fills.
+func TestBatcherJoin(t *testing.T) {
+	var bt batcher
+	key := batchKey{obj: core.MinimizeSourceDeletions}
+	r1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	b1, leader := bt.join(r1, key, 3)
+	if !leader {
+		t.Fatal("first request must lead its batch")
+	}
+	// Compatible second request joins.
+	r2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
+	if b2, leader := bt.join(r2, key, 3); leader || b2 != b1 {
+		t.Fatal("compatible request did not join the pending batch")
+	}
+	// A third same-key request fills the batch to its cap.
+	r3 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
+	b3, leader := bt.join(r3, key, 3)
+	if leader || b3 != b1 {
+		t.Fatal("same-key request should have joined the pending batch")
+	}
+	if b1.size != 3 {
+		t.Fatalf("batch size %d, want 3", b1.size)
+	}
+	// Cap reached exactly: full is signalled and joining stops.
+	select {
+	case <-b1.full:
+	default:
+		t.Fatal("batch at cap did not signal full")
+	}
+	if bt.pending[key] != nil {
+		t.Fatal("full batch still accepting joiners")
+	}
+}
+
+func TestBatcherJoinFullClosesBatch(t *testing.T) {
+	var bt batcher
+	key := batchKey{obj: core.MinimizeSourceDeletions}
+	r1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	b, _ := bt.join(r1, key, 2)
+	r2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
+	bt.join(r2, key, 2)
+	select {
+	case <-b.full:
+	default:
+		t.Fatal("batch at cap did not signal full")
+	}
+	// An incompatible key opens a fresh batch.
+	other := batchKey{obj: core.MinimizeViewSideEffects}
+	r3 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
+	b3, leader := bt.join(r3, other, 2)
+	if !leader || b3 == b {
+		t.Fatal("incompatible request must lead a new batch")
+	}
+}
+
+// Pending batches are per compatibility class: a mixed stream keeps one
+// open batch per key, and an incompatible arrival neither joins nor
+// orphans another class's batch.
+func TestBatcherPendingPerKey(t *testing.T) {
+	var bt batcher
+	srcKey := batchKey{obj: core.MinimizeSourceDeletions}
+	viewKey := batchKey{obj: core.MinimizeViewSideEffects}
+
+	r1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	bSrc, leader := bt.join(r1, srcKey, 8)
+	if !leader {
+		t.Fatal("first source-objective request must lead")
+	}
+	r2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
+	bView, leader := bt.join(r2, viewKey, 8)
+	if !leader || bView == bSrc {
+		t.Fatal("first view-objective request must lead its own batch")
+	}
+	// Both classes stay open: later same-key arrivals still coalesce.
+	r3 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
+	if b, leader := bt.join(r3, srcKey, 8); leader || b != bSrc {
+		t.Fatal("source-objective request did not rejoin its class's open batch")
+	}
+	r4 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r4", "y")}}
+	if b, leader := bt.join(r4, viewKey, 8); leader || b != bView {
+		t.Fatal("view-objective request did not rejoin its class's open batch")
+	}
+	// Freezing one class leaves the other open.
+	bt.freeze(bSrc)
+	r5 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r5", "z")}}
+	if _, leader := bt.join(r5, srcKey, 8); !leader {
+		t.Fatal("frozen class must start a new batch")
+	}
+	r6 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r6", "z")}}
+	if b, leader := bt.join(r6, viewKey, 8); leader || b != bView {
+		t.Fatal("freezing one class closed another")
+	}
+}
+
+// An oversized group request is admitted alone and never becomes a
+// coalescing point.
+func TestBatcherOversizedGroupRunsAlone(t *testing.T) {
+	var bt batcher
+	key := batchKey{obj: core.MinimizeSourceDeletions}
+	big := &deleteReq{targets: []relation.Tuple{
+		relation.StringTuple("r1", "x"),
+		relation.StringTuple("r2", "x"),
+		relation.StringTuple("r3", "y"),
+	}, group: true}
+	b, leader := bt.join(big, key, 2)
+	if !leader {
+		t.Fatal("oversized group must lead")
+	}
+	if len(bt.pending) != 0 {
+		t.Fatal("oversized batch left open for joiners")
+	}
+	select {
+	case <-b.full:
+	default:
+		t.Fatal("oversized batch should be born full")
+	}
+}
+
+// A target that vanished before its batch committed fails only its own
+// request; valid requests in the same batch still commit.
+func TestCommitAttribution(t *testing.T) {
+	e := pipelineEngine(t)
+	p, err := e.lookup("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	ghost := &deleteReq{targets: []relation.Tuple{relation.StringTuple("ghost", "q")}}
+	b := &batch{
+		key:  batchKey{obj: core.MinimizeSourceDeletions},
+		reqs: []*deleteReq{valid, ghost},
+		size: 2,
+		full: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	e.wmu.Lock()
+	e.commit(p, b)
+	e.wmu.Unlock()
+
+	if valid.err != nil {
+		t.Fatalf("valid request failed: %v", valid.err)
+	}
+	if valid.report == nil || len(valid.report.Result.T) != 1 {
+		t.Fatalf("valid request got report %+v", valid.report)
+	}
+	if !errors.Is(ghost.err, deletion.ErrNotInView) {
+		t.Fatalf("ghost request: got %v, want ErrNotInView", ghost.err)
+	}
+	if ghost.report != nil {
+		t.Fatal("failed request must not receive a report")
+	}
+	st := e.Stats()
+	if st.Deletes != 1 || st.CommitBatches != 1 || st.CoalescedDeletes != 0 {
+		t.Fatalf("counters after mixed batch: %+v", st)
+	}
+	if g := p.gen.Load(); g != 1 {
+		t.Fatalf("generation %d after one live request, want 1", g)
+	}
+}
+
+// Coalesced requests targeting the SAME tuple all succeed: they were
+// concurrent, the tuple was present at the commit's snapshot, and
+// GroupTargets dedups the merged target list before the solve. (A strict
+// serial order would instead fail the second with ErrNotInView — see the
+// linearization note in pipeline.go.)
+func TestCoalescedOverlappingTargetsBothSucceed(t *testing.T) {
+	e := pipelineEngine(t)
+	p, err := e.lookup("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := relation.StringTuple("r1", "x")
+	r1 := &deleteReq{targets: []relation.Tuple{tg}}
+	r2 := &deleteReq{targets: []relation.Tuple{tg}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*deleteReq{r1, r2}, size: 2,
+		full: make(chan struct{}), done: make(chan struct{})}
+	e.wmu.Lock()
+	e.commit(p, b)
+	e.wmu.Unlock()
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("overlapping coalesced requests failed: %v / %v", r1.err, r2.err)
+	}
+	if r1.report != r2.report || len(r1.report.Result.T) != 1 {
+		t.Fatalf("expected one shared report deleting one source tuple, got %+v", r1.report)
+	}
+	if g := p.gen.Load(); g != 2 {
+		t.Fatalf("generation %d, want 2 (one per request, even when overlapping)", g)
+	}
+}
+
+// A panicking commit must not wedge the engine: the commit lock is
+// released, the batch's done channel is closed, followers get an error,
+// and the panic still propagates on the leader's goroutine.
+func TestRunBatchPanicReleasesLock(t *testing.T) {
+	e := pipelineEngine(t)
+	// A prepared view with no snapshot makes commit dereference nil —
+	// standing in for any solver/maintenance panic.
+	broken := &prepared{name: "broken"}
+	req := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*deleteReq{req}, size: 1,
+		full: make(chan struct{}), done: make(chan struct{})}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the panic to propagate to the leader")
+			}
+		}()
+		e.runBatch(broken, b)
+	}()
+	select {
+	case <-b.done:
+	default:
+		t.Fatal("done channel not closed after a panicked commit")
+	}
+	if req.err == nil || !strings.Contains(req.err.Error(), "panicked") {
+		t.Fatalf("batch member's error after panic: %v", req.err)
+	}
+	// The commit lock is free again: a normal delete still serves.
+	if _, err := e.Delete("id", relation.StringTuple("r1", "x"), core.MinimizeSourceDeletions, core.DeleteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A batch whose every request is stale commits nothing and publishes no
+// generation.
+func TestCommitAllStale(t *testing.T) {
+	e := pipelineEngine(t)
+	p, err := e.lookup("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("nope", "1")}}
+	g2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("nope", "2")}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*deleteReq{g1, g2}, size: 2,
+		full: make(chan struct{}), done: make(chan struct{})}
+	e.wmu.Lock()
+	e.commit(p, b)
+	e.wmu.Unlock()
+	if g1.err == nil || g2.err == nil {
+		t.Fatal("stale requests must fail")
+	}
+	if st := e.Stats(); st.Deletes != 0 || st.CommitBatches != 0 {
+		t.Fatalf("all-stale batch moved counters: %+v", st)
+	}
+	if p.gen.Load() != 0 {
+		t.Fatal("all-stale batch published a generation")
+	}
+}
+
+// Concurrent deletes with a coalescing window must commit as one batch,
+// every caller sharing the combined report.
+func TestConcurrentDeletesCoalesce(t *testing.T) {
+	const k = 4
+	e := pipelineEngine(t, Options{MaxBatchSize: k, MaxCoalesceWait: 5 * time.Second, Workers: 2})
+	targets := []relation.Tuple{
+		relation.StringTuple("r1", "x"),
+		relation.StringTuple("r2", "x"),
+		relation.StringTuple("r3", "y"),
+		relation.StringTuple("r4", "y"),
+	}
+	var wg sync.WaitGroup
+	reports := make([]*core.DeleteReport, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = e.Delete("id", targets[i], core.MinimizeSourceDeletions, core.DeleteOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Deletes != k {
+		t.Fatalf("Deletes = %d, want %d", st.Deletes, k)
+	}
+	if st.CommitBatches != 1 {
+		t.Fatalf("CommitBatches = %d, want 1 (requests did not coalesce)", st.CommitBatches)
+	}
+	if st.CoalescedDeletes != k {
+		t.Fatalf("CoalescedDeletes = %d, want %d", st.CoalescedDeletes, k)
+	}
+	// One shared report describing the union.
+	for i := 1; i < k; i++ {
+		if reports[i] != reports[0] {
+			t.Fatal("coalesced callers received different reports")
+		}
+	}
+	if len(reports[0].Result.T) != k {
+		t.Fatalf("combined solve deleted %d source tuples, want %d", len(reports[0].Result.T), k)
+	}
+	if !strings.Contains(reports[0].Algorithm, "coalesced") {
+		t.Errorf("algorithm %q not marked coalesced", reports[0].Algorithm)
+	}
+	view, err := e.Query("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 2 {
+		t.Fatalf("view has %d tuples after batch, want 2", view.Len())
+	}
+	p, _ := e.lookup("id")
+	if g := p.gen.Load(); g != k {
+		t.Fatalf("generation %d after %d coalesced requests, want %d", g, k, k)
+	}
+}
+
+// An empty target list fails fast, before entering the pipeline.
+func TestDeleteEmptyTargets(t *testing.T) {
+	e := pipelineEngine(t)
+	if _, err := e.DeleteGroup("id", nil, core.MinimizeSourceDeletions, core.DeleteOptions{}); err == nil {
+		t.Fatal("empty DeleteGroup must fail")
+	}
+	if st := e.Stats(); st.Deletes != 0 {
+		t.Fatalf("empty request counted as a delete: %+v", st)
+	}
+}
+
+// fanOut must run every job exactly once regardless of worker bound.
+func TestFanOut(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		e := &Engine{opt: Options{Workers: workers}.withDefaults()}
+		e.opt.Workers = workers
+		const n = 17
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		e.fanOut(n, func(i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		if len(seen) != n {
+			t.Fatalf("workers=%d: %d jobs ran, want %d", workers, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/annotation"
@@ -159,6 +160,159 @@ func TestConcurrentServing(t *testing.T) {
 		if !view.Equal(fresh) {
 			t.Errorf("view %q stale against final source:\n%s\nvs\n%s", name, view.Table(), fresh.Table())
 		}
+	}
+}
+
+// TestConcurrentCoalescedServing stresses the coalescing write pipeline
+// under -race: many writers hammer the same view with single and group
+// deletes (coalescing enabled with a small wait so batches really form),
+// readers poll the materialized view, witnesses and stats throughout, and
+// two late Prepares land mid-stream. The detector is the primary
+// assertion; afterwards every view — including the late ones — must equal
+// a fresh evaluation over the final source, and the early view's
+// generation counter must equal the number of successful delete requests
+// (coalescing must not lose generations).
+func TestConcurrentCoalescedServing(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	db, q := workload.UserGroupFile(r, 24, 8, 18, 2, 2)
+	e := New(db, Options{MaxBatchSize: 8, MaxCoalesceWait: 2 * time.Millisecond, Workers: 4})
+	if err := e.Prepare("v", q); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		writeOK  atomic.Int64
+		writeBad atomic.Int64
+	)
+
+	// Readers: view, witnesses, stats.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				view, err := e.Query("v")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := view.Len(); n > 0 {
+					if _, err := e.Witnesses("v", view.Tuple(n/2)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				_ = e.Stats()
+			}
+		}()
+	}
+
+	// Late prepares race the writers.
+	for _, lp := range []struct{ name, q string }{
+		{"groups", "project(user, group; UserGroup)"},
+		{"files", "project(group, file; GroupFile)"},
+	} {
+		wg.Add(1)
+		go func(name, query string) {
+			defer wg.Done()
+			runtime.Gosched()
+			if err := e.PrepareText(name, query); err != nil {
+				t.Errorf("late prepare %s: %v", name, err)
+			}
+		}(lp.name, lp.q)
+	}
+
+	// Writers: mixed single and group deletes against the shared shrinking
+	// view. Races on vanished targets surface as ErrNotInView; anything
+	// else is a failure.
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			rr := rand.New(rand.NewSource(int64(1000 + w)))
+			for j := 0; j < 12; j++ {
+				view, err := e.Query("v")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := view.Len()
+				if n == 0 {
+					return
+				}
+				obj := core.MinimizeSourceDeletions
+				if j%3 == 0 {
+					obj = core.MinimizeViewSideEffects
+				}
+				if j%4 == 3 && n >= 2 {
+					targets := []relation.Tuple{view.Tuple(rr.Intn(n)), view.Tuple(rr.Intn(n))}
+					if _, err := e.DeleteGroup("v", targets, obj, core.DeleteOptions{Greedy: j%2 == 0}); err != nil {
+						if !errors.Is(err, deletion.ErrNotInView) {
+							t.Error(err)
+							return
+						}
+						writeBad.Add(1)
+					} else {
+						writeOK.Add(1)
+					}
+					continue
+				}
+				if _, err := e.Delete("v", view.Tuple(rr.Intn(n)), obj, core.DeleteOptions{}); err != nil {
+					if !errors.Is(err, deletion.ErrNotInView) {
+						t.Error(err)
+						return
+					}
+					writeBad.Add(1)
+				} else {
+					writeOK.Add(1)
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	done.Store(true)
+	wg.Wait()
+
+	if writeOK.Load() == 0 {
+		t.Fatal("no writer made progress")
+	}
+	st := e.Stats()
+	if st.Deletes != writeOK.Load() {
+		t.Errorf("stats count %d deletes, writers succeeded %d times", st.Deletes, writeOK.Load())
+	}
+	if st.CommitBatches > st.Deletes {
+		t.Errorf("more batches (%d) than delete requests (%d)", st.CommitBatches, st.Deletes)
+	}
+	// Every view — early and late — must be coherent with the final source.
+	for _, name := range e.Views() {
+		p, err := e.lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, err := e.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := algebra.Eval(p.plan, e.Database())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Equal(fresh) {
+			t.Errorf("view %q stale against final source:\n%s\nvs\n%s", name, view.Table(), fresh.Table())
+		}
+	}
+	// The early view saw every commit: its generation is the number of
+	// successful requests.
+	p, err := e.lookup("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := p.gen.Load(); g != writeOK.Load() {
+		t.Errorf("view %q generation %d, want %d (one per successful request)", "v", g, writeOK.Load())
 	}
 }
 

@@ -160,10 +160,17 @@ var (
 // runs the algebra layer once and caches the witness basis and
 // where-provenance index; deletions are solved on the cached basis and
 // maintained incrementally; readers and writers are safe to run
-// concurrently.
+// concurrently. Writes flow through a batching/coalescing pipeline:
+// concurrent deletes against the same view share one group solve, and a
+// commit's per-view maintenance fans out across a bounded worker pool —
+// EngineOptions tunes the worker count, the batch cap and the coalesce
+// wait.
 type (
 	// Engine serves prepared views with cached provenance.
 	Engine = engine.Engine
+	// EngineOptions tunes the engine's write pipeline (worker count, max
+	// batch size, max coalesce wait); the zero value means defaults.
+	EngineOptions = engine.Options
 	// EngineStats summarizes an engine's cached state and traffic.
 	EngineStats = engine.Stats
 	// EngineViewStats describes one prepared view inside EngineStats.
@@ -174,7 +181,8 @@ type (
 )
 
 var (
-	// NewEngine creates a prepared-view engine over a private copy of db.
+	// NewEngine creates a prepared-view engine over a private copy of db;
+	// an optional EngineOptions tunes the write pipeline.
 	NewEngine = engine.New
 )
 

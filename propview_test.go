@@ -141,7 +141,8 @@ func TestFacadeEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := propview.NewEngine(db)
+	// The facade passes write-pipeline options through to the engine.
+	e := propview.NewEngine(db, propview.EngineOptions{Workers: 2, MaxBatchSize: 4})
 	if err := e.PrepareText("access", "project(user, file; join(UserGroup, GroupFile))"); err != nil {
 		t.Fatal(err)
 	}
@@ -168,5 +169,8 @@ func TestFacadeEngine(t *testing.T) {
 	var st propview.EngineStats = e.Stats()
 	if st.Deletes != 1 || len(st.Views) != 1 {
 		t.Fatalf("unexpected stats %+v", st)
+	}
+	if st.CommitBatches != 1 {
+		t.Fatalf("one delete should commit as one batch, got %d", st.CommitBatches)
 	}
 }
