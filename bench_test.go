@@ -887,6 +887,43 @@ func BenchmarkEngine_ParallelDelete1Views(b *testing.B)  { benchmarkEngineParall
 func BenchmarkEngine_ParallelDelete8Views(b *testing.B)  { benchmarkEngineParallelDelete(b, 8) }
 func BenchmarkEngine_ParallelDelete64Views(b *testing.B) { benchmarkEngineParallelDelete(b, 64) }
 
+// BenchmarkEngine_MixedInsertDelete measures the steady-state grow/shrink
+// write loop the insertion path enables: each round deletes the first
+// remaining view tuple and then restores exactly the deleted source tuples
+// via Insert — so the view and basis are maintained incrementally in both
+// directions (ApplyDeletion and ApplyInsertion delta passes) without ever
+// recomputing from scratch, and the database returns to its original state
+// every round.
+func BenchmarkEngine_MixedInsertDelete(b *testing.B) {
+	const rounds = 50
+	db, q := engineWorkload()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := engine.New(db)
+		if err := e.Prepare("v", q); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for d := 0; d < rounds; d++ {
+			view, err := e.Query("v")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if view.Len() == 0 {
+				b.Fatal("view exhausted")
+			}
+			rep, err := e.Delete("v", view.Tuple(0), core.MinimizeSourceDeletions, core.DeleteOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Insert(rep.Result.T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds*2), "ns/write")
+}
+
 // Router overhead: the core dispatch on top of the direct algorithms.
 func BenchmarkRouter_Delete(b *testing.B) {
 	r := rand.New(rand.NewSource(17))

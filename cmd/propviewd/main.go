@@ -11,22 +11,33 @@
 //	POST /delete   {"view": "access", "tuple": ["john", "f2"], "objective": "view"}
 //	POST /delete   {"view": "access", "tuples": [["john","f1"],["john","f2"]], "objective": "source"}
 //	POST /delete   {"view": "access", "tuple": ["john", "f2"], "async": true}
+//	POST /insert   {"rel": "UserGroup", "tuple": ["john", "admin"]}
+//	POST /insert   {"rel": "UserGroup", "tuples": [["john","admin"],["sue","staff"]], "async": true}
 //	POST /annotate {"view": "access", "tuple": ["john", "f1"], "attr": "file"}
 //	GET  /stats
 //
-// Writes flow through the engine's batching/coalescing pipeline; the
-// -write-workers, -max-batch and -coalesce-wait flags tune it. An async
-// delete (202 Accepted) commits from a bounded queue (-async-queue) whose
-// backpressure is a 429; an oversized request body is a 413.
+// Writes — deletions AND source-side insertions — flow through the
+// engine's batching/coalescing pipeline; the -write-workers, -max-batch
+// and -coalesce-wait flags tune it. An async write (202 Accepted) commits
+// from a bounded queue (-async-queue) whose backpressure is a 429; an
+// oversized request body is a 413.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
+// requests, drains every 202-accepted async job to completion, and only
+// then exits — a queued job is a promise, not best-effort.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -69,14 +80,48 @@ func main() {
 		log.Printf("prepared view %q: %s", p.name, p.query)
 	}
 	log.Printf("propviewd serving %d relation(s) on %s", len(db.Names()), *addr)
+	s := newServer(e, *asyncQueue)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      newServer(e, *asyncQueue),
+		Handler:      s,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // NP-hard deletes can legitimately run long
 		IdleTimeout:  2 * time.Minute,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: finish in-flight requests, then commit every queued
+	// async job. Both phases share one generous bound — NP-hard solves can
+	// run long — after which remaining jobs are abandoned WITH a log line
+	// saying how many, instead of hanging until the supervisor's SIGKILL.
+	// A second signal also kills the process the default way immediately.
+	log.Printf("propviewd: shutting down: draining requests and async queue")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("propviewd: shutdown: %v", err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		log.Printf("propviewd: async queue drained; exiting")
+	case <-shutCtx.Done():
+		log.Printf("propviewd: drain timed out; abandoning %d queued async job(s)", len(s.jobs))
+	}
 }
 
 type prepareFlag struct{ name, query string }

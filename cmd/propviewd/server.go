@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/annotation"
@@ -17,94 +18,166 @@ import (
 
 // newServer wires the JSON endpoints onto an engine and, when asyncQueue
 // is positive, starts the background committer draining the bounded async
-// /delete queue. Split from main so the handler tests drive it through
-// httptest.
-func newServer(e *engine.Engine, asyncQueue int) http.Handler {
+// write queue (/delete and /insert jobs). Split from main so the handler
+// tests drive it through httptest. The returned server is an http.Handler;
+// Close drains the queue to completion for a graceful shutdown.
+func newServer(e *engine.Engine, asyncQueue int) *server {
 	s := newServerState(e, asyncQueue)
-	if s.deletes != nil {
+	if s.jobs != nil {
 		go s.runAsyncCommits()
 	}
-	return s.routes()
+	return s
 }
 
 // newServerState builds the server without starting the async committer,
 // so tests can fill the queue deterministically and drain it by hand.
 func newServerState(e *engine.Engine, asyncQueue int) *server {
-	s := &server{engine: e}
+	s := &server{engine: e, drained: make(chan struct{})}
 	if asyncQueue > 0 {
-		s.deletes = make(chan deleteJob, asyncQueue)
+		s.jobs = make(chan asyncJob, asyncQueue)
 	}
-	return s
-}
-
-func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/prepare", s.handlePrepare)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/annotate", s.handleAnnotate)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	s.mux = mux
+	return s
 }
 
 type server struct {
 	engine *engine.Engine
+	mux    *http.ServeMux
 
-	// deletes is the bounded async commit queue (nil when async mode is
-	// disabled). Accepted jobs are already validated: the view existed and
-	// the tuples parsed against its schema at enqueue time.
-	deletes chan deleteJob
+	// jobs is the bounded async commit queue (nil when async mode is
+	// disabled). Accepted jobs are already validated: the view or relation
+	// existed and the tuples parsed against its schema at enqueue time.
+	jobs chan asyncJob
+
+	// closeMu/closing guard the queue against sends after Close: enqueuers
+	// hold the read side around the send, Close holds the write side while
+	// it marks the queue closed — so no 202 is ever acknowledged for a job
+	// the drain misses.
+	closeMu   sync.RWMutex
+	closing   bool
+	closeOnce sync.Once
+	drained   chan struct{} // closed when the committer has drained the queue
 
 	asyncAccepted  atomic.Int64 // jobs enqueued (202)
 	asyncRejected  atomic.Int64 // jobs refused on a full queue (429)
 	asyncCompleted atomic.Int64 // jobs committed by the background worker
 	asyncFailed    atomic.Int64 // jobs whose commit failed (e.g. target vanished)
+
+	// errMu guards recentErrs, a ring of the most recent async commit
+	// failures (newest last) surfaced under /stats "async"."last_errors" —
+	// without it a failed 202 job was visible only as a counter.
+	errMu      sync.Mutex
+	recentErrs []asyncErrorJSON
 }
 
-// deleteJob is one validated async delete awaiting commit.
-type deleteJob struct {
-	view    string
+// ServeHTTP makes the server mountable directly into http.Server.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close gracefully shuts the async pipeline down: no new jobs are
+// admitted (enqueues answer 503), and the call blocks until the background
+// committer has drained every previously accepted job — a 202 is a
+// promise, and before this existed every queued job died silently with the
+// process. Only meaningful on servers built by newServer (which starts the
+// committer); idempotent.
+func (s *server) Close() {
+	if s.jobs == nil {
+		return
+	}
+	s.closeOnce.Do(func() {
+		s.closeMu.Lock()
+		s.closing = true
+		close(s.jobs)
+		s.closeMu.Unlock()
+	})
+	<-s.drained
+}
+
+// asyncJob is one validated async write awaiting commit: a delete against
+// a prepared view, or a source-side insert.
+type asyncJob struct {
+	op string // "delete" or "insert"
+
+	view    string // delete: target view
 	targets []relation.Tuple
 	obj     core.Objective
 	opts    core.DeleteOptions
 	group   bool
+
+	rel     string                 // insert: target relation (for logs/errors)
+	inserts []relation.SourceTuple // insert: source tuples
 }
 
-// runAsyncCommits drains the queue for the life of the process. Commits
-// submitted here flow through the engine's coalescing pipeline like any
-// synchronous writer, so queued deletes batch with concurrent traffic.
+// target names what the job writes to, for logs and the error ring.
+func (j asyncJob) target() string {
+	if j.op == "insert" {
+		return j.rel
+	}
+	return j.view
+}
+
+// runAsyncCommits drains the queue until Close. Commits submitted here
+// flow through the engine's coalescing pipeline like any synchronous
+// writer, so queued writes batch with concurrent traffic.
 func (s *server) runAsyncCommits() {
-	for job := range s.deletes {
+	defer close(s.drained)
+	for job := range s.jobs {
 		s.runJob(job)
 	}
 }
 
-// drainAsync synchronously commits everything currently queued; test
-// helper standing in for the background committer.
-func (s *server) drainAsync() {
-	for {
-		select {
-		case job := <-s.deletes:
-			s.runJob(job)
-		default:
-			return
-		}
-	}
-}
-
-func (s *server) runJob(job deleteJob) {
+func (s *server) runJob(job asyncJob) {
 	var err error
-	if job.group {
+	switch {
+	case job.op == "insert":
+		_, err = s.engine.Insert(job.inserts)
+	case job.group:
 		_, err = s.engine.DeleteGroup(job.view, job.targets, job.obj, job.opts)
-	} else {
+	default:
 		_, err = s.engine.Delete(job.view, job.targets[0], job.obj, job.opts)
 	}
 	if err != nil {
 		s.asyncFailed.Add(1)
-		log.Printf("propviewd: async delete on %q: %v", job.view, err)
+		s.recordAsyncError(job, err)
+		log.Printf("propviewd: async %s on %q: %v", job.op, job.target(), err)
 		return
 	}
 	s.asyncCompleted.Add(1)
+}
+
+// maxRecentErrors bounds the async failure ring.
+const maxRecentErrors = 16
+
+// asyncErrorJSON is one recorded async commit failure. View names the
+// prepared view of a delete job, Rel the source relation of an insert job.
+type asyncErrorJSON struct {
+	Op    string `json:"op"`
+	View  string `json:"view,omitempty"`
+	Rel   string `json:"rel,omitempty"`
+	Error string `json:"error"`
+}
+
+func (s *server) recordAsyncError(job asyncJob, err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if len(s.recentErrs) == maxRecentErrors {
+		copy(s.recentErrs, s.recentErrs[1:])
+		s.recentErrs = s.recentErrs[:maxRecentErrors-1]
+	}
+	s.recentErrs = append(s.recentErrs, asyncErrorJSON{Op: job.op, View: job.view, Rel: job.rel, Error: err.Error()})
+}
+
+// lastAsyncErrors snapshots the failure ring, newest last.
+func (s *server) lastAsyncErrors() []asyncErrorJSON {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return append([]asyncErrorJSON{}, s.recentErrs...)
 }
 
 type errorResponse struct {
@@ -121,6 +194,7 @@ var errBodyTooLarge = errors.New("request body too large")
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrUnknownView),
+		errors.Is(err, engine.ErrUnknownRelation),
 		errors.Is(err, deletion.ErrNotInView),
 		errors.Is(err, annotation.ErrNoPlacement):
 		return http.StatusNotFound
@@ -307,7 +381,11 @@ type deleteResponse struct {
 	Exact       bool              `json:"exact"`
 	Deletions   []sourceTupleJSON `json:"deletions"`
 	SideEffects [][]string        `json:"side_effects"`
-	ViewSize    int               `json:"view_size"`
+	// ViewSize and Generation come from the report's committed snapshot,
+	// not a post-commit Describe — under concurrent writers the two could
+	// otherwise disagree about which generation the size describes.
+	ViewSize   int   `json:"view_size"`
+	Generation int64 `json:"generation"`
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -368,7 +446,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Async {
-		s.enqueueAsync(w, deleteJob{view: req.View, targets: targets, obj: obj, opts: opts, group: group})
+		s.enqueueAsync(w, asyncJob{op: "delete", view: req.View, targets: targets, obj: obj, opts: opts, group: group})
 		return
 	}
 
@@ -398,15 +476,16 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	for _, t := range rep.Result.SideEffects {
 		resp.SideEffects = append(resp.SideEffects, renderTuple(t))
 	}
-	if info, derr := s.engine.Describe(req.View); derr == nil {
-		resp.ViewSize = info.ViewSize
-	}
+	resp.ViewSize = rep.ViewSize
+	resp.Generation = rep.Generation
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// asyncAcceptedResponse acknowledges an enqueued async delete.
+// asyncAcceptedResponse acknowledges an enqueued async write.
 type asyncAcceptedResponse struct {
-	View       string `json:"view"`
+	Op         string `json:"op"`
+	View       string `json:"view,omitempty"`
+	Rel        string `json:"rel,omitempty"`
 	Queued     bool   `json:"queued"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
@@ -414,27 +493,131 @@ type asyncAcceptedResponse struct {
 
 // enqueueAsync admits a validated job to the bounded commit queue, or
 // pushes back: a full queue is the client's signal to retry later or fall
-// back to a synchronous delete.
-func (s *server) enqueueAsync(w http.ResponseWriter, job deleteJob) {
-	if s.deletes == nil {
-		writeErr(w, fmt.Errorf("async deletes are disabled on this server"))
+// back to a synchronous write; a draining (shutting-down) server refuses
+// with 503.
+func (s *server) enqueueAsync(w http.ResponseWriter, job asyncJob) {
+	if s.jobs == nil {
+		writeErr(w, fmt.Errorf("async writes are disabled on this server"))
+		return
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closing {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "server is draining; retry against another instance or synchronously",
+		})
 		return
 	}
 	select {
-	case s.deletes <- job:
+	case s.jobs <- job:
 		s.asyncAccepted.Add(1)
 		writeJSON(w, http.StatusAccepted, asyncAcceptedResponse{
+			Op:         job.op,
 			View:       job.view,
+			Rel:        job.rel,
 			Queued:     true,
-			QueueDepth: len(s.deletes),
-			QueueCap:   cap(s.deletes),
+			QueueDepth: len(s.jobs),
+			QueueCap:   cap(s.jobs),
 		})
 	default:
 		s.asyncRejected.Add(1)
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{
-			Error: "async delete queue full; retry later or delete synchronously",
+			Error: "async write queue full; retry later or write synchronously",
 		})
 	}
+}
+
+// --- /insert ---
+
+// insertRequest adds tuples to one source relation. Re-inserting exactly
+// the tuples a previous /delete removed undoes the propagated deletion:
+// every prepared view and witness basis is restored byte-identically.
+type insertRequest struct {
+	Rel    string     `json:"rel"`
+	Tuple  []string   `json:"tuple,omitempty"`  // single tuple
+	Tuples [][]string `json:"tuples,omitempty"` // batched tuples
+	// Async commits the insert off the request path through the same
+	// bounded queue as async deletes (202 Accepted / 429 on a full queue).
+	Async bool `json:"async,omitempty"`
+}
+
+// insertResponse describes a committed insertion. Like deleteResponse,
+// coalesced concurrent /insert requests share one combined report. Views
+// reuses the engine's report type directly — its JSON tags are part of the
+// engine API.
+type insertResponse struct {
+	Rel        string                    `json:"rel"`
+	Requested  int                       `json:"requested"`
+	Inserted   []sourceTupleJSON         `json:"inserted"`
+	Duplicates int                       `json:"duplicates"`
+	SourceSize int                       `json:"source_size"`
+	Coalesced  bool                      `json:"coalesced"`
+	Views      []engine.InsertViewUpdate `json:"views"`
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req insertRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rel := s.engine.Database().Relation(req.Rel)
+	if rel == nil {
+		writeErr(w, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, req.Rel))
+		return
+	}
+	arity := rel.Schema().Len()
+
+	var rows [][]string
+	switch {
+	case len(req.Tuple) > 0 && len(req.Tuples) > 0:
+		writeErr(w, fmt.Errorf("give either tuple or tuples, not both"))
+		return
+	case len(req.Tuple) > 0:
+		rows = [][]string{req.Tuple}
+	case len(req.Tuples) > 0:
+		rows = req.Tuples
+	default:
+		writeErr(w, fmt.Errorf("missing tuple (or tuples) to insert"))
+		return
+	}
+	tuples := make([]relation.SourceTuple, len(rows))
+	for i, vals := range rows {
+		t, perr := parseTuple(vals, arity)
+		if perr != nil {
+			writeErr(w, perr)
+			return
+		}
+		tuples[i] = relation.SourceTuple{Rel: req.Rel, Tuple: t}
+	}
+
+	if req.Async {
+		s.enqueueAsync(w, asyncJob{op: "insert", rel: req.Rel, inserts: tuples})
+		return
+	}
+
+	rep, err := s.engine.Insert(tuples)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := insertResponse{
+		Rel:        req.Rel,
+		Requested:  rep.Requested,
+		Inserted:   []sourceTupleJSON{},
+		Duplicates: rep.Duplicates,
+		SourceSize: rep.SourceSize,
+		Coalesced:  rep.Coalesced,
+		Views:      []engine.InsertViewUpdate{},
+	}
+	for _, st := range rep.Inserted {
+		resp.Inserted = append(resp.Inserted, sourceTupleJSON{Rel: st.Rel, Tuple: renderTuple(st.Tuple)})
+	}
+	resp.Views = append(resp.Views, rep.Views...)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /annotate ---
@@ -509,6 +692,9 @@ type asyncStats struct {
 	Completed  int64 `json:"completed"`
 	Failed     int64 `json:"failed"`
 	Rejected   int64 `json:"rejected"`
+	// LastErrors is a bounded ring of the most recent async commit
+	// failures, newest last.
+	LastErrors []asyncErrorJSON `json:"last_errors"`
 }
 
 // statsResponse embeds the engine stats so its fields stay at the top
@@ -524,15 +710,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := statsResponse{Stats: s.engine.Stats()}
-	if s.deletes != nil {
+	if s.jobs != nil {
 		resp.Async = asyncStats{
 			Enabled:    true,
-			QueueCap:   cap(s.deletes),
-			QueueDepth: len(s.deletes),
+			QueueCap:   cap(s.jobs),
+			QueueDepth: len(s.jobs),
 			Accepted:   s.asyncAccepted.Load(),
 			Completed:  s.asyncCompleted.Load(),
 			Failed:     s.asyncFailed.Load(),
 			Rejected:   s.asyncRejected.Load(),
+			LastErrors: s.lastAsyncErrors(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

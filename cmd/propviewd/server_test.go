@@ -153,8 +153,13 @@ func TestHandlers(t *testing.T) {
 				}
 				// Deleting UserGroup(john, admin) removes (john,f2) with no
 				// side-effects: (john,f1) survives via the staff route.
+				// ViewSize/Generation come from the report's committed
+				// snapshot, not a later Describe.
 				if resp["view_size"].(float64) != 3 {
 					t.Errorf("view_size = %v, want 3", resp["view_size"])
+				}
+				if resp["generation"].(float64) != 1 {
+					t.Errorf("generation = %v, want 1", resp["generation"])
 				}
 				if n := len(resp["side_effects"].([]any)); n != 0 {
 					t.Errorf("%d side-effects, want 0", n)
@@ -213,6 +218,66 @@ func TestHandlers(t *testing.T) {
 			method: http.MethodPost, url: "/delete",
 			body:       `{"view": "access", "tuple": ["john","f1"], "tuples": [["mary","f1"]]}`,
 			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "insert ok", prepare: true,
+			method: http.MethodPost, url: "/insert",
+			body:       `{"rel": "UserGroup", "tuple": ["sue", "staff"]}`,
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				if n := len(resp["inserted"].([]any)); n != 1 {
+					t.Errorf("%d inserted, want 1", n)
+				}
+				views := resp["views"].([]any)
+				if len(views) != 1 {
+					t.Fatalf("%d views in insert response, want 1", len(views))
+				}
+				v := views[0].(map[string]any)
+				// (sue,staff) joins GroupFile(staff,f1): the view grows to 5.
+				if v["view_size"].(float64) != 5 || v["generation"].(float64) != 1 {
+					t.Errorf("view update %v, want size 5 gen 1", v)
+				}
+			},
+		},
+		{
+			name: "insert batched duplicates", prepare: true,
+			method: http.MethodPost, url: "/insert",
+			body:       `{"rel": "UserGroup", "tuples": [["john","staff"],["sue","staff"]]}`,
+			wantStatus: http.StatusOK,
+			check: func(t *testing.T, resp map[string]any) {
+				if resp["duplicates"].(float64) != 1 || len(resp["inserted"].([]any)) != 1 {
+					t.Errorf("mixed insert response %v", resp)
+				}
+			},
+		},
+		{
+			name: "insert unknown relation", prepare: true,
+			method: http.MethodPost, url: "/insert",
+			body:       `{"rel": "Nope", "tuple": ["a", "b"]}`,
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name: "insert wrong arity", prepare: true,
+			method: http.MethodPost, url: "/insert",
+			body:       `{"rel": "UserGroup", "tuple": ["sue"]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "insert missing tuple", prepare: true,
+			method: http.MethodPost, url: "/insert",
+			body:       `{"rel": "UserGroup"}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "insert both tuple and tuples", prepare: true,
+			method: http.MethodPost, url: "/insert",
+			body:       `{"rel": "UserGroup", "tuple": ["a","b"], "tuples": [["c","d"]]}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name: "insert wrong method", prepare: true,
+			method: http.MethodGet, url: "/insert",
+			wantStatus: http.StatusMethodNotAllowed,
 		},
 		{
 			name: "annotate ok", prepare: true,
@@ -290,13 +355,27 @@ func TestHandlers(t *testing.T) {
 func TestOversizedBody(t *testing.T) {
 	h := newTestServer(t, true)
 	big := `{"view": "access", "tuple": ["john", "` + strings.Repeat("x", maxBodyBytes+1) + `"]}`
-	for _, url := range []string{"/prepare", "/delete", "/annotate"} {
+	for _, url := range []string{"/prepare", "/delete", "/insert", "/annotate"} {
 		code, resp := do(t, h, http.MethodPost, url, big)
 		if code != http.StatusRequestEntityTooLarge {
 			t.Errorf("%s: status %d, want 413", url, code)
 		}
 		if msg, _ := resp["error"].(string); !strings.Contains(msg, "request body too large") {
 			t.Errorf("%s: error %q does not name the oversized body", url, msg)
+		}
+	}
+}
+
+// drainAsync synchronously commits everything currently queued — the
+// tests' stand-in for the background committer (which newServerState does
+// not start). Test-only: it would race a running committer on s.jobs.
+func (s *server) drainAsync() {
+	for {
+		select {
+		case job := <-s.jobs:
+			s.runJob(job)
+		default:
+			return
 		}
 	}
 }
@@ -314,7 +393,7 @@ func newAsyncTestServer(t *testing.T, queue int) (*server, http.Handler) {
 		t.Fatal(err)
 	}
 	s := newServerState(e, queue)
-	return s, s.routes()
+	return s, s
 }
 
 // An async delete is validated, accepted with 202, committed by the
@@ -370,7 +449,7 @@ func TestAsyncDeleteValidatesBeforeEnqueue(t *testing.T) {
 			t.Errorf("%s: status %d (%v), want %d", tc.body, code, resp, tc.want)
 		}
 	}
-	if n := len(s.deletes); n != 0 {
+	if n := len(s.jobs); n != 0 {
 		t.Fatalf("%d invalid jobs reached the queue", n)
 	}
 }
@@ -453,6 +532,144 @@ func TestAsyncDeleteBackgroundCommit(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// A /delete followed by /insert of exactly the reported deletions is an
+// undo: the view serves its original four tuples again.
+func TestInsertRestoreUndo(t *testing.T) {
+	h := newTestServer(t, true)
+	code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "objective": "view"}`)
+	if code != http.StatusOK {
+		t.Fatalf("delete: %d %v", code, resp)
+	}
+	deletions := resp["deletions"].([]any)
+	if len(deletions) == 0 {
+		t.Fatal("nothing to restore")
+	}
+	for _, raw := range deletions {
+		d := raw.(map[string]any)
+		vals, _ := json.Marshal(d["tuple"])
+		body := `{"rel": "` + d["rel"].(string) + `", "tuple": ` + string(vals) + `}`
+		if code, resp := do(t, h, http.MethodPost, "/insert", body); code != http.StatusOK {
+			t.Fatalf("restore insert: %d %v", code, resp)
+		}
+	}
+	code, resp = do(t, h, http.MethodGet, "/query?view=access", "")
+	if code != http.StatusOK || len(resp["tuples"].([]any)) != 4 {
+		t.Fatalf("view not restored: %d %v", code, resp)
+	}
+	_, resp = do(t, h, http.MethodGet, "/stats", "")
+	if resp["inserts"].(float64) != 1 || resp["inserted_source_tuples"].(float64) != 1 {
+		t.Errorf("insert counters %v", resp)
+	}
+}
+
+// An async insert is accepted with 202, committed by the drain, and
+// visible in the view and the stats afterwards.
+func TestAsyncInsert(t *testing.T) {
+	s, h := newAsyncTestServer(t, 4)
+	code, resp := do(t, h, http.MethodPost, "/insert", `{"rel": "UserGroup", "tuple": ["sue", "staff"], "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async insert: status %d (%v), want 202", code, resp)
+	}
+	if resp["op"] != "insert" || resp["queued"] != true {
+		t.Fatalf("unexpected accepted response: %v", resp)
+	}
+	if _, resp := do(t, h, http.MethodGet, "/query?view=access", ""); len(resp["tuples"].([]any)) != 4 {
+		t.Fatal("async insert committed before the queue drained")
+	}
+	s.drainAsync()
+	if _, resp := do(t, h, http.MethodGet, "/query?view=access", ""); len(resp["tuples"].([]any)) != 5 {
+		t.Fatalf("view after drain: %v", resp["tuples"])
+	}
+	_, resp = do(t, h, http.MethodGet, "/stats", "")
+	async := resp["async"].(map[string]any)
+	if async["completed"].(float64) != 1 || async["failed"].(float64) != 0 {
+		t.Fatalf("async stats %v", async)
+	}
+	if resp["inserts"].(float64) != 1 {
+		t.Fatalf("engine insert counter %v, want 1", resp["inserts"])
+	}
+}
+
+// A failed async commit is not just a counter: it lands in the last_errors
+// ring under /stats "async".
+func TestAsyncLastErrors(t *testing.T) {
+	s, h := newAsyncTestServer(t, 4)
+	// A ghost tuple passes enqueue-time validation (arity is right) and
+	// fails at commit time with not-in-view.
+	code, _ := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["ghost", "f9"], "async": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("ghost delete not accepted: %d", code)
+	}
+	s.drainAsync()
+	_, resp := do(t, h, http.MethodGet, "/stats", "")
+	async := resp["async"].(map[string]any)
+	if async["failed"].(float64) != 1 {
+		t.Fatalf("async stats %v, want failed=1", async)
+	}
+	errs := async["last_errors"].([]any)
+	if len(errs) != 1 {
+		t.Fatalf("last_errors %v, want one entry", errs)
+	}
+	e0 := errs[0].(map[string]any)
+	if e0["op"] != "delete" || e0["view"] != "access" || !strings.Contains(e0["error"].(string), "not in view") {
+		t.Fatalf("last_errors entry %v", e0)
+	}
+	// The ring is bounded: flood it and check the cap and ordering (newest
+	// kept).
+	for i := 0; i < maxRecentErrors+5; i++ {
+		s.runJob(asyncJob{op: "delete", view: "access", targets: []relation.Tuple{relation.StringTuple("ghost", "f9")}})
+	}
+	if got := len(s.lastAsyncErrors()); got != maxRecentErrors {
+		t.Fatalf("ring holds %d errors, want cap %d", got, maxRecentErrors)
+	}
+}
+
+// Close drains every accepted async job to completion before returning —
+// the graceful-shutdown path — and later enqueues are refused with 503.
+func TestCloseDrainsAsyncQueue(t *testing.T) {
+	db, err := relation.ReadDatabaseString(testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(db)
+	if err := e.PrepareText("access", testQuery); err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(e, 8) // background committer running
+	bodies := []string{
+		`{"view": "access", "tuple": ["john", "f2"], "async": true}`,
+		`{"view": "access", "tuple": ["mary", "f2"], "async": true}`,
+		`{"rel": "UserGroup", "tuple": ["sue", "staff"], "async": true}`,
+	}
+	urls := []string{"/delete", "/delete", "/insert"}
+	for i, body := range bodies {
+		if code, resp := do(t, s, http.MethodPost, urls[i], body); code != http.StatusAccepted {
+			t.Fatalf("enqueue %d: status %d (%v)", i, code, resp)
+		}
+	}
+	s.Close() // must block until all three jobs committed
+	if got := s.asyncCompleted.Load() + s.asyncFailed.Load(); got != 3 {
+		t.Fatalf("after Close: %d jobs settled, want 3 (a 202 is a promise)", got)
+	}
+	if len(s.jobs) != 0 {
+		t.Fatal("Close returned with jobs still queued")
+	}
+	// The committed state is really there.
+	view, err := e.Query("access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Contains(relation.StringTuple("john", "f2")) || view.Contains(relation.StringTuple("mary", "f2")) {
+		t.Fatal("queued deletes lost on Close")
+	}
+	// A draining server refuses new async work instead of dropping it.
+	code, resp := do(t, s, http.MethodPost, "/delete", `{"view": "access", "tuple": ["mary", "f1"], "async": true}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("enqueue after Close: status %d (%v), want 503", code, resp)
+	}
+	s.Close() // idempotent
 }
 
 // TestServerSession drives a realistic session across endpoints against one

@@ -67,6 +67,14 @@ type DeleteReport struct {
 	Result *deletion.Result
 	// Exact reports whether the result is certified optimal.
 	Exact bool
+	// ViewSize and Generation describe the committed snapshot of the view
+	// the deletion was served against, captured inside the commit — so a
+	// server composing a response never pairs this report with a LATER
+	// generation's view size. Filled by the prepared-view engine
+	// (internal/engine); zero for the one-shot router below, which has no
+	// generation to report.
+	ViewSize   int
+	Generation int64
 }
 
 // Delete removes the target tuple from the view Q(S) by deleting source

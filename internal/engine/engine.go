@@ -5,8 +5,8 @@
 // Prepare runs the algebra layer once per view — validation, Theorem 3.1
 // normalization, join-order optimization — then materializes the view and
 // computes the witness basis (why-provenance) and the where-provenance
-// index. Query, Witnesses, Delete, DeleteGroup and Annotate requests are
-// answered from that cached state:
+// index. Query, Witnesses, Delete, DeleteGroup, Insert and Annotate
+// requests are answered from that cached state:
 //
 //   - deletions solve on the cached basis (internal/deletion's *Basis
 //     solvers) and maintain the materialized view and basis of every
@@ -15,6 +15,11 @@
 //     request;
 //   - DeleteGroup amortizes one basis pass and one hitting-set solve across
 //     a whole batch of targets;
+//   - insertions (Insert) extend the source and delta-maintain every view
+//     and basis via provenance.Result.ApplyInsertion — new witnesses are
+//     exactly the derivations using inserted tuples — so a curated
+//     database can grow, and can undo a propagated deletion by restoring
+//     exactly the deleted tuples, without a restart-and-re-Prepare;
 //   - annotation placement scans the cached where-provenance index. The
 //     index has no incremental maintenance rule (a source deletion can
 //     shrink the where-set of a *surviving* view tuple, e.g. when a
@@ -22,16 +27,20 @@
 //     lazily on the first Annotate after a deletion.
 //
 // Concurrency: readers are lock-free on immutable copy-on-write snapshots.
-// Writes flow through a batching/coalescing pipeline (pipeline.go):
-// concurrent Delete/DeleteGroup calls against the same view coalesce into
-// a single cached-basis group solve, commits are serialized by a commit
-// lock, and each commit's per-view incremental maintenance fans out across
-// a bounded worker pool — so delete latency does not scale with the number
-// of prepared views, and throughput under write contention does not
-// degrade to one solve per request. The engine owns a private clone of the
-// source database and never mutates a published generation, so concurrent
-// Query/Annotate readers and Delete writers are race-free by construction
-// (see race_test.go). Options tunes the pipeline (worker count, batch cap,
+// Writes — deletions and insertions — flow through a batching/coalescing
+// pipeline (pipeline.go): concurrent Delete/DeleteGroup calls against the
+// same view coalesce into a single cached-basis group solve, concurrent
+// Insert calls coalesce into a single source extension, commits are
+// serialized by a commit lock, and each commit's per-view incremental
+// maintenance fans out across a bounded worker pool — so write latency
+// does not scale with the number of prepared views, and throughput under
+// write contention does not degrade to one solve per request. Prepare
+// computes off the commit lock against a captured source generation and
+// revalidates at registration, so an expensive prepare never stalls
+// concurrent writes. The engine owns a private clone of the source
+// database and never mutates a published generation, so concurrent
+// Query/Annotate readers and Delete/Insert writers are race-free by
+// construction (see race_test.go). Options tunes the pipeline (worker count, batch cap,
 // coalesce wait); the zero value keeps uncontended latency identical to a
 // serial engine.
 package engine
@@ -56,6 +65,10 @@ var ErrUnknownView = fmt.Errorf("engine: unknown view")
 // ErrConflict is returned (wrapped) when Prepare reuses a view name for a
 // different query.
 var ErrConflict = fmt.Errorf("engine: view already prepared with a different query")
+
+// ErrUnknownRelation is returned (wrapped) when an Insert names a source
+// relation the engine's database does not have.
+var ErrUnknownRelation = fmt.Errorf("engine: unknown source relation")
 
 // snapshot is one immutable generation of a prepared view: the source
 // database generation it reflects, the materialized view with its witness
@@ -103,28 +116,34 @@ type prepared struct {
 	}
 
 	snap atomic.Pointer[snapshot]
-	gen  atomic.Int64 // delete requests maintained through
+	gen  atomic.Int64 // write requests maintained through
 
-	batcher batcher // coalescing point for this view's writers
+	batcher batcher // coalescing point for this view's deletion writers
 }
 
 // Engine serves prepared views over a private copy of a source database.
 type Engine struct {
 	opt   Options
-	mu    sync.RWMutex // guards views map and db pointer
+	mu    sync.RWMutex // guards views map, db pointer and sgen
 	wmu   sync.Mutex   // commit lock: one batch solves+publishes at a time
 	db    *relation.Database
 	views map[string]*prepared
+	sgen  atomic.Int64 // source generation: committed write batches so far
+
+	insBatcher batcher // coalescing point for Insert writers (engine-wide)
 
 	// Request counters (atomic; Stats assembles them).
-	nPrepares  atomic.Int64
-	nQueries   atomic.Int64
-	nDeletes   atomic.Int64
-	nAnnotates atomic.Int64
-	nDeleted   atomic.Int64 // source tuples deleted
-	nMaint     atomic.Int64 // incremental basis maintenance passes
-	nBatches   atomic.Int64 // committed write batches
-	nCoalesced atomic.Int64 // delete requests that shared a batch
+	nPrepares     atomic.Int64
+	nQueries      atomic.Int64
+	nDeletes      atomic.Int64
+	nInserts      atomic.Int64
+	nAnnotates    atomic.Int64
+	nDeleted      atomic.Int64 // source tuples deleted
+	nInserted     atomic.Int64 // novel source tuples inserted
+	nMaint        atomic.Int64 // incremental basis maintenance passes
+	nBatches      atomic.Int64 // committed write batches
+	nCoalesced    atomic.Int64 // delete requests that shared a batch
+	nCoalescedIns atomic.Int64 // insert requests that shared a batch
 }
 
 // New creates an engine over a private deep copy of db: later mutations of
@@ -152,61 +171,108 @@ func (e *Engine) Prepare(name string, q algebra.Query) error {
 	return e.PrepareLimited(name, q, provenance.Limit{})
 }
 
+// maxPrepareRetries bounds how many times a prepare recomputes off-lock
+// after losing a race with a commit before it gives up and computes while
+// holding the commit lock (guaranteed progress under a hot write stream).
+const maxPrepareRetries = 3
+
 // PrepareLimited is Prepare with a cap on the witness basis, for
 // adversarial queries whose basis is exponential (Corollary 3.1). The cap
-// is enforced here — once a basis is prepared under it, incremental
-// maintenance only ever shrinks it, so every later Delete stays within the
-// cap too.
+// is enforced here and re-enforced by Insert's incremental maintenance, so
+// every later write stays within it too.
+//
+// The expensive work — evaluation, witness-basis computation, the eager
+// where-index — runs WITHOUT the commit lock, against a captured source
+// generation; concurrent deletes and inserts commit freely underneath an
+// in-flight prepare instead of stalling behind it. Registration then takes
+// the commit lock and revalidates the captured generation: if a commit
+// landed meanwhile, the prepare recomputes against the newer source (after
+// maxPrepareRetries lost races it computes while holding the lock, which
+// cannot lose). Holding the lock at registration time still guarantees a
+// registered view never misses a maintenance pass.
 func (e *Engine) PrepareLimited(name string, q algebra.Query, lim provenance.Limit) error {
 	if name == "" {
 		return fmt.Errorf("engine: empty view name")
 	}
 	src := algebra.Format(q)
 
-	// Prepare is a writer: holding wmu guarantees the source generation
-	// read here is still current when the view is registered, so a
-	// concurrent Delete can never publish a generation this view's
-	// snapshot misses the maintenance pass for.
-	e.wmu.Lock()
-	defer e.wmu.Unlock()
-
-	e.mu.RLock()
-	existing := e.views[name]
-	db := e.db
-	e.mu.RUnlock()
-	if existing != nil {
-		if existing.src == src {
-			return nil
+	build := func(db *relation.Database) (*prepared, *snapshot, error) {
+		if err := algebra.Validate(q, db); err != nil {
+			return nil, nil, err
 		}
-		return fmt.Errorf("%w: %q is %s, not %s", ErrConflict, name, existing.src, src)
+		plan := algebra.OptimizeJoins(algebra.Normalize(q), db)
+		prov, err := provenance.ComputeLimited(plan, db, lim)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := &prepared{name: name, src: src, plan: plan, frag: algebra.Fragment(q)}
+		p.cls.view = algebra.Classify(q, algebra.ProblemViewSideEffect)
+		p.cls.source = algebra.Classify(q, algebra.ProblemSourceSideEffect)
+		p.cls.ann = algebra.Classify(q, algebra.ProblemAnnotationPlacement)
+		snap := &snapshot{db: db, prov: prov}
+		// The where index is computed eagerly so the first Annotate is as
+		// cheap as the rest, but a failure here must not fail the Prepare:
+		// the deletion path never needs the index, and the package doc
+		// promises deletion-only deployments still serve. The error is
+		// cached in the snapshot and surfaced on Annotate.
+		snap.whereView(plan)
+		return p, snap, nil
 	}
 
-	if err := algebra.Validate(q, db); err != nil {
-		return err
-	}
-	plan := algebra.OptimizeJoins(algebra.Normalize(q), db)
-	prov, err := provenance.ComputeLimited(plan, db, lim)
-	if err != nil {
-		return err
-	}
-	p := &prepared{name: name, src: src, plan: plan, frag: algebra.Fragment(q)}
-	p.cls.view = algebra.Classify(q, algebra.ProblemViewSideEffect)
-	p.cls.source = algebra.Classify(q, algebra.ProblemSourceSideEffect)
-	p.cls.ann = algebra.Classify(q, algebra.ProblemAnnotationPlacement)
-	snap := &snapshot{db: db, prov: prov}
-	// The where index is computed eagerly so the first Annotate is as cheap
-	// as the rest, but a failure here must not fail the Prepare: the
-	// deletion path never needs the index, and the package doc promises
-	// deletion-only deployments still serve. The error is cached in the
-	// snapshot and surfaced on Annotate.
-	snap.whereView(plan)
-	p.snap.Store(snap)
+	for attempt := 0; ; attempt++ {
+		// Capture (source, generation) atomically; both are published
+		// together under mu by every commit.
+		e.mu.RLock()
+		existing := e.views[name]
+		db := e.db
+		gen := e.sgen.Load()
+		e.mu.RUnlock()
+		if existing != nil {
+			if existing.src == src {
+				return nil
+			}
+			return fmt.Errorf("%w: %q is %s, not %s", ErrConflict, name, existing.src, src)
+		}
 
-	e.mu.Lock()
-	e.views[name] = p
-	e.mu.Unlock()
-	e.nPrepares.Add(1)
-	return nil
+		p, snap, err := build(db)
+		if err != nil {
+			return err
+		}
+
+		e.wmu.Lock()
+		if e.sgen.Load() != gen {
+			// A commit landed while we computed: this snapshot reflects a
+			// stale source. Recompute — off-lock again if retries remain,
+			// else against the now-stable current source while holding wmu.
+			if attempt < maxPrepareRetries {
+				e.wmu.Unlock()
+				continue
+			}
+			e.mu.RLock()
+			db = e.db
+			e.mu.RUnlock()
+			if p, snap, err = build(db); err != nil {
+				e.wmu.Unlock()
+				return err
+			}
+		}
+		e.mu.Lock()
+		if other := e.views[name]; other != nil {
+			// A concurrent prepare won the name while we computed.
+			e.mu.Unlock()
+			e.wmu.Unlock()
+			if other.src == src {
+				return nil
+			}
+			return fmt.Errorf("%w: %q is %s, not %s", ErrConflict, name, other.src, src)
+		}
+		p.snap.Store(snap)
+		e.views[name] = p
+		e.mu.Unlock()
+		e.wmu.Unlock()
+		e.nPrepares.Add(1)
+		return nil
+	}
 }
 
 // PrepareText is Prepare with a query in the textual syntax.
@@ -346,15 +412,62 @@ func (e *Engine) delete(name string, targets []relation.Tuple, obj core.Objectiv
 		return nil, fmt.Errorf("engine: empty target set")
 	}
 
-	req := &deleteReq{targets: targets, group: group}
-	key := batchKey{obj: obj, greedy: opts.Greedy, maxCandidates: opts.MaxCandidates}
+	req := &writeReq{kind: writeDelete, targets: targets, group: group}
+	key := batchKey{kind: writeDelete, obj: obj, greedy: opts.Greedy, maxCandidates: opts.MaxCandidates}
 	b, leader := p.batcher.join(req, key, e.opt.MaxBatchSize)
 	if leader {
-		e.runBatch(p, b)
+		e.runBatch(&p.batcher, b, func(b *batch) { e.commitDelete(p, b) })
 	} else {
 		<-b.done
 	}
 	return req.report, req.err
+}
+
+// Insert adds source tuples to the engine's database and incrementally
+// extends every prepared view's materialized state and witness basis by a
+// delta evaluation (provenance.Result.ApplyInsertion): new witnesses are
+// exactly the derivations using at least one inserted tuple, so nothing is
+// recomputed from scratch. Re-inserting exactly the tuples a previous
+// Delete removed restores the pre-deletion view, basis and source —
+// insertion is the undo the deletion-only engine lacked.
+//
+// Tuples already present are idempotent no-ops, reported in the report's
+// Duplicates count. Inserts flow through the same coalescing pipeline as
+// deletes: concurrent Insert calls may share one commit (one source
+// extension, one delta-maintenance sweep), all receiving the same combined
+// read-only report, and per-view generations advance once per request that
+// contributed a novel tuple — exactly as if the requests ran one at a
+// time. A view prepared under a PrepareLimited witness cap re-enforces the
+// cap: an insertion that would grow some basis past it fails the whole
+// batch (wrapped provenance.ErrLimit) and publishes nothing.
+func (e *Engine) Insert(tuples []relation.SourceTuple) (*InsertReport, error) {
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("engine: empty insert set")
+	}
+	// Validate against the schema catalog up front: the relation set and
+	// schemas are fixed at engine construction, so this cannot race with
+	// commits.
+	e.mu.RLock()
+	db := e.db
+	e.mu.RUnlock()
+	for _, st := range tuples {
+		r := db.Relation(st.Rel)
+		if r == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, st.Rel)
+		}
+		if len(st.Tuple) != r.Schema().Len() {
+			return nil, fmt.Errorf("engine: inserting arity-%d tuple into %s%s", len(st.Tuple), st.Rel, r.Schema())
+		}
+	}
+
+	req := &writeReq{kind: writeInsert, tuples: tuples}
+	b, leader := e.insBatcher.join(req, batchKey{kind: writeInsert}, e.opt.MaxBatchSize)
+	if leader {
+		e.runBatch(&e.insBatcher, b, e.commitInsert)
+	} else {
+		<-b.done
+	}
+	return req.ins, req.err
 }
 
 // apply publishes a new source generation with T removed and incrementally
@@ -390,6 +503,7 @@ func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 		p.snap.Store(next[i])
 		p.gen.Add(int64(reqs))
 	}
+	e.sgen.Add(1)
 	e.mu.Unlock()
 }
 
@@ -438,11 +552,41 @@ type ViewStats struct {
 	ViewSize int `json:"view_size"`
 	// WitnessCount is the total number of cached minimal witnesses.
 	WitnessCount int `json:"witness_count"`
-	// Generation counts the deletion generations maintained through.
+	// Generation counts the write requests (deletions and insertions)
+	// maintained through.
 	Generation int64 `json:"generation"`
 	// WhereReady reports whether the where-provenance index is built for
 	// the current generation.
 	WhereReady bool `json:"where_ready"`
+}
+
+// InsertReport is the outcome of a committed Insert. Coalesced requests
+// share one report describing the combined batch; it must be treated as
+// read-only.
+type InsertReport struct {
+	// Requested is the total number of tuples the batch asked to insert.
+	Requested int `json:"requested"`
+	// Inserted lists the novel source tuples actually added, in request
+	// order. Empty when every requested tuple already existed.
+	Inserted []relation.SourceTuple `json:"inserted"`
+	// Duplicates counts requested tuples that were already present (or
+	// repeated within the batch) and were skipped as idempotent no-ops.
+	Duplicates int `json:"duplicates"`
+	// SourceSize is the source tuple count after the commit.
+	SourceSize int `json:"source_size"`
+	// Coalesced reports whether this commit carried more than one request.
+	Coalesced bool `json:"coalesced"`
+	// Views carries each prepared view's post-commit size and generation,
+	// sorted by name — the same committed-snapshot pairing DeleteReport
+	// carries for its view.
+	Views []InsertViewUpdate `json:"views"`
+}
+
+// InsertViewUpdate is one prepared view's state after an insert commit.
+type InsertViewUpdate struct {
+	Name       string `json:"name"`
+	ViewSize   int    `json:"view_size"`
+	Generation int64  `json:"generation"`
 }
 
 // Stats is a point-in-time summary of the engine's state and traffic.
@@ -455,18 +599,26 @@ type Stats struct {
 	Prepares  int64 `json:"prepares"`
 	Queries   int64 `json:"queries"`
 	Deletes   int64 `json:"deletes"`
+	Inserts   int64 `json:"inserts"`
 	Annotates int64 `json:"annotates"`
 	// DeletedSourceTuples is the total number of source tuples removed.
 	DeletedSourceTuples int64 `json:"deleted_source_tuples"`
-	// IncrementalMaintenances counts per-view ApplyDeletion passes (one per
-	// prepared view per committed write batch).
+	// InsertedSourceTuples is the total number of novel source tuples added
+	// (duplicate inserts are idempotent and not counted).
+	InsertedSourceTuples int64 `json:"inserted_source_tuples"`
+	// IncrementalMaintenances counts per-view maintenance passes —
+	// ApplyDeletion or ApplyInsertion, one per prepared view per committed
+	// write batch.
 	IncrementalMaintenances int64 `json:"incremental_maintenances"`
-	// CommitBatches counts committed write batches; Deletes/CommitBatches
-	// is the average coalescing factor.
+	// CommitBatches counts committed write batches of either kind;
+	// (Deletes+Inserts)/CommitBatches is the average coalescing factor.
 	CommitBatches int64 `json:"commit_batches"`
 	// CoalescedDeletes counts delete requests that shared their batch with
 	// at least one other request.
 	CoalescedDeletes int64 `json:"coalesced_deletes"`
+	// CoalescedInserts counts insert requests that shared their batch with
+	// at least one other request.
+	CoalescedInserts int64 `json:"coalesced_inserts"`
 }
 
 // Stats assembles the current counters and per-view summaries. Like
@@ -492,11 +644,14 @@ func (e *Engine) Stats() Stats {
 		Prepares:                e.nPrepares.Load(),
 		Queries:                 e.nQueries.Load(),
 		Deletes:                 e.nDeletes.Load(),
+		Inserts:                 e.nInserts.Load(),
 		Annotates:               e.nAnnotates.Load(),
 		DeletedSourceTuples:     e.nDeleted.Load(),
+		InsertedSourceTuples:    e.nInserted.Load(),
 		IncrementalMaintenances: e.nMaint.Load(),
 		CommitBatches:           e.nBatches.Load(),
 		CoalescedDeletes:        e.nCoalesced.Load(),
+		CoalescedInserts:        e.nCoalescedIns.Load(),
 	}
 	for _, c := range ps {
 		wit := 0

@@ -1,7 +1,13 @@
-// The write pipeline: concurrent Delete/DeleteGroup requests against the
-// same view coalesce into one cached-basis group solve and one commit, and
-// the per-view incremental maintenance of a commit fans out across a
-// bounded worker pool.
+// The write pipeline: concurrent write requests coalesce into batches that
+// commit under one lock. Delete/DeleteGroup requests against the same view
+// coalesce into one cached-basis group solve; concurrent Insert requests
+// coalesce into one source extension with one delta-maintenance sweep; and
+// the per-view incremental maintenance of every commit fans out across a
+// bounded worker pool. Both kinds flow through the same batcher/batch
+// machinery and the same commit lock, so an arbitrary interleaving of
+// deletions and insertions is just a sequence of serialized batch commits
+// (differential_test.go proves the sequence equivalent to applying the
+// requests one at a time).
 //
 // Life of a delete request:
 //
@@ -37,6 +43,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -76,39 +83,64 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// batchKey is the compatibility class of a delete request: only requests
-// solving for the same objective with the same solver options may share a
-// group solve.
+// writeKind distinguishes the two write request types in the pipeline.
+type writeKind uint8
+
+const (
+	writeDelete writeKind = iota
+	writeInsert
+)
+
+// batchKey is the compatibility class of a write request: only requests of
+// the same kind may share a batch, and deletions additionally must solve
+// for the same objective with the same solver options to share a group
+// solve. (Insertions have no solver knobs, so all concurrent inserts are
+// compatible.)
 type batchKey struct {
+	kind          writeKind
 	obj           core.Objective
 	greedy        bool
 	maxCandidates int
 }
 
-// deleteReq is one caller's Delete or DeleteGroup inside a batch. The
-// leader fills report/err before closing the batch's done channel.
-type deleteReq struct {
-	targets []relation.Tuple
-	group   bool
+// writeReq is one caller's write inside a batch: a Delete/DeleteGroup
+// (targets/group, answered in report) or an Insert (tuples, answered in
+// ins). The leader fills the answer and err before closing the batch's
+// done channel.
+type writeReq struct {
+	kind    writeKind
+	targets []relation.Tuple       // delete: view tuples to remove
+	group   bool                   // delete: DeleteGroup vs Delete
+	tuples  []relation.SourceTuple // insert: source tuples to add
 
 	report *core.DeleteReport
+	ins    *InsertReport
 	err    error
+}
+
+// size is the request's contribution to its batch's coalescing cap.
+func (r *writeReq) size() int {
+	if r.kind == writeInsert {
+		return len(r.tuples)
+	}
+	return len(r.targets)
 }
 
 // batch is one coalesced unit of work: every request commits or fails
 // together in a single group solve + maintenance sweep.
 type batch struct {
 	key  batchKey
-	reqs []*deleteReq
+	reqs []*writeReq
 	size int           // total targets across reqs
 	full chan struct{} // closed when size reaches MaxBatchSize
 	done chan struct{} // closed after the leader commits
 }
 
-// batcher is the per-view coalescing point. Pending batches are keyed by
-// compatibility class, so a mixed stream (e.g. alternating objectives)
-// keeps one open batch per class instead of each incompatible arrival
-// orphaning the previous batch and degrading coalescing to size 1.
+// batcher is a coalescing point — one per view for deletions, one per
+// engine for insertions. Pending batches are keyed by compatibility class,
+// so a mixed stream (e.g. alternating objectives) keeps one open batch per
+// class instead of each incompatible arrival orphaning the previous batch
+// and degrading coalescing to size 1.
 type batcher struct {
 	mu      sync.Mutex
 	pending map[batchKey]*batch // open batches accepting joiners
@@ -117,12 +149,12 @@ type batcher struct {
 // join adds req to the open batch of its compatibility class, or opens a
 // new batch with req as leader. Returns the batch and whether the caller
 // leads it.
-func (bt *batcher) join(req *deleteReq, key batchKey, maxSize int) (*batch, bool) {
+func (bt *batcher) join(req *writeReq, key batchKey, maxSize int) (*batch, bool) {
 	bt.mu.Lock()
 	defer bt.mu.Unlock()
-	if b := bt.pending[key]; b != nil && b.size+len(req.targets) <= maxSize {
+	if b := bt.pending[key]; b != nil && b.size+req.size() <= maxSize {
 		b.reqs = append(b.reqs, req)
-		b.size += len(req.targets)
+		b.size += req.size()
 		if b.size >= maxSize {
 			close(b.full)
 			delete(bt.pending, key) // full: stop admitting joiners
@@ -131,8 +163,8 @@ func (bt *batcher) join(req *deleteReq, key batchKey, maxSize int) (*batch, bool
 	}
 	b := &batch{
 		key:  key,
-		reqs: []*deleteReq{req},
-		size: len(req.targets),
+		reqs: []*writeReq{req},
+		size: req.size(),
 		full: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -161,11 +193,12 @@ func (bt *batcher) freeze(b *batch) {
 }
 
 // runBatch is the leader's path: collect followers, take the commit lock,
-// freeze and commit. The unlock and the done broadcast are deferred so a
-// panicking solver cannot wedge the engine (commit lock held forever) or
-// strand followers on b.done; followers of a panicked batch fail with an
-// error while the panic itself propagates on the leader's goroutine.
-func (e *Engine) runBatch(p *prepared, b *batch) {
+// freeze and commit (the kind-specific commit function does the work). The
+// unlock and the done broadcast are deferred so a panicking solver cannot
+// wedge the engine (commit lock held forever) or strand followers on
+// b.done; followers of a panicked batch fail with an error while the panic
+// itself propagates on the leader's goroutine.
+func (e *Engine) runBatch(bt *batcher, b *batch, commit func(*batch)) {
 	if e.opt.MaxCoalesceWait > 0 {
 		timer := time.NewTimer(e.opt.MaxCoalesceWait)
 		select {
@@ -177,18 +210,18 @@ func (e *Engine) runBatch(p *prepared, b *batch) {
 	e.wmu.Lock()
 	defer close(b.done)
 	defer e.wmu.Unlock()
-	p.batcher.freeze(b)
+	bt.freeze(b)
 	defer func() {
 		if r := recover(); r != nil {
 			for _, req := range b.reqs {
-				if req.err == nil && req.report == nil {
-					req.err = fmt.Errorf("engine: delete batch panicked: %v", r)
+				if req.err == nil && req.report == nil && req.ins == nil {
+					req.err = fmt.Errorf("engine: write batch panicked: %v", r)
 				}
 			}
 			panic(r)
 		}
 	}()
-	e.commit(p, b)
+	commit(b)
 }
 
 // validateTargets reports the first target absent from view, mirroring
@@ -199,9 +232,9 @@ func validateTargets(view *relation.Relation, targets []relation.Tuple) error {
 	return err
 }
 
-// commit runs one group solve over every live request in the batch and
-// applies the result. Callers hold wmu.
-func (e *Engine) commit(p *prepared, b *batch) {
+// commitDelete runs one group solve over every live delete request in the
+// batch and applies the result. Callers hold wmu.
+func (e *Engine) commitDelete(p *prepared, b *batch) {
 	snap := p.snap.Load()
 
 	// Per-request validation: a target that vanished between enqueue and
@@ -269,6 +302,12 @@ func (e *Engine) commit(p *prepared, b *batch) {
 	}
 
 	e.apply(report.Result.T, len(live))
+	// The committed snapshot's view size and generation travel in the
+	// report so servers never pair this commit's deletions with a LATER
+	// generation's view size (we still hold wmu, so the values read here
+	// are exactly what this commit published).
+	report.ViewSize = p.snap.Load().prov.View.Len()
+	report.Generation = p.gen.Load()
 	e.nDeletes.Add(int64(len(live)))
 	e.nDeleted.Add(int64(len(report.Result.T)))
 	e.nBatches.Add(1)
@@ -278,6 +317,134 @@ func (e *Engine) commit(p *prepared, b *batch) {
 	for _, r := range live {
 		r.report = report
 	}
+}
+
+// commitInsert extends the source with every novel tuple of the batch and
+// delta-maintains every prepared view. Duplicate tuples — already present,
+// or claimed by an earlier request in the same batch — are idempotent
+// no-ops, so a request whose tuples all exist succeeds without advancing
+// any generation; generations advance by the number of requests that
+// contributed at least one novel tuple, keeping the counts identical to
+// applying the requests one at a time. The maintenance pass is two-phase:
+// every view's next snapshot is computed (fanned out on the worker pool)
+// before anything is published, so a failure — e.g. a grown basis tripping
+// a PrepareLimited cap — publishes nothing. When a COALESCED batch fails,
+// the requests are replayed one at a time (mirroring the delete path's
+// per-request attribution of vanished targets): only the request whose
+// tuples actually blow a cap fails, innocent concurrent inserts succeed
+// exactly as they would have under any serial order. Callers hold wmu.
+func (e *Engine) commitInsert(b *batch) {
+	if err := e.insertGroup(b.reqs); err != nil {
+		if len(b.reqs) == 1 {
+			b.reqs[0].err = err
+			return
+		}
+		for _, r := range b.reqs {
+			if rerr := e.insertGroup([]*writeReq{r}); rerr != nil {
+				r.err = rerr
+			}
+		}
+	}
+}
+
+// insertGroup commits one set of insert requests as a unit: novel-tuple
+// claiming in request order, one source extension, one fanned-out
+// delta-maintenance sweep, one publish. On success every request receives
+// the shared report; on failure nothing is published, no request is
+// touched, and the error is returned for the caller to attribute. Callers
+// hold wmu.
+func (e *Engine) insertGroup(reqs []*writeReq) error {
+	e.mu.RLock()
+	db := e.db
+	ps := make([]*prepared, 0, len(e.views))
+	for _, p := range e.views {
+		ps = append(ps, p)
+	}
+	e.mu.RUnlock()
+
+	seen := make(map[string]bool)
+	var novel []relation.SourceTuple
+	requested, contributing := 0, 0
+	for _, r := range reqs {
+		requested += len(r.tuples)
+		claimed := false
+		for _, st := range r.tuples {
+			if seen[st.Key()] || db.Contains(st) {
+				continue
+			}
+			seen[st.Key()] = true
+			novel = append(novel, st)
+			claimed = true
+		}
+		if claimed {
+			contributing++
+		}
+	}
+
+	report := &InsertReport{
+		Requested:  requested,
+		Inserted:   novel,
+		Duplicates: requested - len(novel),
+		Coalesced:  len(reqs) > 1,
+	}
+	finish := func() {
+		report.SourceSize = e.Database().Size()
+		for _, p := range ps {
+			report.Views = append(report.Views, InsertViewUpdate{
+				Name:       p.name,
+				ViewSize:   p.snap.Load().prov.View.Len(),
+				Generation: p.gen.Load(),
+			})
+		}
+		sort.Slice(report.Views, func(i, j int) bool { return report.Views[i].Name < report.Views[j].Name })
+		e.nInserts.Add(int64(len(reqs)))
+		if len(reqs) > 1 {
+			e.nCoalescedIns.Add(int64(len(reqs)))
+		}
+		for _, r := range reqs {
+			r.ins = report
+		}
+	}
+	if len(novel) == 0 {
+		finish() // pure duplicates: succeed without publishing a generation
+		return nil
+	}
+
+	newDB, err := db.InsertAll(novel)
+	if err != nil {
+		// Unreachable for requests validated by Insert.
+		return err
+	}
+	next := make([]*snapshot, len(ps))
+	errs := make([]error, len(ps))
+	e.fanOut(len(ps), func(i int) {
+		old := ps[i].snap.Load()
+		prov, ierr := old.prov.ApplyInsertion(newDB, novel)
+		if ierr != nil {
+			errs[i] = fmt.Errorf("engine: maintaining view %q: %w", ps[i].name, ierr)
+			return
+		}
+		next[i] = &snapshot{db: newDB, prov: prov}
+	})
+	for _, ierr := range errs {
+		if ierr != nil {
+			return ierr
+		}
+	}
+
+	e.mu.Lock()
+	e.db = newDB
+	for i, p := range ps {
+		p.snap.Store(next[i])
+		p.gen.Add(int64(contributing))
+	}
+	e.sgen.Add(1)
+	e.mu.Unlock()
+	e.nMaint.Add(int64(len(ps)))
+	e.nInserted.Add(int64(len(novel)))
+	e.nBatches.Add(1)
+	finish()
+	return nil
 }
 
 // fanOut runs fn(0..n-1) on up to e.opt.Workers concurrent workers and

@@ -60,18 +60,18 @@ func TestOptionsDefaults(t *testing.T) {
 func TestBatcherJoin(t *testing.T) {
 	var bt batcher
 	key := batchKey{obj: core.MinimizeSourceDeletions}
-	r1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	r1 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
 	b1, leader := bt.join(r1, key, 3)
 	if !leader {
 		t.Fatal("first request must lead its batch")
 	}
 	// Compatible second request joins.
-	r2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
+	r2 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
 	if b2, leader := bt.join(r2, key, 3); leader || b2 != b1 {
 		t.Fatal("compatible request did not join the pending batch")
 	}
 	// A third same-key request fills the batch to its cap.
-	r3 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
+	r3 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
 	b3, leader := bt.join(r3, key, 3)
 	if leader || b3 != b1 {
 		t.Fatal("same-key request should have joined the pending batch")
@@ -93,9 +93,9 @@ func TestBatcherJoin(t *testing.T) {
 func TestBatcherJoinFullClosesBatch(t *testing.T) {
 	var bt batcher
 	key := batchKey{obj: core.MinimizeSourceDeletions}
-	r1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	r1 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
 	b, _ := bt.join(r1, key, 2)
-	r2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
+	r2 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
 	bt.join(r2, key, 2)
 	select {
 	case <-b.full:
@@ -104,7 +104,7 @@ func TestBatcherJoinFullClosesBatch(t *testing.T) {
 	}
 	// An incompatible key opens a fresh batch.
 	other := batchKey{obj: core.MinimizeViewSideEffects}
-	r3 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
+	r3 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
 	b3, leader := bt.join(r3, other, 2)
 	if !leader || b3 == b {
 		t.Fatal("incompatible request must lead a new batch")
@@ -119,32 +119,32 @@ func TestBatcherPendingPerKey(t *testing.T) {
 	srcKey := batchKey{obj: core.MinimizeSourceDeletions}
 	viewKey := batchKey{obj: core.MinimizeViewSideEffects}
 
-	r1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	r1 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
 	bSrc, leader := bt.join(r1, srcKey, 8)
 	if !leader {
 		t.Fatal("first source-objective request must lead")
 	}
-	r2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
+	r2 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r2", "x")}}
 	bView, leader := bt.join(r2, viewKey, 8)
 	if !leader || bView == bSrc {
 		t.Fatal("first view-objective request must lead its own batch")
 	}
 	// Both classes stay open: later same-key arrivals still coalesce.
-	r3 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
+	r3 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r3", "y")}}
 	if b, leader := bt.join(r3, srcKey, 8); leader || b != bSrc {
 		t.Fatal("source-objective request did not rejoin its class's open batch")
 	}
-	r4 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r4", "y")}}
+	r4 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r4", "y")}}
 	if b, leader := bt.join(r4, viewKey, 8); leader || b != bView {
 		t.Fatal("view-objective request did not rejoin its class's open batch")
 	}
 	// Freezing one class leaves the other open.
 	bt.freeze(bSrc)
-	r5 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r5", "z")}}
+	r5 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r5", "z")}}
 	if _, leader := bt.join(r5, srcKey, 8); !leader {
 		t.Fatal("frozen class must start a new batch")
 	}
-	r6 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r6", "z")}}
+	r6 := &writeReq{targets: []relation.Tuple{relation.StringTuple("r6", "z")}}
 	if b, leader := bt.join(r6, viewKey, 8); leader || b != bView {
 		t.Fatal("freezing one class closed another")
 	}
@@ -155,7 +155,7 @@ func TestBatcherPendingPerKey(t *testing.T) {
 func TestBatcherOversizedGroupRunsAlone(t *testing.T) {
 	var bt batcher
 	key := batchKey{obj: core.MinimizeSourceDeletions}
-	big := &deleteReq{targets: []relation.Tuple{
+	big := &writeReq{targets: []relation.Tuple{
 		relation.StringTuple("r1", "x"),
 		relation.StringTuple("r2", "x"),
 		relation.StringTuple("r3", "y"),
@@ -182,17 +182,17 @@ func TestCommitAttribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
-	ghost := &deleteReq{targets: []relation.Tuple{relation.StringTuple("ghost", "q")}}
+	valid := &writeReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	ghost := &writeReq{targets: []relation.Tuple{relation.StringTuple("ghost", "q")}}
 	b := &batch{
 		key:  batchKey{obj: core.MinimizeSourceDeletions},
-		reqs: []*deleteReq{valid, ghost},
+		reqs: []*writeReq{valid, ghost},
 		size: 2,
 		full: make(chan struct{}),
 		done: make(chan struct{}),
 	}
 	e.wmu.Lock()
-	e.commit(p, b)
+	e.commitDelete(p, b)
 	e.wmu.Unlock()
 
 	if valid.err != nil {
@@ -228,12 +228,12 @@ func TestCoalescedOverlappingTargetsBothSucceed(t *testing.T) {
 		t.Fatal(err)
 	}
 	tg := relation.StringTuple("r1", "x")
-	r1 := &deleteReq{targets: []relation.Tuple{tg}}
-	r2 := &deleteReq{targets: []relation.Tuple{tg}}
-	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*deleteReq{r1, r2}, size: 2,
+	r1 := &writeReq{targets: []relation.Tuple{tg}}
+	r2 := &writeReq{targets: []relation.Tuple{tg}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*writeReq{r1, r2}, size: 2,
 		full: make(chan struct{}), done: make(chan struct{})}
 	e.wmu.Lock()
-	e.commit(p, b)
+	e.commitDelete(p, b)
 	e.wmu.Unlock()
 	if r1.err != nil || r2.err != nil {
 		t.Fatalf("overlapping coalesced requests failed: %v / %v", r1.err, r2.err)
@@ -246,6 +246,74 @@ func TestCoalescedOverlappingTargetsBothSucceed(t *testing.T) {
 	}
 }
 
+// The same tuple targeted twice within one DeleteGroup is deduplicated by
+// the group solve: one source deletion, one generation, and a report whose
+// deletions cover the tuple exactly once.
+func TestDeleteGroupDuplicateTargets(t *testing.T) {
+	e := pipelineEngine(t)
+	tg := relation.StringTuple("r1", "x")
+	rep, err := e.DeleteGroup("id", []relation.Tuple{tg, tg, tg}, core.MinimizeSourceDeletions, core.DeleteOptions{})
+	if err != nil {
+		t.Fatalf("duplicate-target group delete: %v", err)
+	}
+	if len(rep.Result.T) != 1 {
+		t.Fatalf("deleted %d source tuples, want 1 (duplicates deduped)", len(rep.Result.T))
+	}
+	if rep.ViewSize != 5 {
+		t.Errorf("report ViewSize %d, want 5", rep.ViewSize)
+	}
+	if rep.Generation != 1 {
+		t.Errorf("report Generation %d, want 1 (one request)", rep.Generation)
+	}
+	p, _ := e.lookup("id")
+	if g := p.gen.Load(); g != 1 {
+		t.Fatalf("generation %d after one duplicate-target request, want 1", g)
+	}
+	view, _ := e.Query("id")
+	if view.Contains(tg) || view.Len() != 5 {
+		t.Fatalf("view after duplicate-target delete: %v", view)
+	}
+}
+
+// The same tuple targeted by a Delete and a DeleteGroup that coalesce into
+// one batch: both succeed (linearized as simultaneous), share the combined
+// report, and the generation advances once per request — identical to the
+// non-overlapping case, so duplicate targets can never double-count state.
+func TestCoalescedDuplicateAcrossRequests(t *testing.T) {
+	e := pipelineEngine(t)
+	p, err := e.lookup("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := relation.StringTuple("r3", "y")
+	r1 := &writeReq{targets: []relation.Tuple{tg, relation.StringTuple("r1", "x")}, group: true}
+	r2 := &writeReq{targets: []relation.Tuple{tg}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*writeReq{r1, r2}, size: 3,
+		full: make(chan struct{}), done: make(chan struct{})}
+	e.wmu.Lock()
+	e.commitDelete(p, b)
+	e.wmu.Unlock()
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("coalesced duplicate requests failed: %v / %v", r1.err, r2.err)
+	}
+	if r1.report != r2.report {
+		t.Fatal("coalesced requests got different reports")
+	}
+	if len(r1.report.Result.T) != 2 {
+		t.Fatalf("combined solve deleted %d source tuples, want 2 (dup deduped)", len(r1.report.Result.T))
+	}
+	if g := p.gen.Load(); g != 2 {
+		t.Fatalf("generation %d, want 2 (one per request, duplicates included)", g)
+	}
+	if r1.report.ViewSize != 4 || r1.report.Generation != 2 {
+		t.Fatalf("report snapshot (size %d, gen %d), want (4, 2)", r1.report.ViewSize, r1.report.Generation)
+	}
+	st := e.Stats()
+	if st.Deletes != 2 || st.DeletedSourceTuples != 2 || st.CoalescedDeletes != 2 {
+		t.Fatalf("counters after overlapping batch: %+v", st)
+	}
+}
+
 // A panicking commit must not wedge the engine: the commit lock is
 // released, the batch's done channel is closed, followers get an error,
 // and the panic still propagates on the leader's goroutine.
@@ -254,8 +322,8 @@ func TestRunBatchPanicReleasesLock(t *testing.T) {
 	// A prepared view with no snapshot makes commit dereference nil —
 	// standing in for any solver/maintenance panic.
 	broken := &prepared{name: "broken"}
-	req := &deleteReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
-	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*deleteReq{req}, size: 1,
+	req := &writeReq{targets: []relation.Tuple{relation.StringTuple("r1", "x")}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*writeReq{req}, size: 1,
 		full: make(chan struct{}), done: make(chan struct{})}
 	func() {
 		defer func() {
@@ -263,7 +331,7 @@ func TestRunBatchPanicReleasesLock(t *testing.T) {
 				t.Error("expected the panic to propagate to the leader")
 			}
 		}()
-		e.runBatch(broken, b)
+		e.runBatch(&broken.batcher, b, func(b *batch) { e.commitDelete(broken, b) })
 	}()
 	select {
 	case <-b.done:
@@ -287,12 +355,12 @@ func TestCommitAllStale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g1 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("nope", "1")}}
-	g2 := &deleteReq{targets: []relation.Tuple{relation.StringTuple("nope", "2")}}
-	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*deleteReq{g1, g2}, size: 2,
+	g1 := &writeReq{targets: []relation.Tuple{relation.StringTuple("nope", "1")}}
+	g2 := &writeReq{targets: []relation.Tuple{relation.StringTuple("nope", "2")}}
+	b := &batch{key: batchKey{obj: core.MinimizeSourceDeletions}, reqs: []*writeReq{g1, g2}, size: 2,
 		full: make(chan struct{}), done: make(chan struct{})}
 	e.wmu.Lock()
-	e.commit(p, b)
+	e.commitDelete(p, b)
 	e.wmu.Unlock()
 	if g1.err == nil || g2.err == nil {
 		t.Fatal("stale requests must fail")

@@ -129,23 +129,68 @@ func minimizeWitnesses(ws []Witness) []Witness {
 }
 
 // Result carries a computed view together with the witness basis of every
-// view tuple.
+// view tuple, plus the retained per-operator evaluation state that makes
+// incremental maintenance under both deletions AND insertions possible.
 type Result struct {
 	// View is the evaluated view Q(S).
 	View *relation.Relation
 	// basis maps view tuple keys to minimal witnesses.
 	basis map[string][]Witness
+
+	// plan is the query this result was computed for and lim the basis cap
+	// it was computed under; both are carried through maintenance so
+	// ApplyInsertion can delta-evaluate (or fall back to a full recompute)
+	// without the caller re-supplying them.
+	plan algebra.Query
+	lim  Limit
+	// tree is the witness-annotated operator tree of the evaluation.
+	// Retaining it costs no extra computation — witnessEval builds every
+	// node anyway — and is what lets an insertion extend the basis by a
+	// delta pass instead of a from-scratch recompute. Deletions do NOT
+	// eagerly rebuild it: they filter the root only (keeping the delete
+	// path as cheap as before trees existed) and accumulate the deleted
+	// keys in pendingDel; the next ApplyInsertion flushes the filter
+	// through the tree in one pass before delta-evaluating. The filter is
+	// order-independent (a witness dies iff it intersects ANY deleted
+	// set), so flushing the union at once equals applying each deletion
+	// in turn.
+	tree       *evalNode
+	pendingDel map[string]bool
 }
 
 // Witnesses returns the minimal witnesses of view tuple t (nil if t is not
 // in the view).
 func (r *Result) Witnesses(t relation.Tuple) []Witness { return r.basis[t.Key()] }
 
+// filterWitnesses keeps the witnesses not intersecting the deleted set.
+// The returned slice preserves basis order, so a canonically sorted list
+// stays sorted.
+func filterWitnesses(ws []Witness, deleted map[string]bool) []Witness {
+	var kept []Witness
+	for _, w := range ws {
+		hit := false
+		for _, st := range w.Tuples() {
+			if deleted[st.Key()] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			kept = append(kept, w)
+		}
+	}
+	return kept
+}
+
 // ApplyDeletion derives the witness basis of Q(S \ T) from the basis of
 // Q(S) without re-evaluating the query: witnesses intersecting T are
 // discarded, tuples with no surviving witness leave the view. Valid for
 // monotone queries, where deletions can only remove derivations, never
-// create them. Returns a fresh Result; the receiver is unchanged.
+// create them. Only the root is filtered here — the retained operator
+// tree is shared with the receiver and the deleted keys accumulate in
+// pendingDel, to be flushed through the tree by the next ApplyInsertion —
+// so a delete-only workload pays exactly the root-basis cost it always
+// did. Returns a fresh Result; the receiver is unchanged.
 func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
 	deleted := make(map[string]bool, len(T))
 	for _, st := range T {
@@ -154,27 +199,436 @@ func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
 	out := &Result{
 		View:  relation.New(r.View.Name(), r.View.Schema()),
 		basis: make(map[string][]Witness, len(r.basis)),
+		plan:  r.plan,
+		lim:   r.lim,
+		tree:  r.tree,
+	}
+	if r.tree != nil {
+		out.pendingDel = make(map[string]bool, len(r.pendingDel)+len(T))
+		for k := range r.pendingDel {
+			out.pendingDel[k] = true
+		}
+		for k := range deleted {
+			out.pendingDel[k] = true
+		}
+		// Bound the backlog: a delete-only workload would otherwise copy an
+		// ever-growing map on every call and never reclaim it. Past the
+		// threshold, materialize the filter through the tree now and reset —
+		// one O(tree) pass per maxPendingDel deletions keeps the amortized
+		// delete cost at root-basis size and the memory bounded.
+		if len(out.pendingDel) > maxPendingDel {
+			out.tree = deleteNode(r.tree, out.pendingDel)
+			out.pendingDel = nil
+		}
 	}
 	for _, t := range r.View.Tuples() {
-		var kept []Witness
-		for _, w := range r.basis[t.Key()] {
-			hit := false
-			for _, st := range w.Tuples() {
-				if deleted[st.Key()] {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				kept = append(kept, w)
-			}
-		}
-		if len(kept) > 0 {
+		if kept := filterWitnesses(r.basis[t.Key()], deleted); len(kept) > 0 {
 			out.View.Insert(t)
 			out.basis[t.Key()] = kept
 		}
 	}
 	return out
+}
+
+// deleteNode rebuilds one operator node over S \ T: children first, then
+// this node's tuples filtered to those with a surviving witness. A node
+// tuple survives iff it is derivable from S \ T, and its surviving minimal
+// witnesses are exactly the old ones avoiding T (a subset of a witness
+// that intersects T intersects it too, so minimality and pruning are
+// unaffected — see the correctness argument on ApplyInsertion). Called by
+// ApplyInsertion to flush a Result's accumulated pendingDel through the
+// shared tree before delta-evaluating.
+func deleteNode(n *evalNode, deleted map[string]bool) *evalNode {
+	out := &evalNode{
+		rel:  relation.New(n.rel.Name(), n.rel.Schema()),
+		wit:  make(map[string][]Witness, len(n.wit)),
+		kids: make([]*evalNode, len(n.kids)),
+	}
+	for i, k := range n.kids {
+		out.kids[i] = deleteNode(k, deleted)
+	}
+	for _, t := range n.rel.Tuples() {
+		if kept := filterWitnesses(n.wit[t.Key()], deleted); len(kept) > 0 {
+			out.rel.Insert(t)
+			out.wit[t.Key()] = kept
+		}
+	}
+	return out
+}
+
+// maxPendingDel caps the deletion backlog a Result carries before
+// ApplyDeletion flushes it through the retained tree instead of deferring
+// to the next insertion.
+const maxPendingDel = 64
+
+// errNoDelta marks a plan node the delta evaluator has no incremental rule
+// for. The monotone SPJRU fragment is fully covered; the sentinel exists so
+// a future non-monotone operator (difference) degrades ApplyInsertion to a
+// full recompute instead of a wrong answer.
+var errNoDelta = fmt.Errorf("provenance: no delta rule for plan node")
+
+// ApplyInsertion derives the view and witness basis of Q(S ∪ I) from those
+// of Q(S) by a delta evaluation instead of a from-scratch recompute. The
+// key fact, valid for the monotone SPJRU fragment: insertions never remove
+// derivations, so every old minimal witness stays minimal (minimality is a
+// property of the witness and the query alone), and every NEW minimal
+// witness uses at least one inserted tuple. New witnesses also cannot prune
+// old ones (a new witness contains an inserted tuple the old witness
+// lacks, so it is never a subset), and vice versa a new witness pruned by
+// an old subset must be discarded exactly as a from-scratch minimization
+// would. The delta pass therefore computes, per operator node, only the
+// derivations that touch I, merges them into the node's retained basis
+// with one minimization, and propagates the survivors upward.
+//
+// newDB must be the post-insertion source (db.InsertAll result) and I the
+// tuples genuinely added — tuples already present create no witnesses and
+// must be filtered by the caller. The basis cap the Result was computed
+// under is re-enforced: a grown basis exceeding it fails with ErrLimit and
+// no partial state. Returns a fresh Result; the receiver is unchanged. A
+// plan with no delta rule falls back to ComputeLimited over newDB.
+func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTuple) (*Result, error) {
+	if len(I) == 0 {
+		return r, nil
+	}
+	if r.plan == nil {
+		return nil, fmt.Errorf("provenance: ApplyInsertion on a Result not built by Compute")
+	}
+	if r.tree == nil {
+		return ComputeLimited(r.plan, newDB, r.lim)
+	}
+	// A plan whose base relations are disjoint from I is untouched: the
+	// view, basis, tree and any deferred deletion backlog are all exactly
+	// as they were — the receiver IS the result. This is what keeps a
+	// many-view engine's insert cost proportional to the views actually
+	// affected, not to the total cached state.
+	touched := make(map[string]bool, len(I))
+	for _, st := range I {
+		touched[st.Rel] = true
+	}
+	if !touchesAny(r.plan, touched) {
+		return r, nil
+	}
+	tree := r.tree
+	if len(r.pendingDel) > 0 {
+		// Deletions since the tree was last materialized were applied to
+		// the root only; bring every node current in one filter pass.
+		tree = deleteNode(tree, r.pendingDel)
+	}
+	dn, err := insertNode(r.plan, tree, newDB, I, r.lim, touched)
+	if err == errNoDelta {
+		return ComputeLimited(r.plan, newDB, r.lim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		View:  relation.New(r.View.Name(), r.View.Schema()),
+		basis: dn.node.wit,
+		plan:  r.plan,
+		lim:   r.lim,
+		tree:  dn.node,
+	}
+	for _, t := range dn.node.rel.Tuples() {
+		out.View.Insert(t)
+	}
+	return out, nil
+}
+
+// deltaNode is one operator node's incremental update: the maintained node
+// over S ∪ I, plus the tuples whose witness sets grew (including brand-new
+// tuples) and the newly added minimal witnesses feeding the parent's delta.
+type deltaNode struct {
+	node  *evalNode
+	delta *relation.Relation
+	dwit  map[string][]Witness
+}
+
+// copyWit shallow-copies a witness map; the slices themselves are immutable
+// and shared between generations.
+func copyWit(src map[string][]Witness, extra int) map[string][]Witness {
+	out := make(map[string][]Witness, len(src)+extra)
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeDelta folds newly derived witness candidates (acc, keyed by tuple,
+// with cand holding the tuples in derivation order) into a node's basis:
+// wit[k] becomes minimize(old[k] ∪ acc[k]) — identical to what a
+// from-scratch evaluation minimizes, since the candidates cover exactly
+// the derivations using I (see ApplyInsertion). The returned delta holds
+// the tuples whose basis actually grew and their added witnesses; a
+// candidate pruned by an old subset is dropped here, exactly where a
+// from-scratch minimization would drop it.
+func mergeDelta(old map[string][]Witness, acc map[string][]Witness, cand *relation.Relation, wit map[string][]Witness, check func([]Witness) error) (*relation.Relation, map[string][]Witness, error) {
+	delta := relation.New(cand.Name(), cand.Schema())
+	dwit := make(map[string][]Witness, len(acc))
+	for _, t := range cand.Tuples() {
+		k := t.Key()
+		merged := minimizeWitnesses(append(append([]Witness{}, old[k]...), acc[k]...))
+		if err := check(merged); err != nil {
+			return nil, nil, err
+		}
+		oldKeys := make(map[string]bool, len(old[k]))
+		for _, w := range old[k] {
+			oldKeys[w.Key()] = true
+		}
+		var added []Witness
+		for _, w := range merged {
+			if !oldKeys[w.Key()] {
+				added = append(added, w)
+			}
+		}
+		if len(added) == 0 {
+			continue // every candidate was pruned: no growth at this tuple
+		}
+		wit[k] = merged
+		delta.Insert(t)
+		dwit[k] = added
+	}
+	return delta, dwit, nil
+}
+
+// touchesAny reports whether any base relation of q is in the touched set.
+func touchesAny(q algebra.Query, touched map[string]bool) bool {
+	for _, rel := range algebra.BaseRelations(q) {
+		if touched[rel] {
+			return true
+		}
+	}
+	return false
+}
+
+// insertNode delta-evaluates one operator node: children first, then this
+// node's new derivations — exactly the ones using at least one inserted
+// tuple — merged into the retained basis. old is the node's pre-insertion
+// state (whose witness maps supply the "old side" of join combinations),
+// newDB the post-insertion source; touched names the relations I inserts
+// into. A subtree scanning none of them has an empty delta by definition,
+// so its (immutable, already-flushed) old node is shared unchanged instead
+// of being rebuilt — e.g. the untouched side of a join.
+func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool) (*deltaNode, error) {
+	if !touchesAny(q, touched) {
+		return &deltaNode{node: old, delta: relation.New(old.rel.Name(), old.rel.Schema())}, nil
+	}
+	check := func(ws []Witness) error {
+		if lim.MaxWitnesses > 0 && len(ws) > lim.MaxWitnesses {
+			return fmt.Errorf("%w: %d witnesses > cap %d", ErrLimit, len(ws), lim.MaxWitnesses)
+		}
+		return nil
+	}
+	switch q := q.(type) {
+	case algebra.Scan:
+		base := newDB.Relation(q.Rel)
+		wit := copyWit(old.wit, len(I))
+		delta := relation.New(base.Name(), base.Schema())
+		dwit := make(map[string][]Witness)
+		for _, st := range I {
+			if st.Rel != q.Rel {
+				continue
+			}
+			k := st.Tuple.Key()
+			if _, present := wit[k]; present {
+				continue // was already in the relation: nothing new
+			}
+			ws := []Witness{NewWitness(st)}
+			wit[k] = ws
+			delta.Insert(st.Tuple)
+			dwit[k] = ws
+		}
+		return &deltaNode{node: &evalNode{rel: base, wit: wit}, delta: delta, dwit: dwit}, nil
+
+	case algebra.Select:
+		child, err := insertNode(q.Child, old.kids[0], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		sch := child.node.rel.Schema()
+		rel := relation.New(old.rel.Name(), sch)
+		wit := make(map[string][]Witness)
+		for _, t := range child.node.rel.Tuples() {
+			if q.Cond.Holds(sch, t) {
+				rel.Insert(t)
+				wit[t.Key()] = child.node.wit[t.Key()]
+			}
+		}
+		delta := relation.New(old.rel.Name(), sch)
+		dwit := make(map[string][]Witness)
+		for _, t := range child.delta.Tuples() {
+			if q.Cond.Holds(sch, t) {
+				delta.Insert(t)
+				dwit[t.Key()] = child.dwit[t.Key()]
+			}
+		}
+		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{child.node}}, delta: delta, dwit: dwit}, nil
+
+	case algebra.Project:
+		child, err := insertNode(q.Child, old.kids[0], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		csch := child.node.rel.Schema()
+		schema, perr := csch.Project(q.Attrs)
+		if perr != nil {
+			return nil, perr
+		}
+		rel := relation.New(old.rel.Name(), schema)
+		for _, t := range child.node.rel.Tuples() {
+			rel.Insert(relation.ProjectAttrs(csch, t, q.Attrs))
+		}
+		acc := make(map[string][]Witness)
+		cand := relation.New(old.rel.Name(), schema)
+		for _, ct := range child.delta.Tuples() {
+			pt := relation.ProjectAttrs(csch, ct, q.Attrs)
+			cand.Insert(pt)
+			acc[pt.Key()] = append(acc[pt.Key()], child.dwit[ct.Key()]...)
+		}
+		wit := copyWit(old.wit, cand.Len())
+		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
+		if err != nil {
+			return nil, err
+		}
+		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{child.node}}, delta: delta, dwit: dwit}, nil
+
+	case algebra.Join:
+		left, err := insertNode(q.Left, old.kids[0], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		right, err := insertNode(q.Right, old.kids[1], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		ls, rs := left.node.rel.Schema(), right.node.rel.Schema()
+		rel := relation.New(old.rel.Name(), ls.Join(rs))
+		common := ls.Common(rs)
+		var rightExtra []relation.Attribute
+		for _, a := range rs.Attrs() {
+			if !ls.Has(a) {
+				rightExtra = append(rightExtra, a)
+			}
+		}
+		joinTuple := func(lt, rt relation.Tuple) relation.Tuple {
+			return append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
+		}
+		// Full output relation, rebuilt plain (no witness work — the
+		// expensive part of a join node is the witness combination, and that
+		// runs only over the delta below).
+		buckets := make(map[string][]relation.Tuple)
+		for _, rt := range right.node.rel.Tuples() {
+			k := relation.ProjectAttrs(rs, rt, common).Key()
+			buckets[k] = append(buckets[k], rt)
+		}
+		for _, lt := range left.node.rel.Tuples() {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			for _, rt := range buckets[k] {
+				rel.Insert(joinTuple(lt, rt))
+			}
+		}
+		// New combinations = ΔL × R_new  ∪  L_old × ΔR: every pair using at
+		// least one added witness appears exactly once (ΔL×ΔR lands in the
+		// first term; the second pairs only OLD left witnesses with ΔR).
+		acc := make(map[string][]Witness)
+		cand := relation.New(old.rel.Name(), rel.Schema())
+		for _, lt := range left.delta.Tuples() {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			for _, rt := range buckets[k] {
+				joined := joinTuple(lt, rt)
+				jk := joined.Key()
+				cand.Insert(joined)
+				for _, wl := range left.dwit[lt.Key()] {
+					for _, wr := range right.node.wit[rt.Key()] {
+						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
+					}
+				}
+			}
+		}
+		deltaBuckets := make(map[string][]relation.Tuple)
+		for _, rt := range right.delta.Tuples() {
+			k := relation.ProjectAttrs(rs, rt, common).Key()
+			deltaBuckets[k] = append(deltaBuckets[k], rt)
+		}
+		oldLeft := old.kids[0]
+		for _, lt := range oldLeft.rel.Tuples() {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			for _, rt := range deltaBuckets[k] {
+				joined := joinTuple(lt, rt)
+				jk := joined.Key()
+				cand.Insert(joined)
+				for _, wl := range oldLeft.wit[lt.Key()] {
+					for _, wr := range right.dwit[rt.Key()] {
+						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
+					}
+				}
+			}
+		}
+		wit := copyWit(old.wit, cand.Len())
+		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
+		if err != nil {
+			return nil, err
+		}
+		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{left.node, right.node}}, delta: delta, dwit: dwit}, nil
+
+	case algebra.Union:
+		left, err := insertNode(q.Left, old.kids[0], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		right, err := insertNode(q.Right, old.kids[1], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		attrs := left.node.rel.Schema().Attrs()
+		rel := relation.New(old.rel.Name(), left.node.rel.Schema())
+		for _, t := range left.node.rel.Tuples() {
+			rel.Insert(t)
+		}
+		for _, t := range right.node.rel.Tuples() {
+			rel.Insert(relation.ProjectAttrs(right.node.rel.Schema(), t, attrs))
+		}
+		acc := make(map[string][]Witness)
+		cand := relation.New(old.rel.Name(), rel.Schema())
+		for _, t := range left.delta.Tuples() {
+			cand.Insert(t)
+			acc[t.Key()] = append(acc[t.Key()], left.dwit[t.Key()]...)
+		}
+		for _, t := range right.delta.Tuples() {
+			aligned := relation.ProjectAttrs(right.delta.Schema(), t, attrs)
+			cand.Insert(aligned)
+			acc[aligned.Key()] = append(acc[aligned.Key()], right.dwit[t.Key()]...)
+		}
+		wit := copyWit(old.wit, cand.Len())
+		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
+		if err != nil {
+			return nil, err
+		}
+		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{left.node, right.node}}, delta: delta, dwit: dwit}, nil
+
+	case algebra.Rename:
+		child, err := insertNode(q.Child, old.kids[0], newDB, I, lim, touched)
+		if err != nil {
+			return nil, err
+		}
+		schema, rerr := child.node.rel.Schema().Rename(q.Theta)
+		if rerr != nil {
+			return nil, rerr
+		}
+		rel := relation.New(old.rel.Name(), schema)
+		wit := make(map[string][]Witness, len(child.node.wit))
+		for _, t := range child.node.rel.Tuples() {
+			rel.Insert(t)
+			wit[t.Key()] = child.node.wit[t.Key()]
+		}
+		delta := relation.New(old.rel.Name(), schema)
+		for _, t := range child.delta.Tuples() {
+			delta.Insert(t)
+		}
+		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{child.node}}, delta: delta, dwit: child.dwit}, nil
+
+	default:
+		return nil, errNoDelta
+	}
 }
 
 // Limit bounds witness-basis computation. The basis can be exponential in
@@ -208,16 +662,19 @@ func ComputeLimited(q algebra.Query, db *relation.Database, lim Limit) (*Result,
 	for _, t := range wr.rel.Tuples() {
 		view.Insert(t)
 	}
-	return &Result{View: view, basis: wr.wit}, nil
+	return &Result{View: view, basis: wr.wit, plan: q, lim: lim, tree: wr}, nil
 }
 
-// witRel is an intermediate relation annotated with witness bases.
-type witRel struct {
-	rel *relation.Relation
-	wit map[string][]Witness
+// evalNode is one operator of the evaluated plan: its output relation
+// annotated with witness bases, and its children. witnessEval builds the
+// tree bottom-up; Result retains it for incremental maintenance.
+type evalNode struct {
+	rel  *relation.Relation
+	wit  map[string][]Witness
+	kids []*evalNode
 }
 
-func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, error) {
+func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, error) {
 	check := func(ws []Witness) error {
 		if lim.MaxWitnesses > 0 && len(ws) > lim.MaxWitnesses {
 			return fmt.Errorf("%w: %d witnesses > cap %d", ErrLimit, len(ws), lim.MaxWitnesses)
@@ -227,7 +684,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 	switch q := q.(type) {
 	case algebra.Scan:
 		base := db.Relation(q.Rel)
-		out := &witRel{rel: base, wit: make(map[string][]Witness, base.Len())}
+		out := &evalNode{rel: base, wit: make(map[string][]Witness, base.Len())}
 		for _, t := range base.Tuples() {
 			out.wit[t.Key()] = []Witness{NewWitness(relation.SourceTuple{Rel: q.Rel, Tuple: t})}
 		}
@@ -246,7 +703,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 				wit[t.Key()] = child.wit[t.Key()]
 			}
 		}
-		return &witRel{rel: rel, wit: wit}, nil
+		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
 
 	case algebra.Project:
 		child, err := witnessEval(q.Child, db, lim)
@@ -272,7 +729,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 			}
 			wit[k] = m
 		}
-		return &witRel{rel: rel, wit: wit}, nil
+		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
 
 	case algebra.Join:
 		left, err := witnessEval(q.Left, db, lim)
@@ -320,7 +777,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 			}
 			wit[k] = m
 		}
-		return &witRel{rel: out, wit: wit}, nil
+		return &evalNode{rel: out, wit: wit, kids: []*evalNode{left, right}}, nil
 
 	case algebra.Union:
 		left, err := witnessEval(q.Left, db, lim)
@@ -331,16 +788,16 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 		if err != nil {
 			return nil, err
 		}
-		out := relation.New("∪", left.rel.Schema())
+		outRel := relation.New("∪", left.rel.Schema())
 		acc := make(map[string][]Witness)
 		for _, t := range left.rel.Tuples() {
-			out.Insert(t)
+			outRel.Insert(t)
 			acc[t.Key()] = append(acc[t.Key()], left.wit[t.Key()]...)
 		}
 		attrs := left.rel.Schema().Attrs()
 		for _, t := range right.rel.Tuples() {
 			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
-			out.Insert(aligned)
+			outRel.Insert(aligned)
 			acc[aligned.Key()] = append(acc[aligned.Key()], right.wit[t.Key()]...)
 		}
 		wit := make(map[string][]Witness, len(acc))
@@ -351,7 +808,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 			}
 			wit[k] = m
 		}
-		return &witRel{rel: out, wit: wit}, nil
+		return &evalNode{rel: outRel, wit: wit, kids: []*evalNode{left, right}}, nil
 
 	case algebra.Rename:
 		child, err := witnessEval(q.Child, db, lim)
@@ -368,7 +825,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*witRel, er
 			rel.Insert(t)
 			wit[t.Key()] = child.wit[t.Key()]
 		}
-		return &witRel{rel: rel, wit: wit}, nil
+		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
 
 	default:
 		return nil, fmt.Errorf("provenance: unknown query node %T", q)

@@ -135,6 +135,32 @@ func (db *Database) DeleteAll(T []SourceTuple) *Database {
 	return c
 }
 
+// InsertAll returns a copy of the database with the given source tuples
+// added: the S ∪ I dual of DeleteAll. Tuples already present are ignored
+// (set semantics), so re-inserting exactly the tuples a previous deletion
+// removed restores the original database. Unlike DeleteAll — where a
+// missing tuple is a harmless no-op — an insertion names a relation and
+// carries a payload, so an unknown relation or an arity mismatch is an
+// error, reported before any copying. The receiver is not modified. Novel
+// tuples are appended after the existing ones in request order, keeping
+// iteration order deterministic.
+func (db *Database) InsertAll(I []SourceTuple) (*Database, error) {
+	for _, st := range I {
+		r := db.rels[st.Rel]
+		if r == nil {
+			return nil, fmt.Errorf("relation: insert into unknown relation %q", st.Rel)
+		}
+		if len(st.Tuple) != r.Schema().Len() {
+			return nil, fmt.Errorf("relation: inserting arity-%d tuple into %s%s", len(st.Tuple), st.Rel, r.Schema())
+		}
+	}
+	c := db.Clone()
+	for _, st := range I {
+		c.rels[st.Rel].Insert(st.Tuple)
+	}
+	return c, nil
+}
+
 // AllSourceTuples enumerates every tuple of every relation in insertion
 // order — the candidate deletion set for exhaustive solvers.
 func (db *Database) AllSourceTuples() []SourceTuple {

@@ -158,11 +158,14 @@ var (
 // Prepared-view serving layer (internal/engine): the long-lived object a
 // server holds when the solvers must answer sustained traffic. Prepare
 // runs the algebra layer once and caches the witness basis and
-// where-provenance index; deletions are solved on the cached basis and
-// maintained incrementally; readers and writers are safe to run
-// concurrently. Writes flow through a batching/coalescing pipeline:
-// concurrent deletes against the same view share one group solve, and a
-// commit's per-view maintenance fans out across a bounded worker pool —
+// where-provenance index; deletions are solved on the cached basis, and
+// both deletions (Engine.Delete/DeleteGroup) and source-side insertions
+// (Engine.Insert — including restoring exactly the tuples a previous
+// delete removed) are maintained incrementally; readers and writers are
+// safe to run concurrently. Writes flow through a batching/coalescing
+// pipeline: concurrent deletes against the same view share one group
+// solve, concurrent inserts share one source extension, and a commit's
+// per-view maintenance fans out across a bounded worker pool —
 // EngineOptions tunes the worker count, the batch cap and the coalesce
 // wait.
 type (
@@ -175,6 +178,10 @@ type (
 	EngineStats = engine.Stats
 	// EngineViewStats describes one prepared view inside EngineStats.
 	EngineViewStats = engine.ViewStats
+	// InsertReport is the outcome of a committed Engine.Insert.
+	InsertReport = engine.InsertReport
+	// InsertViewUpdate is one view's post-insert size and generation.
+	InsertViewUpdate = engine.InsertViewUpdate
 	// WitnessLimit caps witness-basis computation (Engine.PrepareLimited,
 	// Witnesses via ComputeLimited).
 	WitnessLimit = provenance.Limit
@@ -191,6 +198,9 @@ var (
 	// ErrUnknownView reports a request against a view that was never
 	// prepared.
 	ErrUnknownView = engine.ErrUnknownView
+	// ErrUnknownRelation reports an Insert naming a source relation the
+	// engine's database does not have.
+	ErrUnknownRelation = engine.ErrUnknownRelation
 	// ErrPrepareConflict reports a Prepare reusing a name for a different
 	// query.
 	ErrPrepareConflict = engine.ErrConflict
