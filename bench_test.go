@@ -924,6 +924,56 @@ func BenchmarkEngine_MixedInsertDelete(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds*2), "ns/write")
 }
 
+// benchmarkCommitSourceSize measures the engine's end-to-end commit cost
+// at a fixed write size while the total source grows: a small working
+// relation serves a prepared view, and a ballast relation scales |S|.
+// Each round is one delete commit (a view tuple propagated to one source
+// deletion) plus one insert commit restoring it. With the versioned store
+// a commit derives O(|Δ|) overlay versions and shares the ballast by
+// pointer, so ns/commit stays flat as the ballast grows 100×; the old
+// copy-the-world DeleteAll/InsertAll re-copied the ballast every commit,
+// making the same number linear in |S|. Compare the _SourceSize1k and
+// _SourceSize100k ns/commit (and, with -benchmem, allocs/op) figures:
+// they should be within ~2× of each other.
+func benchmarkCommitSourceSize(b *testing.B, ballast int) {
+	const working = 64
+	db := relation.NewDatabase()
+	w := relation.New("W", relation.NewSchema("A", "B"))
+	for i := 0; i < working; i++ {
+		w.InsertStrings("a"+strconv.Itoa(i), "b"+strconv.Itoa(i))
+	}
+	l := relation.New("L", relation.NewSchema("X", "Y"))
+	for i := 0; i < ballast; i++ {
+		l.InsertStrings("x"+strconv.Itoa(i), "y"+strconv.Itoa(i))
+	}
+	db.MustAdd(w)
+	db.MustAdd(l)
+	e := engine.New(db)
+	if err := e.PrepareText("v", "W"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view, err := e.Query("v")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := e.Delete("v", view.Tuple(i%view.Len()), core.MinimizeSourceDeletions, core.DeleteOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Insert(rep.Result.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*2), "ns/commit")
+	b.ReportMetric(float64(working+ballast), "source-tuples")
+}
+
+func BenchmarkCommit_SourceSize1k(b *testing.B)   { benchmarkCommitSourceSize(b, 1_000) }
+func BenchmarkCommit_SourceSize100k(b *testing.B) { benchmarkCommitSourceSize(b, 100_000) }
+
 // Router overhead: the core dispatch on top of the direct algorithms.
 func BenchmarkRouter_Delete(b *testing.B) {
 	r := rand.New(rand.NewSource(17))

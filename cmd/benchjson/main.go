@@ -1,13 +1,18 @@
 // Command benchjson converts `go test -bench` text output into
 // machine-readable JSON, so CI can record the perf trajectory per PR:
 //
-//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_PR.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson > BENCH_PR.json
 //
 // Every benchmark result line becomes one record carrying the benchmark
 // name, the package it ran in, the iteration count, and every reported
 // metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units alike)
-// keyed by unit. Lines that are not benchmark results (PASS, ok, test
-// logs) are skipped; goos/goarch/pkg/cpu headers are captured as context.
+// keyed by unit — run with -benchmem (as CI does) so the allocation
+// metrics appear in every record, not just the ones calling
+// b.ReportAllocs; commit-path improvements in particular are allocation
+// improvements, so BENCH_PR.json must carry allocs/op for the
+// BenchmarkCommit_* comparison to mean anything. Lines that are not
+// benchmark results (PASS, ok, test logs) are skipped; goos/goarch/pkg/cpu
+// headers are captured as context.
 package main
 
 import (

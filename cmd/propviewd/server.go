@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -321,19 +322,62 @@ func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 
 // --- /query ---
 
+// Query pagination bounds. A request without ?limit= gets
+// defaultQueryLimit rows; an explicit limit is capped at maxQueryLimit so
+// one request can never serialize an unbounded view.
+const (
+	defaultQueryLimit = 1000
+	maxQueryLimit     = 10000
+)
+
+// queryResponse is one page of a view. Tuples holds rows
+// [offset, offset+limit) of the lexicographically sorted view; Total is
+// the full view cardinality, so offset+len(tuples) < total means more
+// pages remain. Limit and Offset echo the effective (clamped) values.
 type queryResponse struct {
 	View   string     `json:"view"`
 	Schema []string   `json:"schema"`
 	Tuples [][]string `json:"tuples"`
+	Total  int        `json:"total"`
+	Offset int        `json:"offset"`
+	Limit  int        `json:"limit"`
+}
+
+// parsePositiveInt reads an optional non-negative integer query parameter.
+func parsePositiveInt(q string, name string, def int) (int, error) {
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, q)
+	}
+	return v, nil
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	name := r.URL.Query().Get("view")
+	params := r.URL.Query()
+	name := params.Get("view")
 	if name == "" {
 		writeErr(w, fmt.Errorf("missing ?view= parameter"))
+		return
+	}
+	limit, err := parsePositiveInt(params.Get("limit"), "limit", defaultQueryLimit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// limit=0 is a valid metadata-only request: an empty page whose total
+	// still reports the view cardinality.
+	if limit > maxQueryLimit {
+		limit = maxQueryLimit
+	}
+	offset, err := parsePositiveInt(params.Get("offset"), "offset", 0)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	view, err := s.engine.Query(name)
@@ -341,8 +385,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	resp := queryResponse{View: name, Schema: view.Schema().Attrs(), Tuples: [][]string{}}
-	for _, t := range view.SortedTuples() {
+	rows := view.SortedTuples()
+	total := len(rows)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	resp := queryResponse{
+		View:   name,
+		Schema: view.Schema().Attrs(),
+		Tuples: [][]string{},
+		Total:  total,
+		Offset: offset,
+		Limit:  limit,
+	}
+	for _, t := range rows[offset:end] {
 		resp.Tuples = append(resp.Tuples, renderTuple(t))
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -564,12 +624,12 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	rel := s.engine.Database().Relation(req.Rel)
-	if rel == nil {
-		writeErr(w, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, req.Rel))
+	schema, err := s.engine.SourceSchema(req.Rel)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
-	arity := rel.Schema().Len()
+	arity := schema.Len()
 
 	var rows [][]string
 	switch {

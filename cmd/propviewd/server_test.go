@@ -707,3 +707,120 @@ func TestServerSession(t *testing.T) {
 		t.Errorf("stats counters %v", resp)
 	}
 }
+
+// TestQueryPagination covers the ?limit=&offset= paging of GET /query:
+// page slicing over the sorted view, the total/limit/offset echo fields,
+// the server-side cap, and parameter validation.
+func TestQueryPagination(t *testing.T) {
+	h := newTestServer(t, true)
+
+	// The access view has 4 tuples; collect the full sorted order first.
+	code, resp := do(t, h, http.MethodGet, "/query?view=access", "")
+	if code != 200 {
+		t.Fatalf("query: %d %v", code, resp)
+	}
+	if got := resp["total"].(float64); got != 4 {
+		t.Fatalf("total = %v, want 4", got)
+	}
+	if got := resp["limit"].(float64); got != 1000 {
+		t.Fatalf("default limit = %v, want 1000", got)
+	}
+	if got := resp["offset"].(float64); got != 0 {
+		t.Fatalf("default offset = %v, want 0", got)
+	}
+	full := resp["tuples"].([]any)
+	if len(full) != 4 {
+		t.Fatalf("%d tuples, want 4", len(full))
+	}
+
+	// Two pages of two must concatenate to the full sorted list.
+	var paged []any
+	for _, off := range []string{"0", "2"} {
+		code, resp := do(t, h, http.MethodGet, "/query?view=access&limit=2&offset="+off, "")
+		if code != 200 {
+			t.Fatalf("page offset %s: %d %v", off, code, resp)
+		}
+		page := resp["tuples"].([]any)
+		if len(page) != 2 {
+			t.Fatalf("page offset %s: %d tuples, want 2", off, len(page))
+		}
+		if resp["total"].(float64) != 4 || resp["limit"].(float64) != 2 {
+			t.Fatalf("page offset %s: total/limit %v/%v", off, resp["total"], resp["limit"])
+		}
+		paged = append(paged, page...)
+	}
+	for i := range full {
+		a := full[i].([]any)
+		b := paged[i].([]any)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("page row %d = %v, want %v", i, b, a)
+		}
+	}
+
+	// Offset past the end: empty page, clamped offset, total intact.
+	code, resp = do(t, h, http.MethodGet, "/query?view=access&offset=99", "")
+	if code != 200 || len(resp["tuples"].([]any)) != 0 {
+		t.Fatalf("offset past end: %d %v", code, resp)
+	}
+	if resp["total"].(float64) != 4 || resp["offset"].(float64) != 4 {
+		t.Fatalf("offset past end: total/offset %v/%v", resp["total"], resp["offset"])
+	}
+
+	// An oversized limit clamps to the server-side cap.
+	code, resp = do(t, h, http.MethodGet, "/query?view=access&limit=50000", "")
+	if code != 200 || resp["limit"].(float64) != 10000 {
+		t.Fatalf("limit clamp: %d limit=%v", code, resp["limit"])
+	}
+
+	// limit=0 is a metadata-only request: no rows, but the total (and the
+	// zero limit) are echoed back.
+	code, resp = do(t, h, http.MethodGet, "/query?view=access&limit=0", "")
+	if code != 200 || len(resp["tuples"].([]any)) != 0 {
+		t.Fatalf("limit 0: %d %v", code, resp)
+	}
+	if resp["limit"].(float64) != 0 || resp["total"].(float64) != 4 {
+		t.Fatalf("limit 0: limit/total %v/%v", resp["limit"], resp["total"])
+	}
+
+	// Malformed paging parameters are the client's fault.
+	for _, bad := range []string{"limit=-1", "limit=abc", "offset=-2", "offset=x"} {
+		if code, _ := do(t, h, http.MethodGet, "/query?view=access&"+bad, ""); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestStatsStore asserts /stats surfaces the versioned source store:
+// structure-sharing counters move with commits, and the live version
+// count is present.
+func TestStatsStore(t *testing.T) {
+	h := newTestServer(t, true)
+	if code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "objective": "source"}`); code != 200 {
+		t.Fatalf("delete: %d %v", code, resp)
+	}
+	code, resp := do(t, h, http.MethodGet, "/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if lv, ok := resp["live_source_versions"].(float64); !ok || lv < 1 {
+		t.Fatalf("live_source_versions = %v", resp["live_source_versions"])
+	}
+	store, ok := resp["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing store section: %v", resp)
+	}
+	if dv := store["derived_versions"].(float64); dv < 1 {
+		t.Errorf("store.derived_versions = %v, want ≥ 1", dv)
+	}
+	if sh := store["shared_relations"].(float64); sh < 1 {
+		t.Errorf("store.shared_relations = %v, want ≥ 1 (untouched relation shared by pointer)", sh)
+	}
+	if rw := store["rewritten_relations"].(float64); rw < 1 {
+		t.Errorf("store.rewritten_relations = %v, want ≥ 1", rw)
+	}
+	for _, key := range []string{"overlay_relations", "max_overlay_depth", "compactions", "squashes"} {
+		if _, ok := store[key]; !ok {
+			t.Errorf("store section missing %q: %v", key, store)
+		}
+	}
+}

@@ -23,9 +23,10 @@ func EvalNamed(q Query, db *relation.Database, name string) (*relation.Relation,
 	}
 	out := evalNode(q, db)
 	res := relation.New(name, out.Schema())
-	for _, t := range out.Tuples() {
+	out.Each(func(t relation.Tuple) bool {
 		res.Insert(t)
-	}
+		return true
+	})
 	return res, nil
 }
 
@@ -40,7 +41,9 @@ func MustEval(q Query, db *relation.Database) *relation.Relation {
 }
 
 // evalNode evaluates a validated query. Intermediate results carry
-// synthetic names; only the schema and tuples matter.
+// synthetic names; only the schema and tuples matter. Base relations —
+// which may be overlay versions of the source store — are read through
+// Each, so evaluation never materializes a versioned relation.
 func evalNode(q Query, db *relation.Database) *relation.Relation {
 	switch q := q.(type) {
 	case Scan:
@@ -48,11 +51,12 @@ func evalNode(q Query, db *relation.Database) *relation.Relation {
 	case Select:
 		child := evalNode(q.Child, db)
 		out := relation.New("σ", child.Schema())
-		for _, t := range child.Tuples() {
+		child.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.Schema(), t) {
 				out.Insert(t)
 			}
-		}
+			return true
+		})
 		return out
 	case Project:
 		child := evalNode(q.Child, db)
@@ -62,9 +66,10 @@ func evalNode(q Query, db *relation.Database) *relation.Relation {
 		}
 		positions := attrPositions(child.Schema(), q.Attrs)
 		out := relation.New("π", schema)
-		for _, t := range child.Tuples() {
+		child.Each(func(t relation.Tuple) bool {
 			out.Insert(t.Project(positions))
-		}
+			return true
+		})
 		return out
 	case Join:
 		return evalJoin(evalNode(q.Left, db), evalNode(q.Right, db))
@@ -72,13 +77,15 @@ func evalNode(q Query, db *relation.Database) *relation.Relation {
 		left := evalNode(q.Left, db)
 		right := evalNode(q.Right, db)
 		out := relation.New("∪", left.Schema())
-		for _, t := range left.Tuples() {
+		left.Each(func(t relation.Tuple) bool {
 			out.Insert(t)
-		}
+			return true
+		})
 		positions := attrPositions(right.Schema(), left.Schema().Attrs())
-		for _, t := range right.Tuples() {
+		right.Each(func(t relation.Tuple) bool {
 			out.Insert(t.Project(positions))
-		}
+			return true
+		})
 		return out
 	case Rename:
 		child := evalNode(q.Child, db)
@@ -87,9 +94,10 @@ func evalNode(q Query, db *relation.Database) *relation.Relation {
 			panic(err) // validated
 		}
 		out := relation.New("δ", schema)
-		for _, t := range child.Tuples() {
+		child.Each(func(t relation.Tuple) bool {
 			out.Insert(t)
-		}
+			return true
+		})
 		return out
 	default:
 		panic(fmt.Sprintf("algebra: evalNode: unknown node %T", q))
@@ -121,11 +129,12 @@ func evalJoin(left, right *relation.Relation) *relation.Relation {
 	// Build hash table on the smaller side conceptually; for determinism we
 	// always build on the right and probe with the left.
 	buckets := make(map[string][]relation.Tuple, right.Len())
-	for _, rt := range right.Tuples() {
+	right.Each(func(rt relation.Tuple) bool {
 		k := rt.Project(rightKeyPos).Key()
 		buckets[k] = append(buckets[k], rt)
-	}
-	for _, lt := range left.Tuples() {
+		return true
+	})
+	left.Each(func(lt relation.Tuple) bool {
 		k := lt.Project(leftKeyPos).Key()
 		for _, rt := range buckets[k] {
 			joined := make(relation.Tuple, 0, outSchema.Len())
@@ -135,7 +144,8 @@ func evalJoin(left, right *relation.Relation) *relation.Relation {
 			}
 			out.Insert(joined)
 		}
-	}
+		return true
+	})
 	return out
 }
 

@@ -121,9 +121,10 @@ func ComputeWhere(q algebra.Query, db *relation.Database) (*WhereView, error) {
 		return nil, err
 	}
 	view := relation.New(algebra.DefaultViewName, ar.rel.Schema())
-	for _, t := range ar.rel.Tuples() {
+	ar.rel.Each(func(t relation.Tuple) bool {
 		view.Insert(t)
-	}
+		return true
+	})
 	return &WhereView{View: view, where: ar.ann, in: in}, nil
 }
 
@@ -219,13 +220,14 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		base := db.Relation(q.Rel)
 		out := &annRel{rel: base, ann: make(map[string][]locSet, base.Len())}
 		attrs := base.Schema().Attrs()
-		for _, t := range base.Tuples() {
+		base.Each(func(t relation.Tuple) bool {
 			sets := make([]locSet, len(attrs))
 			for i, a := range attrs {
 				sets[i] = locSet{in.id(relation.Loc(q.Rel, t, a))}
 			}
 			out.ann[t.Key()] = sets
-		}
+			return true
+		})
 		return out, nil
 
 	case algebra.Select:
@@ -235,12 +237,13 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		}
 		rel := relation.New("σ", child.rel.Schema())
 		ann := make(map[string][]locSet)
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.rel.Schema(), t) {
 				rel.Insert(t)
 				ann[t.Key()] = child.ann[t.Key()]
 			}
-		}
+			return true
+		})
 		return &annRel{rel: rel, ann: ann}, nil
 
 	case algebra.Project:
@@ -258,7 +261,7 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		}
 		rel := relation.New("π", schema)
 		ann := make(map[string][]locSet)
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			pt := t.Project(positions)
 			rel.Insert(pt)
 			childSets := child.ann[t.Key()]
@@ -273,7 +276,8 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			for i, p := range positions {
 				cur[i] = cur[i].union(childSets[p])
 			}
-		}
+			return true
+		})
 		return &annRel{rel: rel, ann: ann}, nil
 
 	case algebra.Join:
@@ -291,10 +295,11 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		ann := make(map[string][]locSet)
 		common := ls.Common(rs)
 		buckets := make(map[string][]relation.Tuple)
-		for _, rt := range right.rel.Tuples() {
+		right.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
 			buckets[k] = append(buckets[k], rt)
-		}
+			return true
+		})
 		// Output position → (left position, right position); -1 if absent
 		// on that side. Common attributes pull from both (rules for R1 and
 		// R2 both apply).
@@ -312,7 +317,7 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			}
 			mapping[i] = sp
 		}
-		for _, lt := range left.rel.Tuples() {
+		left.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
 			lsets := left.ann[lt.Key()]
 			for _, rt := range buckets[k] {
@@ -339,7 +344,8 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 				}
 				ann[joined.Key()] = sets
 			}
-		}
+			return true
+		})
 		return &annRel{rel: rel, ann: ann}, nil
 
 	case algebra.Union:
@@ -353,18 +359,19 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		}
 		rel := relation.New("∪", left.rel.Schema())
 		ann := make(map[string][]locSet)
-		for _, t := range left.rel.Tuples() {
+		left.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
 			sets := make([]locSet, len(left.ann[t.Key()]))
 			copy(sets, left.ann[t.Key()])
 			ann[t.Key()] = sets
-		}
+			return true
+		})
 		attrs := left.rel.Schema().Attrs()
 		positions := make([]int, len(attrs))
 		for i, a := range attrs {
 			positions[i], _ = right.rel.Schema().Index(a)
 		}
-		for _, t := range right.rel.Tuples() {
+		right.rel.Each(func(t relation.Tuple) bool {
 			aligned := t.Project(positions)
 			rel.Insert(aligned)
 			rsets := right.ann[t.Key()]
@@ -377,7 +384,8 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			for i, p := range positions {
 				cur[i] = cur[i].union(rsets[p])
 			}
-		}
+			return true
+		})
 		return &annRel{rel: rel, ann: ann}, nil
 
 	case algebra.Rename:
@@ -391,10 +399,11 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		}
 		rel := relation.New("δ", schema)
 		ann := make(map[string][]locSet, len(child.ann))
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
 			ann[t.Key()] = child.ann[t.Key()]
-		}
+			return true
+		})
 		return &annRel{rel: rel, ann: ann}, nil
 
 	default:

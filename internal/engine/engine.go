@@ -37,12 +37,22 @@
 // write contention does not degrade to one solve per request. Prepare
 // computes off the commit lock against a captured source generation and
 // revalidates at registration, so an expensive prepare never stalls
-// concurrent writes. The engine owns a private clone of the source
-// database and never mutates a published generation, so concurrent
+// concurrent writes. The engine owns a private frozen snapshot of the
+// source database and never mutates a published generation, so concurrent
 // Query/Annotate readers and Delete/Insert writers are race-free by
 // construction (see race_test.go). Options tunes the pipeline (worker count, batch cap,
 // coalesce wait); the zero value keeps uncontended latency identical to a
 // serial engine.
+//
+// Storage: source generations live in the persistent, structure-sharing
+// versioned store (internal/relation, version.go). A commit derives the
+// next generation in O(|Δ|) — untouched relations are shared by pointer,
+// touched relations get an overlay version (tombstones + appends) over
+// the same base arrays — instead of the old copy-the-world
+// DeleteAll/InsertAll, so commit cost scales with the write, not with
+// |S|, and retaining several generations (the serving one plus those
+// pinned by view snapshots) costs overlays, not copies. Stats surfaces
+// the store's sharing/compaction counters and the live version count.
 package engine
 
 import (
@@ -146,16 +156,20 @@ type Engine struct {
 	nCoalescedIns atomic.Int64 // insert requests that shared a batch
 }
 
-// New creates an engine over a private deep copy of db: later mutations of
-// the caller's database do not reach the engine, which is what makes the
-// published snapshots immutable. An optional Options tunes the write
-// pipeline; omitted or zero fields take the documented defaults.
+// New creates an engine over a private frozen snapshot of db
+// (relation.Database.Freeze): O(#relations) instead of the deep O(|S|)
+// Clone this used to cost, sharing the caller's tuple storage
+// copy-on-write. Later mutations of the caller's database do not reach
+// the engine — a mutated relation copies its storage away from the
+// snapshot first — which is what makes the published generations
+// immutable. An optional Options tunes the write pipeline; omitted or
+// zero fields take the documented defaults.
 func New(db *relation.Database, opts ...Options) *Engine {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &Engine{opt: o.withDefaults(), db: db.Clone(), views: make(map[string]*prepared)}
+	return &Engine{opt: o.withDefaults(), db: db.Freeze(), views: make(map[string]*prepared)}
 }
 
 // Prepare registers q under name: the query is validated, normalized
@@ -346,27 +360,40 @@ func (e *Engine) Schema(name string) (relation.Schema, error) {
 	return p.snap.Load().prov.View.Schema(), nil
 }
 
-// Query returns the materialized view — no evaluation happens. The returned
-// relation is a live snapshot shared with other readers; callers must not
-// modify it.
+// Query returns the materialized view — no evaluation happens.
+//
+// Aliasing contract: the returned relation is a read-only view of the
+// generation current when Query ran (relation.Relation.ReadOnly, O(1)).
+// It shares the snapshot's tuple storage, so reads are free; it is NOT
+// updated by later writes — re-Query for the current generation. A caller
+// that mutates it gets a private copy-on-write clone rather than a race
+// with the engine, so the snapshot cannot be corrupted from outside.
 func (e *Engine) Query(name string) (*relation.Relation, error) {
 	p, err := e.lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	e.nQueries.Add(1)
-	return p.snap.Load().prov.View, nil
+	return p.snap.Load().prov.View.ReadOnly(), nil
 }
 
 // Witnesses returns the cached minimal witnesses of view tuple t (nil if t
 // is not in the view).
+//
+// Aliasing contract: the slice is the caller's to keep — it is copied out
+// of the snapshot — but the Witness values share the snapshot's immutable
+// tuple data; they are values and cannot be mutated in place.
 func (e *Engine) Witnesses(name string, t relation.Tuple) ([]provenance.Witness, error) {
 	p, err := e.lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	e.nQueries.Add(1)
-	return p.snap.Load().prov.Witnesses(t), nil
+	ws := p.snap.Load().prov.Witnesses(t)
+	if ws == nil {
+		return nil, nil
+	}
+	return append([]provenance.Witness(nil), ws...), nil
 }
 
 // Delete removes target from the named view by deleting source tuples,
@@ -532,12 +559,33 @@ func (e *Engine) Annotate(name string, target relation.Tuple, attr relation.Attr
 	}, nil
 }
 
-// Database returns the current source generation. The returned database is
-// a live snapshot shared with readers; callers must not modify it.
+// Database returns the current source generation as a read-only frozen
+// snapshot (relation.Database.Freeze, O(#relations)): it shares the
+// generation's tuple storage but is detached from later commits, and a
+// caller mutating one of its relations gets a copy-on-write clone instead
+// of reaching the engine's state.
 func (e *Engine) Database() *relation.Database {
+	return e.database().Freeze()
+}
+
+// database returns the live current generation; engine-internal readers
+// use it directly (they never mutate a published generation).
+func (e *Engine) database() *relation.Database {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.db
+}
+
+// SourceSchema returns the schema of one source relation, or (wrapped)
+// ErrUnknownRelation. The relation set and schemas are fixed at engine
+// construction, so this is the cheap accessor request validators want —
+// unlike Database it does not snapshot the whole store.
+func (e *Engine) SourceSchema(rel string) (relation.Schema, error) {
+	r := e.database().Relation(rel)
+	if r == nil {
+		return relation.Schema{}, fmt.Errorf("%w: %q", ErrUnknownRelation, rel)
+	}
+	return r.Schema(), nil
 }
 
 // ViewStats describes one prepared view's cached state.
@@ -619,6 +667,15 @@ type Stats struct {
 	// CoalescedInserts counts insert requests that shared their batch with
 	// at least one other request.
 	CoalescedInserts int64 `json:"coalesced_inserts"`
+	// LiveSourceVersions counts the distinct source generations currently
+	// retained: the serving generation plus any older generations still
+	// referenced by view snapshots (e.g. a view whose maintenance a reader
+	// captured before the latest publish). Structure sharing makes holding
+	// several live versions cheap — they differ by overlays, not copies.
+	LiveSourceVersions int `json:"live_source_versions"`
+	// Store summarizes the versioned source store: current overlay shape
+	// plus lifetime sharing and compaction counters.
+	Store relation.StoreStats `json:"store"`
 }
 
 // Stats assembles the current counters and per-view summaries. Like
@@ -639,8 +696,15 @@ func (e *Engine) Stats() Stats {
 	}
 	e.mu.RUnlock()
 
+	live := map[*relation.Database]struct{}{db: {}}
+	for _, c := range ps {
+		live[c.snap.db] = struct{}{}
+	}
+
 	st := Stats{
 		SourceSize:              db.Size(),
+		LiveSourceVersions:      len(live),
+		Store:                   db.StoreStats(),
 		Prepares:                e.nPrepares.Load(),
 		Queries:                 e.nQueries.Load(),
 		Deletes:                 e.nDeletes.Load(),

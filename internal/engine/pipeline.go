@@ -388,7 +388,7 @@ func (e *Engine) insertGroup(reqs []*writeReq) error {
 		Coalesced:  len(reqs) > 1,
 	}
 	finish := func() {
-		report.SourceSize = e.Database().Size()
+		report.SourceSize = e.database().Size()
 		for _, p := range ps {
 			report.Views = append(report.Views, InsertViewUpdate{
 				Name:       p.name,

@@ -103,9 +103,10 @@ func ComputeLineage(q algebra.Query, db *relation.Database) (*LineageResult, err
 		return nil, err
 	}
 	view := relation.New(algebra.DefaultViewName, lr.rel.Schema())
-	for _, t := range lr.rel.Tuples() {
+	lr.rel.Each(func(t relation.Tuple) bool {
 		view.Insert(t)
-	}
+		return true
+	})
 	return &LineageResult{View: view, lin: lr.lin}, nil
 }
 
@@ -141,9 +142,10 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 	case algebra.Scan:
 		base := db.Relation(q.Rel)
 		out := &linRel{rel: base, lin: make(map[string]*Lineage, base.Len())}
-		for _, t := range base.Tuples() {
+		base.Each(func(t relation.Tuple) bool {
 			out.lin[t.Key()] = NewLineage(relation.SourceTuple{Rel: q.Rel, Tuple: t})
-		}
+			return true
+		})
 		return out, nil
 
 	case algebra.Select:
@@ -153,12 +155,13 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 		}
 		rel := relation.New("σ", child.rel.Schema())
 		lin := make(map[string]*Lineage)
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.rel.Schema(), t) {
 				rel.Insert(t)
 				lin[t.Key()] = child.lin[t.Key()]
 			}
-		}
+			return true
+		})
 		return &linRel{rel: rel, lin: lin}, nil
 
 	case algebra.Project:
@@ -172,11 +175,12 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 		}
 		rel := relation.New("π", schema)
 		lin := make(map[string]*Lineage)
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			pt := relation.ProjectAttrs(child.rel.Schema(), t, q.Attrs)
 			rel.Insert(pt)
 			merge(lin, pt.Key(), child.lin[t.Key()])
-		}
+			return true
+		})
 		return &linRel{rel: rel, lin: lin}, nil
 
 	case algebra.Join:
@@ -193,17 +197,18 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 		lin := make(map[string]*Lineage)
 		common := ls.Common(rs)
 		buckets := make(map[string][]relation.Tuple)
-		for _, rt := range right.rel.Tuples() {
+		right.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
 			buckets[k] = append(buckets[k], rt)
-		}
+			return true
+		})
 		var rightExtra []relation.Attribute
 		for _, a := range rs.Attrs() {
 			if !ls.Has(a) {
 				rightExtra = append(rightExtra, a)
 			}
 		}
-		for _, lt := range left.rel.Tuples() {
+		left.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
 			for _, rt := range buckets[k] {
 				joined := append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
@@ -211,7 +216,8 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 				merge(lin, joined.Key(), left.lin[lt.Key()])
 				merge(lin, joined.Key(), right.lin[rt.Key()])
 			}
-		}
+			return true
+		})
 		return &linRel{rel: rel, lin: lin}, nil
 
 	case algebra.Union:
@@ -225,16 +231,18 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 		}
 		rel := relation.New("∪", left.rel.Schema())
 		lin := make(map[string]*Lineage)
-		for _, t := range left.rel.Tuples() {
+		left.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
 			merge(lin, t.Key(), left.lin[t.Key()])
-		}
+			return true
+		})
 		attrs := left.rel.Schema().Attrs()
-		for _, t := range right.rel.Tuples() {
+		right.rel.Each(func(t relation.Tuple) bool {
 			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
 			rel.Insert(aligned)
 			merge(lin, aligned.Key(), right.lin[t.Key()])
-		}
+			return true
+		})
 		return &linRel{rel: rel, lin: lin}, nil
 
 	case algebra.Rename:
@@ -248,10 +256,11 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 		}
 		rel := relation.New("δ", schema)
 		lin := make(map[string]*Lineage, len(child.lin))
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
 			lin[t.Key()] = child.lin[t.Key()]
-		}
+			return true
+		})
 		return &linRel{rel: rel, lin: lin}, nil
 
 	default:

@@ -247,12 +247,13 @@ func deleteNode(n *evalNode, deleted map[string]bool) *evalNode {
 	for i, k := range n.kids {
 		out.kids[i] = deleteNode(k, deleted)
 	}
-	for _, t := range n.rel.Tuples() {
+	n.rel.Each(func(t relation.Tuple) bool {
 		if kept := filterWitnesses(n.wit[t.Key()], deleted); len(kept) > 0 {
 			out.rel.Insert(t)
 			out.wit[t.Key()] = kept
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -328,9 +329,10 @@ func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTup
 		lim:   r.lim,
 		tree:  dn.node,
 	}
-	for _, t := range dn.node.rel.Tuples() {
+	dn.node.rel.Each(func(t relation.Tuple) bool {
 		out.View.Insert(t)
-	}
+		return true
+	})
 	return out, nil
 }
 
@@ -447,12 +449,13 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 		sch := child.node.rel.Schema()
 		rel := relation.New(old.rel.Name(), sch)
 		wit := make(map[string][]Witness)
-		for _, t := range child.node.rel.Tuples() {
+		child.node.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(sch, t) {
 				rel.Insert(t)
 				wit[t.Key()] = child.node.wit[t.Key()]
 			}
-		}
+			return true
+		})
 		delta := relation.New(old.rel.Name(), sch)
 		dwit := make(map[string][]Witness)
 		for _, t := range child.delta.Tuples() {
@@ -474,9 +477,10 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 			return nil, perr
 		}
 		rel := relation.New(old.rel.Name(), schema)
-		for _, t := range child.node.rel.Tuples() {
+		child.node.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(relation.ProjectAttrs(csch, t, q.Attrs))
-		}
+			return true
+		})
 		acc := make(map[string][]Witness)
 		cand := relation.New(old.rel.Name(), schema)
 		for _, ct := range child.delta.Tuples() {
@@ -516,16 +520,18 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 		// expensive part of a join node is the witness combination, and that
 		// runs only over the delta below).
 		buckets := make(map[string][]relation.Tuple)
-		for _, rt := range right.node.rel.Tuples() {
+		right.node.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
 			buckets[k] = append(buckets[k], rt)
-		}
-		for _, lt := range left.node.rel.Tuples() {
+			return true
+		})
+		left.node.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
 			for _, rt := range buckets[k] {
 				rel.Insert(joinTuple(lt, rt))
 			}
-		}
+			return true
+		})
 		// New combinations = ΔL × R_new  ∪  L_old × ΔR: every pair using at
 		// least one added witness appears exactly once (ΔL×ΔR lands in the
 		// first term; the second pairs only OLD left witnesses with ΔR).
@@ -550,7 +556,7 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 			deltaBuckets[k] = append(deltaBuckets[k], rt)
 		}
 		oldLeft := old.kids[0]
-		for _, lt := range oldLeft.rel.Tuples() {
+		oldLeft.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
 			for _, rt := range deltaBuckets[k] {
 				joined := joinTuple(lt, rt)
@@ -562,7 +568,8 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 					}
 				}
 			}
-		}
+			return true
+		})
 		wit := copyWit(old.wit, cand.Len())
 		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
 		if err != nil {
@@ -581,12 +588,14 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 		}
 		attrs := left.node.rel.Schema().Attrs()
 		rel := relation.New(old.rel.Name(), left.node.rel.Schema())
-		for _, t := range left.node.rel.Tuples() {
+		left.node.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
-		}
-		for _, t := range right.node.rel.Tuples() {
+			return true
+		})
+		right.node.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(relation.ProjectAttrs(right.node.rel.Schema(), t, attrs))
-		}
+			return true
+		})
 		acc := make(map[string][]Witness)
 		cand := relation.New(old.rel.Name(), rel.Schema())
 		for _, t := range left.delta.Tuples() {
@@ -616,10 +625,11 @@ func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []re
 		}
 		rel := relation.New(old.rel.Name(), schema)
 		wit := make(map[string][]Witness, len(child.node.wit))
-		for _, t := range child.node.rel.Tuples() {
+		child.node.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
 			wit[t.Key()] = child.node.wit[t.Key()]
-		}
+			return true
+		})
 		delta := relation.New(old.rel.Name(), schema)
 		for _, t := range child.delta.Tuples() {
 			delta.Insert(t)
@@ -659,9 +669,10 @@ func ComputeLimited(q algebra.Query, db *relation.Database, lim Limit) (*Result,
 		return nil, err
 	}
 	view := relation.New(algebra.DefaultViewName, wr.rel.Schema())
-	for _, t := range wr.rel.Tuples() {
+	wr.rel.Each(func(t relation.Tuple) bool {
 		view.Insert(t)
-	}
+		return true
+	})
 	return &Result{View: view, basis: wr.wit, plan: q, lim: lim, tree: wr}, nil
 }
 
@@ -685,9 +696,10 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 	case algebra.Scan:
 		base := db.Relation(q.Rel)
 		out := &evalNode{rel: base, wit: make(map[string][]Witness, base.Len())}
-		for _, t := range base.Tuples() {
+		base.Each(func(t relation.Tuple) bool {
 			out.wit[t.Key()] = []Witness{NewWitness(relation.SourceTuple{Rel: q.Rel, Tuple: t})}
-		}
+			return true
+		})
 		return out, nil
 
 	case algebra.Select:
@@ -697,12 +709,13 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		}
 		rel := relation.New("σ", child.rel.Schema())
 		wit := make(map[string][]Witness)
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.rel.Schema(), t) {
 				rel.Insert(t)
 				wit[t.Key()] = child.wit[t.Key()]
 			}
-		}
+			return true
+		})
 		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
 
 	case algebra.Project:
@@ -716,11 +729,12 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		}
 		rel := relation.New("π", schema)
 		acc := make(map[string][]Witness)
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			pt := relation.ProjectAttrs(child.rel.Schema(), t, q.Attrs)
 			rel.Insert(pt)
 			acc[pt.Key()] = append(acc[pt.Key()], child.wit[t.Key()]...)
-		}
+			return true
+		})
 		wit := make(map[string][]Witness, len(acc))
 		for k, ws := range acc {
 			m := minimizeWitnesses(ws)
@@ -746,17 +760,18 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		common := ls.Common(rs)
 		// Hash the right side on the common attributes.
 		buckets := make(map[string][]relation.Tuple)
-		for _, rt := range right.rel.Tuples() {
+		right.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
 			buckets[k] = append(buckets[k], rt)
-		}
+			return true
+		})
 		var rightExtra []relation.Attribute
 		for _, a := range rs.Attrs() {
 			if !ls.Has(a) {
 				rightExtra = append(rightExtra, a)
 			}
 		}
-		for _, lt := range left.rel.Tuples() {
+		left.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
 			for _, rt := range buckets[k] {
 				joined := append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
@@ -768,7 +783,8 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 					}
 				}
 			}
-		}
+			return true
+		})
 		wit := make(map[string][]Witness, len(acc))
 		for k, ws := range acc {
 			m := minimizeWitnesses(ws)
@@ -790,16 +806,18 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		}
 		outRel := relation.New("∪", left.rel.Schema())
 		acc := make(map[string][]Witness)
-		for _, t := range left.rel.Tuples() {
+		left.rel.Each(func(t relation.Tuple) bool {
 			outRel.Insert(t)
 			acc[t.Key()] = append(acc[t.Key()], left.wit[t.Key()]...)
-		}
+			return true
+		})
 		attrs := left.rel.Schema().Attrs()
-		for _, t := range right.rel.Tuples() {
+		right.rel.Each(func(t relation.Tuple) bool {
 			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
 			outRel.Insert(aligned)
 			acc[aligned.Key()] = append(acc[aligned.Key()], right.wit[t.Key()]...)
-		}
+			return true
+		})
 		wit := make(map[string][]Witness, len(acc))
 		for k, ws := range acc {
 			m := minimizeWitnesses(ws)
@@ -821,10 +839,11 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		}
 		rel := relation.New("δ", schema)
 		wit := make(map[string][]Witness, len(child.wit))
-		for _, t := range child.rel.Tuples() {
+		child.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
 			wit[t.Key()] = child.wit[t.Key()]
-		}
+			return true
+		})
 		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
 
 	default:
@@ -873,12 +892,14 @@ func restrictTo(db *relation.Database, w Witness) (*relation.Database, error) {
 	}
 	out := relation.NewDatabase()
 	for _, r := range db.Relations() {
+		r := r
 		nr := relation.New(r.Name(), r.Schema())
-		for _, t := range r.Tuples() {
+		r.Each(func(t relation.Tuple) bool {
 			if keep[(relation.SourceTuple{Rel: r.Name(), Tuple: t}).Key()] {
 				nr.Insert(t)
 			}
-		}
+			return true
+		})
 		out.MustAdd(nr)
 	}
 	return out, nil

@@ -4,18 +4,110 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// storeMetrics counts versioned-store activity over the lifetime of a
+// database version chain. One instance is shared by every generation
+// derived from the same root (Freeze starts a fresh one), so the counters
+// are cumulative across commits.
+type storeMetrics struct {
+	derives       atomic.Int64 // DeleteAll/InsertAll generations derived
+	sharedRels    atomic.Int64 // relations shared by pointer during derives
+	rewrittenRels atomic.Int64 // relations given a new overlay version
+	folds         atomic.Int64 // overlays folded into a fresh base
+	squashes      atomic.Int64 // overlay chains merged into one layer
+}
+
+// StoreStats is a point-in-time summary of the versioned source store:
+// the current generation's shape (overlay depth and size per the deepest
+// relation) plus the lifetime sharing and compaction counters.
+type StoreStats struct {
+	// Version counts the generations derived since the chain's root.
+	Version int64 `json:"version"`
+	// Relations is the relation count of this generation.
+	Relations int `json:"relations"`
+	// OverlayRelations counts relations currently carrying an overlay
+	// (the rest are flat).
+	OverlayRelations int `json:"overlay_relations"`
+	// MaxOverlayDepth is the deepest overlay chain of this generation.
+	MaxOverlayDepth int `json:"max_overlay_depth"`
+	// OverlayMentions is the total overlay size (tombstones + appended
+	// tuples) across relations of this generation.
+	OverlayMentions int `json:"overlay_mentions"`
+	// DerivedVersions counts DeleteAll/InsertAll generations over the
+	// chain's lifetime.
+	DerivedVersions int64 `json:"derived_versions"`
+	// SharedRelations counts relations passed untouched (by pointer) from
+	// one generation to the next, cumulatively.
+	SharedRelations int64 `json:"shared_relations"`
+	// RewrittenRelations counts O(|Δ|) overlay versions created,
+	// cumulatively. SharedRelations/(SharedRelations+RewrittenRelations)
+	// is the structure-sharing ratio.
+	RewrittenRelations int64 `json:"rewritten_relations"`
+	// Compactions counts overlays folded into a fresh flat base.
+	Compactions int64 `json:"compactions"`
+	// Squashes counts overlay chains merged into a single layer without
+	// touching the base.
+	Squashes int64 `json:"squashes"`
+}
+
+// metrics returns the chain's counters, attaching a fresh set to databases
+// assembled without NewDatabase.
+func (db *Database) metrics() *storeMetrics {
+	if db.m == nil {
+		db.m = &storeMetrics{}
+	}
+	return db.m
+}
+
+// StoreStats summarizes the versioned store as of this generation.
+// O(#relations).
+func (db *Database) StoreStats() StoreStats {
+	m := db.metrics()
+	st := StoreStats{
+		Version:            db.version,
+		Relations:          len(db.rels),
+		DerivedVersions:    m.derives.Load(),
+		SharedRelations:    m.sharedRels.Load(),
+		RewrittenRelations: m.rewrittenRels.Load(),
+		Compactions:        m.folds.Load(),
+		Squashes:           m.squashes.Load(),
+	}
+	for _, r := range db.rels {
+		if d := r.overlayDepth(); d > 0 {
+			st.OverlayRelations++
+			if d > st.MaxOverlayDepth {
+				st.MaxOverlayDepth = d
+			}
+			st.OverlayMentions += r.overlayMentions()
+		}
+	}
+	return st
+}
 
 // Database is a named collection of relations — the source database S of
 // the paper. Relation names are unique.
+//
+// Databases are versioned: DeleteAll, InsertAll and Freeze derive new
+// generations in O(|Δ|) that share structure with the receiver — untouched
+// relations by pointer, touched relations as overlay versions over the
+// same base storage (see version.go). A derived database is a snapshot:
+// treat it and its ancestor as read-only afterwards, since legacy
+// mutations through a pointer-shared relation are visible in both. (The
+// mutators themselves stay safe: a relation whose storage is shared
+// copies before writing.)
 type Database struct {
 	rels  map[string]*Relation
 	order []string // insertion order of relation names
+
+	m       *storeMetrics // lifetime counters, shared along the version chain
+	version int64         // derives since the chain's root
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{rels: make(map[string]*Relation)}
+	return &Database{rels: make(map[string]*Relation), m: &storeMetrics{}}
 }
 
 // Add inserts relation r. It returns an error if a relation with the same
@@ -67,13 +159,45 @@ func (db *Database) Size() int {
 	return n
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database: every relation gets fresh,
+// privately owned flat storage. Kept for callers that need full
+// independence including under mutation; the versioned ops (DeleteAll,
+// InsertAll, Freeze) replace it everywhere O(|S|) copying matters.
 func (db *Database) Clone() *Database {
 	c := NewDatabase()
 	for _, n := range db.order {
 		c.MustAdd(db.rels[n].Clone())
 	}
 	return c
+}
+
+// Freeze returns an immutable snapshot of the database in O(#relations):
+// every relation is wrapped in a read-only view sharing its storage, with
+// the original marked shared so later legacy mutations of the caller's
+// relations copy-on-write away from the snapshot instead of reaching it.
+// This is what Engine.New uses in place of the old deep Clone. The
+// snapshot starts a fresh version chain with zeroed store metrics.
+func (db *Database) Freeze() *Database {
+	c := &Database{
+		rels:  make(map[string]*Relation, len(db.rels)),
+		order: db.order[:len(db.order):len(db.order)],
+		m:     &storeMetrics{},
+	}
+	for _, n := range db.order {
+		c.rels[n] = db.rels[n].ReadOnly()
+	}
+	return c
+}
+
+// derived starts a new generation sharing the receiver's metrics. The
+// order slice is full-sliced so a later Add on either side cannot alias.
+func (db *Database) derived() *Database {
+	return &Database{
+		rels:    make(map[string]*Relation, len(db.rels)),
+		order:   db.order[:len(db.order):len(db.order)],
+		m:       db.m,
+		version: db.version + 1,
+	}
 }
 
 // SourceTuple identifies one tuple of one relation in a database; the unit
@@ -106,44 +230,53 @@ func (db *Database) Contains(st SourceTuple) bool {
 	return r != nil && r.Contains(st.Tuple)
 }
 
-// DeleteAll returns a copy of the database with the given source tuples
-// removed: the S \ T of the paper. Missing tuples are ignored. The receiver
-// is not modified.
+// DeleteAll returns a new generation of the database with the given
+// source tuples removed: the S \ T of the paper. Missing tuples are
+// ignored. The receiver is not modified. O(|T|) plus amortized overlay
+// compaction: untouched relations are shared by pointer, touched
+// relations get an overlay version tombstoning exactly the deleted keys
+// (iteration order as if rebuilt). The result is a structure-sharing
+// snapshot — see the Database doc for the aliasing contract.
 func (db *Database) DeleteAll(T []SourceTuple) *Database {
-	drop := make(map[string]map[string]bool)
+	drop := make(map[string]map[string]struct{})
 	for _, st := range T {
+		r := db.rels[st.Rel]
+		if r == nil || !r.Contains(st.Tuple) {
+			continue
+		}
 		m := drop[st.Rel]
 		if m == nil {
-			m = make(map[string]bool)
+			m = make(map[string]struct{})
 			drop[st.Rel] = m
 		}
-		m[st.Tuple.Key()] = true
+		m[st.Tuple.Key()] = struct{}{}
 	}
-	c := NewDatabase()
+	c := db.derived()
 	for _, n := range db.order {
 		r := db.rels[n]
-		nr := New(r.Name(), r.Schema())
-		dropped := drop[n]
-		for _, t := range r.Tuples() {
-			if dropped != nil && dropped[t.Key()] {
-				continue
-			}
-			nr.Insert(t)
+		if keys := drop[n]; len(keys) > 0 {
+			c.rels[n] = r.deleteVersion(keys, db.metrics())
+			db.metrics().rewrittenRels.Add(1)
+		} else {
+			c.rels[n] = r
+			db.metrics().sharedRels.Add(1)
 		}
-		c.MustAdd(nr)
 	}
+	db.metrics().derives.Add(1)
 	return c
 }
 
-// InsertAll returns a copy of the database with the given source tuples
-// added: the S ∪ I dual of DeleteAll. Tuples already present are ignored
-// (set semantics), so re-inserting exactly the tuples a previous deletion
-// removed restores the original database. Unlike DeleteAll — where a
-// missing tuple is a harmless no-op — an insertion names a relation and
-// carries a payload, so an unknown relation or an arity mismatch is an
-// error, reported before any copying. The receiver is not modified. Novel
-// tuples are appended after the existing ones in request order, keeping
-// iteration order deterministic.
+// InsertAll returns a new generation of the database with the given
+// source tuples added: the S ∪ I dual of DeleteAll. Tuples already
+// present are ignored (set semantics), so re-inserting exactly the tuples
+// a previous deletion removed restores the original database. Unlike
+// DeleteAll — where a missing tuple is a harmless no-op — an insertion
+// names a relation and carries a payload, so an unknown relation or an
+// arity mismatch is an error, reported before anything is derived. The
+// receiver is not modified. Novel tuples are appended after the existing
+// ones in request order, keeping iteration order deterministic. O(|I|)
+// plus amortized overlay compaction, with the same structure sharing and
+// aliasing contract as DeleteAll.
 func (db *Database) InsertAll(I []SourceTuple) (*Database, error) {
 	for _, st := range I {
 		r := db.rels[st.Rel]
@@ -154,10 +287,31 @@ func (db *Database) InsertAll(I []SourceTuple) (*Database, error) {
 			return nil, fmt.Errorf("relation: inserting arity-%d tuple into %s%s", len(st.Tuple), st.Rel, r.Schema())
 		}
 	}
-	c := db.Clone()
+	add := make(map[string][]Tuple)
+	seen := make(map[string]struct{}, len(I))
 	for _, st := range I {
-		c.rels[st.Rel].Insert(st.Tuple)
+		if db.rels[st.Rel].Contains(st.Tuple) {
+			continue
+		}
+		k := st.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		add[st.Rel] = append(add[st.Rel], st.Tuple)
 	}
+	c := db.derived()
+	for _, n := range db.order {
+		r := db.rels[n]
+		if ts := add[n]; len(ts) > 0 {
+			c.rels[n] = r.insertVersion(ts, db.metrics())
+			db.metrics().rewrittenRels.Add(1)
+		} else {
+			c.rels[n] = r
+			db.metrics().sharedRels.Add(1)
+		}
+	}
+	db.metrics().derives.Add(1)
 	return c, nil
 }
 

@@ -4,17 +4,31 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Relation is a named set of tuples over a schema. Tuples are kept in
 // insertion order for deterministic iteration, with a key index enforcing
 // set semantics (inserting a duplicate is a no-op, as in the paper's
 // set-based model).
+//
+// A relation is either flat — it owns its tuple array and index, and the
+// mutators write in place — or a version: an immutable view of shared base
+// storage plus an overlay of tombstones and appended tuples (version.go).
+// Versions are produced by Database.DeleteAll/InsertAll/Freeze in O(|Δ|)
+// and are safe to read concurrently; reads behave identically in both
+// modes, and a legacy mutation of a version first takes a private flat
+// copy (copy-on-write).
 type Relation struct {
 	name   string
 	schema Schema
-	tuples []Tuple
+	tuples []Tuple        // base tuple array; shared across versions when shared is set
 	index  map[string]int // tuple key -> position in tuples
+
+	top    *layer                  // overlay chain; nil for a flat relation
+	live   int                     // tuple count when overlaid (== len(tuples) minus tombstones plus appends)
+	shared atomic.Bool             // base storage shared with other versions: mutators must copy first
+	flat   atomic.Pointer[[]Tuple] // cached overlay materialization, built lazily
 }
 
 // New creates an empty relation with the given name and schema.
@@ -37,14 +51,24 @@ func (r *Relation) Name() string { return r.name }
 // Schema returns the relation's schema.
 func (r *Relation) Schema() Schema { return r.schema }
 
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+// Len returns the number of tuples. O(1) in both modes.
+func (r *Relation) Len() int {
+	if r.top != nil {
+		return r.live
+	}
+	return len(r.tuples)
+}
 
 // Insert adds tuple t. It reports whether the tuple was new (set
-// semantics). It panics if the arity does not match the schema.
+// semantics). It panics if the arity does not match the schema. On a
+// relation whose storage is shared with other versions, the first
+// mutation takes a private flat copy (copy-on-write).
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.schema.Len() {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into %s%s", len(t), r.name, r.schema))
+	}
+	if r.top != nil || r.shared.Load() {
+		r.materializeOwned()
 	}
 	k := t.Key()
 	if _, ok := r.index[k]; ok {
@@ -59,21 +83,32 @@ func (r *Relation) Insert(t Tuple) bool {
 func (r *Relation) InsertStrings(ss ...string) bool { return r.Insert(StringTuple(ss...)) }
 
 // Contains reports whether the relation holds tuple t.
-func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.index[t.Key()]
-	return ok
-}
+func (r *Relation) Contains(t Tuple) bool { return r.ContainsKey(t.Key()) }
 
-// ContainsKey reports whether the relation holds a tuple with the given key.
+// ContainsKey reports whether the relation holds a tuple with the given
+// key. Reads through the overlay: the topmost layer mentioning the key
+// decides, else the base index.
 func (r *Relation) ContainsKey(key string) bool {
+	for l := r.top; l != nil; l = l.below {
+		if _, ok := l.addedIndex[key]; ok {
+			return true
+		}
+		if _, ok := l.dead[key]; ok {
+			return false
+		}
+	}
 	_, ok := r.index[key]
 	return ok
 }
 
 // Delete removes tuple t, reporting whether it was present. Deletion is
-// O(n) in the worst case because positions shift; relations in this code
-// base are rebuilt wholesale on bulk deletes (see Database.DeleteAll).
+// O(n) in the worst case because positions shift; bulk deletes go through
+// Database.DeleteAll, which derives an O(|Δ|) overlay version instead.
+// Like Insert, deleting from shared storage copies first.
 func (r *Relation) Delete(t Tuple) bool {
+	if r.top != nil || r.shared.Load() {
+		r.materializeOwned()
+	}
 	k := t.Key()
 	i, ok := r.index[k]
 	if !ok {
@@ -88,18 +123,62 @@ func (r *Relation) Delete(t Tuple) bool {
 }
 
 // Tuples returns the tuples in insertion order. The slice and its tuples
-// must not be modified by callers.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// must not be modified by callers. On a versioned relation the flat form
+// is materialized once per version and cached; evaluation-style consumers
+// that only walk the tuples should prefer Each, which reads through the
+// overlay without materializing.
+func (r *Relation) Tuples() []Tuple {
+	if r.top == nil {
+		return r.tuples
+	}
+	if f := r.flat.Load(); f != nil {
+		return *f
+	}
+	flat := r.flatten()
+	r.flat.Store(&flat)
+	return flat
+}
+
+// Each calls yield for every tuple in insertion order, stopping early if
+// yield returns false. Unlike Tuples it never materializes a versioned
+// relation: base tuples stream past the tombstone set, then appended
+// tuples follow, at O(overlay) extra space however large the base is.
+func (r *Relation) Each(yield func(Tuple) bool) {
+	if r.top == nil {
+		for _, t := range r.tuples {
+			if !yield(t) {
+				return
+			}
+		}
+		return
+	}
+	if f := r.flat.Load(); f != nil {
+		for _, t := range *f {
+			if !yield(t) {
+				return
+			}
+		}
+		return
+	}
+	r.eachOverlay(yield)
+}
 
 // Tuple returns the i-th tuple in insertion order.
-func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+func (r *Relation) Tuple(i int) Tuple {
+	if r.top == nil {
+		return r.tuples[i]
+	}
+	return r.Tuples()[i]
+}
 
-// Clone returns a deep copy of the relation.
+// Clone returns a deep copy of the relation: flat, privately owned
+// storage whatever the receiver's representation.
 func (r *Relation) Clone() *Relation {
 	c := New(r.name, r.schema)
-	for _, t := range r.tuples {
+	r.Each(func(t Tuple) bool {
 		c.Insert(t)
-	}
+		return true
+	})
 	return c
 }
 
@@ -113,34 +192,38 @@ func (r *Relation) WithName(name string) *Relation {
 // Equal reports whether two relations have equal schemas (same order) and
 // the same set of tuples, regardless of insertion order.
 func (r *Relation) Equal(s *Relation) bool {
-	if !r.schema.Equal(s.schema) || len(r.tuples) != len(s.tuples) {
+	if !r.schema.Equal(s.schema) || r.Len() != s.Len() {
 		return false
 	}
-	for _, t := range r.tuples {
+	equal := true
+	r.Each(func(t Tuple) bool {
 		if !s.Contains(t) {
-			return false
+			equal = false
 		}
-	}
-	return true
+		return equal
+	})
+	return equal
 }
 
 // Minus returns the tuples of r that are not in s (schemas must agree as
 // sets; comparison is by key after positional alignment when orders match).
 func (r *Relation) Minus(s *Relation) []Tuple {
 	var out []Tuple
-	for _, t := range r.tuples {
+	r.Each(func(t Tuple) bool {
 		if !s.Contains(t) {
 			out = append(out, t)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // SortedTuples returns the tuples in lexicographic order, for deterministic
 // printing and testing.
 func (r *Relation) SortedTuples() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	src := r.Tuples()
+	out := make([]Tuple, len(src))
+	copy(out, src)
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }

@@ -1,0 +1,88 @@
+// Package storetest provides the copy-the-world reference model the
+// versioned source store's differential tests compare against. The Oracle
+// reimplements the legacy Database.DeleteAll/InsertAll semantics on plain
+// tuple lists — deletions filter in place, insertions append novel tuples
+// at the end — and rebuilds a flat database on demand, independently of
+// the structure-sharing representation under test, so a store bug cannot
+// hide by infecting both sides of a comparison. Shared by the relation-
+// and engine-level differential suites: the reference semantics live in
+// exactly one place.
+package storetest
+
+import "repro/internal/relation"
+
+// Oracle mirrors a database with the legacy rebuild semantics.
+type Oracle struct {
+	order   []string
+	schemas map[string]relation.Schema
+	rows    map[string][]relation.Tuple
+}
+
+// NewOracle captures db's relations as plain tuple lists.
+func NewOracle(db *relation.Database) *Oracle {
+	o := &Oracle{schemas: make(map[string]relation.Schema), rows: make(map[string][]relation.Tuple)}
+	for _, r := range db.Relations() {
+		o.order = append(o.order, r.Name())
+		o.schemas[r.Name()] = r.Schema()
+		o.rows[r.Name()] = append([]relation.Tuple(nil), r.Tuples()...)
+	}
+	return o
+}
+
+// Relations returns the relation names in insertion order.
+func (o *Oracle) Relations() []string { return o.order }
+
+// Has reports whether the oracle holds the given source tuple.
+func (o *Oracle) Has(st relation.SourceTuple) bool {
+	for _, t := range o.rows[st.Rel] {
+		if t.Key() == st.Tuple.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteAll removes the given tuples in place, ignoring misses — the
+// legacy S \ T.
+func (o *Oracle) DeleteAll(T []relation.SourceTuple) {
+	drop := make(map[string]map[string]bool)
+	for _, st := range T {
+		if drop[st.Rel] == nil {
+			drop[st.Rel] = make(map[string]bool)
+		}
+		drop[st.Rel][st.Tuple.Key()] = true
+	}
+	for rel, keys := range drop {
+		var kept []relation.Tuple
+		for _, t := range o.rows[rel] {
+			if !keys[t.Key()] {
+				kept = append(kept, t)
+			}
+		}
+		o.rows[rel] = kept
+	}
+}
+
+// InsertAll appends the novel tuples in request order, skipping
+// duplicates — the legacy S ∪ I, including its re-insert-at-the-end
+// ordering.
+func (o *Oracle) InsertAll(I []relation.SourceTuple) {
+	for _, st := range I {
+		if !o.Has(st) {
+			o.rows[st.Rel] = append(o.rows[st.Rel], st.Tuple)
+		}
+	}
+}
+
+// Build materializes the oracle's current state as a fresh flat database.
+func (o *Oracle) Build() *relation.Database {
+	db := relation.NewDatabase()
+	for _, n := range o.order {
+		r := relation.New(n, o.schemas[n])
+		for _, t := range o.rows[n] {
+			r.Insert(t)
+		}
+		db.MustAdd(r)
+	}
+	return db
+}

@@ -176,6 +176,12 @@ type (
 	EngineOptions = engine.Options
 	// EngineStats summarizes an engine's cached state and traffic.
 	EngineStats = engine.Stats
+	// StoreStats summarizes the versioned source store inside EngineStats
+	// (structure sharing, overlay shape, compactions) — read it via
+	// Engine.Stats().Store. Database.StoreStats reports the chain of a
+	// database you version yourself; note Engine.Database() returns a
+	// freshly frozen snapshot whose lifetime counters start at zero.
+	StoreStats = relation.StoreStats
 	// EngineViewStats describes one prepared view inside EngineStats.
 	EngineViewStats = engine.ViewStats
 	// InsertReport is the outcome of a committed Engine.Insert.
