@@ -974,6 +974,62 @@ func benchmarkCommitSourceSize(b *testing.B, ballast int) {
 func BenchmarkCommit_SourceSize1k(b *testing.B)   { benchmarkCommitSourceSize(b, 1_000) }
 func BenchmarkCommit_SourceSize100k(b *testing.B) { benchmarkCommitSourceSize(b, 100_000) }
 
+// benchmarkApplyInsertionTreeSize measures view-side maintenance cost at a
+// fixed write size while the provenance tree grows: a PJ plan over R ⋈ S
+// whose operator nodes hold ~3×rows tuples, written one tuple per round
+// (insert a fresh R tuple, delta-maintain, then delete it again). With the
+// node overlays a round derives O(|Δ|) generations — tombstone/append
+// overlay versions of each node relation, layered witness-map updates,
+// persistent join-bucket probes — so ns/write stays flat as the tree grows
+// 100×; the old maintenance rebuilt every node's output relation with a
+// full pass over its child per ApplyInsertion (and flushed a deferred
+// deletion backlog with a full-tree rebuild), making the same number
+// linear in tree size. Compare the _TreeSize1k and _TreeSize100k ns/write
+// (and, with -benchmem, allocs/op) figures: they should be within ~2× of
+// each other, the same criterion BenchmarkCommit_* pinned for the source
+// store in the previous round.
+func benchmarkApplyInsertionTreeSize(b *testing.B, rows int) {
+	const fanout = 16
+	db := relation.NewDatabase()
+	r1 := relation.New("R", relation.NewSchema("A", "B"))
+	for i := 0; i < rows; i++ {
+		r1.InsertStrings("a"+strconv.Itoa(i), "b"+strconv.Itoa(i%fanout))
+	}
+	r2 := relation.New("S", relation.NewSchema("B", "C"))
+	for i := 0; i < fanout; i++ {
+		r2.InsertStrings("b"+strconv.Itoa(i), "c"+strconv.Itoa(i))
+	}
+	db.MustAdd(r1)
+	db.MustAdd(r2)
+	q := algebra.Pi([]string{"A", "C"}, algebra.NatJoin(algebra.R("R"), algebra.R("S")))
+	res, err := provenance.Compute(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	treeSize := res.TreeStats().NodeTuples
+	cur := db
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := relation.SourceTuple{Rel: "R", Tuple: relation.StringTuple("z"+strconv.Itoa(i), "b"+strconv.Itoa(i%fanout))}
+		I := []relation.SourceTuple{st}
+		newDB, err := cur.InsertAll(I)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res, err = res.ApplyInsertion(newDB, I); err != nil {
+			b.Fatal(err)
+		}
+		res = res.ApplyDeletion(I)
+		cur = newDB.DeleteAll(I)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*2), "ns/write")
+	b.ReportMetric(float64(treeSize), "tree-tuples")
+}
+
+func BenchmarkApplyInsertion_TreeSize1k(b *testing.B)   { benchmarkApplyInsertionTreeSize(b, 1_000) }
+func BenchmarkApplyInsertion_TreeSize100k(b *testing.B) { benchmarkApplyInsertionTreeSize(b, 100_000) }
+
 // Router overhead: the core dispatch on top of the direct algorithms.
 func BenchmarkRouter_Delete(b *testing.B) {
 	r := rand.New(rand.NewSource(17))

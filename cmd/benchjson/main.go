@@ -10,7 +10,10 @@
 // metrics appear in every record, not just the ones calling
 // b.ReportAllocs; commit-path improvements in particular are allocation
 // improvements, so BENCH_PR.json must carry allocs/op for the
-// BenchmarkCommit_* comparison to mean anything. Lines that are not
+// BenchmarkCommit_* comparison (source-store O(|Δ|) commits) and the
+// BenchmarkApplyInsertion_TreeSize* comparison (node-overlay O(|Δ|)
+// view maintenance, the same ~2×-across-100× criterion one layer up)
+// to mean anything. Lines that are not
 // benchmark results (PASS, ok, test logs) are skipped; goos/goarch/pkg/cpu
 // headers are captured as context.
 package main

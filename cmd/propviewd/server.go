@@ -334,13 +334,18 @@ const (
 // [offset, offset+limit) of the lexicographically sorted view; Total is
 // the full view cardinality, so offset+len(tuples) < total means more
 // pages remain. Limit and Offset echo the effective (clamped) values.
+// Generation identifies the published snapshot the page was cut from —
+// the sorted row set is cached per generation (engine.QueryPage), so a
+// paginating client can detect a commit landing between pages by a
+// generation change.
 type queryResponse struct {
-	View   string     `json:"view"`
-	Schema []string   `json:"schema"`
-	Tuples [][]string `json:"tuples"`
-	Total  int        `json:"total"`
-	Offset int        `json:"offset"`
-	Limit  int        `json:"limit"`
+	View       string     `json:"view"`
+	Schema     []string   `json:"schema"`
+	Tuples     [][]string `json:"tuples"`
+	Total      int        `json:"total"`
+	Offset     int        `json:"offset"`
+	Limit      int        `json:"limit"`
+	Generation int64      `json:"generation"`
 }
 
 // parsePositiveInt reads an optional non-negative integer query parameter.
@@ -380,29 +385,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	view, err := s.engine.Query(name)
+	// The engine serves the page off the per-snapshot sorted cache: the
+	// first page of a generation pays the sort, every later page (from any
+	// client) is an O(page) slice until the next commit publishes a fresh
+	// snapshot.
+	page, err := s.engine.QueryPage(name, offset, limit)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	rows := view.SortedTuples()
-	total := len(rows)
-	if offset > total {
-		offset = total
-	}
-	end := offset + limit
-	if end > total {
-		end = total
-	}
 	resp := queryResponse{
-		View:   name,
-		Schema: view.Schema().Attrs(),
-		Tuples: [][]string{},
-		Total:  total,
-		Offset: offset,
-		Limit:  limit,
+		View:       name,
+		Schema:     page.Schema.Attrs(),
+		Tuples:     [][]string{},
+		Total:      page.Total,
+		Offset:     page.Offset,
+		Limit:      page.Limit,
+		Generation: page.Generation,
 	}
-	for _, t := range rows[offset:end] {
+	for _, t := range page.Tuples {
 		resp.Tuples = append(resp.Tuples, renderTuple(t))
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -824,3 +824,54 @@ func TestStatsStore(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryGenerationAndTreeStats asserts the serving-path additions of
+// the node-overlay round: /query pages carry the snapshot generation they
+// were cut from (so a paginating client can detect a commit landing
+// between pages), and /stats surfaces the per-view provenance-tree store
+// section with its sharing and O(Δ)-work counters.
+func TestQueryGenerationAndTreeStats(t *testing.T) {
+	h := newTestServer(t, true)
+
+	code, resp := do(t, h, http.MethodGet, "/query?view=access&limit=1", "")
+	if code != 200 {
+		t.Fatalf("query: %d %v", code, resp)
+	}
+	if gen, ok := resp["generation"].(float64); !ok || gen != 0 {
+		t.Fatalf("generation = %v, want 0", resp["generation"])
+	}
+	if code, resp := do(t, h, http.MethodPost, "/delete", `{"view": "access", "tuple": ["john", "f2"], "objective": "source"}`); code != 200 {
+		t.Fatalf("delete: %d %v", code, resp)
+	}
+	code, resp = do(t, h, http.MethodGet, "/query?view=access&limit=1", "")
+	if code != 200 || resp["generation"].(float64) != 1 {
+		t.Fatalf("post-commit generation = %v, want 1", resp["generation"])
+	}
+
+	code, resp = do(t, h, http.MethodGet, "/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	views := resp["views"].([]any)
+	if len(views) != 1 {
+		t.Fatalf("views = %v", resp["views"])
+	}
+	tree, ok := views[0].(map[string]any)["tree"].(map[string]any)
+	if !ok {
+		t.Fatalf("view stats missing tree section: %v", views[0])
+	}
+	if n := tree["nodes"].(float64); n < 3 {
+		t.Errorf("tree.nodes = %v, want ≥ 3 (π over ⋈ over two scans)", n)
+	}
+	if d := tree["derives"].(float64); d < 1 {
+		t.Errorf("tree.derives = %v, want ≥ 1 after a delete commit", d)
+	}
+	if to := tree["touched_tuples"].(float64); to < 1 {
+		t.Errorf("tree.touched_tuples = %v, want ≥ 1", to)
+	}
+	for _, key := range []string{"node_tuples", "shared_nodes", "rewritten_nodes", "rel_folds", "map_folds"} {
+		if _, ok := tree[key]; !ok {
+			t.Errorf("tree section missing %q: %v", key, tree)
+		}
+	}
+}

@@ -198,9 +198,14 @@ func TestDifferentialMixedInsertDelete(t *testing.T) {
 						if err != nil {
 							t.Fatalf("seed %d step %d: insert: %v", seed, step, err)
 						}
+						// Novel = not present and not already claimed within
+						// this batch (a graveyard restore and a synthesized
+						// fresh tuple can coincide; the engine dedups them).
 						var novel []relation.SourceTuple
+						seen := make(map[string]bool)
 						for _, st := range I {
-							if !mirror.Contains(st) {
+							if !mirror.Contains(st) && !seen[st.Key()] {
+								seen[st.Key()] = true
 								novel = append(novel, st)
 							}
 						}

@@ -92,6 +92,57 @@ type snapshot struct {
 	whereBuilt atomic.Bool
 	where      *annotation.WhereView
 	whereErr   error
+
+	// sorted caches the lexicographically ordered view rows, built lazily
+	// per published snapshot; QueryPage slices it, so a page costs
+	// O(page) instead of the full-view sort GET /query used to pay per
+	// request. Commits replace the snapshot wholesale, which is the
+	// invalidation — except that a commit leaving a view's result
+	// untouched carries the still-valid cache into the new snapshot
+	// (nextSnapshot). An atomic pointer rather than a Once so the carry
+	// can read a live snapshot's cache without racing its builders.
+	sorted atomic.Pointer[[]relation.Tuple]
+}
+
+// sortedView returns the snapshot's lexicographically sorted rows,
+// computing them at most once per generation (concurrent first readers
+// may duplicate the sort; the results are identical, mirroring the
+// relation-level flat cache).
+func (s *snapshot) sortedView() []relation.Tuple {
+	if p := s.sorted.Load(); p != nil {
+		return *p
+	}
+	rows := s.prov.View.SortedTuples()
+	s.sorted.Store(&rows)
+	return rows
+}
+
+// nextSnapshot wraps a view's maintenance result for the new source
+// generation. When the write left the result untouched — ApplyDeletion /
+// ApplyInsertion returned the receiver because the write was disjoint
+// from the view's base relations — the caches that remain valid carry
+// over instead of being recomputed per commit: the sorted page rows
+// (unchanged view) and the where-provenance index (a function of plan +
+// base relations the write did not touch). A changed result starts
+// cold, exactly as before.
+func nextSnapshot(old *snapshot, newDB *relation.Database, prov *provenance.Result) *snapshot {
+	s := &snapshot{db: newDB, prov: prov}
+	if prov != old.prov {
+		return s
+	}
+	if p := old.sorted.Load(); p != nil {
+		s.sorted.Store(p)
+	}
+	if old.whereBuilt.Load() {
+		// whereBuilt is set after the index is written (inside the old
+		// snapshot's Once), so the read here is ordered; firing the new
+		// snapshot's Once before publication makes whereView return the
+		// carried index without recomputing.
+		s.where = old.where
+		s.whereBuilt.Store(true)
+		s.whereOnce.Do(func() {})
+	}
+	return s
 }
 
 // computeWhere builds a where-provenance index; a package variable so
@@ -377,6 +428,68 @@ func (e *Engine) Query(name string) (*relation.Relation, error) {
 	return p.snap.Load().prov.View.ReadOnly(), nil
 }
 
+// ViewPage is one page of a prepared view in lexicographic order, as
+// served by QueryPage.
+type ViewPage struct {
+	// Schema is the view's output schema.
+	Schema relation.Schema
+	// Tuples holds rows [Offset, Offset+Limit) of the sorted view. The
+	// slice aliases the snapshot's sorted cache and must not be modified.
+	Tuples []relation.Tuple
+	// Total is the full view cardinality, so Offset+len(Tuples) < Total
+	// means more pages remain.
+	Total int
+	// Offset is the effective (end-clamped) offset of the page.
+	Offset int
+	// Limit echoes the requested limit.
+	Limit int
+	// Generation identifies the published snapshot the page was cut from;
+	// two pages with equal Generation come from the same sorted row set.
+	Generation int64
+}
+
+// QueryPage returns rows [offset, offset+limit) of the lexicographically
+// sorted view — the serving path behind GET /query pagination. The sorted
+// row slice is computed at most once per published snapshot generation
+// (the next commit publishes a fresh snapshot, which is the
+// invalidation), so after the first page of a generation a page costs
+// O(page) slicing instead of the O(n log n) full-view sort the handler
+// used to pay per request. offset and limit must be non-negative; an
+// offset past the end yields an empty page. Counts as one served query.
+func (e *Engine) QueryPage(name string, offset, limit int) (ViewPage, error) {
+	p, err := e.lookup(name)
+	if err != nil {
+		return ViewPage{}, err
+	}
+	if offset < 0 || limit < 0 {
+		return ViewPage{}, fmt.Errorf("engine: negative offset or limit")
+	}
+	// Snapshot and generation are read together under the read lock so the
+	// page is attributable to one published generation (see Describe).
+	e.mu.RLock()
+	snap := p.snap.Load()
+	gen := p.gen.Load()
+	e.mu.RUnlock()
+	rows := snap.sortedView()
+	total := len(rows)
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit < total-offset {
+		end = offset + limit
+	}
+	e.nQueries.Add(1)
+	return ViewPage{
+		Schema:     snap.prov.View.Schema(),
+		Tuples:     rows[offset:end],
+		Total:      total,
+		Offset:     offset,
+		Limit:      limit,
+		Generation: gen,
+	}, nil
+}
+
 // Witnesses returns the cached minimal witnesses of view tuple t (nil if t
 // is not in the view).
 //
@@ -520,7 +633,10 @@ func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 	next := make([]*snapshot, len(ps))
 	e.fanOut(len(ps), func(i int) {
 		old := ps[i].snap.Load()
-		next[i] = &snapshot{db: newDB, prov: old.prov.ApplyDeletion(T)}
+		// ApplyDeletionTo adopts newDB's relation versions at the scan
+		// nodes, so the tree and the store share one version chain per
+		// relation instead of deriving parallel ones.
+		next[i] = nextSnapshot(old, newDB, old.prov.ApplyDeletionTo(newDB, T))
 		e.nMaint.Add(1)
 	})
 
@@ -606,6 +722,11 @@ type ViewStats struct {
 	// WhereReady reports whether the where-provenance index is built for
 	// the current generation.
 	WhereReady bool `json:"where_ready"`
+	// Tree summarizes the view's provenance-tree store: node count and
+	// overlay shape of the current generation plus the lifetime
+	// sharing/compaction counters (provenance.Result.TreeStats). Like
+	// WitnessCount it is filled by Stats, not by Describe.
+	Tree provenance.TreeStats `json:"tree"`
 }
 
 // InsertReport is the outcome of a committed Insert. Coalesced requests
@@ -730,6 +851,7 @@ func (e *Engine) Stats() Stats {
 			WitnessCount: wit,
 			Generation:   c.gen,
 			WhereReady:   c.snap.whereBuilt.Load(),
+			Tree:         c.snap.prov.TreeStats(),
 		})
 	}
 	sort.Slice(st.Views, func(i, j int) bool { return st.Views[i].Name < st.Views[j].Name })

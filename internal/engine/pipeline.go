@@ -424,7 +424,7 @@ func (e *Engine) insertGroup(reqs []*writeReq) error {
 			errs[i] = fmt.Errorf("engine: maintaining view %q: %w", ps[i].name, ierr)
 			return
 		}
-		next[i] = &snapshot{db: newDB, prov: prov}
+		next[i] = nextSnapshot(old, newDB, prov)
 	})
 	for _, ierr := range errs {
 		if ierr != nil {

@@ -388,3 +388,124 @@ func TestConcurrentGroupDeletes(t *testing.T) {
 		t.Fatalf("final maintained view diverged:\n%s\nvs\n%s", view.Table(), fresh.Table())
 	}
 }
+
+// TestConcurrentPaginationServing stresses GET /query's serving path —
+// QueryPage over the per-snapshot sorted cache — against committing
+// writers, under -race. Readers paginate with random windows while a
+// delete/restore writer churns commits (each commit publishes a fresh
+// snapshot, invalidating the cache the readers share). The detector is
+// the primary assertion; each page must additionally be internally
+// consistent: lexicographically sorted, duplicate-free, within bounds,
+// and attributed to a monotonically non-decreasing generation.
+func TestConcurrentPaginationServing(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	db, q := workload.UserGroupFile(r, 20, 8, 15, 2, 2)
+	e := New(db)
+	if err := e.Prepare("v", q); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	var (
+		wg        sync.WaitGroup
+		done      atomic.Bool
+		readOK    atomic.Int64
+		writeOK   atomic.Int64
+		failures  atomic.Int64
+		firstFail atomic.Value
+	)
+	fail := func(err error) {
+		failures.Add(1)
+		firstFail.CompareAndSwap(nil, err)
+	}
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			lastGen := int64(-1)
+			for !done.Load() {
+				offset, limit := rr.Intn(30), 1+rr.Intn(10)
+				page, err := e.QueryPage("v", offset, limit)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if len(page.Tuples) > limit || page.Offset+len(page.Tuples) > page.Total {
+					fail(errors.New("page exceeds its window"))
+					return
+				}
+				if page.Generation < lastGen {
+					fail(errors.New("generation went backwards"))
+					return
+				}
+				lastGen = page.Generation
+				for j := 1; j < len(page.Tuples); j++ {
+					if !page.Tuples[j-1].Less(page.Tuples[j]) {
+						fail(errors.New("page not strictly sorted"))
+						return
+					}
+				}
+				readOK.Add(1)
+			}
+		}(int64(100 + i))
+	}
+
+	// Writer: delete the first remaining view tuple, then restore the
+	// deleted source tuples — two commits per round, so the sorted cache
+	// is invalidated continuously while totals keep moving both ways.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for readOK.Load() == 0 && failures.Load() == 0 {
+			runtime.Gosched()
+		}
+		for i := 0; i < 30; i++ {
+			page, err := e.QueryPage("v", 0, 1)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if len(page.Tuples) == 0 {
+				return
+			}
+			rep, err := e.Delete("v", page.Tuples[0], core.MinimizeSourceDeletions, core.DeleteOptions{})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if _, err := e.Insert(rep.Result.T); err != nil {
+				fail(err)
+				return
+			}
+			writeOK.Add(1)
+		}
+	}()
+
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d failures; first: %v", n, firstFail.Load())
+	}
+	if writeOK.Load() == 0 || readOK.Load() == 0 {
+		t.Fatalf("no progress: %d writes, %d reads", writeOK.Load(), readOK.Load())
+	}
+	// After the churn the sorted cache must serve exactly the final view.
+	page, err := e.QueryPage("v", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := e.Query("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Tuples) != final.Len() {
+		t.Fatalf("final page has %d rows, view has %d", len(page.Tuples), final.Len())
+	}
+	for _, tu := range page.Tuples {
+		if !final.Contains(tu) {
+			t.Fatalf("cached sorted row %v not in the final view", tu)
+		}
+	}
+}

@@ -154,5 +154,23 @@ func TestDifferentialCompactionCycles(t *testing.T) {
 		if st.Store.DerivedVersions == 0 || st.Store.SharedRelations == 0 || st.Store.RewrittenRelations == 0 {
 			t.Fatalf("seed %d: store counters did not move: %+v", seed, st.Store)
 		}
+		// The view's provenance-tree store must have cycled its node
+		// overlays too — every commit above ran through the O(Δ) tree
+		// maintenance, and this workload is long enough to fold both the
+		// node relations and the witness/bucket maps.
+		tree := st.Views[0].Tree
+		if tree.Derives == 0 || tree.RewrittenNodes == 0 || tree.TouchedTuples == 0 {
+			t.Fatalf("seed %d: tree counters did not move: %+v", seed, tree)
+		}
+		if tree.RelFolds < 1 || tree.MapFolds < 1 {
+			t.Fatalf("seed %d: node overlays never folded (rel %d, map %d; tree %+v)",
+				seed, tree.RelFolds, tree.MapFolds, tree)
+		}
+		// The maintained tree never paid a full rebuild: total maintenance
+		// work stays bounded by the write deltas, not by steps × tree size.
+		if tree.TouchedTuples > int64(steps)*int64(tree.NodeTuples) {
+			t.Fatalf("seed %d: tree maintenance touched %d tuples over %d steps (tree size %d) — not O(Δ)",
+				seed, tree.TouchedTuples, steps, tree.NodeTuples)
+		}
 	}
 }

@@ -186,16 +186,23 @@ func TestApplyInsertionRespectsLimit(t *testing.T) {
 	}
 }
 
-// A long run of single-tuple deletions crosses the pendingDel flush
-// threshold: the backlog must be materialized through the tree (bounding
-// memory and per-delete copy cost) without changing any observable state,
-// and a subsequent insertion must still delta off the flushed tree
-// correctly.
-func TestApplyDeletionPendingFlush(t *testing.T) {
+// A long run of single-tuple deletions must stay O(Δ) per delete: the old
+// scheme filtered only the root and, past a 64-deletion backlog, flushed
+// the accumulated set through the tree with a FULL rebuild of every node —
+// an O(|tree|) stall on whichever unlucky delete crossed the threshold
+// (inside the engine's commit lock). Now every delete propagates through
+// the tree eagerly via the node overlays, touching only the affected
+// tuples. The test drives well past the old threshold and pins both the
+// observable state (byte-identical to recomputation) and the work bound
+// (TreeStats.TouchedTuples stays proportional to the deltas, far under
+// one tree scan, where a single legacy flush already exceeded it).
+func TestApplyDeletionDeltaBoundedWork(t *testing.T) {
+	const rows = 2000 // tree size ~3×rows; legacy flush touched all of it
+	const deletions = 100
 	db := relation.NewDatabase()
 	r1 := relation.New("R1", relation.NewSchema("A", "B"))
 	r2 := relation.New("R2", relation.NewSchema("B", "C"))
-	for i := 0; i < maxPendingDel+20; i++ {
+	for i := 0; i < rows; i++ {
 		r1.Insert(relation.NewTuple(relation.Int(int64(i)), relation.Int(int64(i%7))))
 	}
 	for i := 0; i < 7; i++ {
@@ -209,23 +216,36 @@ func TestApplyDeletionPendingFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	treeSize := res.TreeStats().NodeTuples
+	if treeSize < 3*rows {
+		t.Fatalf("tree unexpectedly small: %d node tuples", treeSize)
+	}
 	cur := db
-	for i := 0; i < maxPendingDel+10; i++ {
+	for i := 0; i < deletions; i++ {
 		T := []relation.SourceTuple{{Rel: "R1", Tuple: relation.NewTuple(relation.Int(int64(i)), relation.Int(int64(i%7)))}}
 		cur = cur.DeleteAll(T)
 		res = res.ApplyDeletion(T)
-		if i == maxPendingDel+1 && res.pendingDel != nil && len(res.pendingDel) > maxPendingDel {
-			t.Fatalf("pendingDel not flushed at %d entries", len(res.pendingDel))
-		}
 	}
 	fresh, err := Compute(q, cur)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got, want := witnessFingerprint(res), witnessFingerprint(fresh); got != want {
-		t.Fatalf("state diverged after threshold flush\n got:\n%s\nwant:\n%s", got, want)
+		t.Fatalf("state diverged after %d deletions\n got:\n%s\nwant:\n%s", deletions, got, want)
 	}
-	// An insertion after the flush delta-evaluates off the flushed tree.
+	st := res.TreeStats()
+	// Each single-tuple deletion touches a handful of candidates (the scan
+	// tuple, its join images, their projections). A single legacy
+	// full-tree flush alone cost ≥ treeSize; 100 eager deletes must stay
+	// well under one tree scan in total.
+	if st.TouchedTuples >= int64(treeSize) {
+		t.Fatalf("maintenance touched %d tuples over %d deletions — not O(Δ) (tree size %d)", st.TouchedTuples, deletions, treeSize)
+	}
+	if st.Derives != deletions {
+		t.Fatalf("Derives = %d, want %d", st.Derives, deletions)
+	}
+	// An insertion after the delete run delta-evaluates off the maintained
+	// tree.
 	I := []relation.SourceTuple{{Rel: "R1", Tuple: relation.NewTuple(relation.Int(3), relation.Int(3))}}
 	newDB, err := cur.InsertAll(I)
 	if err != nil {
@@ -240,7 +260,7 @@ func TestApplyDeletionPendingFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got, want := witnessFingerprint(grown), witnessFingerprint(freshGrown); got != want {
-		t.Fatalf("post-flush insertion diverged\n got:\n%s\nwant:\n%s", got, want)
+		t.Fatalf("post-run insertion diverged\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
 
@@ -406,5 +426,141 @@ func TestWhereSourcesWithinLineageQuick(t *testing.T) {
 	}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestNodeOverlayCompactionCyclesDifferential drives a long random
+// insert/delete interleaving — far past the old 64-deletion flush
+// boundary — through maintained node overlays, long enough to force the
+// node relations and witness maps through multiple fold AND squash
+// cycles, asserting the maintained state stays byte-identical to a
+// from-scratch recomputation throughout. This is the proof that node
+// overlay compaction is invisible above the tree, the same way the
+// source-store differential proved it for relations.
+func TestNodeOverlayCompactionCyclesDifferential(t *testing.T) {
+	const rows = 300
+	const steps = 420
+	for seed := int64(1); seed <= 2; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := relation.NewDatabase()
+		r1 := relation.New("R1", relation.NewSchema("A", "B"))
+		for i := 0; i < rows; i++ {
+			r1.Insert(relation.NewTuple(relation.Int(int64(i)), relation.Int(int64(i%9))))
+		}
+		r2 := relation.New("R2", relation.NewSchema("B", "C"))
+		for i := 0; i < 9; i++ {
+			r2.Insert(relation.NewTuple(relation.Int(int64(i)), relation.Int(int64(i))))
+		}
+		db.MustAdd(r1)
+		db.MustAdd(r2)
+		q := algebra.Pi([]relation.Attribute{"A", "C"},
+			algebra.NatJoin(algebra.R("R1"), algebra.R("R2")))
+		res, err := Compute(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var graveyard []relation.SourceTuple
+		fresh := 0
+		for step := 0; step < steps; step++ {
+			if len(graveyard) > 0 && r.Intn(2) == 0 {
+				// Restore a previously deleted tuple (tombstone-then-
+				// reappend through every node overlay).
+				i := r.Intn(len(graveyard))
+				st := graveyard[i]
+				graveyard = append(graveyard[:i], graveyard[i+1:]...)
+				I := []relation.SourceTuple{st}
+				newDB, err := db.InsertAll(I)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res, err = res.ApplyInsertion(newDB, I); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				db = newDB
+			} else if r.Intn(3) == 0 {
+				// A brand-new tuple, driving overlay mentions toward the
+				// fold threshold.
+				fresh++
+				st := relation.SourceTuple{Rel: "R1", Tuple: relation.NewTuple(
+					relation.Int(int64(rows + fresh)), relation.Int(int64(fresh % 9)))}
+				I := []relation.SourceTuple{st}
+				newDB, err := db.InsertAll(I)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res, err = res.ApplyInsertion(newDB, I); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				db = newDB
+				graveyard = append(graveyard, st)
+			} else {
+				all := db.AllSourceTuples()
+				T := []relation.SourceTuple{all[r.Intn(len(all))]}
+				graveyard = append(graveyard, T...)
+				db = db.DeleteAll(T)
+				res = res.ApplyDeletion(T)
+			}
+			// The recompute dominates the test cost; sample it while the
+			// write stream itself churns the overlays every step.
+			if step%20 != 0 && step != steps-1 {
+				continue
+			}
+			fresh, err := Compute(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := witnessFingerprint(res), witnessFingerprint(fresh); got != want {
+				t.Fatalf("seed %d step %d: maintained state diverged\n got:\n%s\nwant:\n%s", seed, step, got, want)
+			}
+		}
+
+		st := res.TreeStats()
+		if st.RelFolds < 2 || st.MapFolds < 2 {
+			t.Fatalf("seed %d: %d steps produced rel folds %d / map folds %d, want ≥ 2 fold cycles each (tree %+v)",
+				seed, steps, st.RelFolds, st.MapFolds, st)
+		}
+		if st.RelSquashes < 1 || st.MapSquashes < 1 {
+			t.Fatalf("seed %d: no squash cycle (rel %d, map %d; tree %+v)", seed, st.RelSquashes, st.MapSquashes, st)
+		}
+		if st.SharedNodes == 0 || st.RewrittenNodes == 0 || st.TouchedTuples == 0 {
+			t.Fatalf("seed %d: tree counters did not move: %+v", seed, st)
+		}
+	}
+}
+
+// TestApplyDeletionToAdoptsStoreVersions pins the single-chain contract:
+// a caller that already derived S \ T (the engine's commit path) hands it
+// to ApplyDeletionTo, and the scan nodes adopt the store's relation
+// versions by pointer instead of deriving a parallel overlay chain over
+// the same base — while the nil-newDB ApplyDeletion keeps deriving
+// private versions with identical content.
+func TestApplyDeletionToAdoptsStoreVersions(t *testing.T) {
+	db := userGroupDB()
+	q := algebra.R("UserGroup") // identity plan: the tree root IS the scan node
+	res, err := Compute(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := []relation.SourceTuple{st("UserGroup", "john", "admin")}
+	newDB := db.DeleteAll(T)
+
+	adopted := res.ApplyDeletionTo(newDB, T)
+	if adopted.tree.rel != newDB.Relation("UserGroup") {
+		t.Fatal("scan node did not adopt the store's post-deletion relation version")
+	}
+	private := res.ApplyDeletion(T)
+	if private.tree.rel == newDB.Relation("UserGroup") {
+		t.Fatal("nil-newDB deletion unexpectedly shares the store's version")
+	}
+	if got, want := witnessFingerprint(adopted), witnessFingerprint(private); got != want {
+		t.Fatalf("adopted and private deletions diverged\n got:\n%s\nwant:\n%s", got, want)
+	}
+	fresh, err := Compute(q, newDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := witnessFingerprint(adopted), witnessFingerprint(fresh); got != want {
+		t.Fatalf("adopted deletion diverged from recompute\n got:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -1,0 +1,222 @@
+package provenance
+
+// Persistent string-keyed maps for the provenance tree's per-node state:
+// the witness basis of every node tuple and, on join nodes, the hash
+// indexes of the child relations on the join attributes. They follow the
+// same immutable-base + layered-overlay representation relation versions
+// use (internal/relation/version.go), with the same compaction thresholds
+// (relation.OverlayFoldLimit / relation.OverlayMaxDepth), so deriving the
+// next generation of a node's maps costs O(|Δ|) — the base map and all
+// earlier layers are shared by pointer — instead of the O(|node|) wholesale
+// map copy the maintenance paths used to pay per write.
+//
+// Resolution rule: the topmost layer mentioning a key decides it (set ⇒
+// that value, dead ⇒ absent); an unmentioned key falls through to the
+// base. Values are treated as immutable once stored — a derive that
+// changes a key's value stores a freshly built value, never mutates the
+// old one — which is what makes generations safe to read concurrently.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// mapMetrics counts overlay-map compaction over the lifetime of a tree;
+// shared along every generation chain of the tree's nodes.
+type mapMetrics struct {
+	folds    atomic.Int64
+	squashes atomic.Int64
+}
+
+// mapLayer is one immutable overlay generation of an overlayMap.
+type mapLayer[V any] struct {
+	below    *mapLayer[V]
+	set      map[string]V        // keys (re)bound at this layer
+	dead     map[string]struct{} // keys removed at this layer
+	depth    int                 // layers in the chain, this one included
+	mentions int                 // cumulative len(set)+len(dead) across the chain
+}
+
+// overlayMap is a persistent map: an immutable base shared across every
+// version derived from it, plus a chain of overlay layers.
+type overlayMap[V any] struct {
+	base map[string]V
+	top  *mapLayer[V]
+	live int // current entry count
+}
+
+// newOverlayMap wraps an eagerly built map as a flat base version. The map
+// is owned by the overlayMap afterwards and must not be mutated.
+func newOverlayMap[V any](base map[string]V) *overlayMap[V] {
+	return &overlayMap[V]{base: base, live: len(base)}
+}
+
+// get resolves key k through the overlay.
+func (m *overlayMap[V]) get(k string) (V, bool) {
+	for l := m.top; l != nil; l = l.below {
+		if v, ok := l.set[k]; ok {
+			return v, true
+		}
+		if _, ok := l.dead[k]; ok {
+			var zero V
+			return zero, false
+		}
+	}
+	v, ok := m.base[k]
+	return v, ok
+}
+
+// has reports whether k is bound.
+func (m *overlayMap[V]) has(k string) bool {
+	_, ok := m.get(k)
+	return ok
+}
+
+// size returns the current entry count. O(1).
+func (m *overlayMap[V]) size() int { return m.live }
+
+// decisions resolves every key the overlay mentions to its deciding layer
+// (nil when the topmost mention is a removal). Keys absent from the result
+// fall through to the base.
+func (m *overlayMap[V]) decisions() map[string]*mapLayer[V] {
+	if m.top == nil {
+		return nil
+	}
+	d := make(map[string]*mapLayer[V], m.top.mentions)
+	for l := m.top; l != nil; l = l.below {
+		for k := range l.set {
+			if _, ok := d[k]; !ok {
+				d[k] = l
+			}
+		}
+		for k := range l.dead {
+			if _, ok := d[k]; !ok {
+				d[k] = nil
+			}
+		}
+	}
+	return d
+}
+
+// each calls yield for every live entry, in no particular order, stopping
+// early if yield returns false.
+func (m *overlayMap[V]) each(yield func(k string, v V) bool) {
+	d := m.decisions()
+	for k, v := range m.base {
+		if l, mentioned := d[k]; mentioned {
+			if l == nil {
+				continue
+			}
+			if !yield(k, l.set[k]) {
+				return
+			}
+			delete(d, k) // yielded; don't emit again below
+			continue
+		}
+		if !yield(k, v) {
+			return
+		}
+	}
+	for k, l := range d {
+		if l == nil {
+			continue
+		}
+		if _, inBase := m.base[k]; inBase {
+			continue // already yielded above
+		}
+		if !yield(k, l.set[k]) {
+			return
+		}
+	}
+}
+
+// flatten materializes the current entries into a fresh map.
+func (m *overlayMap[V]) flatten() map[string]V {
+	out := make(map[string]V, m.live)
+	m.each(func(k string, v V) bool {
+		out[k] = v
+		return true
+	})
+	return out
+}
+
+// derive publishes the version of m with the keys of set (re)bound and the
+// keys of dead removed, folding or squashing when the overlay trips the
+// shared thresholds. set and dead must be disjoint and are owned by the
+// new version afterwards; passing both empty returns the receiver. The
+// receiver is unchanged. O(|Δ|) plus amortized compaction.
+func (m *overlayMap[V]) derive(set map[string]V, dead map[string]struct{}, met *mapMetrics) *overlayMap[V] {
+	if len(set) == 0 && len(dead) == 0 {
+		return m
+	}
+	live := m.live
+	for k := range set {
+		if !m.has(k) {
+			live++
+		}
+	}
+	for k := range dead {
+		if m.has(k) {
+			live--
+		}
+	}
+	l := &mapLayer[V]{
+		below:    m.top,
+		set:      set,
+		dead:     dead,
+		depth:    1,
+		mentions: len(set) + len(dead),
+	}
+	if m.top != nil {
+		l.depth += m.top.depth
+		l.mentions += m.top.mentions
+	}
+	v := &overlayMap[V]{base: m.base, top: l, live: live}
+	if l.mentions > relation.OverlayFoldLimit(len(m.base)) {
+		if met != nil {
+			met.folds.Add(1)
+		}
+		return &overlayMap[V]{base: v.flatten(), live: live}
+	}
+	if l.depth > relation.OverlayMaxDepth {
+		if met != nil {
+			met.squashes.Add(1)
+		}
+		v.top = v.squashedTop()
+	}
+	return v
+}
+
+// squashedTop merges the whole chain into one layer over the same base:
+// every mentioned base key that died is kept as a removal, every live
+// mentioned key as a binding. O(overlay); the base is untouched.
+func (m *overlayMap[V]) squashedTop() *mapLayer[V] {
+	d := m.decisions()
+	set := make(map[string]V)
+	dead := make(map[string]struct{})
+	for k, l := range d {
+		if l != nil {
+			set[k] = l.set[k]
+		} else if _, inBase := m.base[k]; inBase {
+			dead[k] = struct{}{}
+		}
+	}
+	return &mapLayer[V]{set: set, dead: dead, depth: 1, mentions: len(set) + len(dead)}
+}
+
+// depth reports the overlay chain length (0 when flat).
+func (m *overlayMap[V]) depth() int {
+	if m.top == nil {
+		return 0
+	}
+	return m.top.depth
+}
+
+// mentions reports the cumulative overlay size (0 when flat).
+func (m *overlayMap[V]) mentions() int {
+	if m.top == nil {
+		return 0
+	}
+	return m.top.mentions
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/relation"
@@ -130,12 +131,22 @@ func minimizeWitnesses(ws []Witness) []Witness {
 
 // Result carries a computed view together with the witness basis of every
 // view tuple, plus the retained per-operator evaluation state that makes
-// incremental maintenance under both deletions AND insertions possible.
+// incremental maintenance under both deletions AND insertions O(|Δ|).
+//
+// Results form persistent generation chains: ApplyDeletion and
+// ApplyInsertion return fresh Results sharing almost all storage with the
+// receiver — node relations as tombstone/append overlay versions
+// (relation.DeleteVersion/InsertVersion), witness bases and join bucket
+// indexes as layered overlay maps (overlay.go), untouched subtrees by
+// pointer — so any retained generation stays readable while writes derive
+// new ones.
 type Result struct {
-	// View is the evaluated view Q(S).
+	// View is the evaluated view Q(S), maintained as an overlay version
+	// chain sharing the original evaluation's storage.
 	View *relation.Relation
-	// basis maps view tuple keys to minimal witnesses.
-	basis map[string][]Witness
+	// basis maps view tuple keys to minimal witnesses; it is the root
+	// node's witness store, shared by pointer.
+	basis *overlayMap[[]Witness]
 
 	// plan is the query this result was computed for and lim the basis cap
 	// it was computed under; both are carried through maintenance so
@@ -145,22 +156,20 @@ type Result struct {
 	lim  Limit
 	// tree is the witness-annotated operator tree of the evaluation.
 	// Retaining it costs no extra computation — witnessEval builds every
-	// node anyway — and is what lets an insertion extend the basis by a
-	// delta pass instead of a from-scratch recompute. Deletions do NOT
-	// eagerly rebuild it: they filter the root only (keeping the delete
-	// path as cheap as before trees existed) and accumulate the deleted
-	// keys in pendingDel; the next ApplyInsertion flushes the filter
-	// through the tree in one pass before delta-evaluating. The filter is
-	// order-independent (a witness dies iff it intersects ANY deleted
-	// set), so flushing the union at once equals applying each deletion
-	// in turn.
-	tree       *evalNode
-	pendingDel map[string]bool
+	// node anyway — and is what lets both write directions maintain each
+	// node by a delta pass instead of a from-scratch recompute.
+	tree *evalNode
+	// tm accumulates maintenance counters over the tree's lifetime; shared
+	// along the generation chain, like the source store's metrics.
+	tm *treeMetrics
 }
 
 // Witnesses returns the minimal witnesses of view tuple t (nil if t is not
 // in the view).
-func (r *Result) Witnesses(t relation.Tuple) []Witness { return r.basis[t.Key()] }
+func (r *Result) Witnesses(t relation.Tuple) []Witness {
+	ws, _ := r.basis.get(t.Key())
+	return ws
+}
 
 // filterWitnesses keeps the witnesses not intersecting the deleted set.
 // The returned slice preserves basis order, so a canonically sorted list
@@ -182,85 +191,408 @@ func filterWitnesses(ws []Witness, deleted map[string]bool) []Witness {
 	return kept
 }
 
-// ApplyDeletion derives the witness basis of Q(S \ T) from the basis of
-// Q(S) without re-evaluating the query: witnesses intersecting T are
-// discarded, tuples with no surviving witness leave the view. Valid for
-// monotone queries, where deletions can only remove derivations, never
-// create them. Only the root is filtered here — the retained operator
-// tree is shared with the receiver and the deleted keys accumulate in
-// pendingDel, to be flushed through the tree by the next ApplyInsertion —
-// so a delete-only workload pays exactly the root-basis cost it always
-// did. Returns a fresh Result; the receiver is unchanged.
-func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
-	deleted := make(map[string]bool, len(T))
-	for _, st := range T {
-		deleted[st.Key()] = true
-	}
-	out := &Result{
-		View:  relation.New(r.View.Name(), r.View.Schema()),
-		basis: make(map[string][]Witness, len(r.basis)),
-		plan:  r.plan,
-		lim:   r.lim,
-		tree:  r.tree,
-	}
-	if r.tree != nil {
-		out.pendingDel = make(map[string]bool, len(r.pendingDel)+len(T))
-		for k := range r.pendingDel {
-			out.pendingDel[k] = true
-		}
-		for k := range deleted {
-			out.pendingDel[k] = true
-		}
-		// Bound the backlog: a delete-only workload would otherwise copy an
-		// ever-growing map on every call and never reclaim it. Past the
-		// threshold, materialize the filter through the tree now and reset —
-		// one O(tree) pass per maxPendingDel deletions keeps the amortized
-		// delete cost at root-basis size and the memory bounded.
-		if len(out.pendingDel) > maxPendingDel {
-			out.tree = deleteNode(r.tree, out.pendingDel)
-			out.pendingDel = nil
-		}
-	}
-	for _, t := range r.View.Tuples() {
-		if kept := filterWitnesses(r.basis[t.Key()], deleted); len(kept) > 0 {
-			out.View.Insert(t)
-			out.basis[t.Key()] = kept
-		}
-	}
-	return out
+// treeMetrics counts tree-maintenance activity over a Result's generation
+// chain: one instance is shared by every generation derived from the same
+// Compute, so the counters are cumulative across writes (and safe for the
+// engine's concurrent Stats readers).
+type treeMetrics struct {
+	derives        atomic.Int64 // maintenance passes (ApplyDeletion/ApplyInsertion)
+	sharedNodes    atomic.Int64 // nodes shared by pointer across a pass
+	rewrittenNodes atomic.Int64 // nodes given a new O(|Δ|) generation
+	touchedTuples  atomic.Int64 // candidate tuples examined during maintenance
+
+	relM relation.VersionMetrics // node-relation overlay activity
+	mapM mapMetrics              // witness/bucket map overlay activity
 }
 
-// deleteNode rebuilds one operator node over S \ T: children first, then
-// this node's tuples filtered to those with a surviving witness. A node
-// tuple survives iff it is derivable from S \ T, and its surviving minimal
-// witnesses are exactly the old ones avoiding T (a subset of a witness
-// that intersects T intersects it too, so minimality and pruning are
-// unaffected — see the correctness argument on ApplyInsertion). Called by
-// ApplyInsertion to flush a Result's accumulated pendingDel through the
-// shared tree before delta-evaluating.
-func deleteNode(n *evalNode, deleted map[string]bool) *evalNode {
-	out := &evalNode{
-		rel:  relation.New(n.rel.Name(), n.rel.Schema()),
-		wit:  make(map[string][]Witness, len(n.wit)),
-		kids: make([]*evalNode, len(n.kids)),
+// TreeStats is a point-in-time summary of a Result's provenance tree: the
+// current generation's shape plus the lifetime sharing, work and
+// compaction counters. TouchedTuples is the direct witness of the O(|Δ|)
+// claim — it advances by the number of candidate tuples a maintenance
+// pass examined, not by tree size.
+type TreeStats struct {
+	// Nodes is the operator-node count of the retained tree.
+	Nodes int `json:"nodes"`
+	// NodeTuples is the total tuple count across node output relations —
+	// the "tree size" maintenance cost used to be linear in.
+	NodeTuples int `json:"node_tuples"`
+	// MaxRelOverlayDepth / RelOverlayMentions describe the node relations'
+	// current overlay shape (deepest chain, total tombstones+appends).
+	MaxRelOverlayDepth int `json:"max_rel_overlay_depth"`
+	RelOverlayMentions int `json:"rel_overlay_mentions"`
+	// MaxMapOverlayDepth / MapOverlayMentions describe the witness and
+	// bucket maps' current overlay shape.
+	MaxMapOverlayDepth int `json:"max_map_overlay_depth"`
+	MapOverlayMentions int `json:"map_overlay_mentions"`
+	// Derives counts maintenance passes over the chain's lifetime.
+	Derives int64 `json:"derives"`
+	// SharedNodes / RewrittenNodes count subtrees passed by pointer vs
+	// nodes given a new O(|Δ|) generation, cumulatively.
+	SharedNodes    int64 `json:"shared_nodes"`
+	RewrittenNodes int64 `json:"rewritten_nodes"`
+	// TouchedTuples counts candidate tuples examined by maintenance.
+	TouchedTuples int64 `json:"touched_tuples"`
+	// RelFolds / RelSquashes count node-relation overlay compactions.
+	RelFolds    int64 `json:"rel_folds"`
+	RelSquashes int64 `json:"rel_squashes"`
+	// MapFolds / MapSquashes count witness/bucket map overlay compactions.
+	MapFolds    int64 `json:"map_folds"`
+	MapSquashes int64 `json:"map_squashes"`
+}
+
+// TreeStats summarizes the provenance tree as of this generation.
+// O(#nodes).
+func (r *Result) TreeStats() TreeStats {
+	var st TreeStats
+	if r.tm != nil {
+		st.Derives = r.tm.derives.Load()
+		st.SharedNodes = r.tm.sharedNodes.Load()
+		st.RewrittenNodes = r.tm.rewrittenNodes.Load()
+		st.TouchedTuples = r.tm.touchedTuples.Load()
+		st.RelFolds = r.tm.relM.Folds()
+		st.RelSquashes = r.tm.relM.Squashes()
+		st.MapFolds = r.tm.mapM.folds.Load()
+		st.MapSquashes = r.tm.mapM.squashes.Load()
 	}
-	for i, k := range n.kids {
-		out.kids[i] = deleteNode(k, deleted)
+	seeMap := func(m *overlayMap[[]Witness]) {
+		if d := m.depth(); d > st.MaxMapOverlayDepth {
+			st.MaxMapOverlayDepth = d
+		}
+		st.MapOverlayMentions += m.mentions()
 	}
-	n.rel.Each(func(t relation.Tuple) bool {
-		if kept := filterWitnesses(n.wit[t.Key()], deleted); len(kept) > 0 {
-			out.rel.Insert(t)
-			out.wit[t.Key()] = kept
+	seeBuck := func(b *overlayMap[bucketVal]) {
+		if b == nil {
+			return
+		}
+		if d := b.depth(); d > st.MaxMapOverlayDepth {
+			st.MaxMapOverlayDepth = d
+		}
+		st.MapOverlayMentions += b.mentions()
+	}
+	var walk func(n *evalNode)
+	walk = func(n *evalNode) {
+		st.Nodes++
+		st.NodeTuples += n.rel.Len()
+		if d := n.rel.OverlayDepth(); d > st.MaxRelOverlayDepth {
+			st.MaxRelOverlayDepth = d
+		}
+		st.RelOverlayMentions += n.rel.OverlayMentions()
+		seeMap(n.wit)
+		seeBuck(n.lbuck)
+		seeBuck(n.rbuck)
+		for _, k := range n.kids {
+			walk(k)
+		}
+	}
+	if r.tree != nil {
+		walk(r.tree)
+	}
+	return st
+}
+
+// deletionSet is one deletion request, pre-indexed for the tree pass.
+type deletionSet struct {
+	keys  map[string]bool                   // source-tuple keys, for witness filtering
+	rels  map[string]bool                   // relations touched, for subtree sharing
+	byRel map[string][]relation.SourceTuple // deduplicated tuples per relation
+}
+
+func newDeletionSet(T []relation.SourceTuple) *deletionSet {
+	del := &deletionSet{
+		keys:  make(map[string]bool, len(T)),
+		rels:  make(map[string]bool),
+		byRel: make(map[string][]relation.SourceTuple),
+	}
+	for _, st := range T {
+		k := st.Key()
+		if del.keys[k] {
+			continue
+		}
+		del.keys[k] = true
+		del.rels[st.Rel] = true
+		del.byRel[st.Rel] = append(del.byRel[st.Rel], st)
+	}
+	return del
+}
+
+// ApplyDeletion derives the view and witness basis of Q(S \ T) from those
+// of Q(S) without re-evaluating the query: witnesses intersecting T are
+// discarded, tuples with no surviving witness leave their node. Valid for
+// monotone queries, where deletions can only remove derivations, never
+// create them — a witness dies iff it intersects T, and a pruned
+// non-minimal witness cannot resurface because its pruner, being a
+// subset, dies only when the superset does too.
+//
+// The pass is O(|Δ|), not O(|tree|): each node examines only the tuples
+// its children report as touched, mapped through the operator (identity
+// for σ/δ, projection for π, alignment for ∪, and the persistent bucket
+// indexes for ⋈), and derives its new generation as overlay versions —
+// tombstoned relations, layered witness maps — sharing untouched state by
+// pointer. A subtree scanning none of T's relations is shared whole. This
+// replaced the old scheme of filtering only the root and deferring a
+// pendingDel backlog to be flushed by a full-tree rebuild: that flush ran
+// inside the engine's commit lock, so one unlucky delete stalled every
+// writer behind an O(|tree|) pass.
+//
+// Returns a fresh Result sharing structure with the receiver (possibly
+// the receiver itself when T cannot affect the view); the receiver is
+// unchanged and stays fully readable.
+func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
+	return r.ApplyDeletionTo(nil, T)
+}
+
+// ApplyDeletionTo is ApplyDeletion for callers that already derived the
+// post-deletion source: newDB must be exactly this Result's source with T
+// removed (a relation.Database.DeleteAll result). Scan nodes then ADOPT
+// newDB's relation versions — byte-identical to what they would derive —
+// instead of deriving a private overlay chain over the same base, so a
+// delete-heavy workload maintains one version chain per relation, shared
+// with the store, rather than two chains each paying their own amortized
+// fold. This is the deletion-side dual of the adoption ApplyInsertion
+// already does with its newDB. A nil newDB derives private versions
+// (the ApplyDeletion behavior).
+func (r *Result) ApplyDeletionTo(newDB *relation.Database, T []relation.SourceTuple) *Result {
+	del := newDeletionSet(T)
+	if len(del.keys) == 0 {
+		return r
+	}
+	if r.tree == nil || r.plan == nil {
+		// Not built by Compute (impossible via this package's constructors;
+		// kept so the method stays total): filter the basis wholesale.
+		return r.deleteWithoutTree(del)
+	}
+	if !touchesAny(r.plan, del.rels) {
+		return r
+	}
+	r.tm.derives.Add(1)
+	ds := deleteNodeDelta(r.plan, r.tree, newDB, del, r.tm)
+	if ds.node == r.tree {
+		return r
+	}
+	view := r.View
+	if len(ds.died) > 0 {
+		dead := make(map[string]struct{}, len(ds.died))
+		for _, t := range ds.died {
+			dead[t.Key()] = struct{}{}
+		}
+		view = view.DeleteVersion(dead, &r.tm.relM)
+	}
+	return &Result{View: view, basis: ds.node.wit, plan: r.plan, lim: r.lim, tree: ds.node, tm: r.tm}
+}
+
+// deleteWithoutTree is the treeless fallback: one filtering pass over the
+// whole basis, O(|view|).
+func (r *Result) deleteWithoutTree(del *deletionSet) *Result {
+	tm := r.tm
+	if tm == nil {
+		tm = &treeMetrics{}
+	}
+	changes := make(map[string][]Witness)
+	dead := make(map[string]struct{})
+	r.View.Each(func(t relation.Tuple) bool {
+		tm.touchedTuples.Add(1)
+		k := t.Key()
+		ws, ok := r.basis.get(k)
+		if !ok {
+			return true
+		}
+		kept := filterWitnesses(ws, del.keys)
+		switch {
+		case len(kept) == len(ws):
+		case len(kept) == 0:
+			dead[k] = struct{}{}
+		default:
+			changes[k] = kept
 		}
 		return true
 	})
-	return out
+	view := r.View
+	if len(dead) > 0 {
+		view = view.DeleteVersion(dead, &tm.relM)
+	}
+	return &Result{View: view, basis: r.basis.derive(changes, dead, &tm.mapM), plan: r.plan, lim: r.lim, tree: r.tree, tm: tm}
 }
 
-// maxPendingDel caps the deletion backlog a Result carries before
-// ApplyDeletion flushes it through the retained tree instead of deferring
-// to the next insertion.
-const maxPendingDel = 64
+// delState is one node's deletion-maintenance outcome: the maintained node
+// (the input node itself when nothing changed), the tuples whose witness
+// lists changed (died included) feeding the parent's candidate set, and
+// the tuples that left the node's relation (for join bucket cleanup).
+type delState struct {
+	node    *evalNode
+	touched []relation.Tuple
+	died    []relation.Tuple
+}
+
+// deleteNodeDelta maintains one operator node under a deletion, children
+// first. Candidates — the only tuples whose witness lists can change —
+// are the operator images of the children's touched tuples: if a witness
+// w of node tuple t intersects T, then w is a union of child witnesses
+// (from-scratch equivalence of the maintained state), one of which
+// intersects T, so t is an image of a touched child tuple. A non-nil
+// newDB is the caller's already-derived post-deletion source; scan nodes
+// adopt its relation versions instead of deriving their own.
+func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del *deletionSet, tm *treeMetrics) delState {
+	if !touchesAny(q, del.rels) {
+		tm.sharedNodes.Add(1)
+		return delState{node: n}
+	}
+
+	if q, ok := q.(algebra.Scan); ok {
+		// A scan tuple's only witness is itself: it dies iff deleted.
+		dead := make(map[string]struct{})
+		var died []relation.Tuple
+		for _, st := range del.byRel[q.Rel] {
+			tm.touchedTuples.Add(1)
+			k := st.Tuple.Key()
+			if !n.wit.has(k) {
+				continue
+			}
+			dead[k] = struct{}{}
+			died = append(died, st.Tuple)
+		}
+		if len(dead) == 0 {
+			tm.sharedNodes.Add(1)
+			return delState{node: n}
+		}
+		tm.rewrittenNodes.Add(1)
+		// The output relation of a scan IS the source relation: adopt the
+		// caller's post-deletion generation when it supplied one (sharing
+		// the store's version chain), else derive a private version.
+		var rel *relation.Relation
+		if newDB != nil {
+			rel = newDB.Relation(q.Rel)
+		} else {
+			rel = n.rel.DeleteVersion(dead, &tm.relM)
+		}
+		node := &evalNode{rel: rel, wit: n.wit.derive(nil, dead, &tm.mapM)}
+		return delState{node: node, touched: died, died: died}
+	}
+
+	// Children first; collect candidate images of their touched tuples.
+	var kidQ []algebra.Query
+	switch q := q.(type) {
+	case algebra.Select:
+		kidQ = []algebra.Query{q.Child}
+	case algebra.Project:
+		kidQ = []algebra.Query{q.Child}
+	case algebra.Rename:
+		kidQ = []algebra.Query{q.Child}
+	case algebra.Join:
+		kidQ = []algebra.Query{q.Left, q.Right}
+	case algebra.Union:
+		kidQ = []algebra.Query{q.Left, q.Right}
+	default:
+		// witnessEval admits no other node type into a tree.
+		panic(fmt.Sprintf("provenance: deleteNodeDelta: unknown query node %T", q))
+	}
+	kids := make([]delState, len(n.kids))
+	kidsChanged := false
+	for i := range n.kids {
+		kids[i] = deleteNodeDelta(kidQ[i], n.kids[i], newDB, del, tm)
+		if kids[i].node != n.kids[i] {
+			kidsChanged = true
+		}
+	}
+
+	var cands []relation.Tuple
+	seen := make(map[string]bool)
+	add := func(t relation.Tuple) {
+		if k := t.Key(); !seen[k] {
+			seen[k] = true
+			cands = append(cands, t)
+		}
+	}
+	switch q := q.(type) {
+	case algebra.Select, algebra.Rename:
+		for _, t := range kids[0].touched {
+			add(t)
+		}
+	case algebra.Project:
+		csch := n.kids[0].rel.Schema()
+		for _, ct := range kids[0].touched {
+			add(relation.ProjectAttrs(csch, ct, q.Attrs))
+		}
+	case algebra.Union:
+		attrs := n.kids[0].rel.Schema().Attrs()
+		rsch := n.kids[1].rel.Schema()
+		for _, t := range kids[0].touched {
+			add(t)
+		}
+		for _, t := range kids[1].touched {
+			add(relation.ProjectAttrs(rsch, t, attrs))
+		}
+	case algebra.Join:
+		sh := n.shape
+		for _, lt := range kids[0].touched {
+			lt := lt
+			rbv, _ := n.rbuck.get(sh.leftKey(lt))
+			rbv.chain.each(func(rt relation.Tuple) bool {
+				add(sh.join(lt, rt))
+				return true
+			})
+		}
+		for _, rt := range kids[1].touched {
+			rt := rt
+			lbv, _ := n.lbuck.get(sh.rightKey(rt))
+			lbv.chain.each(func(lt relation.Tuple) bool {
+				add(sh.join(lt, rt))
+				return true
+			})
+		}
+	}
+
+	changes := make(map[string][]Witness)
+	dead := make(map[string]struct{})
+	var touched, died []relation.Tuple
+	for _, t := range cands {
+		tm.touchedTuples.Add(1)
+		k := t.Key()
+		ws, ok := n.wit.get(k)
+		if !ok {
+			continue // image not in this node (e.g. a failed selection)
+		}
+		kept := filterWitnesses(ws, del.keys)
+		if len(kept) == len(ws) {
+			continue
+		}
+		touched = append(touched, t)
+		if len(kept) == 0 {
+			dead[k] = struct{}{}
+			died = append(died, t)
+		} else {
+			changes[k] = kept
+		}
+	}
+
+	if !kidsChanged && len(changes) == 0 && len(dead) == 0 {
+		tm.sharedNodes.Add(1)
+		return delState{node: n}
+	}
+	tm.rewrittenNodes.Add(1)
+	rel := n.rel
+	if len(dead) > 0 {
+		rel = rel.DeleteVersion(dead, &tm.relM)
+	}
+	out := &evalNode{
+		rel:   rel,
+		wit:   n.wit.derive(changes, dead, &tm.mapM),
+		kids:  make([]*evalNode, len(kids)),
+		shape: n.shape,
+		lbuck: n.lbuck,
+		rbuck: n.rbuck,
+	}
+	for i, k := range kids {
+		out.kids[i] = k.node
+	}
+	if n.shape != nil {
+		// Dead child tuples leave the bucket indexes (lazily, with
+		// amortized compaction against the children's new witness maps) so
+		// future probes stay proportional to the live join fan-out.
+		out.lbuck = bucketsRemove(n.lbuck, kids[0].died, n.shape.leftKey, out.kids[0].wit, &tm.mapM)
+		out.rbuck = bucketsRemove(n.rbuck, kids[1].died, n.shape.rightKey, out.kids[1].wit, &tm.mapM)
+	}
+	return delState{node: out, touched: touched, died: died}
+}
 
 // errNoDelta marks a plan node the delta evaluator has no incremental rule
 // for. The monotone SPJRU fragment is fully covered; the sentinel exists so
@@ -281,6 +613,13 @@ var errNoDelta = fmt.Errorf("provenance: no delta rule for plan node")
 // derivations that touch I, merges them into the node's retained basis
 // with one minimization, and propagates the survivors upward.
 //
+// Like ApplyDeletion the pass is O(|Δ|) in state as well as work: each
+// node's new generation is an overlay version of the old one — novel
+// tuples appended to the output relation, grown witness lists layered
+// onto the witness map, join probes answered by the persistent bucket
+// indexes instead of rebuilding a hash of the full child — and untouched
+// subtrees are shared by pointer.
+//
 // newDB must be the post-insertion source (db.InsertAll result) and I the
 // tuples genuinely added — tuples already present create no witnesses and
 // must be filtered by the caller. The basis cap the Result was computed
@@ -298,10 +637,10 @@ func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTup
 		return ComputeLimited(r.plan, newDB, r.lim)
 	}
 	// A plan whose base relations are disjoint from I is untouched: the
-	// view, basis, tree and any deferred deletion backlog are all exactly
-	// as they were — the receiver IS the result. This is what keeps a
-	// many-view engine's insert cost proportional to the views actually
-	// affected, not to the total cached state.
+	// view, basis and tree are all exactly as they were — the receiver IS
+	// the result. This is what keeps a many-view engine's insert cost
+	// proportional to the views actually affected, not to the total cached
+	// state.
 	touched := make(map[string]bool, len(I))
 	for _, st := range I {
 		touched[st.Rel] = true
@@ -309,87 +648,34 @@ func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTup
 	if !touchesAny(r.plan, touched) {
 		return r, nil
 	}
-	tree := r.tree
-	if len(r.pendingDel) > 0 {
-		// Deletions since the tree was last materialized were applied to
-		// the root only; bring every node current in one filter pass.
-		tree = deleteNode(tree, r.pendingDel)
-	}
-	dn, err := insertNode(r.plan, tree, newDB, I, r.lim, touched)
+	r.tm.derives.Add(1)
+	dn, err := insertNodeDelta(r.plan, r.tree, newDB, I, r.lim, touched, r.tm)
 	if err == errNoDelta {
 		return ComputeLimited(r.plan, newDB, r.lim)
 	}
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{
-		View:  relation.New(r.View.Name(), r.View.Schema()),
-		basis: dn.node.wit,
-		plan:  r.plan,
-		lim:   r.lim,
-		tree:  dn.node,
+	if dn.node == r.tree {
+		return r, nil
 	}
-	dn.node.rel.Each(func(t relation.Tuple) bool {
-		out.View.Insert(t)
-		return true
-	})
-	return out, nil
+	view := r.View
+	if len(dn.novel) > 0 {
+		view = view.InsertVersion(dn.novel, &r.tm.relM)
+	}
+	return &Result{View: view, basis: dn.node.wit, plan: r.plan, lim: r.lim, tree: dn.node, tm: r.tm}, nil
 }
 
 // deltaNode is one operator node's incremental update: the maintained node
-// over S ∪ I, plus the tuples whose witness sets grew (including brand-new
-// tuples) and the newly added minimal witnesses feeding the parent's delta.
+// over S ∪ I (the input node itself when nothing changed), the tuples
+// whose witness sets grew — brand-new tuples included — in derivation
+// order, the newly added minimal witnesses feeding the parent's delta, and
+// the subset of delta actually appended to the node's output relation.
 type deltaNode struct {
 	node  *evalNode
-	delta *relation.Relation
+	delta []relation.Tuple
 	dwit  map[string][]Witness
-}
-
-// copyWit shallow-copies a witness map; the slices themselves are immutable
-// and shared between generations.
-func copyWit(src map[string][]Witness, extra int) map[string][]Witness {
-	out := make(map[string][]Witness, len(src)+extra)
-	for k, v := range src {
-		out[k] = v
-	}
-	return out
-}
-
-// mergeDelta folds newly derived witness candidates (acc, keyed by tuple,
-// with cand holding the tuples in derivation order) into a node's basis:
-// wit[k] becomes minimize(old[k] ∪ acc[k]) — identical to what a
-// from-scratch evaluation minimizes, since the candidates cover exactly
-// the derivations using I (see ApplyInsertion). The returned delta holds
-// the tuples whose basis actually grew and their added witnesses; a
-// candidate pruned by an old subset is dropped here, exactly where a
-// from-scratch minimization would drop it.
-func mergeDelta(old map[string][]Witness, acc map[string][]Witness, cand *relation.Relation, wit map[string][]Witness, check func([]Witness) error) (*relation.Relation, map[string][]Witness, error) {
-	delta := relation.New(cand.Name(), cand.Schema())
-	dwit := make(map[string][]Witness, len(acc))
-	for _, t := range cand.Tuples() {
-		k := t.Key()
-		merged := minimizeWitnesses(append(append([]Witness{}, old[k]...), acc[k]...))
-		if err := check(merged); err != nil {
-			return nil, nil, err
-		}
-		oldKeys := make(map[string]bool, len(old[k]))
-		for _, w := range old[k] {
-			oldKeys[w.Key()] = true
-		}
-		var added []Witness
-		for _, w := range merged {
-			if !oldKeys[w.Key()] {
-				added = append(added, w)
-			}
-		}
-		if len(added) == 0 {
-			continue // every candidate was pruned: no growth at this tuple
-		}
-		wit[k] = merged
-		delta.Insert(t)
-		dwit[k] = added
-	}
-	return delta, dwit, nil
+	novel []relation.Tuple
 }
 
 // touchesAny reports whether any base relation of q is in the touched set.
@@ -402,242 +688,310 @@ func touchesAny(q algebra.Query, touched map[string]bool) bool {
 	return false
 }
 
-// insertNode delta-evaluates one operator node: children first, then this
-// node's new derivations — exactly the ones using at least one inserted
-// tuple — merged into the retained basis. old is the node's pre-insertion
-// state (whose witness maps supply the "old side" of join combinations),
-// newDB the post-insertion source; touched names the relations I inserts
-// into. A subtree scanning none of them has an empty delta by definition,
-// so its (immutable, already-flushed) old node is shared unchanged instead
-// of being rebuilt — e.g. the untouched side of a join.
-func insertNode(q algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool) (*deltaNode, error) {
-	if !touchesAny(q, touched) {
-		return &deltaNode{node: old, delta: relation.New(old.rel.Name(), old.rel.Schema())}, nil
+// mergeCandidates folds newly derived witness candidates (acc, keyed by
+// tuple, with cands holding the tuples in derivation order, deduplicated)
+// into a node's basis: the new entry for k is minimize(old[k] ∪ acc[k]) —
+// identical to what a from-scratch evaluation minimizes, since the
+// candidates cover exactly the derivations using I (see ApplyInsertion).
+// Returns the witness-map changes, the grown tuples with their added
+// witnesses, and the tuples new to the node's relation; a candidate pruned
+// by an old subset is dropped here, exactly where a from-scratch
+// minimization would drop it.
+func mergeCandidates(old *evalNode, cands []relation.Tuple, acc map[string][]Witness, check func([]Witness) error, tm *treeMetrics) (set map[string][]Witness, delta, novel []relation.Tuple, dwit map[string][]Witness, err error) {
+	set = make(map[string][]Witness, len(cands))
+	dwit = make(map[string][]Witness, len(cands))
+	for _, t := range cands {
+		tm.touchedTuples.Add(1)
+		k := t.Key()
+		oldWs, _ := old.wit.get(k)
+		merged := minimizeWitnesses(append(append([]Witness{}, oldWs...), acc[k]...))
+		if err := check(merged); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		oldKeys := make(map[string]bool, len(oldWs))
+		for _, w := range oldWs {
+			oldKeys[w.Key()] = true
+		}
+		var added []Witness
+		for _, w := range merged {
+			if !oldKeys[w.Key()] {
+				added = append(added, w)
+			}
+		}
+		if len(added) == 0 {
+			continue // every candidate was pruned: no growth at this tuple
+		}
+		set[k] = merged
+		dwit[k] = added
+		delta = append(delta, t)
+		if !old.rel.Contains(t) {
+			novel = append(novel, t)
+		}
 	}
-	check := func(ws []Witness) error {
+	return set, delta, novel, dwit, nil
+}
+
+// limitCheck builds the per-merge witness-cap enforcement closure.
+func limitCheck(lim Limit) func([]Witness) error {
+	return func(ws []Witness) error {
 		if lim.MaxWitnesses > 0 && len(ws) > lim.MaxWitnesses {
 			return fmt.Errorf("%w: %d witnesses > cap %d", ErrLimit, len(ws), lim.MaxWitnesses)
 		}
 		return nil
 	}
+}
+
+// passThrough forwards a child's insertion delta through a node that
+// keeps tuples as-is — σ (with its condition) and δ (unconditionally):
+// the child's witness lists are shared wholesale, exactly as the full
+// rebuild shared them, and kept tuples absent from the node's relation
+// are appended. finish is the caller's node assembler.
+func passThrough(old *evalNode, child deltaNode, keep func(relation.Tuple) bool, finish func(map[string][]Witness, []relation.Tuple, []relation.Tuple, map[string][]Witness, []*evalNode) deltaNode, tm *treeMetrics) deltaNode {
+	set := make(map[string][]Witness)
+	dwit := make(map[string][]Witness)
+	var delta, novel []relation.Tuple
+	for _, t := range child.delta {
+		if keep != nil && !keep(t) {
+			continue
+		}
+		tm.touchedTuples.Add(1)
+		k := t.Key()
+		cw, _ := child.node.wit.get(k)
+		set[k] = cw
+		dwit[k] = child.dwit[k]
+		delta = append(delta, t)
+		if !old.rel.Contains(t) {
+			novel = append(novel, t)
+		}
+	}
+	return finish(set, delta, novel, dwit, []*evalNode{child.node})
+}
+
+// insertNodeDelta delta-evaluates one operator node: children first, then
+// this node's new derivations — exactly the ones using at least one
+// inserted tuple — merged into the retained basis. old is the node's
+// pre-insertion state (whose witness maps supply the "old side" of join
+// combinations), newDB the post-insertion source; touched names the
+// relations I inserts into. A subtree scanning none of them has an empty
+// delta by definition, so its old node is shared unchanged instead of
+// being rebuilt — e.g. the untouched side of a join.
+func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool, tm *treeMetrics) (deltaNode, error) {
+	if !touchesAny(q, touched) {
+		tm.sharedNodes.Add(1)
+		return deltaNode{node: old}, nil
+	}
+	check := limitCheck(lim)
+
+	// finish assembles the node from the merge outcome, sharing storage
+	// (and the whole node, when possible) if nothing changed.
+	finish := func(set map[string][]Witness, delta, novel []relation.Tuple, dwit map[string][]Witness, kids []*evalNode) deltaNode {
+		unchangedKids := true
+		for i, k := range kids {
+			if old.kids[i] != k {
+				unchangedKids = false
+			}
+		}
+		if len(set) == 0 && unchangedKids {
+			tm.sharedNodes.Add(1)
+			return deltaNode{node: old}
+		}
+		tm.rewrittenNodes.Add(1)
+		rel := old.rel
+		if len(novel) > 0 {
+			rel = rel.InsertVersion(novel, &tm.relM)
+		}
+		node := &evalNode{rel: rel, wit: old.wit.derive(set, nil, &tm.mapM), kids: kids, shape: old.shape, lbuck: old.lbuck, rbuck: old.rbuck}
+		return deltaNode{node: node, delta: delta, dwit: dwit, novel: novel}
+	}
+
 	switch q := q.(type) {
 	case algebra.Scan:
-		base := newDB.Relation(q.Rel)
-		wit := copyWit(old.wit, len(I))
-		delta := relation.New(base.Name(), base.Schema())
+		set := make(map[string][]Witness)
 		dwit := make(map[string][]Witness)
+		var delta []relation.Tuple
 		for _, st := range I {
 			if st.Rel != q.Rel {
 				continue
 			}
 			k := st.Tuple.Key()
-			if _, present := wit[k]; present {
+			if old.wit.has(k) {
 				continue // was already in the relation: nothing new
 			}
+			if _, dup := set[k]; dup {
+				continue
+			}
 			ws := []Witness{NewWitness(st)}
-			wit[k] = ws
-			delta.Insert(st.Tuple)
+			set[k] = ws
 			dwit[k] = ws
+			delta = append(delta, st.Tuple)
 		}
-		return &deltaNode{node: &evalNode{rel: base, wit: wit}, delta: delta, dwit: dwit}, nil
+		if len(set) == 0 {
+			tm.sharedNodes.Add(1)
+			return deltaNode{node: old}, nil
+		}
+		tm.rewrittenNodes.Add(1)
+		tm.touchedTuples.Add(int64(len(delta)))
+		// The output relation of a scan IS the source relation: adopt the
+		// new generation's, already an O(|Δ|) overlay over the same base.
+		node := &evalNode{rel: newDB.Relation(q.Rel), wit: old.wit.derive(set, nil, &tm.mapM)}
+		return deltaNode{node: node, delta: delta, dwit: dwit, novel: delta}, nil
 
 	case algebra.Select:
-		child, err := insertNode(q.Child, old.kids[0], newDB, I, lim, touched)
+		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm)
 		if err != nil {
-			return nil, err
+			return deltaNode{}, err
 		}
-		sch := child.node.rel.Schema()
-		rel := relation.New(old.rel.Name(), sch)
-		wit := make(map[string][]Witness)
-		child.node.rel.Each(func(t relation.Tuple) bool {
-			if q.Cond.Holds(sch, t) {
-				rel.Insert(t)
-				wit[t.Key()] = child.node.wit[t.Key()]
-			}
-			return true
-		})
-		delta := relation.New(old.rel.Name(), sch)
-		dwit := make(map[string][]Witness)
-		for _, t := range child.delta.Tuples() {
-			if q.Cond.Holds(sch, t) {
-				delta.Insert(t)
-				dwit[t.Key()] = child.dwit[t.Key()]
-			}
+		sch := old.kids[0].rel.Schema()
+		return passThrough(old, child, func(t relation.Tuple) bool { return q.Cond.Holds(sch, t) }, finish, tm), nil
+
+	case algebra.Rename:
+		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm)
+		if err != nil {
+			return deltaNode{}, err
 		}
-		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{child.node}}, delta: delta, dwit: dwit}, nil
+		return passThrough(old, child, nil, finish, tm), nil
 
 	case algebra.Project:
-		child, err := insertNode(q.Child, old.kids[0], newDB, I, lim, touched)
+		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm)
 		if err != nil {
-			return nil, err
+			return deltaNode{}, err
 		}
-		csch := child.node.rel.Schema()
-		schema, perr := csch.Project(q.Attrs)
-		if perr != nil {
-			return nil, perr
-		}
-		rel := relation.New(old.rel.Name(), schema)
-		child.node.rel.Each(func(t relation.Tuple) bool {
-			rel.Insert(relation.ProjectAttrs(csch, t, q.Attrs))
-			return true
-		})
+		csch := old.kids[0].rel.Schema()
+		var cands []relation.Tuple
+		seen := make(map[string]bool)
 		acc := make(map[string][]Witness)
-		cand := relation.New(old.rel.Name(), schema)
-		for _, ct := range child.delta.Tuples() {
+		for _, ct := range child.delta {
 			pt := relation.ProjectAttrs(csch, ct, q.Attrs)
-			cand.Insert(pt)
-			acc[pt.Key()] = append(acc[pt.Key()], child.dwit[ct.Key()]...)
+			k := pt.Key()
+			if !seen[k] {
+				seen[k] = true
+				cands = append(cands, pt)
+			}
+			acc[k] = append(acc[k], child.dwit[ct.Key()]...)
 		}
-		wit := copyWit(old.wit, cand.Len())
-		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
+		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm)
 		if err != nil {
-			return nil, err
+			return deltaNode{}, err
 		}
-		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{child.node}}, delta: delta, dwit: dwit}, nil
+		return finish(set, delta, novel, dwit, []*evalNode{child.node}), nil
+
+	case algebra.Union:
+		left, err := insertNodeDelta(q.Left, old.kids[0], newDB, I, lim, touched, tm)
+		if err != nil {
+			return deltaNode{}, err
+		}
+		right, err := insertNodeDelta(q.Right, old.kids[1], newDB, I, lim, touched, tm)
+		if err != nil {
+			return deltaNode{}, err
+		}
+		attrs := old.kids[0].rel.Schema().Attrs()
+		rsch := old.kids[1].rel.Schema()
+		var cands []relation.Tuple
+		seen := make(map[string]bool)
+		acc := make(map[string][]Witness)
+		for _, t := range left.delta {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				cands = append(cands, t)
+			}
+			acc[k] = append(acc[k], left.dwit[t.Key()]...)
+		}
+		for _, t := range right.delta {
+			aligned := relation.ProjectAttrs(rsch, t, attrs)
+			k := aligned.Key()
+			if !seen[k] {
+				seen[k] = true
+				cands = append(cands, aligned)
+			}
+			acc[k] = append(acc[k], right.dwit[t.Key()]...)
+		}
+		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm)
+		if err != nil {
+			return deltaNode{}, err
+		}
+		return finish(set, delta, novel, dwit, []*evalNode{left.node, right.node}), nil
 
 	case algebra.Join:
-		left, err := insertNode(q.Left, old.kids[0], newDB, I, lim, touched)
+		left, err := insertNodeDelta(q.Left, old.kids[0], newDB, I, lim, touched, tm)
 		if err != nil {
-			return nil, err
+			return deltaNode{}, err
 		}
-		right, err := insertNode(q.Right, old.kids[1], newDB, I, lim, touched)
+		right, err := insertNodeDelta(q.Right, old.kids[1], newDB, I, lim, touched, tm)
 		if err != nil {
-			return nil, err
+			return deltaNode{}, err
 		}
-		ls, rs := left.node.rel.Schema(), right.node.rel.Schema()
-		rel := relation.New(old.rel.Name(), ls.Join(rs))
-		common := ls.Common(rs)
-		var rightExtra []relation.Attribute
-		for _, a := range rs.Attrs() {
-			if !ls.Has(a) {
-				rightExtra = append(rightExtra, a)
-			}
-		}
-		joinTuple := func(lt, rt relation.Tuple) relation.Tuple {
-			return append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
-		}
-		// Full output relation, rebuilt plain (no witness work — the
-		// expensive part of a join node is the witness combination, and that
-		// runs only over the delta below).
-		buckets := make(map[string][]relation.Tuple)
-		right.node.rel.Each(func(rt relation.Tuple) bool {
-			k := relation.ProjectAttrs(rs, rt, common).Key()
-			buckets[k] = append(buckets[k], rt)
-			return true
-		})
-		left.node.rel.Each(func(lt relation.Tuple) bool {
-			k := relation.ProjectAttrs(ls, lt, common).Key()
-			for _, rt := range buckets[k] {
-				rel.Insert(joinTuple(lt, rt))
-			}
-			return true
-		})
+		sh := old.shape
+		// Bucket indexes gain the novel child tuples first: the ΔL term
+		// probes the NEW right side so ΔL×ΔR combinations appear exactly
+		// once there.
+		lbuck := bucketsAdd(old.lbuck, left.novel, sh.leftKey, &tm.mapM)
+		rbuck := bucketsAdd(old.rbuck, right.novel, sh.rightKey, &tm.mapM)
+
 		// New combinations = ΔL × R_new  ∪  L_old × ΔR: every pair using at
 		// least one added witness appears exactly once (ΔL×ΔR lands in the
 		// first term; the second pairs only OLD left witnesses with ΔR).
+		var cands []relation.Tuple
+		seen := make(map[string]bool)
 		acc := make(map[string][]Witness)
-		cand := relation.New(old.rel.Name(), rel.Schema())
-		for _, lt := range left.delta.Tuples() {
-			k := relation.ProjectAttrs(ls, lt, common).Key()
-			for _, rt := range buckets[k] {
-				joined := joinTuple(lt, rt)
+		for _, lt := range left.delta {
+			lt := lt
+			lws := left.dwit[lt.Key()]
+			rbv, _ := rbuck.get(sh.leftKey(lt))
+			rbv.chain.each(func(rt relation.Tuple) bool {
+				rws, _ := right.node.wit.get(rt.Key())
+				if len(rws) == 0 {
+					return true // stale bucket entry: the partner is gone
+				}
+				joined := sh.join(lt, rt)
 				jk := joined.Key()
-				cand.Insert(joined)
-				for _, wl := range left.dwit[lt.Key()] {
-					for _, wr := range right.node.wit[rt.Key()] {
+				if !seen[jk] {
+					seen[jk] = true
+					cands = append(cands, joined)
+				}
+				for _, wl := range lws {
+					for _, wr := range rws {
 						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
 					}
 				}
-			}
+				return true
+			})
 		}
-		deltaBuckets := make(map[string][]relation.Tuple)
-		for _, rt := range right.delta.Tuples() {
-			k := relation.ProjectAttrs(rs, rt, common).Key()
-			deltaBuckets[k] = append(deltaBuckets[k], rt)
-		}
-		oldLeft := old.kids[0]
-		oldLeft.rel.Each(func(lt relation.Tuple) bool {
-			k := relation.ProjectAttrs(ls, lt, common).Key()
-			for _, rt := range deltaBuckets[k] {
-				joined := joinTuple(lt, rt)
+		for _, rt := range right.delta {
+			rt := rt
+			rws := right.dwit[rt.Key()]
+			lbv, _ := old.lbuck.get(sh.rightKey(rt))
+			lbv.chain.each(func(lt relation.Tuple) bool {
+				lws, _ := old.kids[0].wit.get(lt.Key())
+				if len(lws) == 0 {
+					return true // stale bucket entry: the partner is gone
+				}
+				joined := sh.join(lt, rt)
 				jk := joined.Key()
-				cand.Insert(joined)
-				for _, wl := range oldLeft.wit[lt.Key()] {
-					for _, wr := range right.dwit[rt.Key()] {
+				if !seen[jk] {
+					seen[jk] = true
+					cands = append(cands, joined)
+				}
+				for _, wl := range lws {
+					for _, wr := range rws {
 						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
 					}
 				}
-			}
-			return true
-		})
-		wit := copyWit(old.wit, cand.Len())
-		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
+				return true
+			})
+		}
+		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm)
 		if err != nil {
-			return nil, err
+			return deltaNode{}, err
 		}
-		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{left.node, right.node}}, delta: delta, dwit: dwit}, nil
-
-	case algebra.Union:
-		left, err := insertNode(q.Left, old.kids[0], newDB, I, lim, touched)
-		if err != nil {
-			return nil, err
+		dn := finish(set, delta, novel, dwit, []*evalNode{left.node, right.node})
+		if dn.node != old {
+			dn.node.lbuck, dn.node.rbuck = lbuck, rbuck
 		}
-		right, err := insertNode(q.Right, old.kids[1], newDB, I, lim, touched)
-		if err != nil {
-			return nil, err
-		}
-		attrs := left.node.rel.Schema().Attrs()
-		rel := relation.New(old.rel.Name(), left.node.rel.Schema())
-		left.node.rel.Each(func(t relation.Tuple) bool {
-			rel.Insert(t)
-			return true
-		})
-		right.node.rel.Each(func(t relation.Tuple) bool {
-			rel.Insert(relation.ProjectAttrs(right.node.rel.Schema(), t, attrs))
-			return true
-		})
-		acc := make(map[string][]Witness)
-		cand := relation.New(old.rel.Name(), rel.Schema())
-		for _, t := range left.delta.Tuples() {
-			cand.Insert(t)
-			acc[t.Key()] = append(acc[t.Key()], left.dwit[t.Key()]...)
-		}
-		for _, t := range right.delta.Tuples() {
-			aligned := relation.ProjectAttrs(right.delta.Schema(), t, attrs)
-			cand.Insert(aligned)
-			acc[aligned.Key()] = append(acc[aligned.Key()], right.dwit[t.Key()]...)
-		}
-		wit := copyWit(old.wit, cand.Len())
-		delta, dwit, err := mergeDelta(old.wit, acc, cand, wit, check)
-		if err != nil {
-			return nil, err
-		}
-		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{left.node, right.node}}, delta: delta, dwit: dwit}, nil
-
-	case algebra.Rename:
-		child, err := insertNode(q.Child, old.kids[0], newDB, I, lim, touched)
-		if err != nil {
-			return nil, err
-		}
-		schema, rerr := child.node.rel.Schema().Rename(q.Theta)
-		if rerr != nil {
-			return nil, rerr
-		}
-		rel := relation.New(old.rel.Name(), schema)
-		wit := make(map[string][]Witness, len(child.node.wit))
-		child.node.rel.Each(func(t relation.Tuple) bool {
-			rel.Insert(t)
-			wit[t.Key()] = child.node.wit[t.Key()]
-			return true
-		})
-		delta := relation.New(old.rel.Name(), schema)
-		for _, t := range child.delta.Tuples() {
-			delta.Insert(t)
-		}
-		return &deltaNode{node: &evalNode{rel: rel, wit: wit, kids: []*evalNode{child.node}}, delta: delta, dwit: child.dwit}, nil
+		return dn, nil
 
 	default:
-		return nil, errNoDelta
+		return deltaNode{}, errNoDelta
 	}
 }
 
@@ -673,34 +1027,192 @@ func ComputeLimited(q algebra.Query, db *relation.Database, lim Limit) (*Result,
 		view.Insert(t)
 		return true
 	})
-	return &Result{View: view, basis: wr.wit, plan: q, lim: lim, tree: wr}, nil
+	return &Result{View: view, basis: wr.wit, plan: q, lim: lim, tree: wr, tm: &treeMetrics{}}, nil
 }
 
 // evalNode is one operator of the evaluated plan: its output relation
 // annotated with witness bases, and its children. witnessEval builds the
-// tree bottom-up; Result retains it for incremental maintenance.
+// tree bottom-up; Result retains it for incremental maintenance, deriving
+// each node's next generation as overlay versions of rel and wit (plus,
+// on join nodes, the persistent bucket indexes of the child relations on
+// the join attributes).
 type evalNode struct {
 	rel  *relation.Relation
-	wit  map[string][]Witness
+	wit  *overlayMap[[]Witness]
 	kids []*evalNode
+
+	// Join nodes only: the join geometry and the children's hash indexes
+	// on the common attributes, maintained across generations so delta
+	// probes never rebuild a hash of a full child relation.
+	shape        *joinShape
+	lbuck, rbuck *overlayMap[bucketVal]
+}
+
+// joinShape is the fixed geometry of one join node: child schemas, the
+// common attributes, and the tuple combiner.
+type joinShape struct {
+	ls, rs     relation.Schema
+	common     []relation.Attribute
+	rightExtra []relation.Attribute
+}
+
+func newJoinShape(ls, rs relation.Schema) *joinShape {
+	sh := &joinShape{ls: ls, rs: rs, common: ls.Common(rs)}
+	for _, a := range rs.Attrs() {
+		if !ls.Has(a) {
+			sh.rightExtra = append(sh.rightExtra, a)
+		}
+	}
+	return sh
+}
+
+func (sh *joinShape) leftKey(lt relation.Tuple) string {
+	return relation.ProjectAttrs(sh.ls, lt, sh.common).Key()
+}
+
+func (sh *joinShape) rightKey(rt relation.Tuple) string {
+	return relation.ProjectAttrs(sh.rs, rt, sh.common).Key()
+}
+
+func (sh *joinShape) join(lt, rt relation.Tuple) relation.Tuple {
+	return append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(sh.rs, rt, sh.rightExtra)...)
+}
+
+// bucket is a persistent chain of one join key's partner tuples: appends
+// cons a fresh chunk onto the chain in O(|chunk|), sharing every earlier
+// chunk — a hub key's history is never copied per write. Iteration is
+// oldest-chunk-first, preserving append order.
+type bucket struct {
+	prev   *bucket
+	tuples []relation.Tuple
+}
+
+// each walks the chain in append order; stale tuples (lazily removed, see
+// bucketVal) are included — callers skip them naturally because their
+// witness lookups come up empty. Iterative, not recursive: a hub key
+// gaining one chunk per commit grows its chain linearly in write count
+// (chunks only merge at the half-stale compaction), and probe stack
+// depth must not grow with it. The chunk walk is O(chunks) ≤ O(tuples),
+// which a probe pays anyway.
+func (b *bucket) each(yield func(relation.Tuple) bool) bool {
+	var arr [32]*bucket
+	chunks := arr[:0] // heap-free for shallow chains
+	for c := b; c != nil; c = c.prev {
+		chunks = append(chunks, c)
+	}
+	for i := len(chunks) - 1; i >= 0; i-- {
+		for _, t := range chunks[i].tuples {
+			if !yield(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bucketVal is one key's entry in a join node's bucket index: the chunk
+// chain plus bookkeeping for lazy removal. A removed tuple stays in the
+// chain (probing it is harmless — a dead partner has no witnesses, so it
+// derives nothing) and only the stale count advances, in O(1); once stale
+// entries reach half the chain the bucket is compacted against the child's
+// live witness map, so probe cost stays within 2× of the live fan-out and
+// removal is amortized O(1).
+type bucketVal struct {
+	chain *bucket
+	n     int // tuples across the chain, stale included
+	dead  int // stale (removed) tuples across the chain
+}
+
+// bucketBase hashes a child relation on the join key — the flat base of a
+// join node's persistent bucket index.
+func bucketBase(r *relation.Relation, key func(relation.Tuple) string) *overlayMap[bucketVal] {
+	groups := make(map[string][]relation.Tuple)
+	r.Each(func(t relation.Tuple) bool {
+		k := key(t)
+		groups[k] = append(groups[k], t)
+		return true
+	})
+	base := make(map[string]bucketVal, len(groups))
+	for k, ts := range groups {
+		base[k] = bucketVal{chain: &bucket{tuples: ts}, n: len(ts)}
+	}
+	return newOverlayMap(base)
+}
+
+// bucketsAdd derives the bucket index with the novel child tuples
+// appended to their key groups, in O(|novel|).
+func bucketsAdd(b *overlayMap[bucketVal], novel []relation.Tuple, key func(relation.Tuple) string, met *mapMetrics) *overlayMap[bucketVal] {
+	if len(novel) == 0 {
+		return b
+	}
+	byKey := make(map[string][]relation.Tuple)
+	for _, t := range novel {
+		k := key(t)
+		byKey[k] = append(byKey[k], t)
+	}
+	set := make(map[string]bucketVal, len(byKey))
+	for k, add := range byKey {
+		old, _ := b.get(k)
+		set[k] = bucketVal{chain: &bucket{prev: old.chain, tuples: add}, n: old.n + len(add), dead: old.dead}
+	}
+	return b.derive(set, nil, met)
+}
+
+// bucketsRemove derives the bucket index with the died child tuples
+// lazily removed from their key groups: the stale count advances in O(1)
+// per key, and a bucket whose chain has become half stale is compacted —
+// rebuilt from the live tuples (those the child's new witness map still
+// knows, deduplicated) — amortizing the rebuild over the removals that
+// provoked it. A bucket left with no live tuple is dropped.
+func bucketsRemove(b *overlayMap[bucketVal], died []relation.Tuple, key func(relation.Tuple) string, alive *overlayMap[[]Witness], met *mapMetrics) *overlayMap[bucketVal] {
+	if len(died) == 0 {
+		return b
+	}
+	byKey := make(map[string]int)
+	for _, t := range died {
+		byKey[key(t)]++
+	}
+	set := make(map[string]bucketVal, len(byKey))
+	dead := make(map[string]struct{})
+	for k, removed := range byKey {
+		old, ok := b.get(k)
+		if !ok {
+			continue
+		}
+		nv := bucketVal{chain: old.chain, n: old.n, dead: old.dead + removed}
+		if nv.dead*2 >= nv.n {
+			seen := make(map[string]bool, nv.n-nv.dead)
+			var kept []relation.Tuple
+			nv.chain.each(func(t relation.Tuple) bool {
+				tk := t.Key()
+				if !seen[tk] && alive.has(tk) {
+					seen[tk] = true
+					kept = append(kept, t)
+				}
+				return true
+			})
+			if len(kept) == 0 {
+				dead[k] = struct{}{}
+				continue
+			}
+			nv = bucketVal{chain: &bucket{tuples: kept}, n: len(kept)}
+		}
+		set[k] = nv
+	}
+	return b.derive(set, dead, met)
 }
 
 func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, error) {
-	check := func(ws []Witness) error {
-		if lim.MaxWitnesses > 0 && len(ws) > lim.MaxWitnesses {
-			return fmt.Errorf("%w: %d witnesses > cap %d", ErrLimit, len(ws), lim.MaxWitnesses)
-		}
-		return nil
-	}
+	check := limitCheck(lim)
 	switch q := q.(type) {
 	case algebra.Scan:
 		base := db.Relation(q.Rel)
-		out := &evalNode{rel: base, wit: make(map[string][]Witness, base.Len())}
+		wit := make(map[string][]Witness, base.Len())
 		base.Each(func(t relation.Tuple) bool {
-			out.wit[t.Key()] = []Witness{NewWitness(relation.SourceTuple{Rel: q.Rel, Tuple: t})}
+			wit[t.Key()] = []Witness{NewWitness(relation.SourceTuple{Rel: q.Rel, Tuple: t})}
 			return true
 		})
-		return out, nil
+		return &evalNode{rel: base, wit: newOverlayMap(wit)}, nil
 
 	case algebra.Select:
 		child, err := witnessEval(q.Child, db, lim)
@@ -712,11 +1224,12 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		child.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.rel.Schema(), t) {
 				rel.Insert(t)
-				wit[t.Key()] = child.wit[t.Key()]
+				ws, _ := child.wit.get(t.Key())
+				wit[t.Key()] = ws
 			}
 			return true
 		})
-		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
+		return &evalNode{rel: rel, wit: newOverlayMap(wit), kids: []*evalNode{child}}, nil
 
 	case algebra.Project:
 		child, err := witnessEval(q.Child, db, lim)
@@ -732,7 +1245,8 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		child.rel.Each(func(t relation.Tuple) bool {
 			pt := relation.ProjectAttrs(child.rel.Schema(), t, q.Attrs)
 			rel.Insert(pt)
-			acc[pt.Key()] = append(acc[pt.Key()], child.wit[t.Key()]...)
+			ws, _ := child.wit.get(t.Key())
+			acc[pt.Key()] = append(acc[pt.Key()], ws...)
 			return true
 		})
 		wit := make(map[string][]Witness, len(acc))
@@ -743,7 +1257,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			}
 			wit[k] = m
 		}
-		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
+		return &evalNode{rel: rel, wit: newOverlayMap(wit), kids: []*evalNode{child}}, nil
 
 	case algebra.Join:
 		left, err := witnessEval(q.Left, db, lim)
@@ -754,35 +1268,26 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		if err != nil {
 			return nil, err
 		}
-		ls, rs := left.rel.Schema(), right.rel.Schema()
-		out := relation.New("⋈", ls.Join(rs))
+		sh := newJoinShape(left.rel.Schema(), right.rel.Schema())
+		out := relation.New("⋈", sh.ls.Join(sh.rs))
 		acc := make(map[string][]Witness)
-		common := ls.Common(rs)
-		// Hash the right side on the common attributes.
-		buckets := make(map[string][]relation.Tuple)
-		right.rel.Each(func(rt relation.Tuple) bool {
-			k := relation.ProjectAttrs(rs, rt, common).Key()
-			buckets[k] = append(buckets[k], rt)
-			return true
-		})
-		var rightExtra []relation.Attribute
-		for _, a := range rs.Attrs() {
-			if !ls.Has(a) {
-				rightExtra = append(rightExtra, a)
-			}
-		}
+		lbuck := bucketBase(left.rel, sh.leftKey)
+		rbuck := bucketBase(right.rel, sh.rightKey)
 		left.rel.Each(func(lt relation.Tuple) bool {
-			k := relation.ProjectAttrs(ls, lt, common).Key()
-			for _, rt := range buckets[k] {
-				joined := append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(rs, rt, rightExtra)...)
+			rbv, _ := rbuck.get(sh.leftKey(lt))
+			lws, _ := left.wit.get(lt.Key())
+			rbv.chain.each(func(rt relation.Tuple) bool {
+				joined := sh.join(lt, rt)
 				out.Insert(joined)
 				jk := joined.Key()
-				for _, wl := range left.wit[lt.Key()] {
-					for _, wr := range right.wit[rt.Key()] {
+				rws, _ := right.wit.get(rt.Key())
+				for _, wl := range lws {
+					for _, wr := range rws {
 						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
 					}
 				}
-			}
+				return true
+			})
 			return true
 		})
 		wit := make(map[string][]Witness, len(acc))
@@ -793,7 +1298,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			}
 			wit[k] = m
 		}
-		return &evalNode{rel: out, wit: wit, kids: []*evalNode{left, right}}, nil
+		return &evalNode{rel: out, wit: newOverlayMap(wit), kids: []*evalNode{left, right}, shape: sh, lbuck: lbuck, rbuck: rbuck}, nil
 
 	case algebra.Union:
 		left, err := witnessEval(q.Left, db, lim)
@@ -808,14 +1313,16 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		acc := make(map[string][]Witness)
 		left.rel.Each(func(t relation.Tuple) bool {
 			outRel.Insert(t)
-			acc[t.Key()] = append(acc[t.Key()], left.wit[t.Key()]...)
+			ws, _ := left.wit.get(t.Key())
+			acc[t.Key()] = append(acc[t.Key()], ws...)
 			return true
 		})
 		attrs := left.rel.Schema().Attrs()
 		right.rel.Each(func(t relation.Tuple) bool {
 			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
 			outRel.Insert(aligned)
-			acc[aligned.Key()] = append(acc[aligned.Key()], right.wit[t.Key()]...)
+			ws, _ := right.wit.get(t.Key())
+			acc[aligned.Key()] = append(acc[aligned.Key()], ws...)
 			return true
 		})
 		wit := make(map[string][]Witness, len(acc))
@@ -826,7 +1333,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			}
 			wit[k] = m
 		}
-		return &evalNode{rel: outRel, wit: wit, kids: []*evalNode{left, right}}, nil
+		return &evalNode{rel: outRel, wit: newOverlayMap(wit), kids: []*evalNode{left, right}}, nil
 
 	case algebra.Rename:
 		child, err := witnessEval(q.Child, db, lim)
@@ -838,13 +1345,14 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			return nil, rerr
 		}
 		rel := relation.New("δ", schema)
-		wit := make(map[string][]Witness, len(child.wit))
+		wit := make(map[string][]Witness, child.wit.size())
 		child.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
-			wit[t.Key()] = child.wit[t.Key()]
+			ws, _ := child.wit.get(t.Key())
+			wit[t.Key()] = ws
 			return true
 		})
-		return &evalNode{rel: rel, wit: wit, kids: []*evalNode{child}}, nil
+		return &evalNode{rel: rel, wit: newOverlayMap(wit), kids: []*evalNode{child}}, nil
 
 	default:
 		return nil, fmt.Errorf("provenance: unknown query node %T", q)

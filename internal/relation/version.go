@@ -287,3 +287,81 @@ func (r *Relation) overlayDepth() int { return chainDepth(r.top) }
 // overlayMentions reports the cumulative overlay size (0 for a flat
 // relation).
 func (r *Relation) overlayMentions() int { return chainMentions(r.top) }
+
+// --- exported overlay derivation for non-source version chains ---
+//
+// The Database store is not the only consumer of O(|Δ|) structure sharing:
+// the provenance layer keeps one materialized relation per operator node of
+// every prepared view, and maintains them under the same
+// tombstone/append discipline. The exported wrappers below hand that
+// machinery out without exposing the layer internals; chains derived this
+// way follow exactly the source store's semantics (iteration order as if
+// rebuilt, fold past OverlayFoldLimit mentions, squash past
+// OverlayMaxDepth layers).
+
+// VersionMetrics counts overlay activity for a version chain derived
+// outside the Database store, e.g. a provenance tree's node relations. One
+// instance is shared along a chain (or across the chains of one tree);
+// the counters are cumulative and safe for concurrent use. The zero value
+// is ready to use; a nil *VersionMetrics disables counting.
+type VersionMetrics struct{ m storeMetrics }
+
+// Derives reports the number of versions derived against these metrics.
+func (vm *VersionMetrics) Derives() int64 { return vm.m.derives.Load() }
+
+// Folds reports overlays folded into a fresh flat base.
+func (vm *VersionMetrics) Folds() int64 { return vm.m.folds.Load() }
+
+// Squashes reports overlay chains merged into a single layer.
+func (vm *VersionMetrics) Squashes() int64 { return vm.m.squashes.Load() }
+
+// store returns the internal counter set (nil-safe).
+func (vm *VersionMetrics) store() *storeMetrics {
+	if vm == nil {
+		return nil
+	}
+	return &vm.m
+}
+
+// DeleteVersion derives the version of r with the given live keys
+// tombstoned, in O(|dead|) plus amortized compaction, sharing the
+// receiver's storage. Callers must pass only keys r currently contains
+// and treat both relations as immutable afterwards — the same contract
+// Database.DeleteAll operates under.
+func (r *Relation) DeleteVersion(dead map[string]struct{}, vm *VersionMetrics) *Relation {
+	m := vm.store()
+	if m != nil {
+		m.derives.Add(1)
+	}
+	return r.deleteVersion(dead, m)
+}
+
+// InsertVersion derives the version of r with ts appended in order, in
+// O(|ts|) plus amortized compaction, sharing the receiver's storage.
+// Callers must pass only tuples r does not contain, without duplicates,
+// and treat both relations as immutable afterwards.
+func (r *Relation) InsertVersion(ts []Tuple, vm *VersionMetrics) *Relation {
+	m := vm.store()
+	if m != nil {
+		m.derives.Add(1)
+	}
+	return r.insertVersion(ts, m)
+}
+
+// OverlayFoldLimit is the cumulative mention count past which an overlay
+// should be folded into a fresh flat base of the given size. Exported so
+// overlay consumers outside this package (the provenance node stores'
+// witness and bucket maps) compact on the same amortization thresholds as
+// the relations themselves.
+func OverlayFoldLimit(baseLen int) int { return foldLimit(baseLen) }
+
+// OverlayMaxDepth is the overlay chain depth past which a derive should
+// squash the chain into a single layer; see OverlayFoldLimit.
+const OverlayMaxDepth = maxOverlayDepth
+
+// OverlayDepth reports the relation's overlay chain length (0 when flat).
+func (r *Relation) OverlayDepth() int { return r.overlayDepth() }
+
+// OverlayMentions reports the relation's cumulative overlay size
+// (tombstones + appended tuples; 0 when flat).
+func (r *Relation) OverlayMentions() int { return r.overlayMentions() }

@@ -209,3 +209,66 @@ func TestEachStopsEarly(t *testing.T) {
 		t.Fatalf("overlay Each visited %d, want 2", got)
 	}
 }
+
+// TestExportedVersionDerivation pins the out-of-store overlay API the
+// provenance node relations ride on: DeleteVersion/InsertVersion share the
+// base storage, behave byte-identically to a rebuild, and report their
+// compaction activity through VersionMetrics on the same thresholds as
+// the Database store.
+func TestExportedVersionDerivation(t *testing.T) {
+	var vm VersionMetrics
+	r := New("N", NewSchema("A", "B"))
+	for i := 0; i < 10; i++ {
+		r.InsertStrings("a"+strconv.Itoa(i), "b"+strconv.Itoa(i))
+	}
+	dead := map[string]struct{}{r.Tuple(2).Key(): {}, r.Tuple(7).Key(): {}}
+	v := r.DeleteVersion(dead, &vm)
+	if v.Len() != 8 || r.Len() != 10 {
+		t.Fatalf("Len: version %d (want 8), receiver %d (want 10)", v.Len(), r.Len())
+	}
+	if &v.tuples[0] != &r.tuples[0] {
+		t.Fatal("DeleteVersion did not share the base tuple array")
+	}
+	v2 := v.InsertVersion([]Tuple{StringTuple("z0", "z0"), StringTuple("z1", "z1")}, &vm)
+	if v2.Len() != 10 {
+		t.Fatalf("Len after InsertVersion = %d, want 10", v2.Len())
+	}
+	// Content identical to a rebuild: survivors in base order, appends last.
+	want := New("N", NewSchema("A", "B"))
+	for i := 0; i < 10; i++ {
+		if i == 2 || i == 7 {
+			continue
+		}
+		want.InsertStrings("a"+strconv.Itoa(i), "b"+strconv.Itoa(i))
+	}
+	want.InsertStrings("z0", "z0")
+	want.InsertStrings("z1", "z1")
+	for i, wt := range want.Tuples() {
+		if v2.Tuple(i).Key() != wt.Key() {
+			t.Fatalf("tuple %d = %v, want %v", i, v2.Tuple(i), wt)
+		}
+	}
+	if vm.Derives() != 2 {
+		t.Fatalf("Derives = %d, want 2", vm.Derives())
+	}
+	if v2.OverlayDepth() != 2 || v2.OverlayMentions() != 4 {
+		t.Fatalf("overlay shape depth=%d mentions=%d, want 2/4", v2.OverlayDepth(), v2.OverlayMentions())
+	}
+
+	// Past the fold limit the chain collapses into a fresh flat base and
+	// the metrics record it.
+	cur := v2
+	for i := 0; cur.OverlayDepth() > 0 || vm.Folds() == 0; i++ {
+		cur = cur.InsertVersion([]Tuple{StringTuple("f"+strconv.Itoa(i), "f")}, &vm)
+		if i > 10*OverlayFoldLimit(10) {
+			t.Fatal("overlay never folded")
+		}
+	}
+	if vm.Folds() == 0 {
+		t.Fatal("fold not counted")
+	}
+	// Nil metrics are accepted.
+	if got := cur.DeleteVersion(map[string]struct{}{cur.Tuple(0).Key(): {}}, nil); got.Len() != cur.Len()-1 {
+		t.Fatal("nil-metrics DeleteVersion failed")
+	}
+}

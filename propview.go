@@ -184,6 +184,13 @@ type (
 	StoreStats = relation.StoreStats
 	// EngineViewStats describes one prepared view inside EngineStats.
 	EngineViewStats = engine.ViewStats
+	// TreeStats summarizes one prepared view's provenance-tree store
+	// (node-overlay shape, structure sharing, O(Δ) maintenance work and
+	// compactions) — read it via EngineViewStats.Tree.
+	TreeStats = provenance.TreeStats
+	// ViewPage is one lexicographically sorted page of a prepared view,
+	// served by Engine.QueryPage off the per-snapshot sorted cache.
+	ViewPage = engine.ViewPage
 	// InsertReport is the outcome of a committed Engine.Insert.
 	InsertReport = engine.InsertReport
 	// InsertViewUpdate is one view's post-insert size and generation.
