@@ -974,6 +974,60 @@ func benchmarkCommitSourceSize(b *testing.B, ballast int) {
 func BenchmarkCommit_SourceSize1k(b *testing.B)   { benchmarkCommitSourceSize(b, 1_000) }
 func BenchmarkCommit_SourceSize100k(b *testing.B) { benchmarkCommitSourceSize(b, 100_000) }
 
+// shardedBenchSeed builds the 1M-tuple relation once per process; the
+// benchmark re-shards it per run (cheap next to the churn loop).
+var shardedBenchSeed struct {
+	once sync.Once
+	db   *relation.Database
+	all  []relation.SourceTuple
+}
+
+// BenchmarkCommit_Sharded measures raw commit throughput on the sharded
+// store: each iteration deletes an 8k-tuple batch from a 1M-tuple relation
+// and re-inserts it — two Database-level commits whose overlay derivation,
+// presence probes, and segment folds scatter across the 64 segments'
+// workers. parallelFor sizes its pool from GOMAXPROCS at call time, so a
+// -cpu 1,2,4,8 sweep measures commit-throughput scaling directly: compare
+// the ns/commit across the suffixed records (the PR-4
+// BenchmarkCommit_SourceSize* records pinned the same commit path
+// unsegmented, where the whole derive ran on one goroutine).
+func BenchmarkCommit_Sharded(b *testing.B) {
+	const (
+		tuples   = 1_000_000
+		segments = 64
+		batch    = 8192
+	)
+	s := &shardedBenchSeed
+	s.once.Do(func() {
+		s.db = relation.NewDatabase()
+		r := relation.New("R", relation.NewSchema("A", "B"))
+		for i := 0; i < tuples; i++ {
+			r.InsertStrings("a"+strconv.Itoa(i), "b"+strconv.Itoa(i%997))
+		}
+		s.db.MustAdd(r)
+		s.all = s.db.AllSourceTuples()
+	})
+	db := s.db.Sharded(segments)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * batch) % (tuples - batch)
+		T := s.all[off : off+batch]
+		next := db.DeleteAll(T)
+		restored, err := next.InsertAll(T)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db = restored
+	}
+	b.StopTimer()
+	if db.Size() != tuples {
+		b.Fatalf("store size drifted to %d", db.Size())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*2), "ns/commit")
+	b.ReportMetric(float64(segments), "segments")
+}
+
 // benchmarkApplyInsertionTreeSize measures view-side maintenance cost at a
 // fixed write size while the provenance tree grows: a PJ plan over R ⋈ S
 // whose operator nodes hold ~3×rows tuples, written one tuple per round

@@ -52,6 +52,7 @@ func main() {
 	maxBatch := fs.Int("max-batch", 0, "max targets coalesced into one group solve (0 = default 32, 1 disables coalescing)")
 	coalesceWait := fs.Duration("coalesce-wait", 0, "how long a write batch waits for more arrivals before committing (0 = commit immediately; batching then comes from contention)")
 	asyncQueue := fs.Int("async-queue", 64, "bounded queue for async /delete commits (0 disables async mode)")
+	segments := fs.Int("segments", 0, "shard each relation into this many hash-partitioned segments so commits derive and compact in parallel (0 = unsegmented store)")
 	var prepares prepareFlags
 	fs.Var(&prepares, "prepare", "view to prepare at boot, as name=QUERY (repeatable)")
 	fs.Parse(os.Args[1:])
@@ -72,7 +73,11 @@ func main() {
 		Workers:         *writeWorkers,
 		MaxBatchSize:    *maxBatch,
 		MaxCoalesceWait: *coalesceWait,
+		Segments:        *segments,
 	})
+	if *segments > 0 {
+		log.Printf("source store sharded into %d segments per relation", *segments)
+	}
 	for _, p := range prepares {
 		if err := e.PrepareText(p.name, p.query); err != nil {
 			log.Fatalf("propviewd: prepare %s: %v", p.name, err)

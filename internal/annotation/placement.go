@@ -69,7 +69,7 @@ func placeOn(wv *WhereView, t relation.Tuple, attr relation.Attribute) (*Placeme
 	// many view locations it reaches; candidates then compare by count.
 	counts := make(map[int32]int, len(wv.in.locs))
 	for _, tu := range wv.View.Tuples() {
-		for _, set := range wv.where[tu.Key()] {
+		for _, set := range wv.setsOf(tu.Key()) {
 			for _, id := range set {
 				counts[id]++
 			}
@@ -110,7 +110,7 @@ func PlaceAll(q algebra.Query, db *relation.Database) ([]CellPlacement, error) {
 	// Shared counts: how many view locations each source location reaches.
 	counts := make(map[int32]int, len(wv.in.locs))
 	for _, tu := range wv.View.Tuples() {
-		for _, set := range wv.where[tu.Key()] {
+		for _, set := range wv.setsOf(tu.Key()) {
 			for _, id := range set {
 				counts[id]++
 			}
@@ -119,7 +119,7 @@ func PlaceAll(q algebra.Query, db *relation.Database) ([]CellPlacement, error) {
 	attrs := wv.View.Schema().Attrs()
 	var out []CellPlacement
 	for _, tu := range wv.View.Tuples() {
-		sets := wv.where[tu.Key()]
+		sets := wv.setsOf(tu.Key())
 		for pos, set := range sets {
 			if len(set) == 0 {
 				continue

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/algebra"
+	"repro/internal/overlay"
 	"repro/internal/relation"
 )
 
@@ -100,13 +101,27 @@ func (in *interner) lookup(l relation.Location) (int32, bool) {
 
 // WhereView is a view evaluated with where-provenance: every (tuple,
 // attribute) position carries the set of source locations that propagate
-// to it under the forward rules.
+// to it under the forward rules. The view keeps the full annotated
+// operator tree it was computed from, so a source deletion derives the
+// next generation of the index incrementally (ApplyDeletion) instead of
+// forcing a recomputation.
 type WhereView struct {
 	// View is Q(S), named algebra.DefaultViewName.
 	View *relation.Relation
-	// where maps view tuple key → per-position source location sets.
-	where map[string][]locSet
-	in    *interner
+	// root is the retained annotated operator tree; its ann map keys view
+	// tuple keys to per-position source location sets.
+	root *annNode
+	in   *interner
+	met  *whereMetrics
+}
+
+// setsOf returns the per-position where sets of the view tuple with key k,
+// nil when the tuple is not in the view.
+func (wv *WhereView) setsOf(k string) []locSet {
+	if e, ok := wv.root.ann.Get(k); ok {
+		return e.sets
+	}
+	return nil
 }
 
 // ComputeWhere evaluates q over db with full where-provenance tracking.
@@ -125,15 +140,15 @@ func ComputeWhere(q algebra.Query, db *relation.Database) (*WhereView, error) {
 		view.Insert(t)
 		return true
 	})
-	return &WhereView{View: view, where: ar.ann, in: in}, nil
+	return &WhereView{View: view, root: ar.node, in: in, met: &whereMetrics{}}, nil
 }
 
 // WhereOf returns the source locations whose annotation propagates to view
 // location (t, attr): the where-provenance of that location. Nil if the
 // tuple or attribute is absent.
 func (wv *WhereView) WhereOf(t relation.Tuple, attr relation.Attribute) []relation.Location {
-	sets, ok := wv.where[t.Key()]
-	if !ok {
+	sets := wv.setsOf(t.Key())
+	if sets == nil {
 		return nil
 	}
 	pos, ok := wv.View.Schema().Index(attr)
@@ -155,8 +170,8 @@ func (wv *WhereView) PropagatesTo(src relation.Location, t relation.Tuple, attr 
 	if !ok {
 		return false
 	}
-	sets, ok := wv.where[t.Key()]
-	if !ok {
+	sets := wv.setsOf(t.Key())
+	if sets == nil {
 		return false
 	}
 	pos, ok := wv.View.Schema().Index(attr)
@@ -177,8 +192,7 @@ func (wv *WhereView) Affected(src relation.Location) *relation.LocationSet {
 	}
 	attrs := wv.View.Schema().Attrs()
 	for _, t := range wv.View.Tuples() {
-		sets := wv.where[t.Key()]
-		for pos, set := range sets {
+		for pos, set := range wv.setsOf(t.Key()) {
 			if set.has(id) {
 				out.Add(relation.Loc(wv.View.Name(), t, attrs[pos]))
 			}
@@ -191,13 +205,14 @@ func (wv *WhereView) Affected(src relation.Location) *relation.LocationSet {
 // view location (the union of all where-sets), in interning order.
 func (wv *WhereView) SourceLocations() []relation.Location {
 	seen := make([]bool, len(wv.in.locs))
-	for _, sets := range wv.where {
-		for _, set := range sets {
+	wv.root.ann.Each(func(_ string, e annEntry) bool {
+		for _, set := range e.sets {
 			for _, id := range set {
 				seen[id] = true
 			}
 		}
-	}
+		return true
+	})
 	var out []relation.Location
 	for i, ok := range seen {
 		if ok {
@@ -207,28 +222,38 @@ func (wv *WhereView) SourceLocations() []relation.Location {
 	return out
 }
 
-// annRel is an intermediate relation whose tuples carry per-position
-// where-provenance sets.
+// annRel is an intermediate result of the annotated evaluation: the
+// operator's output relation (driving the parent's iteration during the
+// full computation) and its retained tree node. The relations of inner
+// nodes are transient — only the node survives into the WhereView.
 type annRel struct {
-	rel *relation.Relation
-	ann map[string][]locSet
+	rel  *relation.Relation
+	node *annNode
+}
+
+// get resolves one build-time entry of this node (always present for a
+// tuple the operator just produced).
+func (ar *annRel) get(t relation.Tuple) annEntry {
+	e, _ := ar.node.ann.Get(t.Key())
+	return e
 }
 
 func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, error) {
 	switch q := q.(type) {
 	case algebra.Scan:
 		base := db.Relation(q.Rel)
-		out := &annRel{rel: base, ann: make(map[string][]locSet, base.Len())}
 		attrs := base.Schema().Attrs()
+		m := make(map[string]annEntry, base.Len())
 		base.Each(func(t relation.Tuple) bool {
 			sets := make([]locSet, len(attrs))
 			for i, a := range attrs {
 				sets[i] = locSet{in.id(relation.Loc(q.Rel, t, a))}
 			}
-			out.ann[t.Key()] = sets
+			m[t.Key()] = annEntry{t: t, sets: sets}
 			return true
 		})
-		return out, nil
+		node := &annNode{kind: nodeScan, relName: q.Rel, ann: overlay.NewMap(m)}
+		return &annRel{rel: base, node: node}, nil
 
 	case algebra.Select:
 		child, err := annEval(q.Child, db, in)
@@ -236,15 +261,16 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			return nil, err
 		}
 		rel := relation.New("σ", child.rel.Schema())
-		ann := make(map[string][]locSet)
+		m := make(map[string]annEntry)
 		child.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.rel.Schema(), t) {
 				rel.Insert(t)
-				ann[t.Key()] = child.ann[t.Key()]
+				m[t.Key()] = child.get(t)
 			}
 			return true
 		})
-		return &annRel{rel: rel, ann: ann}, nil
+		node := &annNode{kind: nodeSelect, kids: []*annNode{child.node}, ann: overlay.NewMap(m)}
+		return &annRel{rel: rel, node: node}, nil
 
 	case algebra.Project:
 		child, err := annEval(q.Child, db, in)
@@ -260,25 +286,29 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			positions[i], _ = child.rel.Schema().Index(a)
 		}
 		rel := relation.New("π", schema)
-		ann := make(map[string][]locSet)
+		m := make(map[string]annEntry)
+		pre := make(map[string][]string)
 		child.rel.Each(func(t relation.Tuple) bool {
 			pt := t.Project(positions)
 			rel.Insert(pt)
-			childSets := child.ann[t.Key()]
 			k := pt.Key()
-			cur, ok := ann[k]
+			e, ok := m[k]
 			if !ok {
-				cur = make([]locSet, len(positions))
-				ann[k] = cur
+				e = annEntry{t: pt, sets: make([]locSet, len(positions))}
 			}
 			// Projection merges all pre-images: every child tuple with
 			// t'.B = t contributes its sets (rule 2).
+			childSets := child.get(t).sets
 			for i, p := range positions {
-				cur[i] = cur[i].union(childSets[p])
+				e.sets[i] = e.sets[i].union(childSets[p])
 			}
+			m[k] = e
+			pre[k] = append(pre[k], t.Key())
 			return true
 		})
-		return &annRel{rel: rel, ann: ann}, nil
+		node := &annNode{kind: nodeProject, kids: []*annNode{child.node},
+			ann: overlay.NewMap(m), positions: positions, preimages: pre}
+		return &annRel{rel: rel, node: node}, nil
 
 	case algebra.Join:
 		left, err := annEval(q.Left, db, in)
@@ -292,18 +322,24 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		ls, rs := left.rel.Schema(), right.rel.Schema()
 		outSchema := ls.Join(rs)
 		rel := relation.New("⋈", outSchema)
-		ann := make(map[string][]locSet)
 		common := ls.Common(rs)
-		buckets := make(map[string][]relation.Tuple)
+		lbuck := make(map[string][]relation.Tuple)
+		left.rel.Each(func(lt relation.Tuple) bool {
+			k := relation.ProjectAttrs(ls, lt, common).Key()
+			lbuck[k] = append(lbuck[k], lt)
+			return true
+		})
+		rbuck := make(map[string][]relation.Tuple)
 		right.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
-			buckets[k] = append(buckets[k], rt)
+			rbuck[k] = append(rbuck[k], rt)
 			return true
 		})
 		// Output position → (left position, right position); -1 if absent
 		// on that side. Common attributes pull from both (rules for R1 and
-		// R2 both apply).
-		type srcPos struct{ l, r int }
+		// R2 both apply). rpos/ronly record where each right position lands
+		// in the output (the output is the left tuple plus the right side's
+		// non-common attributes, in right-schema order).
 		mapping := make([]srcPos, outSchema.Len())
 		for i, a := range outSchema.Attrs() {
 			lp, lok := ls.Index(a)
@@ -317,19 +353,26 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			}
 			mapping[i] = sp
 		}
+		rpos := make([]int, rs.Len())
+		var ronly []int
+		for j, a := range rs.Attrs() {
+			if lp, ok := ls.Index(a); ok {
+				rpos[j] = lp
+			} else {
+				rpos[j] = ls.Len() + len(ronly)
+				ronly = append(ronly, j)
+			}
+		}
+		node := &annNode{kind: nodeJoin, kids: []*annNode{left.node, right.node},
+			ls: ls, rs: rs, common: common, ronly: ronly,
+			lbuck: lbuck, rbuck: rbuck, mapping: mapping, rpos: rpos}
+		m := make(map[string]annEntry)
 		left.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
-			lsets := left.ann[lt.Key()]
-			for _, rt := range buckets[k] {
-				rsets := right.ann[rt.Key()]
-				joined := make(relation.Tuple, 0, outSchema.Len())
-				joined = append(joined, lt...)
-				for _, a := range rs.Attrs() {
-					if !ls.Has(a) {
-						p, _ := rs.Index(a)
-						joined = append(joined, rt[p])
-					}
-				}
+			lsets := left.get(lt).sets
+			for _, rt := range rbuck[k] {
+				rsets := right.get(rt).sets
+				joined := node.joined(lt, rt)
 				rel.Insert(joined)
 				sets := make([]locSet, len(mapping))
 				for i, sp := range mapping {
@@ -342,11 +385,12 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 					}
 					sets[i] = s
 				}
-				ann[joined.Key()] = sets
+				m[joined.Key()] = annEntry{t: joined, sets: sets}
 			}
 			return true
 		})
-		return &annRel{rel: rel, ann: ann}, nil
+		node.ann = overlay.NewMap(m)
+		return &annRel{rel: rel, node: node}, nil
 
 	case algebra.Union:
 		left, err := annEval(q.Left, db, in)
@@ -358,12 +402,13 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			return nil, err
 		}
 		rel := relation.New("∪", left.rel.Schema())
-		ann := make(map[string][]locSet)
+		m := make(map[string]annEntry)
 		left.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
-			sets := make([]locSet, len(left.ann[t.Key()]))
-			copy(sets, left.ann[t.Key()])
-			ann[t.Key()] = sets
+			le := left.get(t)
+			sets := make([]locSet, len(le.sets))
+			copy(sets, le.sets)
+			m[t.Key()] = annEntry{t: t, sets: sets}
 			return true
 		})
 		attrs := left.rel.Schema().Attrs()
@@ -371,22 +416,28 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		for i, a := range attrs {
 			positions[i], _ = right.rel.Schema().Index(a)
 		}
+		inv := make([]int, len(positions))
+		for i, p := range positions {
+			inv[p] = i
+		}
 		right.rel.Each(func(t relation.Tuple) bool {
 			aligned := t.Project(positions)
 			rel.Insert(aligned)
-			rsets := right.ann[t.Key()]
+			rsets := right.get(t).sets
 			k := aligned.Key()
-			cur, ok := ann[k]
+			e, ok := m[k]
 			if !ok {
-				cur = make([]locSet, len(attrs))
-				ann[k] = cur
+				e = annEntry{t: aligned, sets: make([]locSet, len(attrs))}
 			}
 			for i, p := range positions {
-				cur[i] = cur[i].union(rsets[p])
+				e.sets[i] = e.sets[i].union(rsets[p])
 			}
+			m[k] = e
 			return true
 		})
-		return &annRel{rel: rel, ann: ann}, nil
+		node := &annNode{kind: nodeUnion, kids: []*annNode{left.node, right.node},
+			ann: overlay.NewMap(m), positions: positions, inv: inv}
+		return &annRel{rel: rel, node: node}, nil
 
 	case algebra.Rename:
 		child, err := annEval(q.Child, db, in)
@@ -398,13 +449,14 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 			return nil, rerr
 		}
 		rel := relation.New("δ", schema)
-		ann := make(map[string][]locSet, len(child.ann))
+		m := make(map[string]annEntry)
 		child.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
-			ann[t.Key()] = child.ann[t.Key()]
+			m[t.Key()] = child.get(t)
 			return true
 		})
-		return &annRel{rel: rel, ann: ann}, nil
+		node := &annNode{kind: nodeRename, kids: []*annNode{child.node}, ann: overlay.NewMap(m)}
+		return &annRel{rel: rel, node: node}, nil
 
 	default:
 		return nil, fmt.Errorf("annotation: unknown query node %T", q)
@@ -433,7 +485,7 @@ func PropagationRelation(q algebra.Query, db *relation.Database) ([][2]relation.
 	var out [][2]relation.Location
 	attrs := wv.View.Schema().Attrs()
 	for _, t := range wv.View.Tuples() {
-		sets := wv.where[t.Key()]
+		sets := wv.setsOf(t.Key())
 		for pos, set := range sets {
 			vloc := relation.Loc(wv.View.Name(), t, attrs[pos])
 			for _, id := range set {

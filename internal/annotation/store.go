@@ -190,7 +190,7 @@ func (s *Store) Materialize(q algebra.Query, db *relation.Database) (*AnnotatedV
 	av := &AnnotatedView{View: wv.View, cells: make(map[string]*AnnotatedCell)}
 	attrs := wv.View.Schema().Attrs()
 	for _, t := range wv.View.Tuples() {
-		sets := wv.where[t.Key()]
+		sets := wv.setsOf(t.Key())
 		for pos, set := range sets {
 			var anns []Annotation
 			for _, id := range set {

@@ -20,11 +20,15 @@
 //     exactly the derivations using inserted tuples — so a curated
 //     database can grow, and can undo a propagated deletion by restoring
 //     exactly the deleted tuples, without a restart-and-re-Prepare;
-//   - annotation placement scans the cached where-provenance index. The
-//     index has no incremental maintenance rule (a source deletion can
-//     shrink the where-set of a *surviving* view tuple, e.g. when a
-//     projection pre-image dies with its join partner), so it is rebuilt
-//     lazily on the first Annotate after a deletion.
+//   - annotation placement scans the cached where-provenance index. A
+//     deletion commit maintains the index incrementally: a source deletion
+//     can shrink the where-set of a *surviving* view tuple (e.g. when a
+//     projection pre-image dies with its join partner), so the index
+//     retains its annotated operator tree and ApplyDeletion propagates the
+//     delta through it in O(|Δ|) at commit time. An insert commit drops
+//     the index — insertion can widen surviving where-sets beyond what the
+//     retained tree covers — and it is rebuilt lazily on the first
+//     Annotate after the insert.
 //
 // Concurrency: readers are lock-free on immutable copy-on-write snapshots.
 // Writes — deletions and insertions — flow through a batching/coalescing
@@ -151,8 +155,10 @@ func nextSnapshot(old *snapshot, newDB *relation.Database, prov *provenance.Resu
 var computeWhere = annotation.ComputeWhere
 
 // whereView returns the where-provenance index, computing it at most once
-// per generation. The first Annotate after a deletion pays one evaluation;
-// subsequent ones on the same generation are free. A computation error is
+// per generation. The first Annotate after an insert commit (or on a view
+// whose index was never built) pays one evaluation; deletion commits
+// maintain the index incrementally at commit time (see apply), and
+// subsequent calls on the same generation are free. A computation error is
 // cached like a result: it is surfaced on every Annotate against this
 // generation but never blocks Prepare or the deletion path.
 func (s *snapshot) whereView(plan algebra.Query) (*annotation.WhereView, error) {
@@ -214,13 +220,21 @@ type Engine struct {
 // the engine — a mutated relation copies its storage away from the
 // snapshot first — which is what makes the published generations
 // immutable. An optional Options tunes the write pipeline; omitted or
-// zero fields take the documented defaults.
+// zero fields take the documented defaults. With Options.Segments > 0
+// the snapshot is instead re-sharded into that many segments per
+// relation (Database.Sharded, O(|S|) once), buying parallel commits at
+// construction cost.
 func New(db *relation.Database, opts ...Options) *Engine {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &Engine{opt: o.withDefaults(), db: db.Freeze(), views: make(map[string]*prepared)}
+	o = o.withDefaults()
+	store := db.Freeze()
+	if o.Segments > 0 {
+		store = db.Sharded(o.Segments)
+	}
+	return &Engine{opt: o, db: store, views: make(map[string]*prepared)}
 }
 
 // Prepare registers q under name: the query is validated, normalized
@@ -637,6 +651,18 @@ func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 		// nodes, so the tree and the store share one version chain per
 		// relation instead of deriving parallel ones.
 		next[i] = nextSnapshot(old, newDB, old.prov.ApplyDeletionTo(newDB, T))
+		if s := next[i]; !s.whereBuilt.Load() && old.whereBuilt.Load() {
+			// The old generation had a built where index and the commit is
+			// a pure deletion: derive the new index from it in O(|Δ|)
+			// (annotation.WhereView.ApplyDeletion) instead of leaving the
+			// snapshot cold and paying a full recomputation on the next
+			// Annotate. Insert commits still start cold — insertion can
+			// widen surviving where-sets past what the retained tree's
+			// static maps cover.
+			s.where = old.where.ApplyDeletion(T)
+			s.whereBuilt.Store(true)
+			s.whereOnce.Do(func() {})
+		}
 		e.nMaint.Add(1)
 	})
 

@@ -342,8 +342,8 @@ func TestStats(t *testing.T) {
 	if len(st.Views) != 1 || st.Views[0].Name != "access" || st.Views[0].Generation != 1 {
 		t.Fatalf("unexpected view stats: %+v", st.Views)
 	}
-	if st.Views[0].WhereReady {
-		t.Error("fresh post-delete generation should have a lazy (unbuilt) where index")
+	if !st.Views[0].WhereReady {
+		t.Error("post-delete generation should carry an incrementally maintained where index")
 	}
 	if got := e.Views(); len(got) != 1 || got[0] != "access" {
 		t.Fatalf("Views() = %v", got)

@@ -67,6 +67,14 @@ type Options struct {
 	// batching then arises only from contention on the commit lock, which
 	// keeps uncontended latency unchanged.
 	MaxCoalesceWait time.Duration
+	// Segments, when positive, stores the source database sharded into
+	// that many hash-partitioned segments per relation
+	// (relation.Database.Sharded): commit-time overlay derivation and
+	// compaction scatter across segments and run in parallel, and folds
+	// cost O(segment) instead of O(relation). Zero (the default) keeps the
+	// unsegmented store. Worth turning on for large relations under write
+	// load; a good starting point is a few segments per core.
+	Segments int
 }
 
 // withDefaults fills unset fields.

@@ -22,17 +22,32 @@ import (
 // a legacy flat mirror (storetest.Oracle). This is the proof that structure sharing and
 // compaction are invisible to every consumer above the store.
 func TestDifferentialCompactionCycles(t *testing.T) {
-	const steps = 300
-	for seed := int64(1); seed <= 2; seed++ {
+	for _, segments := range []int{0, 1, 4, 17} {
+		segments := segments
+		t.Run(fmt.Sprintf("segments=%d", segments), func(t *testing.T) {
+			testDifferentialCompactionCycles(t, segments)
+		})
+	}
+}
+
+func testDifferentialCompactionCycles(t *testing.T, segments int) {
+	// Segmented stores fold per segment, so those runs go longer and seed
+	// more tuples per relation to drive every segment through its own
+	// compaction cycles; one seed keeps the added configurations affordable.
+	steps, seeds, nR, nS := 300, int64(2), 25, 20
+	if segments > 0 {
+		steps, seeds, nR, nS = 600, 1, 120, 90
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 
 		db := relation.NewDatabase()
 		r := relation.New("R", relation.NewSchema("A", "B"))
-		for i := 0; i < 25; i++ {
+		for i := 0; i < nR; i++ {
 			r.InsertStrings("a"+strconv.Itoa(i), "b"+strconv.Itoa(i%6))
 		}
 		s := relation.New("S", relation.NewSchema("B", "C"))
-		for i := 0; i < 20; i++ {
+		for i := 0; i < nS; i++ {
 			s.InsertStrings("b"+strconv.Itoa(i%6), "c"+strconv.Itoa(i))
 		}
 		db.MustAdd(r)
@@ -42,7 +57,7 @@ func TestDifferentialCompactionCycles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e := New(db)
+		e := New(db, Options{Segments: segments})
 		if err := e.Prepare("v", q); err != nil {
 			t.Fatal(err)
 		}
@@ -153,6 +168,14 @@ func TestDifferentialCompactionCycles(t *testing.T) {
 		}
 		if st.Store.DerivedVersions == 0 || st.Store.SharedRelations == 0 || st.Store.RewrittenRelations == 0 {
 			t.Fatalf("seed %d: store counters did not move: %+v", seed, st.Store)
+		}
+		if segments > 0 {
+			if st.Store.Segmented.Relations != 2 || st.Store.Segmented.Segments != 2*segments {
+				t.Fatalf("seed %d: segment stats %+v, want 2 relations × %d segments", seed, st.Store.Segmented, segments)
+			}
+			if segments > 1 && st.Store.Segmented.ParallelDerives == 0 {
+				t.Fatalf("seed %d: no commit ever scattered across segments (stats %+v)", seed, st.Store.Segmented)
+			}
 		}
 		// The view's provenance-tree store must have cycled its node
 		// overlays too — every commit above ran through the O(Δ) tree

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/annotation"
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// TestWhereIndexReuseAcrossDeletes pins the overlay-aware reuse contract:
+// deletion commits derive the where-provenance index incrementally from
+// the previous generation, so Annotate after any number of deletes never
+// re-runs the full index computation — computeWhere fires exactly once,
+// at Prepare. An insert commit is the path that legitimately drops the
+// index and recomputes lazily.
+func TestWhereIndexReuseAcrossDeletes(t *testing.T) {
+	calls := 0
+	orig := computeWhere
+	computeWhere = func(q algebra.Query, db *relation.Database) (*annotation.WhereView, error) {
+		calls++
+		return orig(q, db)
+	}
+	defer func() { computeWhere = orig }()
+
+	e := mustEngine(t)
+	if calls != 1 {
+		t.Fatalf("Prepare ran computeWhere %d times, want 1 (the eager build)", calls)
+	}
+	if _, err := e.Annotate("access", relation.StringTuple("john", "f1"), "file"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two deletion commits: each must carry a maintained index forward.
+	for _, target := range []relation.Tuple{
+		relation.StringTuple("john", "f2"),
+		relation.StringTuple("mary", "f1"),
+	} {
+		if _, err := e.Delete("access", target, core.MinimizeViewSideEffects, core.DeleteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		vs, err := e.Describe("access")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vs.WhereReady {
+			t.Fatalf("WhereReady false after deleting %v — the commit did not maintain the index", target)
+		}
+	}
+
+	view, err := e.Query("access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() == 0 {
+		t.Fatal("view emptied; targets chosen above should leave survivors")
+	}
+	rep, err := e.Annotate("access", view.Tuple(0), "file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("computeWhere ran %d times after delete commits, want still 1 — the index was rebuilt instead of maintained", calls)
+	}
+
+	// The maintained index must answer exactly like a fresh engine built on
+	// the post-deletion source (same plan pipeline, cold index).
+	fresh := New(e.Database())
+	if err := fresh.PrepareText("access", srcQuery); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Annotate("access", view.Tuple(0), "file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Placement.Source.Key() != want.Placement.Source.Key() ||
+		rep.Placement.SideEffects != want.Placement.SideEffects {
+		t.Fatalf("maintained index placed (%v, %d side-effects), fresh engine places (%v, %d)",
+			rep.Placement.Source, rep.Placement.SideEffects, want.Placement.Source, want.Placement.SideEffects)
+	}
+	callsAfterFresh := calls // the fresh engine's own eager build
+
+	// An insert commit drops the index (insertion can widen surviving
+	// where-sets); the next Annotate rebuilds lazily.
+	if _, err := e.Insert([]relation.SourceTuple{{Rel: "UserGroup", Tuple: relation.StringTuple("zoe", "staff")}}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := e.Describe("access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.WhereReady {
+		t.Fatal("WhereReady true right after an insert commit — inserts must drop the index")
+	}
+	if _, err := e.Annotate("access", relation.StringTuple("zoe", "f1"), "file"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != callsAfterFresh+1 {
+		t.Fatalf("computeWhere ran %d times after the insert (was %d) — want exactly one lazy rebuild", calls, callsAfterFresh)
+	}
+}

@@ -1,20 +1,20 @@
-package provenance
-
-// Persistent string-keyed maps for the provenance tree's per-node state:
-// the witness basis of every node tuple and, on join nodes, the hash
-// indexes of the child relations on the join attributes. They follow the
-// same immutable-base + layered-overlay representation relation versions
-// use (internal/relation/version.go), with the same compaction thresholds
-// (relation.OverlayFoldLimit / relation.OverlayMaxDepth), so deriving the
-// next generation of a node's maps costs O(|Δ|) — the base map and all
-// earlier layers are shared by pointer — instead of the O(|node|) wholesale
-// map copy the maintenance paths used to pay per write.
+// Package overlay provides the persistent, structure-sharing containers
+// shared by the provenance tree's per-node state and the annotation
+// layer's where-provenance index: a string-keyed map with an immutable
+// base plus layered deltas, and the join-bucket chains used by the
+// incremental maintenance passes. Both follow the representation relation
+// versions use (internal/relation/version.go), with the same compaction
+// thresholds (relation.OverlayFoldLimit / relation.OverlayMaxDepth), so
+// deriving the next generation of a node's state costs O(|Δ|) — the base
+// and all earlier layers are shared by pointer — instead of an O(|node|)
+// wholesale copy per write.
 //
 // Resolution rule: the topmost layer mentioning a key decides it (set ⇒
 // that value, dead ⇒ absent); an unmentioned key falls through to the
 // base. Values are treated as immutable once stored — a derive that
 // changes a key's value stores a freshly built value, never mutates the
 // old one — which is what makes generations safe to read concurrently.
+package overlay
 
 import (
 	"sync/atomic"
@@ -22,14 +22,32 @@ import (
 	"repro/internal/relation"
 )
 
-// mapMetrics counts overlay-map compaction over the lifetime of a tree;
-// shared along every generation chain of the tree's nodes.
-type mapMetrics struct {
+// Metrics counts overlay-map compaction over the lifetime of a generation
+// chain (or a family of chains, e.g. every map of one provenance tree);
+// the counters are cumulative and safe for concurrent use. A nil *Metrics
+// disables counting.
+type Metrics struct {
 	folds    atomic.Int64
 	squashes atomic.Int64
 }
 
-// mapLayer is one immutable overlay generation of an overlayMap.
+// Folds reports overlays folded into a fresh flat base.
+func (m *Metrics) Folds() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.folds.Load()
+}
+
+// Squashes reports overlay chains merged into a single layer.
+func (m *Metrics) Squashes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.squashes.Load()
+}
+
+// mapLayer is one immutable overlay generation of a Map.
 type mapLayer[V any] struct {
 	below    *mapLayer[V]
 	set      map[string]V        // keys (re)bound at this layer
@@ -38,22 +56,22 @@ type mapLayer[V any] struct {
 	mentions int                 // cumulative len(set)+len(dead) across the chain
 }
 
-// overlayMap is a persistent map: an immutable base shared across every
-// version derived from it, plus a chain of overlay layers.
-type overlayMap[V any] struct {
+// Map is a persistent string-keyed map: an immutable base shared across
+// every version derived from it, plus a chain of overlay layers.
+type Map[V any] struct {
 	base map[string]V
 	top  *mapLayer[V]
 	live int // current entry count
 }
 
-// newOverlayMap wraps an eagerly built map as a flat base version. The map
-// is owned by the overlayMap afterwards and must not be mutated.
-func newOverlayMap[V any](base map[string]V) *overlayMap[V] {
-	return &overlayMap[V]{base: base, live: len(base)}
+// NewMap wraps an eagerly built map as a flat base version. The map is
+// owned by the Map afterwards and must not be mutated.
+func NewMap[V any](base map[string]V) *Map[V] {
+	return &Map[V]{base: base, live: len(base)}
 }
 
-// get resolves key k through the overlay.
-func (m *overlayMap[V]) get(k string) (V, bool) {
+// Get resolves key k through the overlay.
+func (m *Map[V]) Get(k string) (V, bool) {
 	for l := m.top; l != nil; l = l.below {
 		if v, ok := l.set[k]; ok {
 			return v, true
@@ -67,19 +85,19 @@ func (m *overlayMap[V]) get(k string) (V, bool) {
 	return v, ok
 }
 
-// has reports whether k is bound.
-func (m *overlayMap[V]) has(k string) bool {
-	_, ok := m.get(k)
+// Has reports whether k is bound.
+func (m *Map[V]) Has(k string) bool {
+	_, ok := m.Get(k)
 	return ok
 }
 
-// size returns the current entry count. O(1).
-func (m *overlayMap[V]) size() int { return m.live }
+// Size returns the current entry count. O(1).
+func (m *Map[V]) Size() int { return m.live }
 
 // decisions resolves every key the overlay mentions to its deciding layer
 // (nil when the topmost mention is a removal). Keys absent from the result
 // fall through to the base.
-func (m *overlayMap[V]) decisions() map[string]*mapLayer[V] {
+func (m *Map[V]) decisions() map[string]*mapLayer[V] {
 	if m.top == nil {
 		return nil
 	}
@@ -99,9 +117,9 @@ func (m *overlayMap[V]) decisions() map[string]*mapLayer[V] {
 	return d
 }
 
-// each calls yield for every live entry, in no particular order, stopping
+// Each calls yield for every live entry, in no particular order, stopping
 // early if yield returns false.
-func (m *overlayMap[V]) each(yield func(k string, v V) bool) {
+func (m *Map[V]) Each(yield func(k string, v V) bool) {
 	d := m.decisions()
 	for k, v := range m.base {
 		if l, mentioned := d[k]; mentioned {
@@ -131,33 +149,33 @@ func (m *overlayMap[V]) each(yield func(k string, v V) bool) {
 	}
 }
 
-// flatten materializes the current entries into a fresh map.
-func (m *overlayMap[V]) flatten() map[string]V {
+// Flatten materializes the current entries into a fresh map.
+func (m *Map[V]) Flatten() map[string]V {
 	out := make(map[string]V, m.live)
-	m.each(func(k string, v V) bool {
+	m.Each(func(k string, v V) bool {
 		out[k] = v
 		return true
 	})
 	return out
 }
 
-// derive publishes the version of m with the keys of set (re)bound and the
+// Derive publishes the version of m with the keys of set (re)bound and the
 // keys of dead removed, folding or squashing when the overlay trips the
 // shared thresholds. set and dead must be disjoint and are owned by the
 // new version afterwards; passing both empty returns the receiver. The
 // receiver is unchanged. O(|Δ|) plus amortized compaction.
-func (m *overlayMap[V]) derive(set map[string]V, dead map[string]struct{}, met *mapMetrics) *overlayMap[V] {
+func (m *Map[V]) Derive(set map[string]V, dead map[string]struct{}, met *Metrics) *Map[V] {
 	if len(set) == 0 && len(dead) == 0 {
 		return m
 	}
 	live := m.live
 	for k := range set {
-		if !m.has(k) {
+		if !m.Has(k) {
 			live++
 		}
 	}
 	for k := range dead {
-		if m.has(k) {
+		if m.Has(k) {
 			live--
 		}
 	}
@@ -172,12 +190,12 @@ func (m *overlayMap[V]) derive(set map[string]V, dead map[string]struct{}, met *
 		l.depth += m.top.depth
 		l.mentions += m.top.mentions
 	}
-	v := &overlayMap[V]{base: m.base, top: l, live: live}
+	v := &Map[V]{base: m.base, top: l, live: live}
 	if l.mentions > relation.OverlayFoldLimit(len(m.base)) {
 		if met != nil {
 			met.folds.Add(1)
 		}
-		return &overlayMap[V]{base: v.flatten(), live: live}
+		return &Map[V]{base: v.Flatten(), live: live}
 	}
 	if l.depth > relation.OverlayMaxDepth {
 		if met != nil {
@@ -191,7 +209,7 @@ func (m *overlayMap[V]) derive(set map[string]V, dead map[string]struct{}, met *
 // squashedTop merges the whole chain into one layer over the same base:
 // every mentioned base key that died is kept as a removal, every live
 // mentioned key as a binding. O(overlay); the base is untouched.
-func (m *overlayMap[V]) squashedTop() *mapLayer[V] {
+func (m *Map[V]) squashedTop() *mapLayer[V] {
 	d := m.decisions()
 	set := make(map[string]V)
 	dead := make(map[string]struct{})
@@ -205,16 +223,16 @@ func (m *overlayMap[V]) squashedTop() *mapLayer[V] {
 	return &mapLayer[V]{set: set, dead: dead, depth: 1, mentions: len(set) + len(dead)}
 }
 
-// depth reports the overlay chain length (0 when flat).
-func (m *overlayMap[V]) depth() int {
+// Depth reports the overlay chain length (0 when flat).
+func (m *Map[V]) Depth() int {
 	if m.top == nil {
 		return 0
 	}
 	return m.top.depth
 }
 
-// mentions reports the cumulative overlay size (0 when flat).
-func (m *overlayMap[V]) mentions() int {
+// Mentions reports the cumulative overlay size (0 when flat).
+func (m *Map[V]) Mentions() int {
 	if m.top == nil {
 		return 0
 	}

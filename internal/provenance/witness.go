@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/algebra"
+	"repro/internal/overlay"
 	"repro/internal/relation"
 )
 
@@ -24,6 +25,7 @@ import (
 type Witness struct {
 	tuples []relation.SourceTuple
 	keys   []string
+	key    string // canonical form, cached at construction
 }
 
 // NewWitness builds a witness from source tuples, deduplicating.
@@ -43,6 +45,7 @@ func NewWitness(ts ...relation.SourceTuple) Witness {
 	for _, k := range w.keys {
 		w.tuples = append(w.tuples, m[k])
 	}
+	w.key = strings.Join(w.keys, "\x01")
 	return w
 }
 
@@ -58,8 +61,14 @@ func (w Witness) Len() int { return len(w.tuples) }
 // the slice.
 func (w Witness) Tuples() []relation.SourceTuple { return w.tuples }
 
-// Key returns the canonical string identity of the witness.
-func (w Witness) Key() string { return strings.Join(w.keys, "\x01") }
+// Key returns the canonical string identity of the witness. O(1) for
+// witnesses built by this package's constructors.
+func (w Witness) Key() string {
+	if w.key == "" && len(w.keys) > 0 {
+		return strings.Join(w.keys, "\x01") // zero-value escape hatch
+	}
+	return w.key
+}
 
 // Contains reports whether the witness includes the given source tuple.
 func (w Witness) Contains(st relation.SourceTuple) bool {
@@ -146,7 +155,7 @@ type Result struct {
 	View *relation.Relation
 	// basis maps view tuple keys to minimal witnesses; it is the root
 	// node's witness store, shared by pointer.
-	basis *overlayMap[[]Witness]
+	basis *overlay.Map[[]Witness]
 
 	// plan is the query this result was computed for and lim the basis cap
 	// it was computed under; both are carried through maintenance so
@@ -167,7 +176,7 @@ type Result struct {
 // Witnesses returns the minimal witnesses of view tuple t (nil if t is not
 // in the view).
 func (r *Result) Witnesses(t relation.Tuple) []Witness {
-	ws, _ := r.basis.get(t.Key())
+	ws, _ := r.basis.Get(t.Key())
 	return ws
 }
 
@@ -202,7 +211,9 @@ type treeMetrics struct {
 	touchedTuples  atomic.Int64 // candidate tuples examined during maintenance
 
 	relM relation.VersionMetrics // node-relation overlay activity
-	mapM mapMetrics              // witness/bucket map overlay activity
+	mapM overlay.Metrics         // witness/bucket map overlay activity
+
+	intern witnessInterner // canonical Witness values, shared along the chain
 }
 
 // TreeStats is a point-in-time summary of a Result's provenance tree: the
@@ -238,6 +249,12 @@ type TreeStats struct {
 	// MapFolds / MapSquashes count witness/bucket map overlay compactions.
 	MapFolds    int64 `json:"map_folds"`
 	MapSquashes int64 `json:"map_squashes"`
+	// InternHits / InternMisses count witness-interner lookups over the
+	// chain's lifetime: a hit reuses a previously built Witness instead of
+	// re-deriving an equal value, so on a steady delete/restore round trip
+	// hits grow and misses stay flat.
+	InternHits   int64 `json:"intern_hits"`
+	InternMisses int64 `json:"intern_misses"`
 }
 
 // TreeStats summarizes the provenance tree as of this generation.
@@ -251,23 +268,25 @@ func (r *Result) TreeStats() TreeStats {
 		st.TouchedTuples = r.tm.touchedTuples.Load()
 		st.RelFolds = r.tm.relM.Folds()
 		st.RelSquashes = r.tm.relM.Squashes()
-		st.MapFolds = r.tm.mapM.folds.Load()
-		st.MapSquashes = r.tm.mapM.squashes.Load()
+		st.MapFolds = r.tm.mapM.Folds()
+		st.MapSquashes = r.tm.mapM.Squashes()
+		st.InternHits = r.tm.intern.hits.Load()
+		st.InternMisses = r.tm.intern.misses.Load()
 	}
-	seeMap := func(m *overlayMap[[]Witness]) {
-		if d := m.depth(); d > st.MaxMapOverlayDepth {
+	seeMap := func(m *overlay.Map[[]Witness]) {
+		if d := m.Depth(); d > st.MaxMapOverlayDepth {
 			st.MaxMapOverlayDepth = d
 		}
-		st.MapOverlayMentions += m.mentions()
+		st.MapOverlayMentions += m.Mentions()
 	}
-	seeBuck := func(b *overlayMap[bucketVal]) {
+	seeBuck := func(b *overlay.Map[overlay.BucketVal]) {
 		if b == nil {
 			return
 		}
-		if d := b.depth(); d > st.MaxMapOverlayDepth {
+		if d := b.Depth(); d > st.MaxMapOverlayDepth {
 			st.MaxMapOverlayDepth = d
 		}
-		st.MapOverlayMentions += b.mentions()
+		st.MapOverlayMentions += b.Mentions()
 	}
 	var walk func(n *evalNode)
 	walk = func(n *evalNode) {
@@ -392,7 +411,7 @@ func (r *Result) deleteWithoutTree(del *deletionSet) *Result {
 	r.View.Each(func(t relation.Tuple) bool {
 		tm.touchedTuples.Add(1)
 		k := t.Key()
-		ws, ok := r.basis.get(k)
+		ws, ok := r.basis.Get(k)
 		if !ok {
 			return true
 		}
@@ -410,7 +429,7 @@ func (r *Result) deleteWithoutTree(del *deletionSet) *Result {
 	if len(dead) > 0 {
 		view = view.DeleteVersion(dead, &tm.relM)
 	}
-	return &Result{View: view, basis: r.basis.derive(changes, dead, &tm.mapM), plan: r.plan, lim: r.lim, tree: r.tree, tm: tm}
+	return &Result{View: view, basis: r.basis.Derive(changes, dead, &tm.mapM), plan: r.plan, lim: r.lim, tree: r.tree, tm: tm}
 }
 
 // delState is one node's deletion-maintenance outcome: the maintained node
@@ -444,7 +463,7 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 		for _, st := range del.byRel[q.Rel] {
 			tm.touchedTuples.Add(1)
 			k := st.Tuple.Key()
-			if !n.wit.has(k) {
+			if !n.wit.Has(k) {
 				continue
 			}
 			dead[k] = struct{}{}
@@ -464,7 +483,7 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 		} else {
 			rel = n.rel.DeleteVersion(dead, &tm.relM)
 		}
-		node := &evalNode{rel: rel, wit: n.wit.derive(nil, dead, &tm.mapM)}
+		node := &evalNode{rel: rel, wit: n.wit.Derive(nil, dead, &tm.mapM)}
 		return delState{node: node, touched: died, died: died}
 	}
 
@@ -523,18 +542,21 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 		}
 	case algebra.Join:
 		sh := n.shape
+		// Probes walk only live partners (EachLive): stale bucket entries
+		// are skipped by the child's pre-deletion witness map, and the walk
+		// stops once the bucket's live count is exhausted.
 		for _, lt := range kids[0].touched {
 			lt := lt
-			rbv, _ := n.rbuck.get(sh.leftKey(lt))
-			rbv.chain.each(func(rt relation.Tuple) bool {
+			rbv, _ := n.rbuck.Get(sh.leftKey(lt))
+			rbv.EachLive(n.kids[1].wit.Has, func(rt relation.Tuple) bool {
 				add(sh.join(lt, rt))
 				return true
 			})
 		}
 		for _, rt := range kids[1].touched {
 			rt := rt
-			lbv, _ := n.lbuck.get(sh.rightKey(rt))
-			lbv.chain.each(func(lt relation.Tuple) bool {
+			lbv, _ := n.lbuck.Get(sh.rightKey(rt))
+			lbv.EachLive(n.kids[0].wit.Has, func(lt relation.Tuple) bool {
 				add(sh.join(lt, rt))
 				return true
 			})
@@ -547,7 +569,7 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 	for _, t := range cands {
 		tm.touchedTuples.Add(1)
 		k := t.Key()
-		ws, ok := n.wit.get(k)
+		ws, ok := n.wit.Get(k)
 		if !ok {
 			continue // image not in this node (e.g. a failed selection)
 		}
@@ -575,7 +597,7 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 	}
 	out := &evalNode{
 		rel:   rel,
-		wit:   n.wit.derive(changes, dead, &tm.mapM),
+		wit:   n.wit.Derive(changes, dead, &tm.mapM),
 		kids:  make([]*evalNode, len(kids)),
 		shape: n.shape,
 		lbuck: n.lbuck,
@@ -588,8 +610,8 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 		// Dead child tuples leave the bucket indexes (lazily, with
 		// amortized compaction against the children's new witness maps) so
 		// future probes stay proportional to the live join fan-out.
-		out.lbuck = bucketsRemove(n.lbuck, kids[0].died, n.shape.leftKey, out.kids[0].wit, &tm.mapM)
-		out.rbuck = bucketsRemove(n.rbuck, kids[1].died, n.shape.rightKey, out.kids[1].wit, &tm.mapM)
+		out.lbuck = overlay.BucketsRemove(n.lbuck, kids[0].died, n.shape.leftKey, out.kids[0].wit.Has, &tm.mapM)
+		out.rbuck = overlay.BucketsRemove(n.rbuck, kids[1].died, n.shape.rightKey, out.kids[1].wit.Has, &tm.mapM)
 	}
 	return delState{node: out, touched: touched, died: died}
 }
@@ -703,7 +725,7 @@ func mergeCandidates(old *evalNode, cands []relation.Tuple, acc map[string][]Wit
 	for _, t := range cands {
 		tm.touchedTuples.Add(1)
 		k := t.Key()
-		oldWs, _ := old.wit.get(k)
+		oldWs, _ := old.wit.Get(k)
 		merged := minimizeWitnesses(append(append([]Witness{}, oldWs...), acc[k]...))
 		if err := check(merged); err != nil {
 			return nil, nil, nil, nil, err
@@ -756,7 +778,7 @@ func passThrough(old *evalNode, child deltaNode, keep func(relation.Tuple) bool,
 		}
 		tm.touchedTuples.Add(1)
 		k := t.Key()
-		cw, _ := child.node.wit.get(k)
+		cw, _ := child.node.wit.Get(k)
 		set[k] = cw
 		dwit[k] = child.dwit[k]
 		delta = append(delta, t)
@@ -800,7 +822,7 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		if len(novel) > 0 {
 			rel = rel.InsertVersion(novel, &tm.relM)
 		}
-		node := &evalNode{rel: rel, wit: old.wit.derive(set, nil, &tm.mapM), kids: kids, shape: old.shape, lbuck: old.lbuck, rbuck: old.rbuck}
+		node := &evalNode{rel: rel, wit: old.wit.Derive(set, nil, &tm.mapM), kids: kids, shape: old.shape, lbuck: old.lbuck, rbuck: old.rbuck}
 		return deltaNode{node: node, delta: delta, dwit: dwit, novel: novel}
 	}
 
@@ -814,13 +836,13 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 				continue
 			}
 			k := st.Tuple.Key()
-			if old.wit.has(k) {
+			if old.wit.Has(k) {
 				continue // was already in the relation: nothing new
 			}
 			if _, dup := set[k]; dup {
 				continue
 			}
-			ws := []Witness{NewWitness(st)}
+			ws := []Witness{tm.intern.singleton(st)}
 			set[k] = ws
 			dwit[k] = ws
 			delta = append(delta, st.Tuple)
@@ -833,7 +855,7 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		tm.touchedTuples.Add(int64(len(delta)))
 		// The output relation of a scan IS the source relation: adopt the
 		// new generation's, already an O(|Δ|) overlay over the same base.
-		node := &evalNode{rel: newDB.Relation(q.Rel), wit: old.wit.derive(set, nil, &tm.mapM)}
+		node := &evalNode{rel: newDB.Relation(q.Rel), wit: old.wit.Derive(set, nil, &tm.mapM)}
 		return deltaNode{node: node, delta: delta, dwit: dwit, novel: delta}, nil
 
 	case algebra.Select:
@@ -925,8 +947,8 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		// Bucket indexes gain the novel child tuples first: the ΔL term
 		// probes the NEW right side so ΔL×ΔR combinations appear exactly
 		// once there.
-		lbuck := bucketsAdd(old.lbuck, left.novel, sh.leftKey, &tm.mapM)
-		rbuck := bucketsAdd(old.rbuck, right.novel, sh.rightKey, &tm.mapM)
+		lbuck := overlay.BucketsAdd(old.lbuck, left.novel, sh.leftKey, &tm.mapM)
+		rbuck := overlay.BucketsAdd(old.rbuck, right.novel, sh.rightKey, &tm.mapM)
 
 		// New combinations = ΔL × R_new  ∪  L_old × ΔR: every pair using at
 		// least one added witness appears exactly once (ΔL×ΔR lands in the
@@ -937,9 +959,9 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		for _, lt := range left.delta {
 			lt := lt
 			lws := left.dwit[lt.Key()]
-			rbv, _ := rbuck.get(sh.leftKey(lt))
-			rbv.chain.each(func(rt relation.Tuple) bool {
-				rws, _ := right.node.wit.get(rt.Key())
+			rbv, _ := rbuck.Get(sh.leftKey(lt))
+			rbv.EachLive(right.node.wit.Has, func(rt relation.Tuple) bool {
+				rws, _ := right.node.wit.Get(rt.Key())
 				if len(rws) == 0 {
 					return true // stale bucket entry: the partner is gone
 				}
@@ -951,7 +973,7 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 				}
 				for _, wl := range lws {
 					for _, wr := range rws {
-						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
+						acc[jk] = append(acc[jk], tm.intern.union(wl, wr))
 					}
 				}
 				return true
@@ -960,9 +982,9 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		for _, rt := range right.delta {
 			rt := rt
 			rws := right.dwit[rt.Key()]
-			lbv, _ := old.lbuck.get(sh.rightKey(rt))
-			lbv.chain.each(func(lt relation.Tuple) bool {
-				lws, _ := old.kids[0].wit.get(lt.Key())
+			lbv, _ := old.lbuck.Get(sh.rightKey(rt))
+			lbv.EachLive(old.kids[0].wit.Has, func(lt relation.Tuple) bool {
+				lws, _ := old.kids[0].wit.Get(lt.Key())
 				if len(lws) == 0 {
 					return true // stale bucket entry: the partner is gone
 				}
@@ -974,7 +996,7 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 				}
 				for _, wl := range lws {
 					for _, wr := range rws {
-						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
+						acc[jk] = append(acc[jk], tm.intern.union(wl, wr))
 					}
 				}
 				return true
@@ -1038,14 +1060,14 @@ func ComputeLimited(q algebra.Query, db *relation.Database, lim Limit) (*Result,
 // the join attributes).
 type evalNode struct {
 	rel  *relation.Relation
-	wit  *overlayMap[[]Witness]
+	wit  *overlay.Map[[]Witness]
 	kids []*evalNode
 
 	// Join nodes only: the join geometry and the children's hash indexes
 	// on the common attributes, maintained across generations so delta
 	// probes never rebuild a hash of a full child relation.
 	shape        *joinShape
-	lbuck, rbuck *overlayMap[bucketVal]
+	lbuck, rbuck *overlay.Map[overlay.BucketVal]
 }
 
 // joinShape is the fixed geometry of one join node: child schemas, the
@@ -1078,130 +1100,6 @@ func (sh *joinShape) join(lt, rt relation.Tuple) relation.Tuple {
 	return append(append(relation.Tuple{}, lt...), relation.ProjectAttrs(sh.rs, rt, sh.rightExtra)...)
 }
 
-// bucket is a persistent chain of one join key's partner tuples: appends
-// cons a fresh chunk onto the chain in O(|chunk|), sharing every earlier
-// chunk — a hub key's history is never copied per write. Iteration is
-// oldest-chunk-first, preserving append order.
-type bucket struct {
-	prev   *bucket
-	tuples []relation.Tuple
-}
-
-// each walks the chain in append order; stale tuples (lazily removed, see
-// bucketVal) are included — callers skip them naturally because their
-// witness lookups come up empty. Iterative, not recursive: a hub key
-// gaining one chunk per commit grows its chain linearly in write count
-// (chunks only merge at the half-stale compaction), and probe stack
-// depth must not grow with it. The chunk walk is O(chunks) ≤ O(tuples),
-// which a probe pays anyway.
-func (b *bucket) each(yield func(relation.Tuple) bool) bool {
-	var arr [32]*bucket
-	chunks := arr[:0] // heap-free for shallow chains
-	for c := b; c != nil; c = c.prev {
-		chunks = append(chunks, c)
-	}
-	for i := len(chunks) - 1; i >= 0; i-- {
-		for _, t := range chunks[i].tuples {
-			if !yield(t) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// bucketVal is one key's entry in a join node's bucket index: the chunk
-// chain plus bookkeeping for lazy removal. A removed tuple stays in the
-// chain (probing it is harmless — a dead partner has no witnesses, so it
-// derives nothing) and only the stale count advances, in O(1); once stale
-// entries reach half the chain the bucket is compacted against the child's
-// live witness map, so probe cost stays within 2× of the live fan-out and
-// removal is amortized O(1).
-type bucketVal struct {
-	chain *bucket
-	n     int // tuples across the chain, stale included
-	dead  int // stale (removed) tuples across the chain
-}
-
-// bucketBase hashes a child relation on the join key — the flat base of a
-// join node's persistent bucket index.
-func bucketBase(r *relation.Relation, key func(relation.Tuple) string) *overlayMap[bucketVal] {
-	groups := make(map[string][]relation.Tuple)
-	r.Each(func(t relation.Tuple) bool {
-		k := key(t)
-		groups[k] = append(groups[k], t)
-		return true
-	})
-	base := make(map[string]bucketVal, len(groups))
-	for k, ts := range groups {
-		base[k] = bucketVal{chain: &bucket{tuples: ts}, n: len(ts)}
-	}
-	return newOverlayMap(base)
-}
-
-// bucketsAdd derives the bucket index with the novel child tuples
-// appended to their key groups, in O(|novel|).
-func bucketsAdd(b *overlayMap[bucketVal], novel []relation.Tuple, key func(relation.Tuple) string, met *mapMetrics) *overlayMap[bucketVal] {
-	if len(novel) == 0 {
-		return b
-	}
-	byKey := make(map[string][]relation.Tuple)
-	for _, t := range novel {
-		k := key(t)
-		byKey[k] = append(byKey[k], t)
-	}
-	set := make(map[string]bucketVal, len(byKey))
-	for k, add := range byKey {
-		old, _ := b.get(k)
-		set[k] = bucketVal{chain: &bucket{prev: old.chain, tuples: add}, n: old.n + len(add), dead: old.dead}
-	}
-	return b.derive(set, nil, met)
-}
-
-// bucketsRemove derives the bucket index with the died child tuples
-// lazily removed from their key groups: the stale count advances in O(1)
-// per key, and a bucket whose chain has become half stale is compacted —
-// rebuilt from the live tuples (those the child's new witness map still
-// knows, deduplicated) — amortizing the rebuild over the removals that
-// provoked it. A bucket left with no live tuple is dropped.
-func bucketsRemove(b *overlayMap[bucketVal], died []relation.Tuple, key func(relation.Tuple) string, alive *overlayMap[[]Witness], met *mapMetrics) *overlayMap[bucketVal] {
-	if len(died) == 0 {
-		return b
-	}
-	byKey := make(map[string]int)
-	for _, t := range died {
-		byKey[key(t)]++
-	}
-	set := make(map[string]bucketVal, len(byKey))
-	dead := make(map[string]struct{})
-	for k, removed := range byKey {
-		old, ok := b.get(k)
-		if !ok {
-			continue
-		}
-		nv := bucketVal{chain: old.chain, n: old.n, dead: old.dead + removed}
-		if nv.dead*2 >= nv.n {
-			seen := make(map[string]bool, nv.n-nv.dead)
-			var kept []relation.Tuple
-			nv.chain.each(func(t relation.Tuple) bool {
-				tk := t.Key()
-				if !seen[tk] && alive.has(tk) {
-					seen[tk] = true
-					kept = append(kept, t)
-				}
-				return true
-			})
-			if len(kept) == 0 {
-				dead[k] = struct{}{}
-				continue
-			}
-			nv = bucketVal{chain: &bucket{tuples: kept}, n: len(kept)}
-		}
-		set[k] = nv
-	}
-	return b.derive(set, dead, met)
-}
-
 func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, error) {
 	check := limitCheck(lim)
 	switch q := q.(type) {
@@ -1212,7 +1110,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			wit[t.Key()] = []Witness{NewWitness(relation.SourceTuple{Rel: q.Rel, Tuple: t})}
 			return true
 		})
-		return &evalNode{rel: base, wit: newOverlayMap(wit)}, nil
+		return &evalNode{rel: base, wit: overlay.NewMap(wit)}, nil
 
 	case algebra.Select:
 		child, err := witnessEval(q.Child, db, lim)
@@ -1224,12 +1122,12 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		child.rel.Each(func(t relation.Tuple) bool {
 			if q.Cond.Holds(child.rel.Schema(), t) {
 				rel.Insert(t)
-				ws, _ := child.wit.get(t.Key())
+				ws, _ := child.wit.Get(t.Key())
 				wit[t.Key()] = ws
 			}
 			return true
 		})
-		return &evalNode{rel: rel, wit: newOverlayMap(wit), kids: []*evalNode{child}}, nil
+		return &evalNode{rel: rel, wit: overlay.NewMap(wit), kids: []*evalNode{child}}, nil
 
 	case algebra.Project:
 		child, err := witnessEval(q.Child, db, lim)
@@ -1245,7 +1143,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		child.rel.Each(func(t relation.Tuple) bool {
 			pt := relation.ProjectAttrs(child.rel.Schema(), t, q.Attrs)
 			rel.Insert(pt)
-			ws, _ := child.wit.get(t.Key())
+			ws, _ := child.wit.Get(t.Key())
 			acc[pt.Key()] = append(acc[pt.Key()], ws...)
 			return true
 		})
@@ -1257,7 +1155,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			}
 			wit[k] = m
 		}
-		return &evalNode{rel: rel, wit: newOverlayMap(wit), kids: []*evalNode{child}}, nil
+		return &evalNode{rel: rel, wit: overlay.NewMap(wit), kids: []*evalNode{child}}, nil
 
 	case algebra.Join:
 		left, err := witnessEval(q.Left, db, lim)
@@ -1271,16 +1169,16 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		sh := newJoinShape(left.rel.Schema(), right.rel.Schema())
 		out := relation.New("⋈", sh.ls.Join(sh.rs))
 		acc := make(map[string][]Witness)
-		lbuck := bucketBase(left.rel, sh.leftKey)
-		rbuck := bucketBase(right.rel, sh.rightKey)
+		lbuck := overlay.BucketBase(left.rel, sh.leftKey)
+		rbuck := overlay.BucketBase(right.rel, sh.rightKey)
 		left.rel.Each(func(lt relation.Tuple) bool {
-			rbv, _ := rbuck.get(sh.leftKey(lt))
-			lws, _ := left.wit.get(lt.Key())
-			rbv.chain.each(func(rt relation.Tuple) bool {
+			rbv, _ := rbuck.Get(sh.leftKey(lt))
+			lws, _ := left.wit.Get(lt.Key())
+			rbv.Each(func(rt relation.Tuple) bool {
 				joined := sh.join(lt, rt)
 				out.Insert(joined)
 				jk := joined.Key()
-				rws, _ := right.wit.get(rt.Key())
+				rws, _ := right.wit.Get(rt.Key())
 				for _, wl := range lws {
 					for _, wr := range rws {
 						acc[jk] = append(acc[jk], UnionWitness(wl, wr))
@@ -1298,7 +1196,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			}
 			wit[k] = m
 		}
-		return &evalNode{rel: out, wit: newOverlayMap(wit), kids: []*evalNode{left, right}, shape: sh, lbuck: lbuck, rbuck: rbuck}, nil
+		return &evalNode{rel: out, wit: overlay.NewMap(wit), kids: []*evalNode{left, right}, shape: sh, lbuck: lbuck, rbuck: rbuck}, nil
 
 	case algebra.Union:
 		left, err := witnessEval(q.Left, db, lim)
@@ -1313,7 +1211,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		acc := make(map[string][]Witness)
 		left.rel.Each(func(t relation.Tuple) bool {
 			outRel.Insert(t)
-			ws, _ := left.wit.get(t.Key())
+			ws, _ := left.wit.Get(t.Key())
 			acc[t.Key()] = append(acc[t.Key()], ws...)
 			return true
 		})
@@ -1321,7 +1219,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 		right.rel.Each(func(t relation.Tuple) bool {
 			aligned := relation.ProjectAttrs(right.rel.Schema(), t, attrs)
 			outRel.Insert(aligned)
-			ws, _ := right.wit.get(t.Key())
+			ws, _ := right.wit.Get(t.Key())
 			acc[aligned.Key()] = append(acc[aligned.Key()], ws...)
 			return true
 		})
@@ -1333,7 +1231,7 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			}
 			wit[k] = m
 		}
-		return &evalNode{rel: outRel, wit: newOverlayMap(wit), kids: []*evalNode{left, right}}, nil
+		return &evalNode{rel: outRel, wit: overlay.NewMap(wit), kids: []*evalNode{left, right}}, nil
 
 	case algebra.Rename:
 		child, err := witnessEval(q.Child, db, lim)
@@ -1345,14 +1243,14 @@ func witnessEval(q algebra.Query, db *relation.Database, lim Limit) (*evalNode, 
 			return nil, rerr
 		}
 		rel := relation.New("δ", schema)
-		wit := make(map[string][]Witness, child.wit.size())
+		wit := make(map[string][]Witness, child.wit.Size())
 		child.rel.Each(func(t relation.Tuple) bool {
 			rel.Insert(t)
-			ws, _ := child.wit.get(t.Key())
+			ws, _ := child.wit.Get(t.Key())
 			wit[t.Key()] = ws
 			return true
 		})
-		return &evalNode{rel: rel, wit: newOverlayMap(wit), kids: []*evalNode{child}}, nil
+		return &evalNode{rel: rel, wit: overlay.NewMap(wit), kids: []*evalNode{child}}, nil
 
 	default:
 		return nil, fmt.Errorf("provenance: unknown query node %T", q)

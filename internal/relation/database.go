@@ -12,11 +12,12 @@ import (
 // derived from the same root (Freeze starts a fresh one), so the counters
 // are cumulative across commits.
 type storeMetrics struct {
-	derives       atomic.Int64 // DeleteAll/InsertAll generations derived
-	sharedRels    atomic.Int64 // relations shared by pointer during derives
-	rewrittenRels atomic.Int64 // relations given a new overlay version
-	folds         atomic.Int64 // overlays folded into a fresh base
-	squashes      atomic.Int64 // overlay chains merged into one layer
+	derives         atomic.Int64 // DeleteAll/InsertAll generations derived
+	sharedRels      atomic.Int64 // relations shared by pointer during derives
+	rewrittenRels   atomic.Int64 // relations given a new overlay version
+	folds           atomic.Int64 // overlays folded into a fresh base
+	squashes        atomic.Int64 // overlay chains merged into one layer
+	parallelDerives atomic.Int64 // derives that scattered across >1 segment
 }
 
 // StoreStats is a point-in-time summary of the versioned source store:
@@ -50,6 +51,29 @@ type StoreStats struct {
 	// Squashes counts overlay chains merged into a single layer without
 	// touching the base.
 	Squashes int64 `json:"squashes"`
+	// Segmented summarizes the sharded relations of this generation (all
+	// zero when the store was built with Freeze rather than Sharded).
+	Segmented SegmentStats `json:"segmented"`
+}
+
+// SegmentStats summarizes the sharded portion of a store generation: how
+// the tuples spread over segments and how much scatter/gather parallelism
+// the commit path has exercised.
+type SegmentStats struct {
+	// Relations counts relations stored segmented this generation.
+	Relations int `json:"relations"`
+	// Segments is the total segment count across segmented relations.
+	Segments int `json:"segments"`
+	// MaxSegmentTuples is the live tuple count of the fullest segment — a
+	// skew indicator; near Size/Segments means the hash spreads evenly.
+	MaxSegmentTuples int `json:"max_segment_tuples"`
+	// MaxOverlayDepth is the deepest per-segment overlay chain.
+	MaxOverlayDepth int `json:"max_overlay_depth"`
+	// OverlayMentions is the total overlay size across all segments.
+	OverlayMentions int `json:"overlay_mentions"`
+	// ParallelDerives counts commits whose delta touched more than one
+	// segment of some relation, scattering the derive across workers.
+	ParallelDerives int64 `json:"parallel_derives"`
 }
 
 // metrics returns the chain's counters, attaching a fresh set to databases
@@ -74,6 +98,7 @@ func (db *Database) StoreStats() StoreStats {
 		Compactions:        m.folds.Load(),
 		Squashes:           m.squashes.Load(),
 	}
+	st.Segmented.ParallelDerives = m.parallelDerives.Load()
 	for _, r := range db.rels {
 		if d := r.overlayDepth(); d > 0 {
 			st.OverlayRelations++
@@ -81,6 +106,20 @@ func (db *Database) StoreStats() StoreStats {
 				st.MaxOverlayDepth = d
 			}
 			st.OverlayMentions += r.overlayMentions()
+		}
+		if r.seg == nil {
+			continue
+		}
+		st.Segmented.Relations++
+		st.Segmented.Segments += len(r.seg.segs)
+		st.Segmented.OverlayMentions += r.seg.overlayMentions()
+		if d := r.seg.overlayDepth(); d > st.Segmented.MaxOverlayDepth {
+			st.Segmented.MaxOverlayDepth = d
+		}
+		for _, s := range r.seg.segs {
+			if s.live > st.Segmented.MaxSegmentTuples {
+				st.Segmented.MaxSegmentTuples = s.live
+			}
 		}
 	}
 	return st
@@ -189,6 +228,29 @@ func (db *Database) Freeze() *Database {
 	return c
 }
 
+// Sharded returns an immutable snapshot of the database with every
+// relation re-stored as n hash-partitioned segments (segment.go): each
+// segment keeps its own base, overlay chain, and fold/squash schedule, so
+// commits scatter their delta across the affected segments' workers and
+// compaction costs O(segment) instead of O(relation). O(|S|) — a one-time
+// re-shard, like the deep Clone that Freeze replaced, paid once at engine
+// construction. n <= 0 falls back to Freeze (the unsegmented store). Like
+// Freeze, the snapshot starts a fresh version chain with zeroed metrics.
+func (db *Database) Sharded(n int) *Database {
+	if n <= 0 {
+		return db.Freeze()
+	}
+	c := &Database{
+		rels:  make(map[string]*Relation, len(db.rels)),
+		order: db.order[:len(db.order):len(db.order)],
+		m:     &storeMetrics{},
+	}
+	for _, name := range db.order {
+		c.rels[name] = db.rels[name].sharded(n)
+	}
+	return c
+}
+
 // derived starts a new generation sharing the receiver's metrics. The
 // order slice is full-sliced so a later Add on either side cannot alias.
 func (db *Database) derived() *Database {
@@ -238,10 +300,22 @@ func (db *Database) Contains(st SourceTuple) bool {
 // (iteration order as if rebuilt). The result is a structure-sharing
 // snapshot — see the Database doc for the aliasing contract.
 func (db *Database) DeleteAll(T []SourceTuple) *Database {
+	// Segmented relations take their keys raw: the presence probe belongs
+	// inside the per-segment workers, where it parallelizes with the derive
+	// (and duplicates collapse there too). Flat relations keep the central
+	// filter, which deleteVersion's contract requires.
 	drop := make(map[string]map[string]struct{})
+	rawKeys := make(map[string][]string)
 	for _, st := range T {
 		r := db.rels[st.Rel]
-		if r == nil || !r.Contains(st.Tuple) {
+		if r == nil {
+			continue
+		}
+		if r.seg != nil {
+			rawKeys[st.Rel] = append(rawKeys[st.Rel], st.Tuple.Key())
+			continue
+		}
+		if !r.Contains(st.Tuple) {
 			continue
 		}
 		m := drop[st.Rel]
@@ -254,6 +328,17 @@ func (db *Database) DeleteAll(T []SourceTuple) *Database {
 	c := db.derived()
 	for _, n := range db.order {
 		r := db.rels[n]
+		if keys := rawKeys[n]; len(keys) > 0 {
+			if ns, ok := r.seg.deleteAll(keys, db.metrics()); ok {
+				c.rels[n] = r.withSeg(ns)
+				db.metrics().rewrittenRels.Add(1)
+				continue
+			}
+			r.shared.Store(true)
+			c.rels[n] = r
+			db.metrics().sharedRels.Add(1)
+			continue
+		}
 		if keys := drop[n]; len(keys) > 0 {
 			c.rels[n] = r.deleteVersion(keys, db.metrics())
 			db.metrics().rewrittenRels.Add(1)
@@ -287,15 +372,28 @@ func (db *Database) InsertAll(I []SourceTuple) (*Database, error) {
 			return nil, fmt.Errorf("relation: inserting arity-%d tuple into %s%s", len(st.Tuple), st.Rel, r.Schema())
 		}
 	}
+	// As in DeleteAll, segmented relations take the raw request-order list:
+	// a key always hashes to one segment, so the workers' per-segment
+	// presence checks and dedup are global, and run in parallel. Flat
+	// relations keep the central pass.
 	add := make(map[string][]Tuple)
-	seen := make(map[string]struct{}, len(I))
+	raw := make(map[string][]Tuple)
+	var seen map[string]struct{}
 	for _, st := range I {
-		if db.rels[st.Rel].Contains(st.Tuple) {
+		r := db.rels[st.Rel]
+		if r.seg != nil {
+			raw[st.Rel] = append(raw[st.Rel], st.Tuple)
+			continue
+		}
+		if r.Contains(st.Tuple) {
 			continue
 		}
 		k := st.Key()
 		if _, dup := seen[k]; dup {
 			continue
+		}
+		if seen == nil {
+			seen = make(map[string]struct{}, len(I))
 		}
 		seen[k] = struct{}{}
 		add[st.Rel] = append(add[st.Rel], st.Tuple)
@@ -303,6 +401,17 @@ func (db *Database) InsertAll(I []SourceTuple) (*Database, error) {
 	c := db.derived()
 	for _, n := range db.order {
 		r := db.rels[n]
+		if ts := raw[n]; len(ts) > 0 {
+			if ns, ok := r.seg.insertAll(ts, db.metrics()); ok {
+				c.rels[n] = r.withSeg(ns)
+				db.metrics().rewrittenRels.Add(1)
+				continue
+			}
+			r.shared.Store(true)
+			c.rels[n] = r
+			db.metrics().sharedRels.Add(1)
+			continue
+		}
 		if ts := add[n]; len(ts) > 0 {
 			c.rels[n] = r.insertVersion(ts, db.metrics())
 			db.metrics().rewrittenRels.Add(1)

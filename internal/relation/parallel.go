@@ -1,0 +1,45 @@
+package relation
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn over 0..n-1 across min(n, GOMAXPROCS) goroutines
+// pulling indexes from a shared work-stealing counter, so uneven per-index
+// cost (one segment folding while its neighbors derive a one-key layer)
+// balances itself. GOMAXPROCS is read at call time, not process start, so
+// benchmark -cpu sweeps change the fan-out. Inlines when a single worker
+// would run — the scatter/gather paths cost nothing extra on GOMAXPROCS=1.
+func parallelFor(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -27,6 +27,7 @@ type Relation struct {
 
 	top    *layer                  // overlay chain; nil for a flat relation
 	live   int                     // tuple count when overlaid (== len(tuples) minus tombstones plus appends)
+	seg    *segStore               // sharded store (segment.go); nil unless Database.Sharded built this relation
 	shared atomic.Bool             // base storage shared with other versions: mutators must copy first
 	flat   atomic.Pointer[[]Tuple] // cached overlay materialization, built lazily
 }
@@ -53,6 +54,9 @@ func (r *Relation) Schema() Schema { return r.schema }
 
 // Len returns the number of tuples. O(1) in both modes.
 func (r *Relation) Len() int {
+	if r.seg != nil {
+		return r.seg.live
+	}
 	if r.top != nil {
 		return r.live
 	}
@@ -67,7 +71,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.schema.Len() {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into %s%s", len(t), r.name, r.schema))
 	}
-	if r.top != nil || r.shared.Load() {
+	if r.top != nil || r.seg != nil || r.shared.Load() {
 		r.materializeOwned()
 	}
 	k := t.Key()
@@ -89,6 +93,9 @@ func (r *Relation) Contains(t Tuple) bool { return r.ContainsKey(t.Key()) }
 // key. Reads through the overlay: the topmost layer mentioning the key
 // decides, else the base index.
 func (r *Relation) ContainsKey(key string) bool {
+	if r.seg != nil {
+		return r.seg.containsKey(key)
+	}
 	for l := r.top; l != nil; l = l.below {
 		if _, ok := l.addedIndex[key]; ok {
 			return true
@@ -106,7 +113,7 @@ func (r *Relation) ContainsKey(key string) bool {
 // Database.DeleteAll, which derives an O(|Δ|) overlay version instead.
 // Like Insert, deleting from shared storage copies first.
 func (r *Relation) Delete(t Tuple) bool {
-	if r.top != nil || r.shared.Load() {
+	if r.top != nil || r.seg != nil || r.shared.Load() {
 		r.materializeOwned()
 	}
 	k := t.Key()
@@ -128,13 +135,18 @@ func (r *Relation) Delete(t Tuple) bool {
 // that only walk the tuples should prefer Each, which reads through the
 // overlay without materializing.
 func (r *Relation) Tuples() []Tuple {
-	if r.top == nil {
+	if r.top == nil && r.seg == nil {
 		return r.tuples
 	}
 	if f := r.flat.Load(); f != nil {
 		return *f
 	}
-	flat := r.flatten()
+	var flat []Tuple
+	if r.seg != nil {
+		flat = r.seg.flatten()
+	} else {
+		flat = r.flatten()
+	}
 	r.flat.Store(&flat)
 	return flat
 }
@@ -144,7 +156,7 @@ func (r *Relation) Tuples() []Tuple {
 // relation: base tuples stream past the tombstone set, then appended
 // tuples follow, at O(overlay) extra space however large the base is.
 func (r *Relation) Each(yield func(Tuple) bool) {
-	if r.top == nil {
+	if r.top == nil && r.seg == nil {
 		for _, t := range r.tuples {
 			if !yield(t) {
 				return
@@ -160,12 +172,16 @@ func (r *Relation) Each(yield func(Tuple) bool) {
 		}
 		return
 	}
+	if r.seg != nil {
+		r.seg.eachMerged(yield)
+		return
+	}
 	r.eachOverlay(yield)
 }
 
 // Tuple returns the i-th tuple in insertion order.
 func (r *Relation) Tuple(i int) Tuple {
-	if r.top == nil {
+	if r.top == nil && r.seg == nil {
 		return r.tuples[i]
 	}
 	return r.Tuples()[i]

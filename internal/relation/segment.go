@@ -1,0 +1,569 @@
+package relation
+
+// Sharded persistent stores: the scatter/gather representation behind
+// Database.Sharded. A segmented relation hash-partitions its tuples by key
+// into a fixed number of segments, each an independent versioned store —
+// its own immutable base array, tombstone/append overlay chain, and
+// fold/squash schedule — so deriving a commit's overlay, folding a
+// saturated overlay into a fresh base, and answering containment probes
+// all cost O(segment) and run concurrently across segments (parallelFor),
+// where the unsegmented store serializes one O(relation) pass on a single
+// goroutine.
+//
+// Iteration order is the only subtlety: the observable contract (and the
+// differential suites) require byte-identical order to a legacy rebuild —
+// base order minus tombstones, then appends oldest-first. Hash
+// partitioning destroys positional order, so every entry carries a global
+// monotone sequence number assigned at insertion: base entries keep their
+// original positions' sequences, appended tuples take fresh sequences
+// greater than every live one, and iteration k-way-merges the per-segment
+// streams by sequence. Within one segment emission is always
+// sequence-ascending — the base is sequence-sorted (folds rebuild it in
+// emission order, which is ascending by induction), and every layer's
+// appends carry sequences above all below — so the merge reproduces the
+// legacy order exactly, including the delete-then-reinsert
+// re-emission-at-the-end rule.
+//
+// Segments compact on their own thresholds (segFoldMin/segMaxDepth below
+// the legacy overlayFoldMin/maxOverlayDepth): a segment's base is a
+// fraction of the relation, so both the fold floor and the tolerable chain
+// depth shrink with it, keeping per-probe overlay walks short without
+// giving up fold amortization.
+
+const (
+	segFoldMin  = 24
+	segMaxDepth = 8
+)
+
+func segFoldLimit(baseLen int) int {
+	if l := baseLen / overlayFoldDiv; l > segFoldMin {
+		return l
+	}
+	return segFoldMin
+}
+
+// segHash is 32-bit FNV-1a — the partition function. Inlined rather than
+// hash/fnv to avoid a Writer allocation per key on the hot path.
+func segHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// seqTuple is one stored tuple tagged with its global insertion sequence.
+type seqTuple struct {
+	seq uint64
+	t   Tuple
+}
+
+// segLayer is one immutable overlay generation of a segment; the exact
+// analogue of layer (version.go) over sequence-tagged entries.
+type segLayer struct {
+	below      *segLayer
+	dead       map[string]struct{} // keys tombstoned at this layer
+	added      []seqTuple          // novel entries appended at this layer
+	addedIndex map[string]struct{} // keys of added
+	depth      int
+	mentions   int
+}
+
+func segChainDepth(l *segLayer) int {
+	if l == nil {
+		return 0
+	}
+	return l.depth
+}
+
+func segChainMentions(l *segLayer) int {
+	if l == nil {
+		return 0
+	}
+	return l.mentions
+}
+
+// segment is one hash partition: an immutable sequence-sorted base plus an
+// overlay chain, exactly the versioned-relation representation scaled down.
+type segment struct {
+	base  []seqTuple
+	index map[string]int // key -> position in base
+	top   *segLayer
+	live  int
+}
+
+func (s *segment) containsKey(key string) bool {
+	for l := s.top; l != nil; l = l.below {
+		if _, ok := l.addedIndex[key]; ok {
+			return true
+		}
+		if _, ok := l.dead[key]; ok {
+			return false
+		}
+	}
+	_, ok := s.index[key]
+	return ok
+}
+
+// mentionsMap resolves every key the overlay mentions to its deciding
+// layer (nil when the topmost mention is a tombstone); same resolution
+// rule as Relation.mentionsMap.
+func (s *segment) mentionsMap() map[string]*segLayer {
+	if s.top == nil {
+		return nil
+	}
+	m := make(map[string]*segLayer, s.top.mentions)
+	for l := s.top; l != nil; l = l.below {
+		for _, st := range l.added {
+			k := st.t.Key()
+			if _, ok := m[k]; !ok {
+				m[k] = l
+			}
+		}
+		for k := range l.dead {
+			if _, ok := m[k]; !ok {
+				m[k] = nil
+			}
+		}
+	}
+	return m
+}
+
+func (s *segment) layersBottomUp() []*segLayer {
+	if s.top == nil {
+		return nil
+	}
+	out := make([]*segLayer, 0, s.top.depth)
+	for l := s.top; l != nil; l = l.below {
+		out = append(out, l)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// eachLive walks the segment's live entries in sequence order.
+func (s *segment) eachLive(yield func(seqTuple) bool) {
+	m := s.mentionsMap()
+	for _, st := range s.base {
+		if _, mentioned := m[st.t.Key()]; !mentioned {
+			if !yield(st) {
+				return
+			}
+		}
+	}
+	for _, l := range s.layersBottomUp() {
+		for _, st := range l.added {
+			if m[st.t.Key()] == l {
+				if !yield(st) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *segment) flattenSeq() []seqTuple {
+	out := make([]seqTuple, 0, s.live)
+	s.eachLive(func(st seqTuple) bool {
+		out = append(out, st)
+		return true
+	})
+	return out
+}
+
+// withLayer publishes the segment version with l on top, folding or
+// squashing on the per-segment thresholds. Folds cost O(segment), not
+// O(relation) — the point of sharding — and neighboring segments fold
+// independently on their own schedules.
+func (s *segment) withLayer(l *segLayer, live int, m *storeMetrics) *segment {
+	v := &segment{base: s.base, index: s.index, top: l, live: live}
+	if l.mentions > segFoldLimit(len(s.base)) {
+		flat := v.flattenSeq()
+		index := make(map[string]int, len(flat))
+		for i, st := range flat {
+			index[st.t.Key()] = i
+		}
+		if m != nil {
+			m.folds.Add(1)
+		}
+		return &segment{base: flat, index: index, live: len(flat)}
+	}
+	if l.depth > segMaxDepth {
+		v.top = v.squashedTop()
+		if m != nil {
+			m.squashes.Add(1)
+		}
+	}
+	return v
+}
+
+// squashedTop merges the chain into one layer over the same base; same
+// semantics as Relation.squashedTop.
+func (s *segment) squashedTop() *segLayer {
+	m := s.mentionsMap()
+	dead := make(map[string]struct{})
+	for k := range m {
+		if _, inBase := s.index[k]; inBase {
+			dead[k] = struct{}{}
+		}
+	}
+	var added []seqTuple
+	addedIndex := make(map[string]struct{})
+	for _, l := range s.layersBottomUp() {
+		for _, st := range l.added {
+			if k := st.t.Key(); m[k] == l {
+				added = append(added, st)
+				addedIndex[k] = struct{}{}
+			}
+		}
+	}
+	return &segLayer{dead: dead, added: added, addedIndex: addedIndex, depth: 1, mentions: len(dead) + len(added)}
+}
+
+// deleteSeg derives the segment with the given present keys tombstoned.
+func (s *segment) deleteSeg(dead map[string]struct{}, m *storeMetrics) *segment {
+	l := &segLayer{
+		below:    s.top,
+		dead:     dead,
+		depth:    segChainDepth(s.top) + 1,
+		mentions: segChainMentions(s.top) + len(dead),
+	}
+	return s.withLayer(l, s.live-len(dead), m)
+}
+
+// insertSeg derives the segment with the novel entries appended; entries
+// must be key-distinct, absent from the segment, and sequence-ascending.
+func (s *segment) insertSeg(ts []seqTuple, m *storeMetrics) *segment {
+	addedIndex := make(map[string]struct{}, len(ts))
+	for _, st := range ts {
+		addedIndex[st.t.Key()] = struct{}{}
+	}
+	l := &segLayer{
+		below:      s.top,
+		added:      ts,
+		addedIndex: addedIndex,
+		depth:      segChainDepth(s.top) + 1,
+		mentions:   segChainMentions(s.top) + len(ts),
+	}
+	return s.withLayer(l, s.live+len(ts), m)
+}
+
+// segStore is the sharded store of one relation: the segment array plus
+// the global sequence allocator. Immutable after construction — derives
+// build a new store sharing untouched segments by pointer — so any
+// retained generation stays readable while writers scatter new ones.
+type segStore struct {
+	segs    []*segment
+	live    int
+	nextSeq uint64
+}
+
+func (st *segStore) segOf(key string) int {
+	return int(segHash(key) % uint32(len(st.segs)))
+}
+
+func (st *segStore) containsKey(key string) bool {
+	return st.segs[st.segOf(key)].containsKey(key)
+}
+
+// deleteAll derives the store with the present subset of keys tombstoned:
+// keys scatter to their segments, each affected segment filters to the
+// keys it actually holds and derives its next version (folding on its own
+// schedule) concurrently with its neighbors, and the gather shares every
+// untouched segment by pointer. Returns (nil, false) when no requested key
+// was present, so the caller can share the whole relation.
+func (st *segStore) deleteAll(keys []string, m *storeMetrics) (*segStore, bool) {
+	if len(keys) == 0 {
+		return nil, false
+	}
+	bySeg := make([][]string, len(st.segs))
+	for _, k := range keys {
+		i := st.segOf(k)
+		bySeg[i] = append(bySeg[i], k)
+	}
+	affected := make([]int, 0, len(st.segs))
+	for i := range bySeg {
+		if len(bySeg[i]) > 0 {
+			affected = append(affected, i)
+		}
+	}
+	segs := make([]*segment, len(st.segs))
+	copy(segs, st.segs)
+	removed := make([]int, len(st.segs))
+	if len(affected) > 1 && m != nil {
+		m.parallelDerives.Add(1)
+	}
+	parallelFor(len(affected), func(j int) {
+		i := affected[j]
+		s := st.segs[i]
+		var present map[string]struct{}
+		for _, k := range bySeg[i] {
+			if s.containsKey(k) {
+				if present == nil {
+					present = make(map[string]struct{}, len(bySeg[i]))
+				}
+				present[k] = struct{}{}
+			}
+		}
+		if len(present) == 0 {
+			return
+		}
+		segs[i] = s.deleteSeg(present, m)
+		removed[i] = len(present)
+	})
+	total := 0
+	for _, n := range removed {
+		total += n
+	}
+	if total == 0 {
+		return nil, false
+	}
+	return &segStore{segs: segs, live: st.live - total, nextSeq: st.nextSeq}, true
+}
+
+// insertAll derives the store with the novel subset of ts appended in
+// request order. Sequences are pre-assigned by request position before the
+// scatter — non-novel candidates just leave holes in the sequence space —
+// so cross-segment merge order equals request order without any
+// coordination between segment workers. Presence checks and intra-batch
+// dedup run inside the workers: a key always hashes to one segment, so
+// per-segment dedup is global dedup. Returns (nil, false) when nothing was
+// novel.
+func (st *segStore) insertAll(ts []Tuple, m *storeMetrics) (*segStore, bool) {
+	if len(ts) == 0 {
+		return nil, false
+	}
+	bySeg := make([][]seqTuple, len(st.segs))
+	seq := st.nextSeq
+	for _, t := range ts {
+		i := st.segOf(t.Key())
+		bySeg[i] = append(bySeg[i], seqTuple{seq: seq, t: t})
+		seq++
+	}
+	affected := make([]int, 0, len(st.segs))
+	for i := range bySeg {
+		if len(bySeg[i]) > 0 {
+			affected = append(affected, i)
+		}
+	}
+	segs := make([]*segment, len(st.segs))
+	copy(segs, st.segs)
+	added := make([]int, len(st.segs))
+	if len(affected) > 1 && m != nil {
+		m.parallelDerives.Add(1)
+	}
+	parallelFor(len(affected), func(j int) {
+		i := affected[j]
+		s := st.segs[i]
+		var novel []seqTuple
+		var seen map[string]struct{}
+		for _, c := range bySeg[i] {
+			k := c.t.Key()
+			if s.containsKey(k) {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[string]struct{}, len(bySeg[i]))
+			}
+			seen[k] = struct{}{}
+			novel = append(novel, seqTuple{seq: c.seq, t: c.t.Clone()})
+		}
+		if len(novel) == 0 {
+			return
+		}
+		segs[i] = s.insertSeg(novel, m)
+		added[i] = len(novel)
+	})
+	total := 0
+	for _, n := range added {
+		total += n
+	}
+	if total == 0 {
+		return nil, false
+	}
+	return &segStore{segs: segs, live: st.live + total, nextSeq: seq}, true
+}
+
+// segCursor streams one segment's live entries in ascending sequence
+// order, pull-style, at O(overlay) extra space.
+type segCursor struct {
+	base   []seqTuple
+	m      map[string]*segLayer
+	layers []*segLayer
+	bi     int // next base position
+	li, ai int // next layer, next position in its added list
+	cur    seqTuple
+	ok     bool
+}
+
+func newSegCursor(s *segment) *segCursor {
+	c := &segCursor{base: s.base, m: s.mentionsMap(), layers: s.layersBottomUp()}
+	c.advance()
+	return c
+}
+
+func (c *segCursor) advance() {
+	for c.bi < len(c.base) {
+		st := c.base[c.bi]
+		c.bi++
+		if _, mentioned := c.m[st.t.Key()]; !mentioned {
+			c.cur, c.ok = st, true
+			return
+		}
+	}
+	for c.li < len(c.layers) {
+		l := c.layers[c.li]
+		for c.ai < len(l.added) {
+			st := l.added[c.ai]
+			c.ai++
+			if c.m[st.t.Key()] == l {
+				c.cur, c.ok = st, true
+				return
+			}
+		}
+		c.li++
+		c.ai = 0
+	}
+	c.ok = false
+}
+
+// cursorHeap is a hand-rolled min-heap on the cursors' current sequence.
+type cursorHeap []*segCursor
+
+func (h cursorHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].cur.seq < h[min].cur.seq {
+			min = l
+		}
+		if r < len(h) && h[r].cur.seq < h[min].cur.seq {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// parallelCursorMin is the live-tuple count past which building the
+// per-segment cursors (each an O(overlay) mentions-map pass) scatters
+// across the worker pool; below it the goroutine fan-out costs more than
+// it saves.
+const parallelCursorMin = 1 << 14
+
+// eachMerged streams the store's live tuples in global sequence order —
+// byte-identical to the legacy unsegmented iteration — by k-way-merging
+// the per-segment cursors.
+func (st *segStore) eachMerged(yield func(Tuple) bool) {
+	cs := make([]*segCursor, len(st.segs))
+	if st.live >= parallelCursorMin {
+		parallelFor(len(st.segs), func(i int) { cs[i] = newSegCursor(st.segs[i]) })
+	} else {
+		for i, s := range st.segs {
+			cs[i] = newSegCursor(s)
+		}
+	}
+	h := make(cursorHeap, 0, len(cs))
+	for _, c := range cs {
+		if c.ok {
+			h = append(h, c)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for len(h) > 0 {
+		c := h[0]
+		if !yield(c.cur.t) {
+			return
+		}
+		c.advance()
+		if c.ok {
+			h.siftDown(0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			h.siftDown(0)
+		}
+	}
+}
+
+// flatten materializes the live tuples in merge order.
+func (st *segStore) flatten() []Tuple {
+	out := make([]Tuple, 0, st.live)
+	st.eachMerged(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// overlayDepth / overlayMentions summarize the segments' overlay shape:
+// the deepest chain and the total mention count.
+func (st *segStore) overlayDepth() int {
+	d := 0
+	for _, s := range st.segs {
+		if sd := segChainDepth(s.top); sd > d {
+			d = sd
+		}
+	}
+	return d
+}
+
+func (st *segStore) overlayMentions() int {
+	n := 0
+	for _, s := range st.segs {
+		n += segChainMentions(s.top)
+	}
+	return n
+}
+
+// withSeg publishes a derived segmented version of r over the given store.
+func (r *Relation) withSeg(ns *segStore) *Relation {
+	r.shared.Store(true)
+	v := &Relation{name: r.name, schema: r.schema, seg: ns}
+	v.shared.Store(true)
+	return v
+}
+
+// sharded builds a segmented snapshot of the relation: tuples are deep-
+// copied into n hash partitions with sequence numbers preserving the
+// current iteration order. O(|r|) — a one-time re-shard, not a derive.
+func (r *Relation) sharded(n int) *Relation {
+	parts := make([][]seqTuple, n)
+	var seq uint64
+	r.Each(func(t Tuple) bool {
+		i := int(segHash(t.Key()) % uint32(n))
+		parts[i] = append(parts[i], seqTuple{seq: seq, t: t.Clone()})
+		seq++
+		return true
+	})
+	segs := make([]*segment, n)
+	for i, p := range parts {
+		idx := make(map[string]int, len(p))
+		for j, st := range p {
+			idx[st.t.Key()] = j
+		}
+		segs[i] = &segment{base: p, index: idx, live: len(p)}
+	}
+	v := &Relation{name: r.name, schema: r.schema, seg: &segStore{segs: segs, live: int(seq), nextSeq: seq}}
+	v.shared.Store(true)
+	return v
+}
+
+// Segments reports the relation's segment count (0 when unsegmented).
+func (r *Relation) Segments() int {
+	if r.seg == nil {
+		return 0
+	}
+	return len(r.seg.segs)
+}

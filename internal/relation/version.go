@@ -219,6 +219,18 @@ func (r *Relation) squashedTop() *layer {
 // Callers must pass only keys r currently contains. O(|dead|) plus
 // amortized compaction.
 func (r *Relation) deleteVersion(dead map[string]struct{}, m *storeMetrics) *Relation {
+	if r.seg != nil {
+		keys := make([]string, 0, len(dead))
+		for k := range dead {
+			keys = append(keys, k)
+		}
+		ns, ok := r.seg.deleteAll(keys, m)
+		if !ok {
+			r.shared.Store(true)
+			return r
+		}
+		return r.withSeg(ns)
+	}
 	l := &layer{
 		below:    r.top,
 		dead:     dead,
@@ -232,6 +244,14 @@ func (r *Relation) deleteVersion(dead map[string]struct{}, m *storeMetrics) *Rel
 // Callers must pass only tuples r does not contain, without duplicates.
 // O(|ts|) plus amortized compaction.
 func (r *Relation) insertVersion(ts []Tuple, m *storeMetrics) *Relation {
+	if r.seg != nil {
+		ns, ok := r.seg.insertAll(ts, m)
+		if !ok {
+			r.shared.Store(true)
+			return r
+		}
+		return r.withSeg(ns)
+	}
 	added := make([]Tuple, len(ts))
 	addedIndex := make(map[string]struct{}, len(ts))
 	for i, t := range ts {
@@ -257,7 +277,7 @@ func (r *Relation) insertVersion(ts []Tuple, m *storeMetrics) *Relation {
 // private copy rather than a data race with the engine's snapshot.
 func (r *Relation) ReadOnly() *Relation {
 	r.shared.Store(true)
-	v := &Relation{name: r.name, schema: r.schema, tuples: r.tuples, index: r.index, top: r.top, live: r.Len()}
+	v := &Relation{name: r.name, schema: r.schema, tuples: r.tuples, index: r.index, top: r.top, live: r.Len(), seg: r.seg}
 	v.shared.Store(true)
 	if f := r.flat.Load(); f != nil {
 		v.flat.Store(f)
@@ -277,16 +297,28 @@ func (r *Relation) materializeOwned() {
 		index[t.Key()] = i
 	}
 	r.tuples, r.index, r.top, r.live = tuples, index, nil, 0
+	r.seg = nil
 	r.flat.Store(nil)
 	r.shared.Store(false)
 }
 
-// overlayDepth reports the overlay chain length (0 for a flat relation).
-func (r *Relation) overlayDepth() int { return chainDepth(r.top) }
+// overlayDepth reports the overlay chain length (0 for a flat relation;
+// the deepest segment chain for a segmented one).
+func (r *Relation) overlayDepth() int {
+	if r.seg != nil {
+		return r.seg.overlayDepth()
+	}
+	return chainDepth(r.top)
+}
 
 // overlayMentions reports the cumulative overlay size (0 for a flat
-// relation).
-func (r *Relation) overlayMentions() int { return chainMentions(r.top) }
+// relation; summed across segments for a segmented one).
+func (r *Relation) overlayMentions() int {
+	if r.seg != nil {
+		return r.seg.overlayMentions()
+	}
+	return chainMentions(r.top)
+}
 
 // --- exported overlay derivation for non-source version chains ---
 //

@@ -70,12 +70,34 @@ func assertSameDB(t *testing.T, got *relation.Database, o *storetest.Oracle, ctx
 // TestVersionedOpsDifferential drives long random DeleteAll/InsertAll
 // sequences — enough to force both compaction paths (folds and squashes)
 // several times over — and asserts after every step that the derived
-// generation is byte-identical to a legacy copy-the-world rebuild.
+// generation is byte-identical to a legacy copy-the-world rebuild. The
+// same sequence runs against the unsegmented store and against sharded
+// stores at several segment counts (including 1, the degenerate shard, and
+// 17, a prime that scatters every delta): the segment count must be
+// unobservable on every surface.
 func TestVersionedOpsDifferential(t *testing.T) {
-	const steps = 400
-	for seed := int64(1); seed <= 3; seed++ {
+	for _, segments := range []int{0, 1, 4, 17} {
+		segments := segments
+		t.Run(fmt.Sprintf("segments=%d", segments), func(t *testing.T) {
+			testVersionedOpsDifferential(t, segments)
+		})
+	}
+}
+
+func testVersionedOpsDifferential(t *testing.T, segments int) {
+	// Segmented runs go longer and start bigger: fold thresholds are per
+	// segment, so each segment needs enough tuples and churn of its own to
+	// cycle through ≥2 folds even at the highest segment count.
+	steps, seeds, nR, nS := 400, int64(3), 40, 30
+	if segments > 0 {
+		steps, seeds, nR, nS = 1200, 2, 400, 300
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		db := diffSeedDB(40, 30)
+		db := diffSeedDB(nR, nS)
+		if segments > 0 {
+			db = db.Sharded(segments)
+		}
 		o := storetest.NewOracle(db)
 		fresh := 0 // counter for brand-new tuples so inserts can grow the store
 
@@ -119,18 +141,26 @@ func TestVersionedOpsDifferential(t *testing.T) {
 		}
 
 		st := db.StoreStats()
-		if st.Compactions == 0 {
-			t.Fatalf("seed %d: %d steps never folded an overlay (stats %+v)", seed, steps, st)
+		if st.Compactions < 2 {
+			t.Fatalf("seed %d: %d steps produced %d overlay folds, want ≥ 2 (stats %+v)", seed, steps, st.Compactions, st)
 		}
 		if st.Squashes == 0 {
 			t.Fatalf("seed %d: %d steps never squashed a chain (stats %+v)", seed, steps, st)
 		}
-		if st.DerivedVersions != steps {
+		if st.DerivedVersions != int64(steps) {
 			t.Fatalf("seed %d: DerivedVersions = %d, want %d", seed, st.DerivedVersions, steps)
 		}
-		if st.SharedRelations+st.RewrittenRelations != 2*steps {
+		if st.SharedRelations+st.RewrittenRelations != int64(2*steps) {
 			t.Fatalf("seed %d: shared %d + rewritten %d, want %d relation passes",
 				seed, st.SharedRelations, st.RewrittenRelations, 2*steps)
+		}
+		if segments > 0 {
+			if st.Segmented.Relations != 2 || st.Segmented.Segments != 2*segments {
+				t.Fatalf("seed %d: segment stats %+v, want 2 relations × %d segments", seed, st.Segmented, segments)
+			}
+			if st.Segmented.ParallelDerives == 0 && segments > 1 {
+				t.Fatalf("seed %d: no derive ever scattered across segments (stats %+v)", seed, st.Segmented)
+			}
 		}
 	}
 }
