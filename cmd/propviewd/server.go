@@ -62,7 +62,7 @@ type server struct {
 	// it marks the queue closed — so no 202 is ever acknowledged for a job
 	// the drain misses.
 	closeMu   sync.RWMutex
-	closing   bool
+	closing   bool // guarded-by: closeMu
 	closeOnce sync.Once
 	drained   chan struct{} // closed when the committer has drained the queue
 
@@ -75,7 +75,7 @@ type server struct {
 	// failures (newest last) surfaced under /stats "async"."last_errors" —
 	// without it a failed 202 job was visible only as a counter.
 	errMu      sync.Mutex
-	recentErrs []asyncErrorJSON
+	recentErrs []asyncErrorJSON // guarded-by: errMu
 }
 
 // ServeHTTP makes the server mountable directly into http.Server.

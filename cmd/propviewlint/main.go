@@ -1,0 +1,26 @@
+// Propviewlint machine-checks the engine's concurrency and aliasing
+// invariants (see the internal/analysis package doc for the contract
+// vocabulary). It runs two ways:
+//
+//	propviewlint ./...                         standalone, from source
+//	go vet -vettool=$(which propviewlint) ./...  as a vet tool
+//
+// Exit status: 0 clean, 1 operational error, 2 findings.
+package main
+
+import (
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/eachretain"
+	"repro/internal/analysis/genmonotonic"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/snapshotaliasing"
+)
+
+func main() {
+	driver.Main(
+		snapshotaliasing.Analyzer,
+		lockguard.Analyzer,
+		eachretain.Analyzer,
+		genmonotonic.Analyzer,
+	)
+}

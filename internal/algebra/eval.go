@@ -131,6 +131,7 @@ func evalJoin(left, right *relation.Relation) *relation.Relation {
 	buckets := make(map[string][]relation.Tuple, right.Len())
 	right.Each(func(rt relation.Tuple) bool {
 		k := rt.Project(rightKeyPos).Key()
+		//lint:ignore eachretain build-side buckets hold aliases into the immutable snapshot and are only probed, never written through
 		buckets[k] = append(buckets[k], rt)
 		return true
 	})

@@ -1,0 +1,122 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis core on the standard library alone: the
+// Analyzer/Pass/Diagnostic/Fact vocabulary, enough of it for propviewlint's
+// four invariant checkers and their drivers (driver: whole-module source
+// mode and the `go vet -vettool` unitchecker protocol). The container this
+// repo builds in has no module proxy access, so depending on x/tools is not
+// an option; the API mirrors it closely enough that swapping the real
+// package in later is a find-and-replace.
+//
+// # The invariant vocabulary
+//
+// This package is also the one documented home of the source-level
+// contracts the analyzers enforce. Diagnostics reference the markers below;
+// the markers are ordinary comments attached to declarations.
+//
+//   - `propview:read-only` (doc comment of a function or method): every
+//     value the function returns aliases snapshot storage owned by the
+//     callee and MUST NOT be mutated by the caller — no element writes, no
+//     field writes, no append, however many assignments removed from the
+//     call. This is the engine's aliasing contract: Relation.ReadOnly,
+//     Relation.Tuples, Database.Freeze and Engine.Query all return views of
+//     published copy-on-write snapshots whose safety depends on readers
+//     staying readers. Functions that merely forward such a result (the
+//     propview facade) inherit the contract automatically via facts.
+//     Enforced by the snapshotaliasing analyzer.
+//
+//   - `guarded-by: <field>` (comment on a struct field): the field may be
+//     read only while the named sibling lock is held (RLock or Lock for a
+//     sync.RWMutex) and written only while it is held exclusively, on an
+//     enclosing path of the accessing function. Two special guard names are
+//     recognized: `guarded-by: atomic` asserts the field is itself a
+//     sync/atomic type (the analyzer verifies the type and requires no
+//     lock), and a sibling sync.Once field names the once-initialization
+//     discipline — accesses are legal inside the Once.Do callback.
+//     Functions whose callers hold the lock declare it with
+//     `propview:holds <field>` in their doc comment. Accesses to objects
+//     freshly allocated in the same function (not yet published) are
+//     exempt. Enforced by the lockguard analyzer.
+//
+//   - `propview:no-retain` (doc comment of a function or method taking a
+//     callback): values yielded to the callback are only valid for the
+//     duration of the call — the iterator may reuse cursor or buffer state
+//     — so the callback must not let a yielded value escape (no append to
+//     an outer slice, no assignment to an outer variable or field, no
+//     channel send) without an explicit copy. Relation.Each and the
+//     segment-store k-way merge carry this contract. Enforced by the
+//     eachretain analyzer.
+//
+//   - `propview:generation` (comment on a field): the field is a monotone
+//     generation or sequence counter. It may only be advanced — atomic
+//     .Add, or a write whose value derives from a generation field
+//     (carry-forward or carry+1) — and only reset or arbitrarily stored by
+//     functions marked `propview:publish` in their doc comment (the
+//     commit/publish path). Reader code must never write it. Enforced by
+//     the genmonotonic analyzer.
+//
+// A finding that is intentional is suppressed in place with
+//
+//	//lint:ignore <analyzer> <one-line justification>
+//
+// on the flagged line or the line above it; the justification is
+// mandatory. Suppressions are handled uniformly by the drivers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: its name (as used in
+// diagnostics and //lint:ignore), documentation, the fact types it
+// exchanges across packages, and the per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// FactTypes lists the concrete types of facts this analyzer produces
+	// and consumes; each must be gob-encodable for the vettool driver.
+	FactTypes []Fact
+	// Run analyzes one package and reports diagnostics via pass.Report.
+	Run func(*Pass) (any, error)
+}
+
+// Fact is a serializable observation about a package-level object,
+// exported by the analysis of the declaring package and imported by the
+// analyses of its dependents — how a contract like "this method's result
+// is read-only" crosses package boundaries. Implementations must be
+// pointer types registered in FactTypes.
+type Fact interface{ AFact() }
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries the per-package inputs and sinks of one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic; the driver filters suppressions.
+	Report func(Diagnostic)
+
+	// ImportObjectFact copies the fact of the given type previously
+	// exported for obj into fact, reporting whether one existed.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+	// ExportObjectFact records a fact about obj, visible to this pass and
+	// to later analyses of packages importing this one.
+	ExportObjectFact func(obj types.Object, fact Fact)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

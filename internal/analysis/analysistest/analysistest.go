@@ -1,0 +1,152 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture trees
+// (testdata/src/<pkg>/...) and compares its diagnostics against
+// `// want "regexp"` comments in the fixture source, in the style of
+// x/tools' analysistest but built on the repo's own loader and driver.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `)\s*)+)`)
+var quoteRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run loads the fixture packages from testdata/src and checks the
+// analyzer's findings against the fixtures' want comments. Fact flow is
+// exercised naturally: dependency fixtures are analyzed first.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := &load.Loader{SrcDirs: []string{filepath.Join(testdata, "src")}}
+	pkgs, err := loader.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := driver.Run([]*analysis.Analyzer{a}, loader.Fset, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, collectDirs(pkgs), findings)
+}
+
+// RunFiles materializes an in-memory fixture package (path -> source),
+// runs the analyzer over it, and returns the findings — for scratch
+// fixtures a test mutates programmatically (e.g. deleting a Lock call to
+// prove the analyzer notices).
+func RunFiles(t *testing.T, a *analysis.Analyzer, pkgpath string, files map[string]string) []driver.Finding {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, filepath.FromSlash(pkgpath))
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader := &load.Loader{SrcDirs: []string{root}}
+	pkgs, err := loader.Load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading scratch fixture: %v", err)
+	}
+	findings, err := driver.Run([]*analysis.Analyzer{a}, loader.Fset, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return findings
+}
+
+func collectDirs(pkgs []*load.Package) map[string]bool {
+	dirs := make(map[string]bool)
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if dirs[p.Dir] {
+			return
+		}
+		dirs[p.Dir] = true
+		for _, dep := range p.Imports {
+			visit(dep)
+		}
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return dirs
+}
+
+// checkWants compares findings against the want comments of every fixture
+// file in dirs: each want must be matched by a finding on its line, and
+// each finding must be covered by a want.
+func checkWants(t *testing.T, dirs map[string]bool, findings []driver.Finding) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				for _, q := range quoteRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		covered := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("unexpected finding at %s: %s", key, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no finding at %s matching %q", key, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package driver runs propviewlint's analyzers. Two modes share the fact
+// store and the suppression filter: Run type-checks from source and walks
+// the dependency graph bottom-up (the standalone binary and the
+// analysistest harness), while unitchecker.go speaks the `go vet -vettool`
+// protocol, one package per process with facts carried in .vetx files.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Finding is one post-suppression diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Facts is the cross-package fact store. Facts are keyed by the owning
+// package path, a stable object path within it, and the fact's concrete
+// type, so the same key works whether the fact was produced live (source
+// mode) or decoded from a dependency's .vetx file (vettool mode).
+type Facts struct {
+	m map[string]analysis.Fact
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: make(map[string]analysis.Fact)} }
+
+// objPath returns a stable intra-package path for the objects facts attach
+// to: package-level declarations ("Name") and methods ("Type.Name").
+func objPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + o.Name(), true
+		}
+		return o.Name(), true
+	case *types.Var:
+		if o.IsField() {
+			return "", false // field facts stay package-local
+		}
+		return o.Name(), true
+	default:
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Name(), true
+		}
+		return "", false
+	}
+}
+
+func factKey(obj types.Object, fact analysis.Fact) (string, bool) {
+	path, ok := objPath(obj)
+	if !ok {
+		return "", false
+	}
+	return obj.Pkg().Path() + "\x00" + path + "\x00" + reflect.TypeOf(fact).String(), true
+}
+
+// Get copies the stored fact for obj of fact's concrete type into fact.
+func (fs *Facts) Get(obj types.Object, fact analysis.Fact) bool {
+	k, ok := factKey(obj, fact)
+	if !ok {
+		return false
+	}
+	stored, ok := fs.m[k]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// Set records fact for obj; facts on local or field objects are dropped
+// (they never cross a package boundary).
+func (fs *Facts) Set(obj types.Object, fact analysis.Fact) {
+	if k, ok := factKey(obj, fact); ok {
+		fs.m[k] = fact
+	}
+}
+
+// suppressions maps "file:line" to the analyzer names suppressed there by
+// a //lint:ignore comment.
+type suppressions map[string]map[string]bool
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // a justification is mandatory; ignore malformed
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if sup[key] == nil {
+					sup[key] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					sup[key][name] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) match(pos token.Position, analyzer string) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := s[fmt.Sprintf("%s:%d", pos.Filename, line)]; names[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackage runs every analyzer over one type-checked package, exchanging
+// facts through fs, and returns the unsuppressed findings.
+func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, fs *Facts) ([]Finding, error) {
+	sup := collectSuppressions(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return fs.Get(obj, fact)
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				fs.Set(obj, fact)
+			},
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if sup.match(pos, name) {
+				return
+			}
+			findings = append(findings, Finding{Pos: pos, Analyzer: name, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	return findings, nil
+}
+
+// Run analyzes pkgs and their transitive source dependencies bottom-up, so
+// facts exported by a dependency are visible to its importers, and returns
+// every unsuppressed finding sorted by position.
+func Run(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Package) ([]Finding, error) {
+	fs := NewFacts()
+	var order []*load.Package
+	seen := make(map[string]bool)
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, dep := range p.Imports {
+			visit(dep)
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+
+	var findings []Finding
+	for _, p := range order {
+		fnd, err := RunPackage(analyzers, fset, p.Files, p.Types, p.Info, fs)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fnd...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,71 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Standalone runs the analyzers over the module containing the working
+// directory, type-checking from source. Patterns default to ./... .
+// Returns the process exit code (0 clean, 1 error, 2 findings).
+func Standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		return errExit(err)
+	}
+	modDir, modPath, goVersion, err := findModule(wd)
+	if err != nil {
+		return errExit(err)
+	}
+	loader := &load.Loader{ModulePath: modPath, ModuleDir: modDir, GoVersion: goVersion}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return errExit(err)
+	}
+	findings, err := Run(analyzers, loader.Fset, pkgs)
+	if err != nil {
+		return errExit(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// findModule locates the enclosing go.mod and reads its module path and
+// language version.
+func findModule(dir string) (modDir, modPath, goVersion string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					modPath = strings.TrimSpace(rest)
+				} else if rest, ok := strings.CutPrefix(line, "go "); ok {
+					goVersion = "go" + strings.TrimSpace(rest)
+				}
+			}
+			if modPath == "" {
+				return "", "", "", fmt.Errorf("driver: %s/go.mod has no module line", d)
+			}
+			return d, modPath, goVersion, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", "", fmt.Errorf("driver: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}

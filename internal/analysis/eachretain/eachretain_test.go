@@ -1,0 +1,18 @@
+package eachretain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/eachretain"
+)
+
+func TestEachRetain(t *testing.T) {
+	analysistest.Run(t, "testdata", eachretain.Analyzer, "eachfix")
+}
+
+// TestCrossPackageFacts checks that the no-retain contract reaches
+// importing packages as a fact.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", eachretain.Analyzer, "eachuse")
+}

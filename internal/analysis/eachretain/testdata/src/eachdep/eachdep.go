@@ -1,0 +1,18 @@
+// Package eachdep is the exporting side of the cross-package fact test
+// for eachretain.
+package eachdep
+
+type Row []byte
+
+type Cursor struct{ rows []Row }
+
+// Scan yields each row; the cursor reuses the row buffer between calls.
+//
+// propview:no-retain
+func (c *Cursor) Scan(yield func(Row) bool) {
+	for _, r := range c.rows {
+		if !yield(r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package eachfix exercises the eachretain analyzer: callbacks handed to
+// propview:no-retain iterators must not let yielded values escape.
+package eachfix
+
+type Tuple []int
+
+type Rel struct{ ts []Tuple }
+
+// Each yields every tuple; the iterator may reuse the yielded storage, so
+// the callback must copy anything it keeps.
+//
+// propview:no-retain
+func (r *Rel) Each(yield func(Tuple) bool) {
+	for _, t := range r.ts {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+func badAppend(r *Rel) []Tuple {
+	var out []Tuple
+	r.Each(func(t Tuple) bool {
+		out = append(out, t) // want `yielded value t is appended uncopied`
+		return true
+	})
+	return out
+}
+
+func badAssign(r *Rel) Tuple {
+	var last Tuple
+	r.Each(func(t Tuple) bool {
+		last = t // want `yielded value t escapes the no-retain callback via assignment to last`
+		return true
+	})
+	return last
+}
+
+func badFieldStore(r *Rel, sink *struct{ keep Tuple }) {
+	r.Each(func(t Tuple) bool {
+		sink.keep = t // want `yielded value t escapes the no-retain callback via assignment to sink.keep`
+		return true
+	})
+}
+
+func badSend(r *Rel, ch chan Tuple) {
+	r.Each(func(t Tuple) bool {
+		ch <- t // want `yielded value t is sent on a channel`
+		return true
+	})
+}
+
+func goodCopy(r *Rel) []Tuple {
+	var out []Tuple
+	r.Each(func(t Tuple) bool {
+		cp := append(Tuple(nil), t...) // ok: the spread copies the elements
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+func goodLocal(r *Rel) int {
+	n := 0
+	r.Each(func(t Tuple) bool {
+		u := t // ok: rebinding to a callback-local
+		n += len(u)
+		return true
+	})
+	return n
+}
+
+func goodRead(r *Rel) int {
+	sum := 0
+	r.Each(func(t Tuple) bool {
+		for _, v := range t {
+			sum += v // ok: reading does not retain
+		}
+		return true
+	})
+	return sum
+}
+
+func suppressed(r *Rel) []Tuple {
+	var out []Tuple
+	r.Each(func(t Tuple) bool {
+		//lint:ignore eachretain fixture exercises the suppression path
+		out = append(out, t) // ok: suppressed with justification
+		return true
+	})
+	return out
+}

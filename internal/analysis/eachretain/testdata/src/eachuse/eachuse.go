@@ -1,0 +1,23 @@
+// Package eachuse retains rows from eachdep's cursor; the violation is
+// only visible through the imported NoRetainFact.
+package eachuse
+
+import "eachdep"
+
+func keepAll(c *eachdep.Cursor) []eachdep.Row {
+	var out []eachdep.Row
+	c.Scan(func(r eachdep.Row) bool {
+		out = append(out, r) // want `yielded value r is appended uncopied`
+		return true
+	})
+	return out
+}
+
+func copyAll(c *eachdep.Cursor) []eachdep.Row {
+	var out []eachdep.Row
+	c.Scan(func(r eachdep.Row) bool {
+		out = append(out, append(eachdep.Row(nil), r...)) // ok: copied
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package genmonotonic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/genmonotonic"
+)
+
+func TestGenMonotonic(t *testing.T) {
+	analysistest.Run(t, "testdata", genmonotonic.Analyzer, "genfix")
+}

@@ -1,0 +1,138 @@
+// Package genfix exercises the genmonotonic analyzer: generation fields
+// move only forward, and only from propview:publish paths.
+package genfix
+
+import "sync/atomic"
+
+type DB struct {
+	version int64 // propview:generation
+}
+
+type Eng struct {
+	sgen atomic.Int64 // propview:generation
+}
+
+// commit carries the version forward.
+//
+// propview:publish
+func commit(db *DB) *DB {
+	return &DB{version: db.version + 1} // ok: carry + increment
+}
+
+// bumpInPlace increments under the commit lock.
+//
+// propview:publish
+func bumpInPlace(db *DB) {
+	db.version++    // ok
+	db.version += 2 // ok: += reads the old value by construction
+}
+
+func freshDB() *DB {
+	return &DB{version: 0} // ok: fresh object at a constant generation
+}
+
+func rogueWrite(db *DB) {
+	db.version = 5 // want `write to generation field version outside a propview:publish function`
+}
+
+func rogueBump(db *DB) {
+	db.version++ // want `write to generation field version outside a propview:publish function`
+}
+
+func decrement(db *DB) {
+	db.version-- // want `generation field version decremented`
+}
+
+// reset is published but assigns a non-generation value.
+//
+// propview:publish
+func reset(db *DB) {
+	db.version = 0 // want `generation field version assigned a value not derived from a generation`
+}
+
+func copyGen(src *DB) *DB {
+	return &DB{version: src.version} // want `generation field version initialized from a non-constant outside a propview:publish function`
+}
+
+// derive carries across objects inside a publish path.
+//
+// propview:publish
+func derive(src *DB) *DB {
+	return &DB{version: src.version + 1} // ok
+}
+
+// publishTime stamps a non-generation value even though it is published.
+//
+// propview:publish
+func publishTime(db *DB, now int64) *DB {
+	return &DB{version: now} // want `generation field version initialized from a non-generation value`
+}
+
+func anyoneMayAdd(e *Eng) {
+	e.sgen.Add(1) // ok: non-negative constant delta
+}
+
+func negAdd(e *Eng) {
+	e.sgen.Add(-1) // want `generation field sgen.Add with a negative constant`
+}
+
+func rogueVarAdd(e *Eng, n int64) {
+	e.sgen.Add(n) // want `generation field sgen.Add with a non-constant delta outside a propview:publish function`
+}
+
+// batchAdd is allowed a variable delta on the publish path.
+//
+// propview:publish
+func batchAdd(e *Eng, n int64) {
+	e.sgen.Add(n) // ok
+}
+
+func rogueStore(e *Eng) {
+	e.sgen.Store(0) // want `Store on generation field sgen outside a propview:publish function`
+}
+
+// carryStore forwards one counter into another at publish time.
+//
+// propview:publish
+func carryStore(dst, src *Eng) {
+	dst.sgen.Store(src.sgen.Load()) // ok: carry-forward
+}
+
+// localCarry routes the old counter through a local before publishing,
+// like a store rebuild that renumbers from the previous sequence.
+//
+// propview:publish
+func localCarry(db *DB, extra int64) *DB {
+	v := db.version + 1 // local now carries the generation
+	v += extra
+	return &DB{version: v} // ok: carry-forward through a tainted local
+}
+
+// localReset rebinds the local away from the generation before using it.
+//
+// propview:publish
+func localReset(db *DB) *DB {
+	v := db.version
+	v = 7                  // rebound: taint dropped
+	return &DB{version: v} // want `generation field version initialized from a non-generation value`
+}
+
+// badStore stores an arbitrary value even on the publish path.
+//
+// propview:publish
+func badStore(e *Eng, v int64) {
+	e.sgen.Store(v) // want `generation field sgen stored a value not derived from a generation`
+}
+
+func escape(db *DB) *int64 {
+	return &db.version // want `address of generation field version taken`
+}
+
+func reads(db *DB, e *Eng) int64 {
+	return db.version + e.sgen.Load() // ok: reads are unrestricted
+}
+
+func suppressed(db *DB) {
+	//lint:ignore genmonotonic fixture exercises the suppression path
+	db.version = 7 // ok: suppressed with justification
+}

@@ -1,0 +1,332 @@
+// Package load builds type-checked packages for the propviewlint drivers
+// without golang.org/x/tools: packages inside the module under analysis
+// (or under a GOPATH-style fixture root) are parsed and type-checked from
+// source, while every external dependency — the standard library — is
+// imported from the toolchain's compiled export data, located with one
+// `go list -export` invocation against the local build cache. No network,
+// no third-party code.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one source-loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the package's files were read from.
+	Dir string
+	// Files holds the parsed syntax trees, file-name ordered.
+	Files []*ast.File
+	// Types and Info are the type-checker outputs.
+	Types *types.Package
+	Info  *types.Info
+	// Imports are the source-loaded dependencies (module-local or fixture
+	// packages); export-data imports are not listed.
+	Imports []*Package
+}
+
+// Loader resolves import paths to packages: source-loaded under the
+// module (or fixture roots), export-data otherwise.
+type Loader struct {
+	// Fset is the shared file set; a zero Loader allocates one on first use.
+	Fset *token.FileSet
+	// ModulePath/ModuleDir describe the module whose packages load from
+	// source: import path ModulePath/x/y maps to ModuleDir/x/y.
+	ModulePath string
+	ModuleDir  string
+	// SrcDirs are GOPATH-style roots (e.g. an analyzer's testdata/src):
+	// import path p maps to the first root whose subdirectory p exists.
+	SrcDirs []string
+	// GoVersion, when set (e.g. "go1.21"), is passed to the type checker
+	// for source packages.
+	GoVersion string
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	exports map[string]string // import path -> export data file
+	gcImp   types.Importer
+	listDir string
+}
+
+func (l *Loader) init() {
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	if l.pkgs == nil {
+		l.pkgs = make(map[string]*Package)
+		l.loading = make(map[string]bool)
+	}
+	if l.gcImp == nil {
+		l.gcImp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+		l.listDir = l.ModuleDir
+		if l.listDir == "" {
+			l.listDir = os.TempDir() // std listing needs no module context
+		}
+	}
+}
+
+// Load loads the given import paths (or "./..."-style patterns against the
+// module root) from source, with their transitive source dependencies.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	var paths []string
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == l.ModulePath+"/...":
+			expanded, err := l.expandModule()
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, expanded...)
+		case strings.HasPrefix(p, "./"):
+			rel := strings.TrimPrefix(p, "./")
+			if rel == "" || rel == "." {
+				paths = append(paths, l.ModulePath)
+			} else {
+				paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+			}
+		default:
+			paths = append(paths, p)
+		}
+	}
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// expandModule walks the module tree for package directories.
+func (l *Loader) expandModule() ([]string, error) {
+	if l.ModuleDir == "" {
+		return nil, fmt.Errorf("load: pattern requires ModuleDir")
+	}
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				rel, _ := filepath.Rel(l.ModuleDir, path)
+				if rel == "." {
+					paths = append(paths, l.ModulePath)
+				} else {
+					paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(paths)
+	return paths, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".")
+}
+
+// dirFor maps a source import path to its directory, or "" when the path
+// is external (export data).
+func (l *Loader) dirFor(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+		}
+	}
+	for _, root := range l.SrcDirs {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// load parses and type-checks one source package (memoized).
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %q is not under the module or a source root", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	// Load source dependencies first so the type-checker's Import below
+	// finds them memoized (and so analysis runs can order by dependency).
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[ipath] {
+				continue
+			}
+			seen[ipath] = true
+			if l.dirFor(ipath) == "" {
+				continue // external: resolved via export data during checking
+			}
+			dep, err := l.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Imports = append(pkg.Imports, dep)
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  importerFunc(l.importPath),
+		GoVersion: l.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, typeErrs[0])
+	}
+	pkg.Types, pkg.Info = tpkg, info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPath is the type-checker's importer: source packages come from this
+// loader, anything else from compiled export data.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gcImp.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// lookupExport opens the compiled export data of an external package,
+// batch-resolving the whole standard library on first miss via
+// `go list -export` (local build cache only — no network).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := l.exports[path]; ok {
+		return os.Open(f)
+	}
+	if l.exports == nil {
+		// One batched listing covers std and its vendored dependencies.
+		if err := l.listExports("std"); err != nil {
+			return nil, err
+		}
+		if f, ok := l.exports[path]; ok {
+			return os.Open(f)
+		}
+	}
+	// Not part of the std batch (e.g. a module dependency): list it alone.
+	if err := l.listExports(path); err != nil {
+		return nil, err
+	}
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func (l *Loader) listExports(pattern string) error {
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", pattern)
+	cmd.Dir = l.listDir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("load: go list -export %s: %v\n%s", pattern, err, errb.String())
+	}
+	if l.exports == nil {
+		l.exports = make(map[string]string)
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var rec struct{ ImportPath, Export string }
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if rec.Export != "" {
+			l.exports[rec.ImportPath] = rec.Export
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package lockguard_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "lockfix")
+}
+
+// TestRevertedLockFails proves the analyzer is load-bearing: the scratch
+// fixture passes as written, and deleting its lock acquisition makes
+// lockguard report the now-unprotected access.
+func TestRevertedLockFails(t *testing.T) {
+	const guarded = `package scratch
+
+import "sync"
+
+type Eng struct {
+	mu    sync.Mutex
+	views map[string]int // guarded-by: mu
+}
+
+func (e *Eng) Get(k string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.views[k]
+}
+`
+	if got := analysistest.RunFiles(t, lockguard.Analyzer, "scratch", map[string]string{"scratch.go": guarded}); len(got) != 0 {
+		t.Fatalf("guarded fixture should be clean, got %v", got)
+	}
+
+	reverted := strings.Replace(guarded, "\te.mu.Lock()\n\tdefer e.mu.Unlock()\n", "", 1)
+	if reverted == guarded {
+		t.Fatal("revert edit did not apply")
+	}
+	got := analysistest.RunFiles(t, lockguard.Analyzer, "scratch", map[string]string{"scratch.go": reverted})
+	if len(got) != 1 || !strings.Contains(got[0].Message, "read e.views without holding e.mu") {
+		t.Fatalf("reverting the lock acquisition should produce exactly the unguarded-read finding, got %v", got)
+	}
+}

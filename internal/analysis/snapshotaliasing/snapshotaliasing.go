@@ -1,0 +1,419 @@
+// Package snapshotaliasing flags mutations of values obtained from
+// read-only accessors — the engine's aliasing contract. A function marked
+// `propview:read-only` (Relation.ReadOnly, Relation.Tuples,
+// Database.Freeze, Engine.Query, ...) returns values that alias published
+// copy-on-write snapshot storage; callers may read them freely but must
+// never write through them: no element assignment, no field assignment,
+// no append. The contract propagates across packages via facts, and a
+// function that merely forwards a read-only result (the propview facade)
+// inherits it without its own marker.
+package snapshotaliasing
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/markers"
+)
+
+// ReadOnlyResultFact marks a function whose results alias callee-owned
+// snapshot state; exported so the contract crosses package boundaries.
+type ReadOnlyResultFact struct{}
+
+func (*ReadOnlyResultFact) AFact() {}
+
+// Analyzer is the snapshotaliasing analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "snapshotaliasing",
+	Doc:       "flags writes through values returned by propview:read-only accessors (the engine's aliasing contract; see internal/analysis)",
+	FactTypes: []analysis.Fact{(*ReadOnlyResultFact)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	st := &state{
+		pass:     pass,
+		readonly: make(map[*types.Func]bool),
+	}
+	for obj, info := range markers.Funcs(pass) {
+		if info.ReadOnly {
+			st.readonly[obj] = true
+		}
+	}
+
+	// Fixpoint: a function returning a read-only-derived value is itself a
+	// read-only accessor (covers facade wrappers, iterated for chains).
+	for {
+		changed := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if obj == nil || st.readonly[obj] {
+					continue
+				}
+				if st.analyze(fd, false) {
+					st.readonly[obj] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for obj := range st.readonly {
+		pass.ExportObjectFact(obj, &ReadOnlyResultFact{})
+	}
+
+	// Reporting pass, with the read-only set complete.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				st.analyze(fd, true)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type state struct {
+	pass     *analysis.Pass
+	readonly map[*types.Func]bool
+}
+
+// isReadOnly reports whether calling obj yields read-only-aliasing results,
+// from this package's marker/derived set or an imported fact.
+func (st *state) isReadOnly(obj *types.Func) bool {
+	if obj == nil {
+		return false
+	}
+	if st.readonly[obj] {
+		return true
+	}
+	if obj.Pkg() != nil && obj.Pkg() != st.pass.Pkg &&
+		st.pass.ImportObjectFact(obj, &ReadOnlyResultFact{}) {
+		st.readonly[obj] = true
+		return true
+	}
+	return false
+}
+
+// fnState is the per-function taint walk: which local objects currently
+// hold values aliasing a read-only result.
+type fnState struct {
+	st           *state
+	report       bool
+	tainted      map[types.Object]bool
+	returnsTaint bool
+}
+
+// analyze walks one function in source order; it reports whether the
+// function returns a read-only-derived value of a reference type.
+func (st *state) analyze(fd *ast.FuncDecl, report bool) bool {
+	fs := &fnState{st: st, report: report, tainted: make(map[types.Object]bool)}
+	fs.stmt(fd.Body)
+	return fs.returnsTaint
+}
+
+// taintedExpr reports whether evaluating e yields a value aliasing
+// read-only snapshot storage.
+func (fs *fnState) taintedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return fs.tainted[fs.st.pass.TypesInfo.Uses[e]]
+	case *ast.CallExpr:
+		if fn := calleeFunc(fs.st.pass.TypesInfo, e); fn != nil && fs.st.isReadOnly(fn) {
+			return true
+		}
+		// A conversion preserves aliasing: Tuple(v) of a tainted v.
+		if len(e.Args) == 1 && isConversion(fs.st.pass.TypesInfo, e) {
+			return fs.taintedExpr(e.Args[0])
+		}
+		return false
+	case *ast.IndexExpr:
+		return fs.taintedExpr(e.X) // element of a tainted container aliases it
+	case *ast.SliceExpr:
+		return fs.taintedExpr(e.X)
+	case *ast.SelectorExpr:
+		return fs.taintedExpr(e.X)
+	case *ast.ParenExpr:
+		return fs.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return fs.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fs.taintedExpr(e.X)
+		}
+		return false
+	case *ast.TypeAssertExpr:
+		return fs.taintedExpr(e.X)
+	default:
+		return false
+	}
+}
+
+// referenceType reports whether t can alias underlying storage when copied.
+func referenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Interface, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// stmt walks one statement in source order, updating taint and reporting
+// violations.
+func (fs *fnState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			fs.stmt(sub)
+		}
+	case *ast.AssignStmt:
+		fs.assign(s)
+	case *ast.IncDecStmt:
+		fs.checkWrite(s.X, "increment of")
+	case *ast.ExprStmt:
+		fs.expr(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fs.expr(r)
+			if fs.taintedExpr(r) {
+				if t := fs.st.pass.TypesInfo.Types[r].Type; t != nil && referenceType(t) {
+					fs.returnsTaint = true
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		fs.expr(s.Cond)
+		fs.stmt(s.Body)
+		if s.Else != nil {
+			fs.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			fs.expr(s.Cond)
+		}
+		if s.Post != nil {
+			fs.stmt(s.Post)
+		}
+		fs.stmt(s.Body)
+	case *ast.RangeStmt:
+		fs.expr(s.X)
+		if fs.taintedExpr(s.X) {
+			// Ranging over a tainted container taints the element variable
+			// (not the index).
+			if id, ok := s.Value.(*ast.Ident); ok {
+				if obj := fs.st.pass.TypesInfo.Defs[id]; obj != nil {
+					fs.tainted[obj] = true
+				} else if obj := fs.st.pass.TypesInfo.Uses[id]; obj != nil {
+					fs.tainted[obj] = true
+				}
+			}
+		}
+		fs.stmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			fs.expr(s.Tag)
+		}
+		fs.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			fs.stmt(s.Init)
+		}
+		fs.stmt(s.Assign)
+		fs.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			fs.expr(e)
+		}
+		for _, sub := range s.Body {
+			fs.stmt(sub)
+		}
+	case *ast.SelectStmt:
+		fs.stmt(s.Body)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			fs.stmt(s.Comm)
+		}
+		for _, sub := range s.Body {
+			fs.stmt(sub)
+		}
+	case *ast.DeferStmt:
+		fs.expr(s.Call)
+	case *ast.GoStmt:
+		fs.expr(s.Call)
+	case *ast.SendStmt:
+		fs.expr(s.Chan)
+		fs.expr(s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					fs.expr(v)
+				}
+				fs.bindNames(vs.Names, vs.Values)
+			}
+		}
+	case *ast.LabeledStmt:
+		fs.stmt(s.Stmt)
+	}
+}
+
+// assign updates taint for an assignment and checks its left-hand sides
+// for writes through read-only values.
+func (fs *fnState) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		fs.expr(r)
+	}
+	for _, l := range s.Lhs {
+		switch l.(type) {
+		case *ast.Ident:
+			// plain rebinding: taint handled below
+		default:
+			fs.checkWrite(l, "write to")
+			fs.expr(l)
+		}
+	}
+	if s.Tok == token.DEFINE || s.Tok == token.ASSIGN {
+		idents := make([]*ast.Ident, len(s.Lhs))
+		for i, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				idents[i] = id
+			}
+		}
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			// multi-value: a read-only call taints every bound name
+			t := fs.taintedExpr(s.Rhs[0])
+			for _, id := range idents {
+				fs.setTaint(id, t)
+			}
+			return
+		}
+		for i, id := range idents {
+			if id == nil || i >= len(s.Rhs) {
+				continue
+			}
+			fs.setTaint(id, fs.taintedExpr(s.Rhs[i]))
+		}
+	}
+}
+
+func (fs *fnState) bindNames(names []*ast.Ident, values []ast.Expr) {
+	for i, id := range names {
+		if i < len(values) {
+			fs.setTaint(id, fs.taintedExpr(values[i]))
+		}
+	}
+}
+
+func (fs *fnState) setTaint(id *ast.Ident, t bool) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := fs.st.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = fs.st.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if t {
+		fs.tainted[obj] = true
+	} else {
+		delete(fs.tainted, obj)
+	}
+}
+
+// checkWrite reports a violation when the written location's base aliases
+// a read-only result.
+func (fs *fnState) checkWrite(l ast.Expr, verb string) {
+	var base ast.Expr
+	switch l := l.(type) {
+	case *ast.IndexExpr:
+		base = l.X
+	case *ast.SelectorExpr:
+		base = l.X
+	case *ast.StarExpr:
+		base = l.X
+	default:
+		return
+	}
+	if fs.taintedExpr(base) {
+		fs.reportf(l.Pos(), "%s %s, which aliases a read-only snapshot (propview:read-only contract; copy before mutating — see internal/analysis)",
+			verb, types.ExprString(l))
+	}
+}
+
+// expr walks an expression for violations nested in it (calls, function
+// literals, append).
+func (fs *fnState) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(fs.st.pass.TypesInfo, n) && len(n.Args) > 0 && fs.taintedExpr(n.Args[0]) {
+				fs.reportf(n.Pos(), "append to %s, which aliases a read-only snapshot (propview:read-only contract; copy before appending — see internal/analysis)",
+					types.ExprString(n.Args[0]))
+			}
+		case *ast.FuncLit:
+			// Closures share the enclosing taint state (captured variables
+			// keep their aliasing), and are walked in place.
+			fs.stmt(n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (fs *fnState) reportf(pos token.Pos, format string, args ...any) {
+	if fs.report {
+		fs.st.pass.Reportf(pos, format, args...)
+	}
+}
+
+// calleeFunc resolves a call's target as a *types.Func (methods included),
+// or nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := analysis.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

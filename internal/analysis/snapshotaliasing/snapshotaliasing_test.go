@@ -1,0 +1,18 @@
+package snapshotaliasing_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotaliasing"
+)
+
+func TestAliasing(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotaliasing.Analyzer, "aliasfix")
+}
+
+// TestCrossPackageFacts checks that the read-only contract (declared and
+// fixpoint-derived) reaches importing packages as a fact.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotaliasing.Analyzer, "aliasclient")
+}

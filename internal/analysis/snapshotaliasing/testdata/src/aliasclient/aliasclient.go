@@ -1,0 +1,24 @@
+// Package aliasclient mutates values from aliasdep's accessors; the
+// violations are only visible through imported facts.
+package aliasclient
+
+import "aliasdep"
+
+func direct(s *aliasdep.Store) {
+	rows := s.Freeze()
+	rows[0] = nil // want `write to rows\[0\], which aliases a read-only snapshot`
+}
+
+func derived(s *aliasdep.Store) {
+	rows := aliasdep.Snapshot(s)
+	rows = append(rows, aliasdep.Row{"x"}) // want `append to rows, which aliases a read-only snapshot`
+	_ = rows
+}
+
+func clean(s *aliasdep.Store) []aliasdep.Row {
+	rows := s.Freeze()
+	cp := make([]aliasdep.Row, len(rows))
+	copy(cp, rows)
+	cp[0] = aliasdep.Row{"owned"} // ok
+	return cp
+}

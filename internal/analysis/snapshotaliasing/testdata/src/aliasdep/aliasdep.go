@@ -1,0 +1,18 @@
+// Package aliasdep is the exporting side of the cross-package fact test:
+// aliasclient imports it and must inherit the read-only contract.
+package aliasdep
+
+type Row []string
+
+type Store struct {
+	rows []Row
+}
+
+// Freeze returns the store's rows for reading only.
+//
+// propview:read-only
+func (s *Store) Freeze() []Row { return s.rows }
+
+// Snapshot forwards Freeze; the derived contract must also cross the
+// package boundary as a fact.
+func Snapshot(s *Store) []Row { return s.Freeze() }

@@ -1,0 +1,15 @@
+package analysis
+
+import "go/ast"
+
+// Unparen strips any enclosing parentheses from e. Local stand-in for
+// go1.22's ast.Unparen while the module language version is go1.21.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -326,12 +326,14 @@ func annEval(q algebra.Query, db *relation.Database, in *interner) (*annRel, err
 		lbuck := make(map[string][]relation.Tuple)
 		left.rel.Each(func(lt relation.Tuple) bool {
 			k := relation.ProjectAttrs(ls, lt, common).Key()
+			//lint:ignore eachretain join buckets alias the immutable annotated snapshot and are only probed, never written through
 			lbuck[k] = append(lbuck[k], lt)
 			return true
 		})
 		rbuck := make(map[string][]relation.Tuple)
 		right.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
+			//lint:ignore eachretain join buckets alias the immutable annotated snapshot and are only probed, never written through
 			rbuck[k] = append(rbuck[k], rt)
 			return true
 		})

@@ -93,9 +93,9 @@ type snapshot struct {
 	prov *provenance.Result // materialized view + witness basis
 
 	whereOnce  sync.Once
-	whereBuilt atomic.Bool
-	where      *annotation.WhereView
-	whereErr   error
+	whereBuilt atomic.Bool           // guarded-by: atomic
+	where      *annotation.WhereView // guarded-by: whereOnce
+	whereErr   error                 // guarded-by: whereOnce
 
 	// sorted caches the lexicographically ordered view rows, built lazily
 	// per published snapshot; QueryPage slices it, so a page costs
@@ -105,7 +105,7 @@ type snapshot struct {
 	// untouched carries the still-valid cache into the new snapshot
 	// (nextSnapshot). An atomic pointer rather than a Once so the carry
 	// can read a live snapshot's cache without racing its builders.
-	sorted atomic.Pointer[[]relation.Tuple]
+	sorted atomic.Pointer[[]relation.Tuple] // guarded-by: atomic
 }
 
 // sortedView returns the snapshot's lexicographically sorted rows,
@@ -142,6 +142,7 @@ func nextSnapshot(old *snapshot, newDB *relation.Database, prov *provenance.Resu
 		// snapshot's Once), so the read here is ordered; firing the new
 		// snapshot's Once before publication makes whereView return the
 		// carried index without recomputing.
+		//lint:ignore lockguard old.whereBuilt.Load() orders the read of old.where (set-after-write inside old's Once)
 		s.where = old.where
 		s.whereBuilt.Store(true)
 		s.whereOnce.Do(func() {})
@@ -182,8 +183,11 @@ type prepared struct {
 		view, source, ann algebra.Class
 	}
 
-	snap atomic.Pointer[snapshot]
-	gen  atomic.Int64 // write requests maintained through
+	snap atomic.Pointer[snapshot] // guarded-by: atomic
+	// gen counts the write requests maintained through.
+	// guarded-by: atomic
+	// propview:generation
+	gen atomic.Int64
 
 	batcher batcher // coalescing point for this view's deletion writers
 }
@@ -191,11 +195,16 @@ type prepared struct {
 // Engine serves prepared views over a private copy of a source database.
 type Engine struct {
 	opt   Options
-	mu    sync.RWMutex // guards views map, db pointer and sgen
-	wmu   sync.Mutex   // commit lock: one batch solves+publishes at a time
-	db    *relation.Database
-	views map[string]*prepared
-	sgen  atomic.Int64 // source generation: committed write batches so far
+	mu    sync.RWMutex         // guards views map, db pointer and sgen
+	wmu   sync.Mutex           // commit lock: one batch solves+publishes at a time
+	db    *relation.Database   // guarded-by: mu
+	views map[string]*prepared // guarded-by: mu
+	// sgen is the source generation: committed write batches so far. The
+	// atomic type makes bare reads safe; commits additionally publish it
+	// under mu so (db, sgen) can be captured as a consistent pair.
+	// guarded-by: atomic
+	// propview:generation
+	sgen atomic.Int64
 
 	insBatcher batcher // coalescing point for Insert writers (engine-wide)
 
@@ -433,6 +442,8 @@ func (e *Engine) Schema(name string) (relation.Schema, error) {
 // updated by later writes — re-Query for the current generation. A caller
 // that mutates it gets a private copy-on-write clone rather than a race
 // with the engine, so the snapshot cannot be corrupted from outside.
+//
+// propview:read-only
 func (e *Engine) Query(name string) (*relation.Relation, error) {
 	p, err := e.lookup(name)
 	if err != nil {
@@ -631,6 +642,8 @@ func (e *Engine) Insert(tuples []relation.SourceTuple) (*InsertReport, error) {
 // commit carries; each view's generation counter advances by it, keeping
 // generation counts identical to applying the requests one at a time.
 // Callers hold wmu.
+//
+// propview:publish
 func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 	if len(T) == 0 {
 		return
@@ -659,6 +672,7 @@ func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 			// Annotate. Insert commits still start cold — insertion can
 			// widen surviving where-sets past what the retained tree's
 			// static maps cover.
+			//lint:ignore lockguard s is pre-publication (no reader sees it until snap.Store below); old.whereBuilt.Load() orders the read of old.where
 			s.where = old.where.ApplyDeletion(T)
 			s.whereBuilt.Store(true)
 			s.whereOnce.Do(func() {})

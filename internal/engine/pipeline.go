@@ -151,7 +151,7 @@ type batch struct {
 // and degrading coalescing to size 1.
 type batcher struct {
 	mu      sync.Mutex
-	pending map[batchKey]*batch // open batches accepting joiners
+	pending map[batchKey]*batch // guarded-by: mu (open batches accepting joiners)
 }
 
 // join adds req to the open batch of its compatibility class, or opens a
@@ -361,6 +361,8 @@ func (e *Engine) commitInsert(b *batch) {
 // the shared report; on failure nothing is published, no request is
 // touched, and the error is returned for the caller to attribute. Callers
 // hold wmu.
+//
+// propview:publish
 func (e *Engine) insertGroup(reqs []*writeReq) error {
 	e.mu.RLock()
 	db := e.db

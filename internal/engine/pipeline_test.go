@@ -85,7 +85,10 @@ func TestBatcherJoin(t *testing.T) {
 	default:
 		t.Fatal("batch at cap did not signal full")
 	}
-	if bt.pending[key] != nil {
+	bt.mu.Lock()
+	open := bt.pending[key]
+	bt.mu.Unlock()
+	if open != nil {
 		t.Fatal("full batch still accepting joiners")
 	}
 }
@@ -164,7 +167,10 @@ func TestBatcherOversizedGroupRunsAlone(t *testing.T) {
 	if !leader {
 		t.Fatal("oversized group must lead")
 	}
-	if len(bt.pending) != 0 {
+	bt.mu.Lock()
+	nPending := len(bt.pending)
+	bt.mu.Unlock()
+	if nPending != 0 {
 		t.Fatal("oversized batch left open for joiners")
 	}
 	select {

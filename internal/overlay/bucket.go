@@ -103,6 +103,7 @@ func BucketBase(r *relation.Relation, key func(relation.Tuple) string) *Map[Buck
 	groups := make(map[string][]relation.Tuple)
 	r.Each(func(t relation.Tuple) bool {
 		k := key(t)
+		//lint:ignore eachretain bucket chains adopt aliases into the immutable base relation; Bucket nodes are persistent and never written through
 		groups[k] = append(groups[k], t)
 		return true
 	})

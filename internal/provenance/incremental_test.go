@@ -483,7 +483,7 @@ func TestNodeOverlayCompactionCyclesDifferential(t *testing.T) {
 				// fold threshold.
 				fresh++
 				st := relation.SourceTuple{Rel: "R1", Tuple: relation.NewTuple(
-					relation.Int(int64(rows + fresh)), relation.Int(int64(fresh % 9)))}
+					relation.Int(int64(rows+fresh)), relation.Int(int64(fresh%9)))}
 				I := []relation.SourceTuple{st}
 				newDB, err := db.InsertAll(I)
 				if err != nil {

@@ -199,6 +199,7 @@ func lineageEval(q algebra.Query, db *relation.Database) (*linRel, error) {
 		buckets := make(map[string][]relation.Tuple)
 		right.rel.Each(func(rt relation.Tuple) bool {
 			k := relation.ProjectAttrs(rs, rt, common).Key()
+			//lint:ignore eachretain join buckets alias the immutable snapshot and are only probed, never written through
 			buckets[k] = append(buckets[k], rt)
 			return true
 		})

@@ -205,10 +205,18 @@ func filterWitnesses(ws []Witness, deleted map[string]bool) []Witness {
 // Compute, so the counters are cumulative across writes (and safe for the
 // engine's concurrent Stats readers).
 type treeMetrics struct {
-	derives        atomic.Int64 // maintenance passes (ApplyDeletion/ApplyInsertion)
-	sharedNodes    atomic.Int64 // nodes shared by pointer across a pass
-	rewrittenNodes atomic.Int64 // nodes given a new O(|Δ|) generation
-	touchedTuples  atomic.Int64 // candidate tuples examined during maintenance
+	// maintenance passes (ApplyDeletion/ApplyInsertion)
+	// guarded-by: atomic
+	derives atomic.Int64
+	// nodes shared by pointer across a pass
+	// guarded-by: atomic
+	sharedNodes atomic.Int64
+	// nodes given a new O(|Δ|) generation
+	// guarded-by: atomic
+	rewrittenNodes atomic.Int64
+	// candidate tuples examined during maintenance
+	// guarded-by: atomic
+	touchedTuples atomic.Int64
 
 	relM relation.VersionMetrics // node-relation overlay activity
 	mapM overlay.Metrics         // witness/bucket map overlay activity

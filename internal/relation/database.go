@@ -12,11 +12,17 @@ import (
 // derived from the same root (Freeze starts a fresh one), so the counters
 // are cumulative across commits.
 type storeMetrics struct {
-	derives         atomic.Int64 // DeleteAll/InsertAll generations derived
-	sharedRels      atomic.Int64 // relations shared by pointer during derives
-	rewrittenRels   atomic.Int64 // relations given a new overlay version
-	folds           atomic.Int64 // overlays folded into a fresh base
-	squashes        atomic.Int64 // overlay chains merged into one layer
+	// guarded-by: atomic
+	derives atomic.Int64 // DeleteAll/InsertAll generations derived
+	// guarded-by: atomic
+	sharedRels atomic.Int64 // relations shared by pointer during derives
+	// guarded-by: atomic
+	rewrittenRels atomic.Int64 // relations given a new overlay version
+	// guarded-by: atomic
+	folds atomic.Int64 // overlays folded into a fresh base
+	// guarded-by: atomic
+	squashes atomic.Int64 // overlay chains merged into one layer
+	// guarded-by: atomic
 	parallelDerives atomic.Int64 // derives that scattered across >1 segment
 }
 
@@ -140,8 +146,10 @@ type Database struct {
 	rels  map[string]*Relation
 	order []string // insertion order of relation names
 
-	m       *storeMetrics // lifetime counters, shared along the version chain
-	version int64         // derives since the chain's root
+	m *storeMetrics // lifetime counters, shared along the version chain
+	// version counts derives since the chain's root.
+	// propview:generation
+	version int64
 }
 
 // NewDatabase creates an empty database.
@@ -216,6 +224,8 @@ func (db *Database) Clone() *Database {
 // relations copy-on-write away from the snapshot instead of reaching it.
 // This is what Engine.New uses in place of the old deep Clone. The
 // snapshot starts a fresh version chain with zeroed store metrics.
+//
+// propview:read-only
 func (db *Database) Freeze() *Database {
 	c := &Database{
 		rels:  make(map[string]*Relation, len(db.rels)),
@@ -253,6 +263,8 @@ func (db *Database) Sharded(n int) *Database {
 
 // derived starts a new generation sharing the receiver's metrics. The
 // order slice is full-sliced so a later Add on either side cannot alias.
+//
+// propview:publish
 func (db *Database) derived() *Database {
 	return &Database{
 		rels:    make(map[string]*Relation, len(db.rels)),

@@ -25,11 +25,13 @@ type Relation struct {
 	tuples []Tuple        // base tuple array; shared across versions when shared is set
 	index  map[string]int // tuple key -> position in tuples
 
-	top    *layer                  // overlay chain; nil for a flat relation
-	live   int                     // tuple count when overlaid (== len(tuples) minus tombstones plus appends)
-	seg    *segStore               // sharded store (segment.go); nil unless Database.Sharded built this relation
-	shared atomic.Bool             // base storage shared with other versions: mutators must copy first
-	flat   atomic.Pointer[[]Tuple] // cached overlay materialization, built lazily
+	top  *layer    // overlay chain; nil for a flat relation
+	live int       // tuple count when overlaid (== len(tuples) minus tombstones plus appends)
+	seg  *segStore // sharded store (segment.go); nil unless Database.Sharded built this relation
+	// guarded-by: atomic
+	shared atomic.Bool // base storage shared with other versions: mutators must copy first
+	// guarded-by: atomic
+	flat atomic.Pointer[[]Tuple] // cached overlay materialization, built lazily
 }
 
 // New creates an empty relation with the given name and schema.
@@ -134,6 +136,8 @@ func (r *Relation) Delete(t Tuple) bool {
 // is materialized once per version and cached; evaluation-style consumers
 // that only walk the tuples should prefer Each, which reads through the
 // overlay without materializing.
+//
+// propview:read-only
 func (r *Relation) Tuples() []Tuple {
 	if r.top == nil && r.seg == nil {
 		return r.tuples
@@ -155,6 +159,10 @@ func (r *Relation) Tuples() []Tuple {
 // yield returns false. Unlike Tuples it never materializes a versioned
 // relation: base tuples stream past the tombstone set, then appended
 // tuples follow, at O(overlay) extra space however large the base is.
+// Yielded tuples alias the relation's storage; callbacks that keep one
+// must copy it (see internal/analysis).
+//
+// propview:no-retain
 func (r *Relation) Each(yield func(Tuple) bool) {
 	if r.top == nil && r.seg == nil {
 		for _, t := range r.tuples {
@@ -227,6 +235,7 @@ func (r *Relation) Minus(s *Relation) []Tuple {
 	var out []Tuple
 	r.Each(func(t Tuple) bool {
 		if !s.Contains(t) {
+			//lint:ignore eachretain the yielded tuple aliases immutable snapshot storage and Minus's result adopts it by design
 			out = append(out, t)
 		}
 		return true

@@ -256,8 +256,10 @@ func (s *segment) insertSeg(ts []seqTuple, m *storeMetrics) *segment {
 // build a new store sharing untouched segments by pointer — so any
 // retained generation stays readable while writers scatter new ones.
 type segStore struct {
-	segs    []*segment
-	live    int
+	segs []*segment
+	live int
+	// nextSeq is the next unallocated global sequence number.
+	// propview:generation
 	nextSeq uint64
 }
 
@@ -275,6 +277,8 @@ func (st *segStore) containsKey(key string) bool {
 // schedule) concurrently with its neighbors, and the gather shares every
 // untouched segment by pointer. Returns (nil, false) when no requested key
 // was present, so the caller can share the whole relation.
+//
+// propview:publish
 func (st *segStore) deleteAll(keys []string, m *storeMetrics) (*segStore, bool) {
 	if len(keys) == 0 {
 		return nil, false
@@ -332,6 +336,8 @@ func (st *segStore) deleteAll(keys []string, m *storeMetrics) (*segStore, bool) 
 // dedup run inside the workers: a key always hashes to one segment, so
 // per-segment dedup is global dedup. Returns (nil, false) when nothing was
 // novel.
+//
+// propview:publish
 func (st *segStore) insertAll(ts []Tuple, m *storeMetrics) (*segStore, bool) {
 	if len(ts) == 0 {
 		return nil, false
@@ -462,7 +468,10 @@ const parallelCursorMin = 1 << 14
 
 // eachMerged streams the store's live tuples in global sequence order —
 // byte-identical to the legacy unsegmented iteration — by k-way-merging
-// the per-segment cursors.
+// the per-segment cursors. Yielded tuples alias segment storage (see
+// internal/analysis).
+//
+// propview:no-retain
 func (st *segStore) eachMerged(yield func(Tuple) bool) {
 	cs := make([]*segCursor, len(st.segs))
 	if st.live >= parallelCursorMin {
@@ -501,6 +510,7 @@ func (st *segStore) eachMerged(yield func(Tuple) bool) {
 func (st *segStore) flatten() []Tuple {
 	out := make([]Tuple, 0, st.live)
 	st.eachMerged(func(t Tuple) bool {
+		//lint:ignore eachretain flatten materializes the canonical slice; segment storage is immutable once published
 		out = append(out, t)
 		return true
 	})
@@ -555,6 +565,7 @@ func (r *Relation) sharded(n int) *Relation {
 		}
 		segs[i] = &segment{base: p, index: idx, live: len(p)}
 	}
+	//lint:ignore genmonotonic sharded starts a fresh sequence space; seq counted the re-sharded tuples from zero
 	v := &Relation{name: r.name, schema: r.schema, seg: &segStore{segs: segs, live: int(seq), nextSeq: seq}}
 	v.shared.Store(true)
 	return v

@@ -126,7 +126,10 @@ func (r *Relation) layersBottomUp() []*layer {
 // past the mention set, then each layer's surviving appends oldest-first —
 // shared by Each (streaming) and flatten (materializing) so the
 // resolution rule cannot drift between them. Callers must hold an
-// overlaid relation (top != nil).
+// overlaid relation (top != nil). Yielded tuples alias base and overlay
+// storage (see internal/analysis).
+//
+// propview:no-retain
 func (r *Relation) eachOverlay(yield func(Tuple) bool) {
 	m := r.mentionsMap()
 	for _, t := range r.tuples {
@@ -155,6 +158,7 @@ func (r *Relation) flatten() []Tuple {
 	}
 	out := make([]Tuple, 0, r.live)
 	r.eachOverlay(func(t Tuple) bool {
+		//lint:ignore eachretain flatten materializes the canonical slice; overlay storage is immutable once published
 		out = append(out, t)
 		return true
 	})
@@ -275,6 +279,8 @@ func (r *Relation) insertVersion(ts []Tuple, m *storeMetrics) *Relation {
 // the other side. This is what Engine.Query hands out: callers can read it
 // like any relation, and a caller that does mutate it silently gets a
 // private copy rather than a data race with the engine's snapshot.
+//
+// propview:read-only
 func (r *Relation) ReadOnly() *Relation {
 	r.shared.Store(true)
 	v := &Relation{name: r.name, schema: r.schema, tuples: r.tuples, index: r.index, top: r.top, live: r.Len(), seg: r.seg}
