@@ -16,16 +16,24 @@
 // to mean anything. Lines that are not
 // benchmark results (PASS, ok, test logs) are skipped; goos/goarch/pkg/cpu
 // headers are captured as context.
+//
+// With -analysis <file>, the per-analyzer stats JSON that propviewlint
+// -stats wrote (wall-clock, diagnostics, suppression counts) is embedded
+// in the report as an `analysis` record, so static-analysis cost and
+// suppression drift ride the same per-PR artifact as the perf numbers.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/analysis/driver"
 )
 
 // Result is one benchmark's parsed output line.
@@ -38,17 +46,32 @@ type Result struct {
 
 // Report is the full parsed run.
 type Report struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []Result      `json:"benchmarks"`
+	Analysis   *driver.Stats `json:"analysis,omitempty"`
 }
 
 func main() {
+	analysisPath := flag.String("analysis", "", "propviewlint -stats JSON to embed as the report's analysis record")
+	flag.Parse()
 	rep, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *analysisPath != "" {
+		data, err := os.ReadFile(*analysisPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Analysis = &driver.Stats{}
+		if err := json.Unmarshal(data, rep.Analysis); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *analysisPath, err)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

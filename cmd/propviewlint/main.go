@@ -5,22 +5,35 @@
 //	propviewlint ./...                         standalone, from source
 //	go vet -vettool=$(which propviewlint) ./...  as a vet tool
 //
-// Exit status: 0 clean, 1 operational error, 2 findings.
+// Standalone mode also accepts -suppression-budget=<file> (fail when
+// //lint:ignore counts grow past the checked-in budget), -stats=<file>
+// (write per-analyzer wall-clock and finding counts as JSON), and
+// -workers=N (bound per-package parallelism; GOMAXPROCS by default).
+//
+// Exit status: 0 clean, 1 operational error or budget violation, 2 findings.
 package main
 
 import (
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/eachretain"
 	"repro/internal/analysis/genmonotonic"
+	"repro/internal/analysis/goroutinelife"
+	"repro/internal/analysis/holdinfer"
 	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/snapshotaliasing"
 )
 
 func main() {
+	// The summary analyzer is pulled in automatically as a requirement of
+	// the interprocedural four.
 	driver.Main(
 		snapshotaliasing.Analyzer,
 		lockguard.Analyzer,
 		eachretain.Analyzer,
 		genmonotonic.Analyzer,
+		lockorder.Analyzer,
+		goroutinelife.Analyzer,
+		holdinfer.Analyzer,
 	)
 }

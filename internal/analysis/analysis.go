@@ -1,11 +1,13 @@
 // Package analysis is a self-contained reimplementation of the
 // golang.org/x/tools/go/analysis core on the standard library alone: the
-// Analyzer/Pass/Diagnostic/Fact vocabulary, enough of it for propviewlint's
-// four invariant checkers and their drivers (driver: whole-module source
-// mode and the `go vet -vettool` unitchecker protocol). The container this
-// repo builds in has no module proxy access, so depending on x/tools is not
-// an option; the API mirrors it closely enough that swapping the real
-// package in later is a find-and-replace.
+// Analyzer/Pass/Diagnostic/Fact vocabulary — including Requires/ResultOf
+// chaining, object and package facts — enough of it for propviewlint's
+// invariant checkers and their drivers (driver: whole-module source
+// mode with a dependency-ordered worker pool, and the `go vet -vettool`
+// unitchecker protocol). The container this repo builds in has no module
+// proxy access, so depending on x/tools is not an option; the API mirrors
+// it closely enough that swapping the real package in later is a
+// find-and-replace.
 //
 // # The invariant vocabulary
 //
@@ -54,6 +56,53 @@
 //     commit/publish path). Reader code must never write it. Enforced by
 //     the genmonotonic analyzer.
 //
+//   - `propview:holds <lock>` (doc comment of a function or method): the
+//     caller holds the named lock — a mutex field of the receiver's
+//     struct, or a package-level mutex — for the duration of the call.
+//     lockguard uses it to seed the held set; holdinfer cross-checks the
+//     annotations against what the concurrency summaries infer, reporting
+//     a missing contract (the function releases, or passes to a callee
+//     needing, a lock it never acquired), a stale one (the named lock is
+//     never unlocked, never nested under, needed by no callee, and guards
+//     no accessed field — or does not exist at all), and a contradicted
+//     one (the function acquires the annotated lock itself, which
+//     self-deadlocks under the contract).
+//
+// # Concurrency summaries
+//
+// The summary analyzer (internal/analysis/summary) computes a
+// per-function concurrency summary: the lock classes the function may
+// acquire, directly or transitively through calls, each with a
+// human-readable acquisition path; the locks it returns still holding
+// (lock helpers) or releases on the caller's behalf (unlock helpers); the
+// goroutines it launches with the join evidence found at the launch site;
+// and the channel/WaitGroup operations that form join edges. Locks are
+// abstracted to classes — `pkgpath.Type.field` for a mutex field,
+// `pkgpath.name` for a package-level mutex; locks in local variables are
+// instance-scoped and deliberately unclassified. Summaries are exported
+// as gob facts, so both drivers see them across package boundaries, and
+// three analyzers consume them:
+//
+//   - lockorder folds every "A held while acquiring B" edge, local and
+//     imported, into a global acquisition order and reports any cycle as
+//     a potential deadlock, with the full acquisition path of the edge
+//     closing the cycle and of the reverse path. Edges flow along import
+//     edges only (the vettool fact model), so a cycle split between two
+//     packages neither of which imports the other is out of reach by
+//     design — in this codebase all shared locks sit below the packages
+//     acquiring them.
+//   - goroutinelife requires every `go` statement to have a provable
+//     join: a WaitGroup Done/Wait balance, a channel hand-off the
+//     launcher receives, or a drain registration — the launched code
+//     signals on a classifiable channel/WaitGroup some function
+//     (anywhere in the fact-visible world) receives from or waits on.
+//   - holdinfer performs the propview:holds cross-check described above.
+//
+// lockguard also consumes the summaries: a callee that acquires or
+// releases a guard's mutex (a lock()/unlock() helper) updates the held
+// set at the call site, so guarded accesses bracketed by helpers are no
+// longer a blind spot.
+//
 // A finding that is intentional is suppressed in place with
 //
 //	//lint:ignore <analyzer> <one-line justification>
@@ -77,6 +126,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by -help.
 	Doc string
+	// Requires lists analyzers whose Run must complete on the same package
+	// first; their facts are then in the store and their results available
+	// through Pass.ResultOf. The drivers expand a requested analyzer set to
+	// include requirements transitively, in dependency order.
+	Requires []*Analyzer
 	// FactTypes lists the concrete types of facts this analyzer produces
 	// and consumes; each must be gob-encodable for the vettool driver.
 	FactTypes []Fact
@@ -90,6 +144,15 @@ type Analyzer struct {
 // is read-only" crosses package boundaries. Implementations must be
 // pointer types registered in FactTypes.
 type Fact interface{ AFact() }
+
+// PackageFact pairs a package path with one of its package-level facts,
+// as returned by Pass.AllPackageFacts.
+type PackageFact struct {
+	// Path is the import path of the package the fact describes.
+	Path string
+	// Fact is the stored fact; its concrete type is the queried type.
+	Fact Fact
+}
 
 // Diagnostic is one reported invariant violation.
 type Diagnostic struct {
@@ -105,6 +168,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf holds the Run results of this analyzer's Requires, computed
+	// earlier in the same per-package pass — in-memory values (with live
+	// token.Pos and types.Object references), unlike facts, which must
+	// survive gob serialization.
+	ResultOf map[*Analyzer]any
+
 	// Report records one diagnostic; the driver filters suppressions.
 	Report func(Diagnostic)
 
@@ -114,6 +183,21 @@ type Pass struct {
 	// ExportObjectFact records a fact about obj, visible to this pass and
 	// to later analyses of packages importing this one.
 	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportPackageFact copies the package-level fact of the given type
+	// previously exported for pkg into fact, reporting whether one existed.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+	// ExportPackageFact records a package-level fact about the package
+	// under analysis, visible to later analyses of importing packages.
+	ExportPackageFact func(fact Fact)
+	// AllPackageFacts returns every stored package fact with the same
+	// concrete type as fact, from the packages this one transitively
+	// imports (never the package under analysis itself). The visible set
+	// is deliberately identical in both drivers — the vettool protocol
+	// only carries facts along import edges, so the standalone driver
+	// restricts itself the same way; a property spanning two packages
+	// neither of which imports the other is out of reach for both.
+	AllPackageFacts func(fact Fact) []PackageFact
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -37,19 +38,24 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 	checkWants(t, collectDirs(pkgs), findings)
 }
 
-// RunFiles materializes an in-memory fixture package (path -> source),
-// runs the analyzer over it, and returns the findings — for scratch
-// fixtures a test mutates programmatically (e.g. deleting a Lock call to
-// prove the analyzer notices).
+// RunFiles materializes an in-memory fixture (path -> source), runs the
+// analyzer over it, and returns the findings — for scratch fixtures a test
+// mutates programmatically (e.g. deleting a Lock call to prove the
+// analyzer notices). A bare file name lands in pkgpath's directory; a name
+// containing a slash is a path under the source root, so one call can
+// materialize several packages (cross-package fact flow included).
 func RunFiles(t *testing.T, a *analysis.Analyzer, pkgpath string, files map[string]string) []driver.Finding {
 	t.Helper()
 	root := t.TempDir()
-	dir := filepath.Join(root, filepath.FromSlash(pkgpath))
-	if err := os.MkdirAll(dir, 0o777); err != nil {
-		t.Fatal(err)
-	}
 	for name, src := range files {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+		path := filepath.Join(root, filepath.FromSlash(pkgpath), name)
+		if strings.Contains(name, "/") {
+			path = filepath.Join(root, filepath.FromSlash(name))
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
 			t.Fatal(err)
 		}
 	}

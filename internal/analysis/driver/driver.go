@@ -11,8 +11,11 @@ import (
 	"go/token"
 	"go/types"
 	"reflect"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/load"
@@ -30,11 +33,14 @@ func (f Finding) String() string {
 }
 
 // Facts is the cross-package fact store. Facts are keyed by the owning
-// package path, a stable object path within it, and the fact's concrete
-// type, so the same key works whether the fact was produced live (source
-// mode) or decoded from a dependency's .vetx file (vettool mode).
+// package path, a stable object path within it (empty for package-level
+// facts), and the fact's concrete type, so the same key works whether the
+// fact was produced live (source mode) or decoded from a dependency's
+// .vetx file (vettool mode). Safe for concurrent use: the standalone
+// driver analyzes independent packages in parallel.
 type Facts struct {
-	m map[string]analysis.Fact
+	mu sync.RWMutex
+	m  map[string]analysis.Fact
 }
 
 // NewFacts returns an empty fact store.
@@ -81,17 +87,30 @@ func factKey(obj types.Object, fact analysis.Fact) (string, bool) {
 	return obj.Pkg().Path() + "\x00" + path + "\x00" + reflect.TypeOf(fact).String(), true
 }
 
+// pkgFactKey keys a package-level fact: the object-path slot is empty,
+// which no object fact can produce.
+func pkgFactKey(pkgPath string, fact analysis.Fact) string {
+	return pkgPath + "\x00\x00" + reflect.TypeOf(fact).String()
+}
+
+// copyInto copies src's pointee into dst (both pointers of one type).
+func copyInto(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
 // Get copies the stored fact for obj of fact's concrete type into fact.
 func (fs *Facts) Get(obj types.Object, fact analysis.Fact) bool {
 	k, ok := factKey(obj, fact)
 	if !ok {
 		return false
 	}
+	fs.mu.RLock()
 	stored, ok := fs.m[k]
+	fs.mu.RUnlock()
 	if !ok {
 		return false
 	}
-	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	copyInto(fact, stored)
 	return true
 }
 
@@ -99,8 +118,55 @@ func (fs *Facts) Get(obj types.Object, fact analysis.Fact) bool {
 // (they never cross a package boundary).
 func (fs *Facts) Set(obj types.Object, fact analysis.Fact) {
 	if k, ok := factKey(obj, fact); ok {
+		fs.mu.Lock()
 		fs.m[k] = fact
+		fs.mu.Unlock()
 	}
+}
+
+// GetPkg copies the stored package fact for pkgPath into fact.
+func (fs *Facts) GetPkg(pkgPath string, fact analysis.Fact) bool {
+	fs.mu.RLock()
+	stored, ok := fs.m[pkgFactKey(pkgPath, fact)]
+	fs.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	copyInto(fact, stored)
+	return true
+}
+
+// SetPkg records a package-level fact for pkgPath.
+func (fs *Facts) SetPkg(pkgPath string, fact analysis.Fact) {
+	fs.mu.Lock()
+	fs.m[pkgFactKey(pkgPath, fact)] = fact
+	fs.mu.Unlock()
+}
+
+// AllPkg returns the stored package facts of fact's concrete type. When
+// visible is non-nil only packages in it are consulted (the standalone
+// driver passes each package's transitive import closure, mirroring the
+// import-edge-only fact flow of the vettool protocol); a nil visible set
+// means everything in the store (the vettool driver, whose store holds
+// exactly the dependencies' facts). The package named by exclude — the one
+// under analysis — is always omitted.
+func (fs *Facts) AllPkg(fact analysis.Fact, visible map[string]bool, exclude string) []analysis.PackageFact {
+	suffix := "\x00\x00" + reflect.TypeOf(fact).String()
+	var out []analysis.PackageFact
+	fs.mu.RLock()
+	for k, stored := range fs.m {
+		path, ok := strings.CutSuffix(k, suffix)
+		if !ok || path == exclude {
+			continue
+		}
+		if visible != nil && !visible[path] {
+			continue
+		}
+		out = append(out, analysis.PackageFact{Path: path, Fact: stored})
+	}
+	fs.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // suppressions maps "file:line" to the analyzer names suppressed there by
@@ -143,24 +209,71 @@ func (s suppressions) match(pos token.Position, analyzer string) bool {
 	return false
 }
 
-// RunPackage runs every analyzer over one type-checked package, exchanging
-// facts through fs, and returns the unsuppressed findings.
+// Expand returns analyzers with every transitive requirement inserted
+// before its dependents, deduplicated, preserving the request order
+// otherwise. An analyzer requirement cycle is a programming error and
+// panics.
+func Expand(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	state := make(map[*analysis.Analyzer]int) // 1 = visiting, 2 = done
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		switch state[a] {
+		case 1:
+			panic(fmt.Sprintf("driver: analyzer requirement cycle through %s", a.Name))
+		case 2:
+			return
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		state[a] = 2
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+// RunPackage runs every analyzer (with requirements expanded, in
+// dependency order) over one type-checked package, exchanging facts
+// through fs, and returns the unsuppressed findings. visible restricts
+// AllPackageFacts to the given package paths; nil means the whole store
+// (vettool mode, where the store holds exactly the dependency facts).
+// durations, when non-nil, accumulates per-analyzer wall-clock.
 func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info, fs *Facts) ([]Finding, error) {
+	pkg *types.Package, info *types.Info, fs *Facts, visible map[string]bool,
+	durations *Durations) ([]Finding, error) {
 	sup := collectSuppressions(fset, files)
 	var findings []Finding
-	for _, a := range analyzers {
+	results := make(map[*analysis.Analyzer]any)
+	for _, a := range Expand(analyzers) {
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			ResultOf:  results,
 			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
 				return fs.Get(obj, fact)
 			},
 			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
 				fs.Set(obj, fact)
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				if p == nil {
+					return false
+				}
+				return fs.GetPkg(p.Path(), fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				fs.SetPkg(pkg.Path(), fact)
+			},
+			AllPackageFacts: func(fact analysis.Fact) []analysis.PackageFact {
+				return fs.AllPkg(fact, visible, pkg.Path())
 			},
 		}
 		name := a.Name
@@ -171,42 +284,147 @@ func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*as
 			}
 			findings = append(findings, Finding{Pos: pos, Analyzer: name, Message: d.Message})
 		}
-		if _, err := a.Run(pass); err != nil {
+		start := time.Now()
+		res, err := a.Run(pass)
+		if durations != nil {
+			durations.add(name, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path(), err)
 		}
+		results[a] = res
 	}
 	return findings, nil
 }
 
-// Run analyzes pkgs and their transitive source dependencies bottom-up, so
-// facts exported by a dependency are visible to its importers, and returns
-// every unsuppressed finding sorted by position.
+// Durations accumulates per-analyzer wall-clock across packages,
+// concurrently updated by the parallel driver.
+type Durations struct {
+	mu sync.Mutex
+	d  map[string]time.Duration
+}
+
+// NewDurations returns an empty accumulator.
+func NewDurations() *Durations { return &Durations{d: make(map[string]time.Duration)} }
+
+func (d *Durations) add(name string, dt time.Duration) {
+	d.mu.Lock()
+	d.d[name] += dt
+	d.mu.Unlock()
+}
+
+// Get returns the accumulated wall-clock for one analyzer.
+func (d *Durations) Get(name string) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.d[name]
+}
+
+// Workers bounds the standalone driver's per-package analysis parallelism;
+// 0 (the default) means GOMAXPROCS. A package is scheduled only once every
+// package it imports has been analyzed, so fact flow is identical to the
+// old sequential bottom-up walk.
+var Workers = 0
+
+// Run analyzes pkgs and their transitive source dependencies in
+// dependency order — packages whose imports are all analyzed run
+// concurrently on a bounded worker pool — and returns every unsuppressed
+// finding sorted by position. Fact visibility per package is its
+// transitive import closure, exactly what the vettool protocol provides.
 func Run(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Package) ([]Finding, error) {
-	fs := NewFacts()
-	var order []*load.Package
-	seen := make(map[string]bool)
-	var visit func(p *load.Package)
-	visit = func(p *load.Package) {
-		if seen[p.Path] {
-			return
+	findings, _, err := RunStats(analyzers, fset, pkgs, nil)
+	return findings, err
+}
+
+// RunStats is Run with per-analyzer wall-clock accumulation (durations may
+// be nil) and a count of analyzed packages.
+func RunStats(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Package,
+	durations *Durations) ([]Finding, int, error) {
+	type node struct {
+		p          *load.Package
+		visible    map[string]bool // transitive import closure (source pkgs)
+		waiting    int             // unanalyzed imports
+		dependents []*node
+	}
+	nodes := make(map[string]*node)
+	var order []*node // dependency order, for deterministic visibility setup
+	var visit func(p *load.Package) *node
+	visit = func(p *load.Package) *node {
+		if n, ok := nodes[p.Path]; ok {
+			return n
 		}
-		seen[p.Path] = true
+		n := &node{p: p, visible: make(map[string]bool)}
+		nodes[p.Path] = n // before recursing: load rejects cycles, this is belt
 		for _, dep := range p.Imports {
-			visit(dep)
+			d := visit(dep)
+			d.dependents = append(d.dependents, n)
+			n.waiting++
+			n.visible[dep.Path] = true
+			for path := range d.visible {
+				n.visible[path] = true
+			}
 		}
-		order = append(order, p)
+		order = append(order, n)
+		return n
 	}
 	for _, p := range pkgs {
 		visit(p)
 	}
 
-	var findings []Finding
-	for _, p := range order {
-		fnd, err := RunPackage(analyzers, fset, p.Files, p.Types, p.Info, fs)
-		if err != nil {
-			return nil, err
+	workers := Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	fs := NewFacts()
+	ready := make(chan *node, len(order))
+	for _, n := range order {
+		if n.waiting == 0 {
+			ready <- n
 		}
+	}
+
+	var (
+		mu       sync.Mutex
+		findings []Finding
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+	)
+	finish := func(n *node, fnd []Finding, err error) {
+		mu.Lock()
+		defer mu.Unlock()
 		findings = append(findings, fnd...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, dep := range n.dependents {
+			dep.waiting--
+			if dep.waiting == 0 {
+				ready <- dep
+			}
+		}
+		done++
+		if done == len(order) {
+			close(ready)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range ready {
+				fnd, err := RunPackage(analyzers, fset, n.p.Files, n.p.Types, n.p.Info, fs, n.visible, durations)
+				finish(n, fnd, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, done, firstErr
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -218,5 +436,41 @@ func Run(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Packa
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
+	return findings, done, nil
+}
+
+// CountSuppressions tallies //lint:ignore comments per analyzer name
+// across pkgs and their transitive source dependencies (each file counted
+// once). The suppression-budget ratchet compares these against a
+// checked-in ceiling.
+func CountSuppressions(fset *token.FileSet, pkgs []*load.Package) map[string]int {
+	counts := make(map[string]int)
+	seenPkg := make(map[string]bool)
+	seenFile := make(map[string]bool)
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if seenPkg[p.Path] {
+			return
+		}
+		seenPkg[p.Path] = true
+		for _, dep := range p.Imports {
+			visit(dep)
+		}
+		for _, f := range p.Files {
+			name := fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			for _, names := range collectSuppressions(fset, []*ast.File{f}) {
+				for n := range names {
+					counts[n]++
+				}
+			}
+		}
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return counts
 }

@@ -1,0 +1,96 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockorder"
+)
+
+// TestParallelMatchesSerial runs the scheduled driver over a fan of
+// packages that all invert a base package's lock order, at one worker and
+// at eight, and requires identical findings: the pool must preserve
+// fact-dependency order and the output sort regardless of completion
+// interleaving.
+func TestParallelMatchesSerial(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("fan/base/base.go", `package base
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+func LockBoth() {
+	MuA.Lock()
+	MuB.Lock()
+}
+
+func UnlockBoth() {
+	MuB.Unlock()
+	MuA.Unlock()
+}
+`)
+	var pkgpaths []string
+	for i := 0; i < 8; i++ {
+		write(fmt.Sprintf("fan/leaf%d/leaf.go", i), fmt.Sprintf(`package leaf%d
+
+import "fan/base"
+
+func Inverted() {
+	base.MuB.Lock()
+	base.MuA.Lock()
+	base.MuA.Unlock()
+	base.MuB.Unlock()
+}
+`, i))
+		pkgpaths = append(pkgpaths, fmt.Sprintf("fan/leaf%d", i))
+	}
+
+	run := func(workers int) []Finding {
+		t.Helper()
+		old := Workers
+		Workers = workers
+		defer func() { Workers = old }()
+		loader := &load.Loader{SrcDirs: []string{root}}
+		pkgs, err := loader.Load(pkgpaths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := Run([]*analysis.Analyzer{lockorder.Analyzer}, loader.Fset, pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findings
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != 8 {
+		t.Fatalf("each of the 8 leaves should report its inverted order once, got %d: %v", len(serial), serial)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel found %d findings, serial %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if serial[i].String() != parallel[i].String() {
+			t.Errorf("finding %d differs:\n serial   %s\n parallel %s", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -47,10 +47,14 @@ type vetConfig struct {
 
 // Main is the propviewlint entry point, dispatching between the vettool
 // protocol (-V=full handshake, then one .cfg per package) and standalone
-// whole-module source mode (import paths or ./... patterns).
+// whole-module source mode (import paths or ./... patterns). The
+// -suppression-budget and -stats flags apply to standalone mode only —
+// both need the whole-module view a per-package vet invocation lacks.
 func Main(analyzers ...*analysis.Analyzer) {
+	analyzers = Expand(analyzers)
 	progname := filepath.Base(os.Args[0])
 	var patterns []string
+	var opt StandaloneOptions
 	for _, arg := range os.Args[1:] {
 		switch {
 		case arg == "-V=full" || arg == "-V":
@@ -68,13 +72,19 @@ func Main(analyzers ...*analysis.Analyzer) {
 			return
 		case strings.HasSuffix(arg, ".cfg"):
 			os.Exit(unit(arg, analyzers))
+		case strings.HasPrefix(arg, "-suppression-budget="):
+			opt.BudgetPath = strings.TrimPrefix(arg, "-suppression-budget=")
+		case strings.HasPrefix(arg, "-stats="):
+			opt.StatsPath = strings.TrimPrefix(arg, "-stats=")
+		case strings.HasPrefix(arg, "-workers="):
+			fmt.Sscanf(strings.TrimPrefix(arg, "-workers="), "%d", &opt.Workers)
 		case strings.HasPrefix(arg, "-"):
 			// Tolerate unknown flags (e.g. -json from `go vet -json`).
 		default:
 			patterns = append(patterns, arg)
 		}
 	}
-	os.Exit(Standalone(patterns, analyzers))
+	os.Exit(Standalone(patterns, analyzers, opt))
 }
 
 // selfID hashes the running executable so cmd/go's vet cache keys on the
@@ -117,7 +127,31 @@ func unit(cfgPath string, analyzers []*analysis.Analyzer) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return errExit(fmt.Errorf("parsing %s: %v", cfgPath, err))
 	}
+	findings, err := runUnit(&cfg, analyzers)
+	if err != nil {
+		if err == errTypecheckTolerated {
+			return 0
+		}
+		return errExit(err)
+	}
+	if cfg.VetxOnly || len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	return 2
+}
 
+// errTypecheckTolerated marks a parse/type-check failure the config told
+// us to swallow (SucceedOnTypecheckFailure).
+var errTypecheckTolerated = fmt.Errorf("type-check failure tolerated by config")
+
+// runUnit is the testable core of one vettool invocation: parse and
+// type-check the unit from its config, import dependency facts from the
+// .vetx files cmd/go listed, run the analyzers, write this unit's facts to
+// VetxOutput, and return the findings.
+func runUnit(cfg *vetConfig, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -127,9 +161,9 @@ func unit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return nil, errTypecheckTolerated
 			}
-			return errExit(err)
+			return nil, err
 		}
 		files = append(files, f)
 	}
@@ -173,36 +207,32 @@ func unit(cfgPath string, analyzers []*analysis.Analyzer) int {
 	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
 	if typeErr != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return nil, errTypecheckTolerated
 		}
-		return errExit(typeErr)
+		return nil, typeErr
 	}
 
 	facts := NewFacts()
 	registry := factRegistry(analyzers)
 	for _, vetx := range cfg.PackageVetx {
 		if err := facts.readVetx(vetx, registry); err != nil {
-			return errExit(err)
+			return nil, err
 		}
 	}
 
-	findings, err := RunPackage(analyzers, fset, files, pkg, info, facts)
+	// visible = nil: the store holds exactly the dependency facts cmd/go
+	// handed us, which is the whole visible world of this unit.
+	findings, err := RunPackage(analyzers, fset, files, pkg, info, facts, nil, nil)
 	if err != nil {
-		return errExit(err)
+		return nil, err
 	}
 
 	if cfg.VetxOutput != "" {
 		if err := facts.writeVetx(cfg.VetxOutput); err != nil {
-			return errExit(err)
+			return nil, err
 		}
 	}
-	if cfg.VetxOnly || len(findings) == 0 {
-		return 0
-	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s\n", f)
-	}
-	return 2
+	return findings, nil
 }
 
 func errExit(err error) int {

@@ -1,0 +1,171 @@
+// Package holdinfer infers `propview:holds` caller contracts from the
+// concurrency summaries and diagnoses where the manual annotations are
+// missing, stale, or contradicted.
+//
+//   - missing: the summary shows the function requires a lock held on
+//     entry — it releases a lock it never acquired, or calls something
+//     that does — but no propview:holds annotation declares the contract.
+//   - stale: the annotation names no lock (no such receiver field or
+//     package-level mutex), or names one the body demonstrably never
+//     relies on — it is neither released, nor nested under, nor needed by
+//     a callee, and no field guarded by it is accessed.
+//   - contradicted: the annotated lock is one the function (or a callee)
+//     acquires itself; with the caller already holding it, that is a
+//     self-deadlock.
+package holdinfer
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/markers"
+	"repro/internal/analysis/summary"
+)
+
+// Analyzer is the holdinfer analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "holdinfer",
+	Doc:      "infers propview:holds contracts from concurrency summaries and reports missing, stale, or contradicted annotations",
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := pass.ResultOf[summary.Analyzer].(*summary.Result)
+	infos := markers.Funcs(pass)
+	guards := markers.FieldGuards(pass)
+
+	// Bodies by object, for the guarded-access half of the stale check.
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					bodies[obj] = fd
+				}
+			}
+		}
+	}
+
+	objs := make([]*types.Func, 0, len(res.Funcs))
+	for obj := range res.Funcs {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].FullName() < objs[j].FullName() })
+
+	for _, obj := range objs {
+		sum := res.Funcs[obj]
+		info := infos[obj]
+
+		annotated := make(map[string]string) // class -> annotation name
+		declared := make(map[string]bool)    // every class an annotation resolved to
+		for _, name := range info.Holds {
+			class := summary.ResolveHoldClass(pass, obj, name)
+			if class == "" {
+				pass.Reportf(obj.Pos(), "stale propview:holds %s on %s: names no receiver lock field or package-level mutex", name, obj.Name())
+				continue
+			}
+			annotated[class] = name
+			declared[class] = true
+		}
+
+		// contradicted: holding it on entry and acquiring it again deadlocks.
+		for _, acq := range sum.Acquires {
+			if name, ok := annotated[acq.Class]; ok {
+				pass.Reportf(obj.Pos(), "propview:holds %s on %s is contradicted: the function acquires %s itself (%s) — with the caller already holding it this self-deadlocks",
+					name, obj.Name(), acq.Class, strings.Join(acq.Path, "; "))
+				delete(annotated, acq.Class) // suppress the stale check for it
+			}
+		}
+
+		// missing: an inferred entry requirement with no annotation. A
+		// contradicted annotation still counts as declared — one report is
+		// enough.
+		for _, need := range sum.NeedsHeld {
+			if declared[need.Class] || !expressible(pass, obj, need) {
+				continue
+			}
+			if need.Field != "" {
+				pass.Reportf(obj.Pos(), "%s requires %s held on entry (it releases or passes down a lock it never acquired) but has no propview:holds %s annotation",
+					obj.Name(), need.Class, need.Field)
+			} else {
+				pass.Reportf(obj.Pos(), "%s requires %s held on entry but declares no propview:holds contract for it",
+					obj.Name(), need.Class)
+			}
+		}
+
+		// stale: annotated but the body never relies on it.
+		used := make(map[string]bool)
+		for _, c := range sum.UsedEntry {
+			used[c] = true
+		}
+		for _, class := range sortedKeys(annotated) {
+			name := annotated[class]
+			if used[class] || guardedAccess(pass, bodies[obj], guards, name) {
+				continue
+			}
+			pass.Reportf(obj.Pos(), "stale propview:holds %s on %s: the body never unlocks it, nests no acquisition under it, and accesses no field it guards",
+				name, obj.Name())
+		}
+	}
+	return nil, nil
+}
+
+// expressible reports whether a propview:holds annotation on obj could
+// name need's class at all: the lock must be a field of obj's receiver
+// type or a package-level mutex of obj's own package. Entry requirements
+// inherited from another package's internals (testing.benchmarkLock
+// reached through b.Run, say) are real but unnameable here — the
+// contract belongs inside that package, so no annotation is demanded.
+func expressible(pass *analysis.Pass, obj *types.Func, need summary.HeldLock) bool {
+	if need.Field != "" {
+		last := need.Field[strings.LastIndex(need.Field, ".")+1:]
+		if summary.ResolveHoldClass(pass, obj, last) == need.Class {
+			return true
+		}
+	}
+	i := strings.LastIndex(need.Class, ".")
+	if i < 0 {
+		return false
+	}
+	pkg, name := need.Class[:i], need.Class[i+1:]
+	return pkg == pass.Pkg.Path() && summary.ResolveHoldClass(pass, obj, name) == need.Class
+}
+
+// guardedAccess reports whether fd's body accesses a field whose
+// guarded-by annotation names guardName — the lockguard-facing reason a
+// holds annotation exists.
+func guardedAccess(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]markers.Guard, guardName string) bool {
+	if fd == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok {
+			if g, ok := guards[v]; ok && g.Name == guardName {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,12 @@
+package holdinfer_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/holdinfer"
+)
+
+func TestHoldInfer(t *testing.T) {
+	analysistest.Run(t, "testdata", holdinfer.Analyzer, "holdfix")
+}

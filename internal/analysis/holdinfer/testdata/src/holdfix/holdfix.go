@@ -1,0 +1,65 @@
+// Package holdfix seeds each holdinfer diagnostic: a missing
+// propview:holds contract (direct and through a helper), a contradicted
+// one (self-deadlock), and two flavors of stale annotation.
+package holdfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded-by: mu
+}
+
+// bump touches a mu-guarded field under the caller's lock: the
+// annotation is justified by guarded access alone.
+//
+// propview:holds mu
+func (b *box) bump() {
+	b.n++
+}
+
+// finish releases the lock the caller acquired — the canonical holds
+// contract.
+//
+// propview:holds mu
+func (b *box) finish() {
+	b.mu.Unlock()
+}
+
+// leakRelease has finish's shape but no annotation.
+func (b *box) leakRelease() { // want "leakRelease requires holdfix.box.mu held on entry"
+	b.mu.Unlock()
+}
+
+// indirect inherits finish's entry requirement through the call but
+// declares nothing.
+func (b *box) indirect() { // want "indirect requires holdfix.box.mu held on entry"
+	b.finish()
+}
+
+// relock acquires the very lock its contract says the caller already
+// holds.
+//
+// propview:holds mu
+func (b *box) relock() { // want "propview:holds mu on relock is contradicted"
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// pointless declares a contract its body never relies on.
+//
+// propview:holds mu
+func (b *box) pointless() { // want "stale propview:holds mu on pointless"
+}
+
+// phantom names a lock that does not exist.
+//
+// propview:holds nosuch
+func (b *box) phantom() { // want "stale propview:holds nosuch on phantom: names no receiver lock field or package-level mutex"
+}
+
+// ok is annotation-free and lock-free: no diagnostics.
+func (b *box) ok() int {
+	return 0
+}

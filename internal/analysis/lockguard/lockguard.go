@@ -21,6 +21,12 @@
 // in the current function are exempt (not yet shared). Function literals
 // start with no locks held (they may run on another goroutine) except
 // Once.Do closures, which hold their Once.
+//
+// Calls are no longer a blind spot: the walk consumes the concurrency
+// summaries (see internal/analysis/summary), so a callee that returns
+// with the receiver's mutex held — a lock helper — extends the held set,
+// and one that releases it on the caller's behalf shrinks it, across
+// package boundaries.
 package lockguard
 
 import (
@@ -30,13 +36,15 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/markers"
+	"repro/internal/analysis/summary"
 )
 
 // Analyzer is the lockguard analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockguard",
-	Doc:  "checks that guarded-by: annotated fields are accessed only with their lock held (see internal/analysis)",
-	Run:  run,
+	Name:     "lockguard",
+	Doc:      "checks that guarded-by: annotated fields are accessed only with their lock held (see internal/analysis)",
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -45,6 +53,9 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	st := &state{pass: pass, guards: guards}
+	if r, ok := pass.ResultOf[summary.Analyzer].(*summary.Result); ok {
+		st.sums = r
+	}
 	st.validate()
 	holds := make(map[*types.Func][]string)
 	for obj, info := range markers.Funcs(pass) {
@@ -80,6 +91,22 @@ func run(pass *analysis.Pass) (any, error) {
 type state struct {
 	pass   *analysis.Pass
 	guards map[*types.Var]markers.Guard
+	sums   *summary.Result
+}
+
+// sumOf resolves a callee's concurrency summary: same-package functions
+// from the summary pass's result, imported ones from their fact.
+func (st *state) sumOf(f *types.Func) *summary.FuncSummary {
+	if st.sums != nil {
+		if s, ok := st.sums.Funcs[f]; ok {
+			return s
+		}
+	}
+	var ff summary.FuncFact
+	if st.pass.ImportObjectFact(f, &ff) {
+		return &ff.S
+	}
+	return nil
 }
 
 // validate reports annotations whose guard cannot work: an "atomic" guard
@@ -184,8 +211,10 @@ func (fs *funcState) stmt(s ast.Stmt) {
 		fs.caseBodies(s.Body)
 	case *ast.DeferStmt:
 		// A deferred unlock releases at return: the lock stays held for the
-		// rest of the walk, so only non-unlock defers are inspected.
-		if lockCall(fs.st.pass.TypesInfo, s.Call) == "" {
+		// rest of the walk, so only non-unlock defers are inspected. A
+		// deferred call to a helper that releases locks (per its summary)
+		// behaves the same way.
+		if lockCall(fs.st.pass.TypesInfo, s.Call) == "" && !fs.deferredRelease(s.Call) {
 			fs.expr(s.Call, false)
 		}
 	case *ast.GoStmt:
@@ -308,6 +337,7 @@ func (fs *funcState) expr(e ast.Expr, stmtPos bool) {
 		for _, a := range e.Args {
 			fs.expr(a, false)
 		}
+		fs.applySummary(e)
 	case *ast.SelectorExpr:
 		fs.checkAccess(e, read)
 		fs.expr(e.X, false)
@@ -368,6 +398,62 @@ func (fs *funcState) applyLockCall(call *ast.CallExpr) {
 		// Conservative: a TryLock statement whose result is discarded does
 		// not prove the lock held.
 	}
+}
+
+// applySummary folds a callee's summary into the held set after the call:
+// locks the callee returns holding join it (rebased from the callee's
+// receiver onto the call-site receiver expression), locks it releases on
+// the caller's behalf leave it.
+func (fs *funcState) applySummary(call *ast.CallExpr) {
+	callee := summary.CalleeOf(fs.st.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	sum := fs.st.sumOf(callee)
+	if sum == nil {
+		return
+	}
+	sel, _ := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	for _, nh := range sum.NetHeld {
+		key := callSiteKey(sel, nh.Field)
+		if key == "" {
+			continue
+		}
+		lvl := write
+		if nh.Level == "read" {
+			lvl = read
+		}
+		if fs.held[key] < lvl {
+			fs.held[key] = lvl
+		}
+	}
+	for _, rel := range sum.Releases {
+		if key := callSiteKey(sel, rel.Field); key != "" {
+			delete(fs.held, key)
+		}
+	}
+}
+
+// deferredRelease reports whether a deferred call releases locks per its
+// summary — those stay held to the end of the function, like a deferred
+// unlock.
+func (fs *funcState) deferredRelease(call *ast.CallExpr) bool {
+	callee := summary.CalleeOf(fs.st.pass.TypesInfo, call)
+	if callee == nil {
+		return false
+	}
+	sum := fs.st.sumOf(callee)
+	return sum != nil && len(sum.Releases) > 0
+}
+
+// callSiteKey rebases a callee's receiver-relative lock field onto the
+// call-site receiver expression: e.helper() whose summary names field "mu"
+// yields the held-set key "e.mu".
+func callSiteKey(sel *ast.SelectorExpr, field string) string {
+	if field == "" || sel == nil {
+		return ""
+	}
+	return types.ExprString(analysis.Unparen(sel.X)) + "." + field
 }
 
 // onceDo handles base.once.Do(f): the closure runs with the Once

@@ -9,7 +9,7 @@ import (
 )
 
 func TestLockGuard(t *testing.T) {
-	analysistest.Run(t, "testdata", lockguard.Analyzer, "lockfix")
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "lockfix", "lockhelper")
 }
 
 // TestRevertedLockFails proves the analyzer is load-bearing: the scratch

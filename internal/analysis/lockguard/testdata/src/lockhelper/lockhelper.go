@@ -1,0 +1,41 @@
+// Package lockhelper exercises lockguard's summary-aware half: guarded
+// accesses whose lock is taken and released through helper methods, which
+// the intra-procedural analyzer used to be blind to.
+package lockhelper
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded-by: mu
+}
+
+func (c *counter) lock() {
+	c.mu.Lock()
+}
+
+func (c *counter) unlock() {
+	c.mu.Unlock()
+}
+
+// inc is correct: the helpers acquire and release c.mu around the access.
+func (c *counter) inc() {
+	c.lock()
+	c.n++
+	c.unlock()
+}
+
+// deferred is correct: the deferred helper releases at return, so the
+// lock is held for the read.
+func (c *counter) deferred() int {
+	c.lock()
+	defer c.unlock()
+	return c.n
+}
+
+// after touches the guarded field once the helper has already released.
+func (c *counter) after() {
+	c.lock()
+	c.unlock()
+	c.n++ // want "write to c.n without holding c.mu"
+}

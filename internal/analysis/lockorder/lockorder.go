@@ -1,0 +1,139 @@
+// Package lockorder derives the global lock-acquisition partial order from
+// the concurrency summaries and diagnoses cycles — potential deadlocks.
+//
+// Every summary edge "A was held when B was acquired" (including edges
+// spliced through calls, so a nesting spanning several functions or
+// packages still counts) is a constraint A < B on the global order. A
+// cycle A < B < ... < A means two executions can acquire the same locks in
+// opposite orders and deadlock. The diagnostic carries the full
+// acquisition path of the edge that closes the cycle plus the reverse
+// path's steps, so the report reads as a reproduction recipe.
+//
+// A cycle is reported in the package contributing one of its edges, at
+// that edge's acquisition site, once per distinct lock set. Edges flow
+// along import edges only (the vettool protocol's fact model): a cycle
+// whose edges live in two packages neither of which imports the other is
+// out of reach for both drivers, by design.
+package lockorder
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/summary"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "derives the global lock-acquisition order from concurrency summaries and reports cycles (potential deadlocks)",
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := pass.ResultOf[summary.Analyzer].(*summary.Result)
+	if len(res.Edges) == 0 {
+		return nil, nil
+	}
+
+	// The known order: this package's edges plus everything the imports
+	// exported. First edge per (From, To) pair wins; facts arrive sorted
+	// by package path and local edges are sorted, so this is deterministic.
+	adj := make(map[string][]summary.Edge)
+	seen := make(map[string]bool)
+	add := func(e summary.Edge) {
+		key := e.From + "\x00" + e.To
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		adj[e.From] = append(adj[e.From], e)
+	}
+	for _, le := range res.Edges {
+		add(le.Edge)
+	}
+	for _, pf := range pass.AllPackageFacts(&summary.PkgFact{}) {
+		for _, e := range pf.Fact.(*summary.PkgFact).Edges {
+			add(e)
+		}
+	}
+
+	// A local edge A -> B closes a cycle iff B already reaches A. Only
+	// local edges anchor reports: the package that completes a cycle is
+	// the one that diagnoses it, so a cycle is never reported twice
+	// downstream.
+	reported := make(map[string]bool)
+	for _, le := range res.Edges {
+		back := findPath(adj, le.To, le.From)
+		if back == nil {
+			continue
+		}
+		cycle := []string{le.From, le.To}
+		for _, e := range back {
+			cycle = append(cycle, e.To)
+		}
+		sig := cycleSig(cycle)
+		if reported[sig] {
+			continue
+		}
+		reported[sig] = true
+
+		var rev []string
+		for _, e := range back {
+			rev = append(rev, strings.Join(e.Path, "; "))
+		}
+		pass.Reportf(le.Pos, "potential deadlock: lock-order cycle %s: here %s is acquired with %s held (%s), but elsewhere the order is reversed (%s)",
+			strings.Join(cycle, " -> "), le.To, le.From,
+			strings.Join(le.Path, "; "), strings.Join(rev, " | "))
+	}
+	return nil, nil
+}
+
+// findPath BFSes from start to goal, returning the edges of a shortest
+// path, or nil.
+func findPath(adj map[string][]summary.Edge, start, goal string) []summary.Edge {
+	type visit struct {
+		class string
+		via   []summary.Edge
+	}
+	queue := []visit{{class: start}}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[v.class] {
+			if visited[e.To] {
+				continue
+			}
+			path := append(append([]summary.Edge{}, v.via...), e)
+			if e.To == goal {
+				return path
+			}
+			visited[e.To] = true
+			queue = append(queue, visit{class: e.To, via: path})
+		}
+	}
+	return nil
+}
+
+// cycleSig canonicalizes a cycle's lock set: rotation- and
+// direction-insensitive enough to deduplicate reports of one cycle found
+// from different edges.
+func cycleSig(cycle []string) string {
+	set := make(map[string]bool)
+	for _, c := range cycle {
+		set[c] = true
+	}
+	classes := make([]string, 0, len(set))
+	for c := range set {
+		classes = append(classes, c)
+	}
+	// Insertion-sort the small set for a stable signature.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	return strings.Join(classes, "\x00")
+}

@@ -1,0 +1,81 @@
+package lockorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockcycle")
+}
+
+const orderBase = `package base
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// LockBoth acquires the module's lock order: A, then B.
+func LockBoth() {
+	MuA.Lock()
+	MuB.Lock()
+}
+
+// UnlockBoth releases in reverse.
+func UnlockBoth() {
+	MuB.Unlock()
+	MuA.Unlock()
+}
+`
+
+const orderClient = `package client
+
+import "order/base"
+
+func Transfer() {
+	base.MuA.Lock()
+	base.MuB.Lock()
+	base.MuB.Unlock()
+	base.MuA.Unlock()
+}
+`
+
+// TestSwappedLocksCycle proves the analyzer re-derives a cross-package
+// deadlock from a mutation: a two-package fixture that is clean when the
+// client follows the base package's A-then-B order, and reports a cycle
+// when the client's two Lock calls are swapped. The inverted edge is
+// local to the client; the A -> B edge arrives as an imported summary
+// fact from base.
+func TestSwappedLocksCycle(t *testing.T) {
+	files := map[string]string{
+		"order/base/base.go":     orderBase,
+		"order/client/client.go": orderClient,
+	}
+	if got := analysistest.RunFiles(t, lockorder.Analyzer, "order/client", files); len(got) != 0 {
+		t.Fatalf("well-ordered fixture should be clean, got %v", got)
+	}
+
+	swapped := strings.Replace(orderClient,
+		"base.MuA.Lock()\n\tbase.MuB.Lock()",
+		"base.MuB.Lock()\n\tbase.MuA.Lock()", 1)
+	if swapped == orderClient {
+		t.Fatal("mutation did not apply")
+	}
+	files["order/client/client.go"] = swapped
+	got := analysistest.RunFiles(t, lockorder.Analyzer, "order/client", files)
+	if len(got) != 1 {
+		t.Fatalf("swapped locks should yield exactly one finding, got %v", got)
+	}
+	msg := got[0].Message
+	for _, frag := range []string{"lock-order cycle", "order/base.MuA", "order/base.MuB"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("diagnostic %q missing %q", msg, frag)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package lockcycle seeds lock-order violations: two package-level
+// mutexes acquired in opposite orders directly, and a second pair where
+// one side of the inversion hides behind a helper call.
+package lockcycle
+
+import "sync"
+
+var a, b, c, d sync.Mutex
+
+func ab() {
+	a.Lock()
+	b.Lock() // want "potential deadlock: lock-order cycle"
+	b.Unlock()
+	a.Unlock()
+}
+
+func ba() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// cd nests the d acquisition through a helper; the summary splice makes
+// the c -> d edge visible at the call site.
+func cd() {
+	c.Lock()
+	lockD() // want "potential deadlock: lock-order cycle"
+	d.Unlock()
+	c.Unlock()
+}
+
+func lockD() {
+	d.Lock()
+}
+
+func dc() {
+	d.Lock()
+	c.Lock()
+	c.Unlock()
+	d.Unlock()
+}
+
+// consistent nests in the same order everywhere and must stay silent.
+func consistent() {
+	a.Lock()
+	c.Lock()
+	c.Unlock()
+	a.Unlock()
+}
