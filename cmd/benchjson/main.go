@@ -44,13 +44,63 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// MaintRecord is the distilled per-view maintenance cost of one
+// BenchmarkApplyDeletion* / BenchmarkApplyInsertion* result: the operation
+// kind, the worker count the run used (parsed from the -cpu suffix that a
+// `-cpu 1,2,4,8` sweep appends to the name; 1 when absent), and the two
+// metrics the maintenance perf criterion is judged on. CI diffs the
+// `maintenance` records across PRs to see the parallel scaling curve
+// without re-deriving it from the raw benchmark lines.
+type MaintRecord struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Op          string  `json:"op"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 // Report is the full parsed run.
 type Report struct {
-	Goos       string        `json:"goos,omitempty"`
-	Goarch     string        `json:"goarch,omitempty"`
-	CPU        string        `json:"cpu,omitempty"`
-	Benchmarks []Result      `json:"benchmarks"`
-	Analysis   *driver.Stats `json:"analysis,omitempty"`
+	Goos        string        `json:"goos,omitempty"`
+	Goarch      string        `json:"goarch,omitempty"`
+	CPU         string        `json:"cpu,omitempty"`
+	Benchmarks  []Result      `json:"benchmarks"`
+	Maintenance []MaintRecord `json:"maintenance,omitempty"`
+	Analysis    *driver.Stats `json:"analysis,omitempty"`
+}
+
+// maintenance distills the view-maintenance benchmarks out of a parsed
+// run. Only ApplyDeletion/ApplyInsertion benchmarks qualify; everything
+// else (commit path, query path) stays raw-only.
+func maintenance(benchmarks []Result) []MaintRecord {
+	var recs []MaintRecord
+	for _, b := range benchmarks {
+		var op string
+		switch {
+		case strings.HasPrefix(b.Name, "BenchmarkApplyDeletion"):
+			op = "deletion"
+		case strings.HasPrefix(b.Name, "BenchmarkApplyInsertion"):
+			op = "insertion"
+		default:
+			continue
+		}
+		workers := 1
+		if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+			if n, err := strconv.Atoi(b.Name[i+1:]); err == nil && n > 0 {
+				workers = n
+			}
+		}
+		recs = append(recs, MaintRecord{
+			Name:        b.Name,
+			Package:     b.Package,
+			Op:          op,
+			Workers:     workers,
+			NsPerOp:     b.Metrics["ns/op"],
+			AllocsPerOp: b.Metrics["allocs/op"],
+		})
+	}
+	return recs
 }
 
 func main() {
@@ -61,6 +111,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	rep.Maintenance = maintenance(rep.Benchmarks)
 	if *analysisPath != "" {
 		data, err := os.ReadFile(*analysisPath)
 		if err != nil {

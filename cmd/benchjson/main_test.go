@@ -55,6 +55,41 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+const maintSample = `pkg: repro/internal/provenance
+BenchmarkApplyDeletion_Parallel	       5	  91234567 ns/op	  123456 B/op	    7890 allocs/op
+BenchmarkApplyDeletion_Parallel-2	       5	  51234567 ns/op	  123456 B/op	    7890 allocs/op
+BenchmarkApplyDeletion_Parallel-8	       5	  21234567 ns/op	  133456 B/op	    7990 allocs/op
+BenchmarkApplyInsertion_TreeSize100k-4	      10	   1234567 ns/op	    2345 B/op	      67 allocs/op
+BenchmarkCommit_Delete-4	      10	    234567 ns/op	    1000 B/op	      10 allocs/op
+PASS
+ok  	repro/internal/provenance	3.4s
+`
+
+func TestMaintenanceRecords(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(maintSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := maintenance(rep.Benchmarks)
+	if len(recs) != 4 {
+		t.Fatalf("distilled %d maintenance records, want 4 (commit bench must not qualify): %+v", len(recs), recs)
+	}
+	// The unsuffixed run is a 1-worker record.
+	if recs[0].Op != "deletion" || recs[0].Workers != 1 || recs[0].NsPerOp != 91234567 {
+		t.Errorf("unsuffixed record: %+v", recs[0])
+	}
+	// -cpu suffixes become worker counts.
+	if recs[1].Workers != 2 || recs[2].Workers != 8 {
+		t.Errorf("worker suffixes not parsed: %+v %+v", recs[1], recs[2])
+	}
+	if recs[2].AllocsPerOp != 7990 {
+		t.Errorf("allocs/op not carried: %+v", recs[2])
+	}
+	if recs[3].Op != "insertion" || recs[3].Workers != 4 || recs[3].Package != "repro/internal/provenance" {
+		t.Errorf("insertion record: %+v", recs[3])
+	}
+}
+
 func TestParseBenchEmpty(t *testing.T) {
 	rep, err := parseBench(strings.NewReader("PASS\nok  \trepro\t0.1s\n"))
 	if err != nil {

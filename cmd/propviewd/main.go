@@ -53,6 +53,7 @@ func main() {
 	coalesceWait := fs.Duration("coalesce-wait", 0, "how long a write batch waits for more arrivals before committing (0 = commit immediately; batching then comes from contention)")
 	asyncQueue := fs.Int("async-queue", 64, "bounded queue for async /delete commits (0 disables async mode)")
 	segments := fs.Int("segments", 0, "shard each relation into this many hash-partitioned segments so commits derive and compact in parallel (0 = unsegmented store)")
+	maintWorkers := fs.Int("maintenance-workers", 0, "intra-view maintenance width: workers fanning one view's provenance-tree and where-index delta across hash partitions (0 = auto-budget from write-workers, 1 = serial per view)")
 	var prepares prepareFlags
 	fs.Var(&prepares, "prepare", "view to prepare at boot, as name=QUERY (repeatable)")
 	fs.Parse(os.Args[1:])
@@ -70,10 +71,11 @@ func main() {
 		log.Fatalf("propviewd: %v", err)
 	}
 	e := engine.New(db, engine.Options{
-		Workers:         *writeWorkers,
-		MaxBatchSize:    *maxBatch,
-		MaxCoalesceWait: *coalesceWait,
-		Segments:        *segments,
+		Workers:            *writeWorkers,
+		MaxBatchSize:       *maxBatch,
+		MaxCoalesceWait:    *coalesceWait,
+		Segments:           *segments,
+		MaintenanceWorkers: *maintWorkers,
 	})
 	if *segments > 0 {
 		log.Printf("source store sharded into %d segments per relation", *segments)

@@ -28,8 +28,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/overlay"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
+
+// parDeltaMin is the per-node candidate count below which a parallel
+// maintenance pass recomputes entries inline instead of partitioning them
+// — mirroring the provenance tree's threshold. A package var so the
+// differential tests can force the parallel path on small streams.
+var parDeltaMin = 16
 
 // annEntry is one output tuple of an operator with its per-position
 // where-provenance sets. The tuple rides along so a parent can compute the
@@ -139,6 +146,19 @@ func setsEq(a, b []locSet) bool {
 // generations share all untouched state. A deletion disjoint from the
 // query's base relations returns the receiver.
 func (wv *WhereView) ApplyDeletion(T []relation.SourceTuple) *WhereView {
+	return wv.ApplyDeletionWorkers(T, 1)
+}
+
+// ApplyDeletionWorkers is ApplyDeletion with an intra-view parallelism
+// budget, the where-index side of the provenance tree's
+// ApplyDeletionWorkers: sibling subtrees of join/union nodes propagate
+// concurrently, and each node's candidate recomputation partitions by the
+// store's FNV-1a key hash into per-index slots gathered serially. The
+// (died, changed) propagation is order-free state — set/dead maps feeding
+// overlay derivations — so the derived index is identical at any worker
+// count; the fingerprint differential test pins that byte-for-byte.
+// workers <= 1 is exactly ApplyDeletion.
+func (wv *WhereView) ApplyDeletionWorkers(T []relation.SourceTuple, workers int) *WhereView {
 	if len(T) == 0 || wv.root == nil {
 		return wv
 	}
@@ -146,7 +166,7 @@ func (wv *WhereView) ApplyDeletion(T []relation.SourceTuple) *WhereView {
 	for _, st := range T {
 		byRel[st.Rel] = append(byRel[st.Rel], st.Tuple)
 	}
-	root, d := wv.root.applyDel(byRel, wv.met)
+	root, d := wv.root.applyDel(byRel, wv.met, parallel.NewBudget(workers))
 	if root == wv.root {
 		return wv
 	}
@@ -167,7 +187,17 @@ func (wv *WhereView) ApplyDeletion(T []relation.SourceTuple) *WhereView {
 // each candidate from the children's new generation, and derives its own
 // ann map. Returns the receiver untouched (and an empty delta) when the
 // deletion cannot reach this subtree.
-func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics) (*annNode, delta) {
+//
+// par is the intra-view worker budget (nil = serial): two-child nodes
+// recurse into their subtrees concurrently, and the candidate recomputes
+// of project/join/union nodes — the fan-out-heavy passes — partition by
+// key hash into per-index slots, gathered serially. Scan and
+// select/rename passes stay inline: their per-entry work is one overlay
+// probe, below any sensible partitioning threshold. Reads against the
+// children's new generations and the static build-time maps are safe
+// concurrently (immutable after construction); the touched counter is
+// atomic.
+func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics, par *parallel.Budget) (*annNode, delta) {
 	switch n.kind {
 	case nodeScan:
 		ts := byRel[n.relName]
@@ -196,7 +226,7 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 		// Both share the child's tuples and sets: an output entry dies
 		// exactly when the child entry died (it passed the filter /
 		// carried through the renaming), and set changes pass through.
-		nk, kd := n.kids[0].applyDel(byRel, met)
+		nk, kd := n.kids[0].applyDel(byRel, met, par)
 		if nk == n.kids[0] {
 			return n, delta{}
 		}
@@ -220,7 +250,7 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 		return n.derive([]*annNode{nk}, set, dead, &d, met), d
 
 	case nodeProject:
-		nk, kd := n.kids[0].applyDel(byRel, met)
+		nk, kd := n.kids[0].applyDel(byRel, met, par)
 		if nk == n.kids[0] {
 			return n, delta{}
 		}
@@ -232,13 +262,20 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 		for _, e := range kd.changed {
 			cands[e.t.Project(n.positions).Key()] = struct{}{}
 		}
-		var d delta
-		set := make(map[string]annEntry)
-		dead := make(map[string]struct{})
+		keys := make([]string, 0, len(cands))
 		for k := range cands {
+			keys = append(keys, k)
+		}
+		// Recomputing one candidate reads only the child's new generation
+		// and the static pre-image lists: independent per candidate, so
+		// each index writes its own slot and the set/dead assembly gathers
+		// serially below.
+		slots := make([]projSlot, len(keys))
+		par.ForKeyed(len(keys), parDeltaMin, func(i int) string { return keys[i] }, func(i int) {
+			k := keys[i]
 			old, ok := n.ann.Get(k)
 			if !ok {
-				continue
+				return
 			}
 			met.touched.Add(1)
 			sets := make([]locSet, len(n.positions))
@@ -250,25 +287,35 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 					continue // pre-image dead (this commit or an earlier one)
 				}
 				live = true
-				for i, p := range n.positions {
-					sets[i] = sets[i].union(ce.sets[p])
+				for j, p := range n.positions {
+					sets[j] = sets[j].union(ce.sets[p])
 				}
 			}
 			switch {
 			case !live:
-				d.died = append(d.died, old)
-				dead[k] = struct{}{}
+				slots[i] = projSlot{e: old, died: true}
 			case !setsEq(old.sets, sets):
-				e := annEntry{t: old.t, sets: sets}
-				d.changed = append(d.changed, e)
-				set[k] = e
+				slots[i] = projSlot{e: annEntry{t: old.t, sets: sets}, changed: true}
+			}
+		})
+		var d delta
+		set := make(map[string]annEntry)
+		dead := make(map[string]struct{})
+		for i, k := range keys {
+			s := slots[i]
+			switch {
+			case s.died:
+				d.died = append(d.died, s.e)
+				dead[k] = struct{}{}
+			case s.changed:
+				d.changed = append(d.changed, s.e)
+				set[k] = s.e
 			}
 		}
 		return n.derive([]*annNode{nk}, set, dead, &d, met), d
 
 	case nodeJoin:
-		nl, ld := n.kids[0].applyDel(byRel, met)
-		nr, rd := n.kids[1].applyDel(byRel, met)
+		nl, ld, nr, rd := n.applyDelKids(byRel, met, par)
 		if nl == n.kids[0] && nr == n.kids[1] {
 			return n, delta{}
 		}
@@ -276,23 +323,33 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 		// with a pre-commit-live partner of the other. Partner liveness is
 		// probed against the OLD opposite generation — a partner dying in
 		// this same commit still paired before it, and its output tuples
-		// must be re-examined (they die), not silently skipped.
+		// must be re-examined (they die), not silently skipped. Each delta
+		// entry's probe writes its own slot of output tuples; the dedup
+		// into cands gathers serially (candidate state is order-free — the
+		// map below is iterated in whatever order either way).
 		cands := make(map[string]relation.Tuple, len(ld.died)+len(rd.died))
 		addSide := func(es []annEntry, mySchema relation.Schema, oppBuck map[string][]relation.Tuple, opp *annNode, leftSide bool) {
-			for _, e := range es {
+			outs := make([][]relation.Tuple, len(es))
+			par.ForKeyed(len(es), parDeltaMin, func(i int) string { return es[i].t.Key() }, func(i int) {
+				e := es[i]
 				jk := relation.ProjectAttrs(mySchema, e.t, n.common).Key()
+				var o []relation.Tuple
 				for _, pt := range oppBuck[jk] {
 					met.touched.Add(1)
 					if !opp.ann.Has(pt.Key()) {
 						continue
 					}
-					var out relation.Tuple
 					if leftSide {
-						out = n.joined(e.t, pt)
+						o = append(o, n.joined(e.t, pt))
 					} else {
-						out = n.joined(pt, e.t)
+						o = append(o, n.joined(pt, e.t))
 					}
-					cands[out.Key()] = out
+				}
+				outs[i] = o
+			})
+			for _, ts := range outs {
+				for _, t := range ts {
+					cands[t.Key()] = t
 				}
 			}
 		}
@@ -300,13 +357,13 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 		addSide(ld.changed, n.ls, n.rbuck, n.kids[1], true)
 		addSide(rd.died, n.rs, n.lbuck, n.kids[0], false)
 		addSide(rd.changed, n.rs, n.lbuck, n.kids[0], false)
-		var d delta
-		set := make(map[string]annEntry)
-		dead := make(map[string]struct{})
-		for k, out := range cands {
+		keys, outs := candSlices(cands)
+		slots := make([]projSlot, len(keys))
+		par.ForKeyed(len(keys), parDeltaMin, func(i int) string { return keys[i] }, func(i int) {
+			k, out := keys[i], outs[i]
 			old, ok := n.ann.Get(k)
 			if !ok {
-				continue
+				return
 			}
 			met.touched.Add(1)
 			// The (left, right) pair is recoverable from the output tuple:
@@ -316,12 +373,11 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 			le, lok := nl.ann.Get(lt.Key())
 			re, rok := nr.ann.Get(rt.Key())
 			if !lok || !rok {
-				d.died = append(d.died, old)
-				dead[k] = struct{}{}
-				continue
+				slots[i] = projSlot{e: old, died: true}
+				return
 			}
 			sets := make([]locSet, len(n.mapping))
-			for i, sp := range n.mapping {
+			for j, sp := range n.mapping {
 				var s locSet
 				if sp.l >= 0 {
 					s = s.union(le.sets[sp.l])
@@ -329,19 +385,17 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 				if sp.r >= 0 {
 					s = s.union(re.sets[sp.r])
 				}
-				sets[i] = s
+				sets[j] = s
 			}
 			if !setsEq(old.sets, sets) {
-				e := annEntry{t: old.t, sets: sets}
-				d.changed = append(d.changed, e)
-				set[k] = e
+				slots[i] = projSlot{e: annEntry{t: old.t, sets: sets}, changed: true}
 			}
-		}
+		})
+		d, set, dead := gatherSlots(keys, slots)
 		return n.derive([]*annNode{nl, nr}, set, dead, &d, met), d
 
 	case nodeUnion:
-		nl, ld := n.kids[0].applyDel(byRel, met)
-		nr, rd := n.kids[1].applyDel(byRel, met)
+		nl, ld, nr, rd := n.applyDelKids(byRel, met, par)
 		if nl == n.kids[0] && nr == n.kids[1] {
 			return n, delta{}
 		}
@@ -360,13 +414,13 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 			a := e.t.Project(n.positions)
 			cands[a.Key()] = a
 		}
-		var d delta
-		set := make(map[string]annEntry)
-		dead := make(map[string]struct{})
-		for k, out := range cands {
+		keys, outs := candSlices(cands)
+		slots := make([]projSlot, len(keys))
+		par.ForKeyed(len(keys), parDeltaMin, func(i int) string { return keys[i] }, func(i int) {
+			k, out := keys[i], outs[i]
 			old, ok := n.ann.Get(k)
 			if !ok {
-				continue
+				return
 			}
 			met.touched.Add(1)
 			le, lok := nl.ann.Get(k)
@@ -374,30 +428,89 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics)
 			// the inverse projection of the output tuple.
 			re, rok := nr.ann.Get(out.Project(n.inv).Key())
 			if !lok && !rok {
-				d.died = append(d.died, old)
-				dead[k] = struct{}{}
-				continue
+				slots[i] = projSlot{e: old, died: true}
+				return
 			}
 			sets := make([]locSet, len(old.sets))
-			for i := range sets {
+			for j := range sets {
 				var s locSet
 				if lok {
-					s = s.union(le.sets[i])
+					s = s.union(le.sets[j])
 				}
 				if rok {
-					s = s.union(re.sets[n.positions[i]])
+					s = s.union(re.sets[n.positions[j]])
 				}
-				sets[i] = s
+				sets[j] = s
 			}
 			if !setsEq(old.sets, sets) {
-				e := annEntry{t: old.t, sets: sets}
-				d.changed = append(d.changed, e)
-				set[k] = e
+				slots[i] = projSlot{e: annEntry{t: old.t, sets: sets}, changed: true}
 			}
-		}
+		})
+		d, set, dead := gatherSlots(keys, slots)
 		return n.derive([]*annNode{nl, nr}, set, dead, &d, met), d
 	}
 	return n, delta{}
+}
+
+// projSlot is one candidate's recompute outcome in a partitioned pass:
+// died (e is the old entry), changed (e is the new one), or neither.
+type projSlot struct {
+	e       annEntry
+	died    bool
+	changed bool
+}
+
+// candSlices materializes a candidate map into parallel key/tuple slices
+// so a partitioned pass can index it; candidate state is order-free, so
+// the map's iteration order is as good as any.
+func candSlices(cands map[string]relation.Tuple) ([]string, []relation.Tuple) {
+	keys := make([]string, 0, len(cands))
+	outs := make([]relation.Tuple, 0, len(cands))
+	for k, t := range cands {
+		keys = append(keys, k)
+		outs = append(outs, t)
+	}
+	return keys, outs
+}
+
+// gatherSlots assembles a partitioned recompute's slots into the node's
+// delta and overlay derivation inputs, serially.
+func gatherSlots(keys []string, slots []projSlot) (delta, map[string]annEntry, map[string]struct{}) {
+	var d delta
+	set := make(map[string]annEntry)
+	dead := make(map[string]struct{})
+	for i, k := range keys {
+		s := slots[i]
+		switch {
+		case s.died:
+			d.died = append(d.died, s.e)
+			dead[k] = struct{}{}
+		case s.changed:
+			d.changed = append(d.changed, s.e)
+			set[k] = s.e
+		}
+	}
+	return d, set, dead
+}
+
+// applyDelKids recurses into a two-child node's subtrees — concurrently
+// with a budget (the sibling-subtree axis; Budget.For is the join
+// barrier), inline without one.
+func (n *annNode) applyDelKids(byRel map[string][]relation.Tuple, met *whereMetrics, par *parallel.Budget) (nl *annNode, ld delta, nr *annNode, rd delta) {
+	run := func(i int) {
+		if i == 0 {
+			nl, ld = n.kids[0].applyDel(byRel, met, par)
+		} else {
+			nr, rd = n.kids[1].applyDel(byRel, met, par)
+		}
+	}
+	if par != nil {
+		par.For(2, run)
+	} else {
+		run(0)
+		run(1)
+	}
+	return nl, ld, nr, rd
 }
 
 // derive publishes this node's next generation: same statics, new kids

@@ -658,12 +658,13 @@ func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 
 	newDB := db.DeleteAll(T)
 	next := make([]*snapshot, len(ps))
+	intra := e.opt.intraWorkers(len(ps))
 	e.fanOut(len(ps), func(i int) {
 		old := ps[i].snap.Load()
 		// ApplyDeletionTo adopts newDB's relation versions at the scan
 		// nodes, so the tree and the store share one version chain per
 		// relation instead of deriving parallel ones.
-		next[i] = nextSnapshot(old, newDB, old.prov.ApplyDeletionTo(newDB, T))
+		next[i] = nextSnapshot(old, newDB, old.prov.ApplyDeletionWorkers(newDB, T, intra))
 		if s := next[i]; !s.whereBuilt.Load() && old.whereBuilt.Load() {
 			// The old generation had a built where index and the commit is
 			// a pure deletion: derive the new index from it in O(|Δ|)
@@ -673,7 +674,7 @@ func (e *Engine) apply(T []relation.SourceTuple, reqs int) {
 			// widen surviving where-sets past what the retained tree's
 			// static maps cover.
 			//lint:ignore lockguard s is pre-publication (no reader sees it until snap.Store below); old.whereBuilt.Load() orders the read of old.where
-			s.where = old.where.ApplyDeletion(T)
+			s.where = old.where.ApplyDeletionWorkers(T, intra)
 			s.whereBuilt.Store(true)
 			s.whereOnce.Do(func() {})
 		}
@@ -837,6 +838,11 @@ type Stats struct {
 	// Store summarizes the versioned source store: current overlay shape
 	// plus lifetime sharing and compaction counters.
 	Store relation.StoreStats `json:"store"`
+	// MaintenanceWorkers is the intra-view maintenance width in effect for
+	// the current view count: the resolved Options.MaintenanceWorkers, or
+	// the auto budget (Workers divided across concurrently maintained
+	// views) when unset. 1 means per-view maintenance runs serially.
+	MaintenanceWorkers int `json:"maintenance_workers"`
 }
 
 // Stats assembles the current counters and per-view summaries. Like
@@ -877,6 +883,7 @@ func (e *Engine) Stats() Stats {
 		CommitBatches:           e.nBatches.Load(),
 		CoalescedDeletes:        e.nCoalesced.Load(),
 		CoalescedInserts:        e.nCoalescedIns.Load(),
+		MaintenanceWorkers:      e.opt.intraWorkers(len(ps)),
 	}
 	for _, c := range ps {
 		wit := 0

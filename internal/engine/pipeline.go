@@ -75,6 +75,19 @@ type Options struct {
 	// unsegmented store. Worth turning on for large relations under write
 	// load; a good starting point is a few segments per core.
 	Segments int
+	// MaintenanceWorkers bounds the INTRA-view parallelism of each view's
+	// maintenance pass during a commit: sibling subtrees of the provenance
+	// tree derive concurrently and per-node candidate work partitions by
+	// key hash (provenance.Result.ApplyDeletionWorkers /
+	// ApplyInsertionWorkers, annotation.WhereView.ApplyDeletionWorkers).
+	// This is the second parallelism axis, orthogonal to Workers (which
+	// fans out ACROSS views). Zero (the default) auto-budgets: each view's
+	// pass gets Workers divided by the number of concurrently maintained
+	// views, at least 1, so across-view × intra-view never exceeds
+	// Workers. Set to 1 to force serial per-view maintenance (the pre-PR-9
+	// behavior); set above 1 to pin an explicit intra-view width
+	// regardless of view count.
+	MaintenanceWorkers int
 }
 
 // withDefaults fills unset fields.
@@ -89,6 +102,30 @@ func (o Options) withDefaults() Options {
 		o.MaxCoalesceWait = 0
 	}
 	return o
+}
+
+// intraWorkers is the per-view maintenance width for a commit touching the
+// given number of views. With MaintenanceWorkers unset it divides the
+// across-view pool evenly: fanOut runs min(views, Workers) views at once,
+// so each gets Workers/min(views, Workers) workers (at least 1) and the
+// product never oversubscribes Workers. An explicit setting passes
+// through unchanged — the operator has opted out of the budget.
+func (o Options) intraWorkers(views int) int {
+	if o.MaintenanceWorkers > 0 {
+		return o.MaintenanceWorkers
+	}
+	if views < 1 {
+		views = 1
+	}
+	active := views
+	if o.Workers < active {
+		active = o.Workers
+	}
+	w := o.Workers / active
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // writeKind distinguishes the two write request types in the pipeline.
@@ -427,9 +464,10 @@ func (e *Engine) insertGroup(reqs []*writeReq) error {
 	}
 	next := make([]*snapshot, len(ps))
 	errs := make([]error, len(ps))
+	intra := e.opt.intraWorkers(len(ps))
 	e.fanOut(len(ps), func(i int) {
 		old := ps[i].snap.Load()
-		prov, ierr := old.prov.ApplyInsertion(newDB, novel)
+		prov, ierr := old.prov.ApplyInsertionWorkers(newDB, novel, intra)
 		if ierr != nil {
 			errs[i] = fmt.Errorf("engine: maintaining view %q: %w", ps[i].name, ierr)
 			return

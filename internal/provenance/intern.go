@@ -11,12 +11,18 @@ package provenance
 //
 // One interner is shared along a Result's generation chain (it lives in
 // treeMetrics, like the counters). Maintenance passes over a single chain
-// are serialized by the engine's commit lock, and concurrent view
-// maintenance uses per-view chains, so the map needs no locking; the
-// hit/miss counters are atomic because Stats readers are concurrent.
+// are serialized by the engine's commit lock, but ONE pass is no longer
+// single-goroutine: ApplyInsertionWorkers interns from sibling subtrees
+// and hash-partitioned join probes concurrently, so the table takes a
+// mutex. The critical section is the map probe/store only — key merging
+// and witness construction happen outside it — and the serial path pays
+// one uncontended lock per intern, noise next to the allocation it
+// saves. The hit/miss counters stay atomic because Stats readers don't
+// hold the lock.
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/relation"
@@ -30,13 +36,22 @@ const maxInternEntries = 1 << 18
 
 type witnessInterner struct {
 	hits, misses atomic.Int64
-	m            map[string]Witness
+	mu           sync.Mutex
+	m            map[string]Witness // guarded-by: mu
+}
+
+// lookup probes the table under the lock.
+func (wi *witnessInterner) lookup(k string) (Witness, bool) {
+	wi.mu.Lock()
+	w, ok := wi.m[k]
+	wi.mu.Unlock()
+	return w, ok
 }
 
 // singleton returns the canonical witness {st}.
 func (wi *witnessInterner) singleton(st relation.SourceTuple) Witness {
 	k := st.Key()
-	if w, ok := wi.m[k]; ok {
+	if w, ok := wi.lookup(k); ok {
 		wi.hits.Add(1)
 		return w
 	}
@@ -47,19 +62,25 @@ func (wi *witnessInterner) singleton(st relation.SourceTuple) Witness {
 // before building anything.
 func (wi *witnessInterner) union(w, v Witness) Witness {
 	k := mergedKey(w.keys, v.keys)
-	if u, ok := wi.m[k]; ok {
+	if u, ok := wi.lookup(k); ok {
 		wi.hits.Add(1)
 		return u
 	}
 	return wi.put(k, UnionWitness(w, v))
 }
 
+// put stores w under k. Two workers missing on the same key may both
+// build and put it; the values are equal (canonical construction from the
+// same tuples), so last-write-wins is harmless — one duplicate build,
+// never a wrong value.
 func (wi *witnessInterner) put(k string, w Witness) Witness {
 	wi.misses.Add(1)
+	wi.mu.Lock()
 	if wi.m == nil || len(wi.m) >= maxInternEntries {
 		wi.m = make(map[string]Witness)
 	}
 	wi.m[k] = w
+	wi.mu.Unlock()
 	return w
 }
 

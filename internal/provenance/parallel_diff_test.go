@@ -1,0 +1,179 @@
+package provenance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// iterOrder renders the view's tuples in ITERATION order (not sorted), so
+// two results compare equal only if parallel maintenance preserved the
+// serial walk's append order exactly — the strongest form of the
+// byte-identical contract.
+func iterOrder(res *Result) string {
+	var sb strings.Builder
+	for _, t := range res.View.Tuples() {
+		sb.WriteString(t.Key())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelMaintenanceWidthInvariant drives the same 400-step mixed
+// insert/delete stream through three maintained chains at worker widths 1,
+// 2, and 8 and demands the derived state be byte-identical after every
+// step: same view iteration order, same witness basis per tuple, and the
+// same width-invariant tree counters at the end. parDeltaMin is lowered so
+// even the small per-step deltas take the partitioned path instead of
+// inlining — the point is to exercise the parallel code, not to dodge it.
+func TestParallelMaintenanceWidthInvariant(t *testing.T) {
+	defer func(old int) { parDeltaMin = old }(parDeltaMin)
+	parDeltaMin = 2
+
+	// Join + union exercise sibling-pair parallelism; select, project and
+	// rename ride along on the union's branches.
+	q := algebra.Un(
+		algebra.Pi([]relation.Attribute{"A"},
+			algebra.NatJoin(algebra.R("R1"), algebra.R("R2"))),
+		algebra.Pi([]relation.Attribute{"A"},
+			algebra.Sigma(algebra.EqAttr("A", "B"), algebra.R("R1"))),
+	)
+
+	rng := rand.New(rand.NewSource(9))
+	db := relation.NewDatabase()
+	r1 := relation.New("R1", relation.NewSchema("A", "B"))
+	r2 := relation.New("R2", relation.NewSchema("B", "C"))
+	for i := 0; i < 40; i++ {
+		r1.Insert(relation.NewTuple(relation.Int(int64(rng.Intn(8))), relation.Int(int64(rng.Intn(8)))))
+		r2.Insert(relation.NewTuple(relation.Int(int64(rng.Intn(8))), relation.Int(int64(rng.Intn(8)))))
+	}
+	db.MustAdd(r1)
+	db.MustAdd(r2)
+
+	// Three chains, each with its own computed root so the per-chain
+	// counters (treeMetrics is shared along a generation chain) stay
+	// independent and comparable. Width 1 goes through the plain serial
+	// entry points; widths 2 and 8 through the Workers variants.
+	compute := func() *Result {
+		res, err := Compute(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	w1, w2, w8 := compute(), compute(), compute()
+
+	var graveyard []relation.SourceTuple
+	for step := 0; step < 400; step++ {
+		if rng.Intn(2) == 0 {
+			// Insert: a few fresh tuples plus the occasional restore.
+			var I []relation.SourceTuple
+			for k := 0; k < 6; k++ {
+				rel := "R1"
+				if rng.Intn(2) == 0 {
+					rel = "R2"
+				}
+				I = append(I, relation.SourceTuple{Rel: rel, Tuple: relation.NewTuple(
+					relation.Int(int64(rng.Intn(8))), relation.Int(int64(rng.Intn(8))))})
+			}
+			if len(graveyard) > 0 && rng.Intn(2) == 0 {
+				I = append(I, graveyard[rng.Intn(len(graveyard))])
+			}
+			var novel []relation.SourceTuple
+			seen := make(map[string]bool)
+			for _, stp := range I {
+				if !db.Contains(stp) && !seen[stp.Key()] {
+					seen[stp.Key()] = true
+					novel = append(novel, stp)
+				}
+			}
+			if len(novel) == 0 {
+				continue
+			}
+			newDB, err := db.InsertAll(novel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w1, err = w1.ApplyInsertion(newDB, novel); err != nil {
+				t.Fatal(err)
+			}
+			if w2, err = w2.ApplyInsertionWorkers(newDB, novel, 2); err != nil {
+				t.Fatal(err)
+			}
+			if w8, err = w8.ApplyInsertionWorkers(newDB, novel, 8); err != nil {
+				t.Fatal(err)
+			}
+			db = newDB
+		} else {
+			all := db.AllSourceTuples()
+			if len(all) < 8 {
+				continue
+			}
+			var T []relation.SourceTuple
+			for _, s := range all {
+				if rng.Intn(5) == 0 {
+					T = append(T, s)
+				}
+			}
+			if len(T) == 0 {
+				T = append(T, all[rng.Intn(len(all))])
+			}
+			graveyard = append(graveyard, T...)
+			db = db.DeleteAll(T)
+			w1 = w1.ApplyDeletion(T)
+			w2 = w2.ApplyDeletionWorkers(nil, T, 2)
+			w8 = w8.ApplyDeletionWorkers(nil, T, 8)
+		}
+
+		o1 := iterOrder(w1)
+		if o2 := iterOrder(w2); o2 != o1 {
+			t.Fatalf("step %d: width-2 view iteration order diverged from serial\n serial:\n%s\n width 2:\n%s", step, o1, o2)
+		}
+		if o8 := iterOrder(w8); o8 != o1 {
+			t.Fatalf("step %d: width-8 view iteration order diverged from serial\n serial:\n%s\n width 8:\n%s", step, o1, o8)
+		}
+		f1 := witnessFingerprint(w1)
+		if f2 := witnessFingerprint(w2); f2 != f1 {
+			t.Fatalf("step %d: width-2 witness basis diverged from serial\n serial:\n%s\n width 2:\n%s", step, f1, f2)
+		}
+		if f8 := witnessFingerprint(w8); f8 != f1 {
+			t.Fatalf("step %d: width-8 witness basis diverged from serial\n serial:\n%s\n width 8:\n%s", step, f1, f8)
+		}
+		if step%50 == 49 {
+			fresh, err := Compute(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := f1, witnessFingerprint(fresh); got != want {
+				t.Fatalf("step %d: maintained state diverged from recompute\n got:\n%s\nwant:\n%s", step, got, want)
+			}
+		}
+	}
+
+	// Structural counters that must not depend on width: same passes, same
+	// node rewrites, same shared subtrees, same candidates examined.
+	// (ParallelDerives and the intern counters legitimately differ.)
+	s1, s2, s8 := w1.TreeStats(), w2.TreeStats(), w8.TreeStats()
+	for _, c := range []struct {
+		name       string
+		a, b, want int64
+	}{
+		{"Derives", s2.Derives, s8.Derives, s1.Derives},
+		{"SharedNodes", s2.SharedNodes, s8.SharedNodes, s1.SharedNodes},
+		{"RewrittenNodes", s2.RewrittenNodes, s8.RewrittenNodes, s1.RewrittenNodes},
+		{"TouchedTuples", s2.TouchedTuples, s8.TouchedTuples, s1.TouchedTuples},
+	} {
+		if c.a != c.want || c.b != c.want {
+			t.Errorf("%s differs across widths: serial %d, width-2 %d, width-8 %d", c.name, c.want, c.a, c.b)
+		}
+	}
+	if s1.ParallelDerives != 0 {
+		t.Errorf("serial chain recorded %d parallel derives, want 0", s1.ParallelDerives)
+	}
+	if s2.ParallelDerives == 0 || s8.ParallelDerives == 0 {
+		t.Errorf("parallel chains recorded no parallel derives (w2=%d, w8=%d) — the budgeted path never ran", s2.ParallelDerives, s8.ParallelDerives)
+	}
+}

@@ -15,8 +15,15 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/overlay"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
+
+// parDeltaMin is the per-node candidate count below which a parallel
+// maintenance pass evaluates candidates inline instead of partitioning
+// them — partition setup isn't worth it for tiny deltas. A package var so
+// the differential tests can force the parallel path on small streams.
+var parDeltaMin = 16
 
 // Witness is a set of source tuples sufficient for an output tuple to
 // appear; elements are kept sorted by key so witnesses have canonical
@@ -217,6 +224,9 @@ type treeMetrics struct {
 	// candidate tuples examined during maintenance
 	// guarded-by: atomic
 	touchedTuples atomic.Int64
+	// maintenance passes that ran with a parallel budget (workers > 1)
+	// guarded-by: atomic
+	parDerives atomic.Int64
 
 	relM relation.VersionMetrics // node-relation overlay activity
 	mapM overlay.Metrics         // witness/bucket map overlay activity
@@ -251,6 +261,10 @@ type TreeStats struct {
 	RewrittenNodes int64 `json:"rewritten_nodes"`
 	// TouchedTuples counts candidate tuples examined by maintenance.
 	TouchedTuples int64 `json:"touched_tuples"`
+	// ParallelDerives counts maintenance passes that ran with an intra-view
+	// worker budget (ApplyDeletionWorkers/ApplyInsertionWorkers with
+	// workers > 1); serial passes don't advance it.
+	ParallelDerives int64 `json:"parallel_derives"`
 	// RelFolds / RelSquashes count node-relation overlay compactions.
 	RelFolds    int64 `json:"rel_folds"`
 	RelSquashes int64 `json:"rel_squashes"`
@@ -274,6 +288,7 @@ func (r *Result) TreeStats() TreeStats {
 		st.SharedNodes = r.tm.sharedNodes.Load()
 		st.RewrittenNodes = r.tm.rewrittenNodes.Load()
 		st.TouchedTuples = r.tm.touchedTuples.Load()
+		st.ParallelDerives = r.tm.parDerives.Load()
 		st.RelFolds = r.tm.relM.Folds()
 		st.RelSquashes = r.tm.relM.Squashes()
 		st.MapFolds = r.tm.mapM.Folds()
@@ -365,7 +380,7 @@ func newDeletionSet(T []relation.SourceTuple) *deletionSet {
 // the receiver itself when T cannot affect the view); the receiver is
 // unchanged and stays fully readable.
 func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
-	return r.ApplyDeletionTo(nil, T)
+	return r.ApplyDeletionWorkers(nil, T, 1)
 }
 
 // ApplyDeletionTo is ApplyDeletion for callers that already derived the
@@ -379,6 +394,21 @@ func (r *Result) ApplyDeletion(T []relation.SourceTuple) *Result {
 // already does with its newDB. A nil newDB derives private versions
 // (the ApplyDeletion behavior).
 func (r *Result) ApplyDeletionTo(newDB *relation.Database, T []relation.SourceTuple) *Result {
+	return r.ApplyDeletionWorkers(newDB, T, 1)
+}
+
+// ApplyDeletionWorkers is ApplyDeletionTo with an intra-view parallelism
+// budget: the tree walk derives sibling subtrees of joins and unions
+// concurrently, and each node's candidate evaluation is partitioned by
+// the store's FNV-1a key hash across up to workers goroutines (caller
+// included). The budget bounds TOTAL live goroutines across both axes —
+// nested fan-outs borrow from one token pool — so an engine fanning out
+// across views can size each view's budget to keep across-view ×
+// intra-view within its worker cap. workers <= 1 is exactly
+// ApplyDeletionTo: per-candidate results land in index-ordered slots and
+// are gathered serially, so the derived Result is byte-identical to the
+// serial walk at any worker count.
+func (r *Result) ApplyDeletionWorkers(newDB *relation.Database, T []relation.SourceTuple, workers int) *Result {
 	del := newDeletionSet(T)
 	if len(del.keys) == 0 {
 		return r
@@ -392,7 +422,11 @@ func (r *Result) ApplyDeletionTo(newDB *relation.Database, T []relation.SourceTu
 		return r
 	}
 	r.tm.derives.Add(1)
-	ds := deleteNodeDelta(r.plan, r.tree, newDB, del, r.tm)
+	par := parallel.NewBudget(workers)
+	if par != nil {
+		r.tm.parDerives.Add(1)
+	}
+	ds := deleteNodeDelta(r.plan, r.tree, newDB, del, r.tm, par)
 	if ds.node == r.tree {
 		return r
 	}
@@ -458,7 +492,16 @@ type delState struct {
 // intersects T, so t is an image of a touched child tuple. A non-nil
 // newDB is the caller's already-derived post-deletion source; scan nodes
 // adopt its relation versions instead of deriving their own.
-func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del *deletionSet, tm *treeMetrics) delState {
+//
+// par is the intra-view worker budget (nil = serial): sibling subtrees of
+// two-child operators recurse concurrently, join probes and candidate
+// filtering partition by tuple-key hash into per-index slots, and every
+// map/overlay derivation gathers those slots serially in candidate order
+// — deletion state (tombstone sets, witness-change maps) is order-free,
+// so the derived node is identical at any width. The pre-deletion state
+// read concurrently (n.wit, bucket chains, child witness maps) is
+// immutable published generations, safe for any number of readers.
+func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del *deletionSet, tm *treeMetrics, par *parallel.Budget) delState {
 	if !touchesAny(q, del.rels) {
 		tm.sharedNodes.Add(1)
 		return delState{node: n}
@@ -513,9 +556,19 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 		panic(fmt.Sprintf("provenance: deleteNodeDelta: unknown query node %T", q))
 	}
 	kids := make([]delState, len(n.kids))
+	runKid := func(i int) { kids[i] = deleteNodeDelta(kidQ[i], n.kids[i], newDB, del, tm, par) }
+	if len(n.kids) == 2 && par != nil {
+		// Sibling-subtree axis: the two children read disjoint subtree
+		// state, so they derive concurrently; Budget.For is the join
+		// barrier before this node maps their touched-tuple reports.
+		par.For(2, runKid)
+	} else {
+		for i := range n.kids {
+			runKid(i)
+		}
+	}
 	kidsChanged := false
-	for i := range n.kids {
-		kids[i] = deleteNodeDelta(kidQ[i], n.kids[i], newDB, del, tm)
+	for i := range kids {
 		if kids[i].node != n.kids[i] {
 			kidsChanged = true
 		}
@@ -552,45 +605,75 @@ func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del
 		sh := n.shape
 		// Probes walk only live partners (EachLive): stale bucket entries
 		// are skipped by the child's pre-deletion witness map, and the walk
-		// stops once the bucket's live count is exhausted.
-		for _, lt := range kids[0].touched {
-			lt := lt
-			rbv, _ := n.rbuck.Get(sh.leftKey(lt))
-			rbv.EachLive(n.kids[1].wit.Has, func(rt relation.Tuple) bool {
-				add(sh.join(lt, rt))
-				return true
+		// stops once the bucket's live count is exhausted. Each touched
+		// tuple's probe writes only its own image slot; the dedup into
+		// cands gathers serially, left side then right, in touched order —
+		// the exact order the serial loop produced.
+		probe := func(touched []relation.Tuple, myKey func(relation.Tuple) string, buck *overlay.Map[overlay.BucketVal], oppAlive func(string) bool, leftSide bool) [][]relation.Tuple {
+			imgs := make([][]relation.Tuple, len(touched))
+			par.ForKeyed(len(touched), parDeltaMin, func(i int) string { return touched[i].Key() }, func(i int) {
+				t := touched[i]
+				bv, _ := buck.Get(myKey(t))
+				var out []relation.Tuple
+				bv.EachLive(oppAlive, func(pt relation.Tuple) bool {
+					if leftSide {
+						out = append(out, sh.join(t, pt))
+					} else {
+						out = append(out, sh.join(pt, t))
+					}
+					return true
+				})
+				imgs[i] = out
 			})
+			return imgs
 		}
-		for _, rt := range kids[1].touched {
-			rt := rt
-			lbv, _ := n.lbuck.Get(sh.rightKey(rt))
-			lbv.EachLive(n.kids[0].wit.Has, func(lt relation.Tuple) bool {
-				add(sh.join(lt, rt))
-				return true
-			})
+		limgs := probe(kids[0].touched, sh.leftKey, n.rbuck, n.kids[1].wit.Has, true)
+		rimgs := probe(kids[1].touched, sh.rightKey, n.lbuck, n.kids[0].wit.Has, false)
+		for _, ts := range limgs {
+			for _, t := range ts {
+				add(t)
+			}
+		}
+		for _, ts := range rimgs {
+			for _, t := range ts {
+				add(t)
+			}
 		}
 	}
 
+	// Segment-partitioned candidate work: filtering one candidate's witness
+	// list is independent of every other candidate (cands is deduplicated),
+	// so each index writes its own slot and the changes/dead/touched
+	// assembly below walks the slots serially in candidate order.
+	type delSlot struct {
+		ws   []Witness // pre-deletion list (nil ⇒ candidate absent from node)
+		kept []Witness
+		hit  bool
+	}
+	slots := make([]delSlot, len(cands))
+	par.ForKeyed(len(cands), parDeltaMin, func(i int) string { return cands[i].Key() }, func(i int) {
+		tm.touchedTuples.Add(1)
+		ws, ok := n.wit.Get(cands[i].Key())
+		if !ok {
+			return // image not in this node (e.g. a failed selection)
+		}
+		slots[i] = delSlot{ws: ws, kept: filterWitnesses(ws, del.keys), hit: true}
+	})
 	changes := make(map[string][]Witness)
 	dead := make(map[string]struct{})
 	var touched, died []relation.Tuple
-	for _, t := range cands {
-		tm.touchedTuples.Add(1)
-		k := t.Key()
-		ws, ok := n.wit.Get(k)
-		if !ok {
-			continue // image not in this node (e.g. a failed selection)
-		}
-		kept := filterWitnesses(ws, del.keys)
-		if len(kept) == len(ws) {
+	for i, t := range cands {
+		s := slots[i]
+		if !s.hit || len(s.kept) == len(s.ws) {
 			continue
 		}
 		touched = append(touched, t)
-		if len(kept) == 0 {
+		k := t.Key()
+		if len(s.kept) == 0 {
 			dead[k] = struct{}{}
 			died = append(died, t)
 		} else {
-			changes[k] = kept
+			changes[k] = s.kept
 		}
 	}
 
@@ -657,6 +740,18 @@ var errNoDelta = fmt.Errorf("provenance: no delta rule for plan node")
 // no partial state. Returns a fresh Result; the receiver is unchanged. A
 // plan with no delta rule falls back to ComputeLimited over newDB.
 func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTuple) (*Result, error) {
+	return r.ApplyInsertionWorkers(newDB, I, 1)
+}
+
+// ApplyInsertionWorkers is ApplyInsertion with an intra-view parallelism
+// budget, mirroring ApplyDeletionWorkers: sibling subtrees delta-evaluate
+// concurrently and each node's candidate merges and join probes partition
+// by key hash, with per-index slots gathered serially in derivation order
+// — so the novel-tuple append order, the minimized witness lists, and any
+// ErrLimit failure (first candidate in derivation order to trip the cap)
+// are byte-identical to the serial pass at any worker count. workers <= 1
+// is exactly ApplyInsertion.
+func (r *Result) ApplyInsertionWorkers(newDB *relation.Database, I []relation.SourceTuple, workers int) (*Result, error) {
 	if len(I) == 0 {
 		return r, nil
 	}
@@ -679,7 +774,11 @@ func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTup
 		return r, nil
 	}
 	r.tm.derives.Add(1)
-	dn, err := insertNodeDelta(r.plan, r.tree, newDB, I, r.lim, touched, r.tm)
+	par := parallel.NewBudget(workers)
+	if par != nil {
+		r.tm.parDerives.Add(1)
+	}
+	dn, err := insertNodeDelta(r.plan, r.tree, newDB, I, r.lim, touched, r.tm, par)
 	if err == errNoDelta {
 		return ComputeLimited(r.plan, newDB, r.lim)
 	}
@@ -727,16 +826,30 @@ func touchesAny(q algebra.Query, touched map[string]bool) bool {
 // witnesses, and the tuples new to the node's relation; a candidate pruned
 // by an old subset is dropped here, exactly where a from-scratch
 // minimization would drop it.
-func mergeCandidates(old *evalNode, cands []relation.Tuple, acc map[string][]Witness, check func([]Witness) error, tm *treeMetrics) (set map[string][]Witness, delta, novel []relation.Tuple, dwit map[string][]Witness, err error) {
-	set = make(map[string][]Witness, len(cands))
-	dwit = make(map[string][]Witness, len(cands))
-	for _, t := range cands {
+// The candidate minimizations — the hot loop of an insert pass — are
+// independent per candidate (cands is deduplicated, acc is read-only
+// here), so with a budget they partition by key hash into per-index
+// slots; the map/slice assembly walks the slots serially in candidate
+// order, which keeps delta/novel append order and the first-error choice
+// identical to the serial loop. Workers race only on touchedTuples,
+// which may over-count by the in-flight candidates of an erroring pass —
+// the commit aborts in that case, so the counter drift is unobservable.
+func mergeCandidates(old *evalNode, cands []relation.Tuple, acc map[string][]Witness, check func([]Witness) error, tm *treeMetrics, par *parallel.Budget) (set map[string][]Witness, delta, novel []relation.Tuple, dwit map[string][]Witness, err error) {
+	type insSlot struct {
+		merged, added []Witness
+		novel         bool
+		err           error
+	}
+	slots := make([]insSlot, len(cands))
+	par.ForKeyed(len(cands), parDeltaMin, func(i int) string { return cands[i].Key() }, func(i int) {
+		t := cands[i]
 		tm.touchedTuples.Add(1)
 		k := t.Key()
 		oldWs, _ := old.wit.Get(k)
 		merged := minimizeWitnesses(append(append([]Witness{}, oldWs...), acc[k]...))
 		if err := check(merged); err != nil {
-			return nil, nil, nil, nil, err
+			slots[i].err = err
+			return
 		}
 		oldKeys := make(map[string]bool, len(oldWs))
 		for _, w := range oldWs {
@@ -749,12 +862,25 @@ func mergeCandidates(old *evalNode, cands []relation.Tuple, acc map[string][]Wit
 			}
 		}
 		if len(added) == 0 {
-			continue // every candidate was pruned: no growth at this tuple
+			return // every candidate was pruned: no growth at this tuple
 		}
-		set[k] = merged
-		dwit[k] = added
+		slots[i] = insSlot{merged: merged, added: added, novel: !old.rel.Contains(t)}
+	})
+	set = make(map[string][]Witness, len(cands))
+	dwit = make(map[string][]Witness, len(cands))
+	for i, t := range cands {
+		s := slots[i]
+		if s.err != nil {
+			return nil, nil, nil, nil, s.err
+		}
+		if len(s.added) == 0 {
+			continue
+		}
+		k := t.Key()
+		set[k] = s.merged
+		dwit[k] = s.added
 		delta = append(delta, t)
-		if !old.rel.Contains(t) {
+		if s.novel {
 			novel = append(novel, t)
 		}
 	}
@@ -805,7 +931,7 @@ func passThrough(old *evalNode, child deltaNode, keep func(relation.Tuple) bool,
 // relations I inserts into. A subtree scanning none of them has an empty
 // delta by definition, so its old node is shared unchanged instead of
 // being rebuilt — e.g. the untouched side of a join.
-func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool, tm *treeMetrics) (deltaNode, error) {
+func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool, tm *treeMetrics, par *parallel.Budget) (deltaNode, error) {
 	if !touchesAny(q, touched) {
 		tm.sharedNodes.Add(1)
 		return deltaNode{node: old}, nil
@@ -867,7 +993,7 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		return deltaNode{node: node, delta: delta, dwit: dwit, novel: delta}, nil
 
 	case algebra.Select:
-		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm)
+		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
@@ -875,14 +1001,14 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		return passThrough(old, child, func(t relation.Tuple) bool { return q.Cond.Holds(sch, t) }, finish, tm), nil
 
 	case algebra.Rename:
-		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm)
+		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
 		return passThrough(old, child, nil, finish, tm), nil
 
 	case algebra.Project:
-		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm)
+		child, err := insertNodeDelta(q.Child, old.kids[0], newDB, I, lim, touched, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
@@ -899,18 +1025,14 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 			}
 			acc[k] = append(acc[k], child.dwit[ct.Key()]...)
 		}
-		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm)
+		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
 		return finish(set, delta, novel, dwit, []*evalNode{child.node}), nil
 
 	case algebra.Union:
-		left, err := insertNodeDelta(q.Left, old.kids[0], newDB, I, lim, touched, tm)
-		if err != nil {
-			return deltaNode{}, err
-		}
-		right, err := insertNodeDelta(q.Right, old.kids[1], newDB, I, lim, touched, tm)
+		left, right, err := insertKidsPair(q.Left, q.Right, old, newDB, I, lim, touched, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
@@ -936,18 +1058,14 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 			}
 			acc[k] = append(acc[k], right.dwit[t.Key()]...)
 		}
-		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm)
+		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
 		return finish(set, delta, novel, dwit, []*evalNode{left.node, right.node}), nil
 
 	case algebra.Join:
-		left, err := insertNodeDelta(q.Left, old.kids[0], newDB, I, lim, touched, tm)
-		if err != nil {
-			return deltaNode{}, err
-		}
-		right, err := insertNodeDelta(q.Right, old.kids[1], newDB, I, lim, touched, tm)
+		left, right, err := insertKidsPair(q.Left, q.Right, old, newDB, I, lim, touched, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
@@ -961,56 +1079,70 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 		// New combinations = ΔL × R_new  ∪  L_old × ΔR: every pair using at
 		// least one added witness appears exactly once (ΔL×ΔR lands in the
 		// first term; the second pairs only OLD left witnesses with ΔR).
+		// Each delta tuple's probe writes only its own hit slot (the
+		// interner, the one shared mutable structure, takes its own lock);
+		// the dedup into cands/acc gathers serially, ΔL hits then ΔR hits
+		// in delta order — the exact sequence the serial loops produced.
+		type probeHit struct {
+			t  relation.Tuple
+			ws []Witness
+		}
+		probe := func(delta []relation.Tuple, dwit map[string][]Witness, myKey func(relation.Tuple) string, buck *overlay.Map[overlay.BucketVal], oppWit *overlay.Map[[]Witness], leftSide bool) [][]probeHit {
+			hits := make([][]probeHit, len(delta))
+			par.ForKeyed(len(delta), parDeltaMin, func(i int) string { return delta[i].Key() }, func(i int) {
+				t := delta[i]
+				myWs := dwit[t.Key()]
+				bv, _ := buck.Get(myKey(t))
+				var out []probeHit
+				bv.EachLive(oppWit.Has, func(pt relation.Tuple) bool {
+					pws, _ := oppWit.Get(pt.Key())
+					if len(pws) == 0 {
+						return true // stale bucket entry: the partner is gone
+					}
+					var joined relation.Tuple
+					ws := make([]Witness, 0, len(myWs)*len(pws))
+					if leftSide {
+						joined = sh.join(t, pt)
+						for _, wl := range myWs {
+							for _, wr := range pws {
+								ws = append(ws, tm.intern.union(wl, wr))
+							}
+						}
+					} else {
+						joined = sh.join(pt, t)
+						for _, wl := range pws {
+							for _, wr := range myWs {
+								ws = append(ws, tm.intern.union(wl, wr))
+							}
+						}
+					}
+					out = append(out, probeHit{t: joined, ws: ws})
+					return true
+				})
+				hits[i] = out
+			})
+			return hits
+		}
+		lhits := probe(left.delta, left.dwit, sh.leftKey, rbuck, right.node.wit, true)
+		rhits := probe(right.delta, right.dwit, sh.rightKey, old.lbuck, old.kids[0].wit, false)
 		var cands []relation.Tuple
 		seen := make(map[string]bool)
 		acc := make(map[string][]Witness)
-		for _, lt := range left.delta {
-			lt := lt
-			lws := left.dwit[lt.Key()]
-			rbv, _ := rbuck.Get(sh.leftKey(lt))
-			rbv.EachLive(right.node.wit.Has, func(rt relation.Tuple) bool {
-				rws, _ := right.node.wit.Get(rt.Key())
-				if len(rws) == 0 {
-					return true // stale bucket entry: the partner is gone
-				}
-				joined := sh.join(lt, rt)
-				jk := joined.Key()
-				if !seen[jk] {
-					seen[jk] = true
-					cands = append(cands, joined)
-				}
-				for _, wl := range lws {
-					for _, wr := range rws {
-						acc[jk] = append(acc[jk], tm.intern.union(wl, wr))
+		gather := func(hits [][]probeHit) {
+			for _, hs := range hits {
+				for _, h := range hs {
+					jk := h.t.Key()
+					if !seen[jk] {
+						seen[jk] = true
+						cands = append(cands, h.t)
 					}
+					acc[jk] = append(acc[jk], h.ws...)
 				}
-				return true
-			})
+			}
 		}
-		for _, rt := range right.delta {
-			rt := rt
-			rws := right.dwit[rt.Key()]
-			lbv, _ := old.lbuck.Get(sh.rightKey(rt))
-			lbv.EachLive(old.kids[0].wit.Has, func(lt relation.Tuple) bool {
-				lws, _ := old.kids[0].wit.Get(lt.Key())
-				if len(lws) == 0 {
-					return true // stale bucket entry: the partner is gone
-				}
-				joined := sh.join(lt, rt)
-				jk := joined.Key()
-				if !seen[jk] {
-					seen[jk] = true
-					cands = append(cands, joined)
-				}
-				for _, wl := range lws {
-					for _, wr := range rws {
-						acc[jk] = append(acc[jk], tm.intern.union(wl, wr))
-					}
-				}
-				return true
-			})
-		}
-		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm)
+		gather(lhits)
+		gather(rhits)
+		set, delta, novel, dwit, err := mergeCandidates(old, cands, acc, check, tm, par)
 		if err != nil {
 			return deltaNode{}, err
 		}
@@ -1023,6 +1155,39 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 	default:
 		return deltaNode{}, errNoDelta
 	}
+}
+
+// insertKidsPair delta-evaluates a two-child operator's subtrees — the
+// sibling-subtree axis: with a budget the children run concurrently
+// (Budget.For is the join barrier before the parent maps their deltas);
+// serially the right child is skipped after a left error, exactly as the
+// inline recursion did. Error preference is left-first either way, so
+// errNoDelta fallbacks and ErrLimit attribution are width-independent.
+func insertKidsPair(ql, qr algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool, tm *treeMetrics, par *parallel.Budget) (deltaNode, deltaNode, error) {
+	var left, right deltaNode
+	var lerr, rerr error
+	run := func(i int) {
+		if i == 0 {
+			left, lerr = insertNodeDelta(ql, old.kids[0], newDB, I, lim, touched, tm, par)
+		} else {
+			right, rerr = insertNodeDelta(qr, old.kids[1], newDB, I, lim, touched, tm, par)
+		}
+	}
+	if par != nil {
+		par.For(2, run)
+	} else {
+		run(0)
+		if lerr == nil {
+			run(1)
+		}
+	}
+	if lerr != nil {
+		return deltaNode{}, deltaNode{}, lerr
+	}
+	if rerr != nil {
+		return deltaNode{}, deltaNode{}, rerr
+	}
+	return left, right, nil
 }
 
 // Limit bounds witness-basis computation. The basis can be exponential in

@@ -6,7 +6,7 @@ package relation
 // its own immutable base array, tombstone/append overlay chain, and
 // fold/squash schedule — so deriving a commit's overlay, folding a
 // saturated overlay into a fresh base, and answering containment probes
-// all cost O(segment) and run concurrently across segments (parallelFor),
+// all cost O(segment) and run concurrently across segments (parallel.For),
 // where the unsegmented store serializes one O(relation) pass on a single
 // goroutine.
 //
@@ -30,6 +30,8 @@ package relation
 // depth shrink with it, keeping per-probe overlay walks short without
 // giving up fold amortization.
 
+import "repro/internal/parallel"
+
 const (
 	segFoldMin  = 24
 	segMaxDepth = 8
@@ -42,16 +44,10 @@ func segFoldLimit(baseLen int) int {
 	return segFoldMin
 }
 
-// segHash is 32-bit FNV-1a — the partition function. Inlined rather than
-// hash/fnv to avoid a Writer allocation per key on the hot path.
-func segHash(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h
-}
+// segHash is the partition function — 32-bit FNV-1a, shared with the
+// maintenance layers via the parallel package so a tuple's view-delta
+// partition matches its storage segment.
+func segHash(key string) uint32 { return parallel.Hash(key) }
 
 // seqTuple is one stored tuple tagged with its global insertion sequence.
 type seqTuple struct {
@@ -300,7 +296,7 @@ func (st *segStore) deleteAll(keys []string, m *storeMetrics) (*segStore, bool) 
 	if len(affected) > 1 && m != nil {
 		m.parallelDerives.Add(1)
 	}
-	parallelFor(len(affected), func(j int) {
+	parallel.For(len(affected), func(j int) {
 		i := affected[j]
 		s := st.segs[i]
 		var present map[string]struct{}
@@ -361,7 +357,7 @@ func (st *segStore) insertAll(ts []Tuple, m *storeMetrics) (*segStore, bool) {
 	if len(affected) > 1 && m != nil {
 		m.parallelDerives.Add(1)
 	}
-	parallelFor(len(affected), func(j int) {
+	parallel.For(len(affected), func(j int) {
 		i := affected[j]
 		s := st.segs[i]
 		var novel []seqTuple
@@ -475,7 +471,7 @@ const parallelCursorMin = 1 << 14
 func (st *segStore) eachMerged(yield func(Tuple) bool) {
 	cs := make([]*segCursor, len(st.segs))
 	if st.live >= parallelCursorMin {
-		parallelFor(len(st.segs), func(i int) { cs[i] = newSegCursor(st.segs[i]) })
+		parallel.For(len(st.segs), func(i int) { cs[i] = newSegCursor(st.segs[i]) })
 	} else {
 		for i, s := range st.segs {
 			cs[i] = newSegCursor(s)
