@@ -9,6 +9,10 @@
 // //lint:ignore counts grow past the checked-in budget), -stats=<file>
 // (write per-analyzer wall-clock and finding counts as JSON), and
 // -workers=N (bound per-package parallelism; GOMAXPROCS by default).
+// Both modes accept -json: one diagnostic object per line
+// ({"analyzer","file","line","col","message","suppressed"}), suppressed
+// findings included, for machine consumption (CI turns them into inline
+// PR annotations).
 //
 // Exit status: 0 clean, 1 operational error or budget violation, 2 findings.
 package main
@@ -16,17 +20,20 @@ package main
 import (
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/eachretain"
+	"repro/internal/analysis/gatherorder"
 	"repro/internal/analysis/genmonotonic"
 	"repro/internal/analysis/goroutinelife"
 	"repro/internal/analysis/holdinfer"
 	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/parslot"
 	"repro/internal/analysis/snapshotaliasing"
 )
 
 func main() {
-	// The summary analyzer is pulled in automatically as a requirement of
-	// the interprocedural four.
+	// The summary analyzers (concurrency and ordering) are pulled in
+	// automatically as requirements of the interprocedural seven.
 	driver.Main(
 		snapshotaliasing.Analyzer,
 		lockguard.Analyzer,
@@ -35,5 +42,8 @@ func main() {
 		lockorder.Analyzer,
 		goroutinelife.Analyzer,
 		holdinfer.Analyzer,
+		parslot.Analyzer,
+		maporder.Analyzer,
+		gatherorder.Analyzer,
 	)
 }

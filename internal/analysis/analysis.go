@@ -68,6 +68,44 @@
 //     one (the function acquires the annotated lock itself, which
 //     self-deadlocks under the contract).
 //
+//   - `propview:fanout` (doc comment of a function or method): the
+//     function runs its func(int) argument once per index in [0, n),
+//     possibly concurrently on several goroutines (parallel.For, the
+//     engine's fanOut). Closures passed to a fanout runner may write
+//     captured state only through per-index slots — an index expression
+//     mentioning the worker's index parameter or a local derived from it
+//     — or while holding a mutex; captured maps are never slots.
+//     Enforced by the parslot analyzer, including mutations reached
+//     through helper calls via the summaries. (Injectivity of a derived
+//     index — distinct workers hitting distinct slots — remains the
+//     author's obligation; the analyzer checks the shape.)
+//
+//   - `propview:deterministic` (doc comment of a function or method):
+//     the function's observable results are a pure function of its
+//     inputs — the width-invariance contract of the parallel maintenance
+//     paths. Checked by maporder (no returned value whose element order
+//     derives from a range over a map, unless sorted or gathered into
+//     keyed slots first) and gatherorder (slot arrays are gathered
+//     serially in index order, and no clock/RNG root — time.Now,
+//     math/rand — is reachable transitively; callees carrying the marker
+//     are trusted here and checked at their own definition).
+//
+//   - `propview:order-insensitive` (doc comment of a function or
+//     method): callers do not depend on the element order of the
+//     function's results, so map-iteration order may reach them; the
+//     maporder taint is silenced. The marker is exported as a fact, so
+//     cross-package callers inherit the exemption.
+//
+// A worked maporder diagnostic:
+//
+//	incremental.go:305: map-ordered value flows into JSON encoding
+//	  (cands); sort it first or mark the function
+//	  propview:order-insensitive
+//
+// — `cands` was appended under a `for k, v := range candidates` loop, so
+// its element order is the map's randomized iteration order. Sorting the
+// keys and gathering by keyed lookup clears the taint.
+//
 // # Concurrency summaries
 //
 // The summary analyzer (internal/analysis/summary) computes a
@@ -103,12 +141,27 @@
 // set at the call site, so guarded accesses bracketed by helpers are no
 // longer a blind spot.
 //
+// # Ordering summaries
+//
+// A second analyzer in the same package, ordersummary, computes the
+// determinism-relevant behavior of each function: which results carry
+// map-iteration order, which nondeterminism roots (clock, RNG) the
+// function reaches transitively, and the fanout / deterministic /
+// order-insensitive markers. These are exported as gob facts alongside
+// the concurrency summaries, and the determinism trio — parslot,
+// maporder, gatherorder — reports from them, each under its own name so
+// suppression and budgeting stay per-analyzer.
+//
 // A finding that is intentional is suppressed in place with
 //
 //	//lint:ignore <analyzer> <one-line justification>
 //
 // on the flagged line or the line above it; the justification is
-// mandatory. Suppressions are handled uniformly by the drivers.
+// mandatory. Suppressions are handled uniformly by the drivers: a
+// malformed directive (missing justification), an unknown analyzer
+// name, and a directive that suppresses nothing (for instance parked on
+// a blank line away from the offending statement) are each reported
+// under the synthetic lintdirective name, never silently accepted.
 package analysis
 
 import (

@@ -1,0 +1,133 @@
+package driver
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// testlint flags every function whose name starts with Bad — a minimal
+// diagnostic source for exercising the //lint:ignore machinery.
+var testlint = &analysis.Analyzer{
+	Name: "testlint",
+	Doc:  "reports functions named Bad* (test helper)",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "bad function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+const directiveSrc = `package dirs
+
+//lint:ignore testlint justified suppression
+func Bad1() {}
+
+//lint:ignore testlint
+func Bad2() {}
+
+//lint:ignore nosuch the analyzer name is wrong
+func Bad3() {}
+
+//lint:ignore
+func Bad4() {}
+
+//lint:ignore testlint parked on its own, nothing adjacent
+
+func Good() {}
+`
+
+func loadDirs(t *testing.T) ([]Finding, []Finding) {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "dirs")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dirs.go"), []byte(directiveSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	loader := &load.Loader{SrcDirs: []string{root}}
+	pkgs, err := loader.Load("dirs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := RunStats([]*analysis.Analyzer{testlint}, loader.Fset, pkgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active, suppressed []Finding
+	for _, f := range all {
+		if f.Suppressed {
+			suppressed = append(suppressed, f)
+		} else {
+			active = append(active, f)
+		}
+	}
+	return active, suppressed
+}
+
+// TestDirectiveEdgeCases covers the //lint:ignore failure modes: a missing
+// justification, an unknown analyzer name, a bare directive, and a
+// directive parked on its own line away from any diagnostic. Each is
+// reported under the lintdirective name, never silently accepted, and none
+// of them suppress the diagnostic they sit near.
+func TestDirectiveEdgeCases(t *testing.T) {
+	active, suppressed := loadDirs(t)
+
+	// Bad1's diagnostic is the only suppressed one: its directive is
+	// well-formed, names the right analyzer, and sits on the line above.
+	if len(suppressed) != 1 || !strings.Contains(suppressed[0].Message, "Bad1") {
+		t.Fatalf("want exactly Bad1 suppressed, got %v", suppressed)
+	}
+
+	want := []struct{ analyzer, substr string }{
+		{"testlint", "bad function Bad2"}, // missing justification: not suppressed
+		{"testlint", "bad function Bad3"}, // unknown analyzer: not suppressed
+		{"testlint", "bad function Bad4"}, // bare directive: not suppressed
+		{DirectiveAnalyzer, "missing justification"},
+		{DirectiveAnalyzer, `unknown analyzer "nosuch"`},
+		{DirectiveAnalyzer, "missing analyzer name and justification"},
+		{DirectiveAnalyzer, "unused //lint:ignore directive for testlint"},
+	}
+	for _, w := range want {
+		found := false
+		for _, f := range active {
+			if f.Analyzer == w.analyzer && strings.Contains(f.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing active finding %q (%s); got %v", w.substr, w.analyzer, active)
+		}
+	}
+	if len(active) != len(want) {
+		t.Errorf("want %d active findings, got %d: %v", len(want), len(active), active)
+	}
+}
+
+// TestRunFiltersSuppressed pins the Run/RunStats split: Run drops
+// suppressed findings (the analysistest contract), RunStats keeps them
+// flagged for the -json printers.
+func TestRunFiltersSuppressed(t *testing.T) {
+	active, suppressed := loadDirs(t)
+	if len(suppressed) == 0 {
+		t.Fatal("fixture produced no suppressed findings")
+	}
+	for _, f := range active {
+		if f.Suppressed {
+			t.Errorf("active set contains suppressed finding %v", f)
+		}
+	}
+}

@@ -21,16 +21,28 @@ import (
 	"repro/internal/analysis/load"
 )
 
-// Finding is one post-suppression diagnostic.
+// Finding is one diagnostic. Suppressed findings (matched by a
+// //lint:ignore directive) are carried rather than dropped, so the -json
+// output can show them; the text printers and exit codes consider only
+// active ones.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed: a well-formed //lint:ignore directive on the finding's
+	// line or the line above names this analyzer.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
+
+// DirectiveAnalyzer is the synthetic analyzer name under which problems
+// with //lint:ignore directives themselves are reported: malformed
+// directives, unknown analyzer names, and directives that suppress
+// nothing. Directive findings are not themselves suppressible.
+const DirectiveAnalyzer = "lintdirective"
 
 // Facts is the cross-package fact store. Facts are keyed by the owning
 // package path, a stable object path within it (empty for package-level
@@ -169,44 +181,102 @@ func (fs *Facts) AllPkg(fact analysis.Fact, visible map[string]bool, exclude str
 	return out
 }
 
-// suppressions maps "file:line" to the analyzer names suppressed there by
-// a //lint:ignore comment.
-type suppressions map[string]map[string]bool
+// directive is one parsed //lint:ignore comment. A well-formed directive
+// reads `//lint:ignore <analyzer>[,<analyzer>] <justification>`; malformed
+// ones are no longer silently dropped — they surface as DirectiveAnalyzer
+// findings, as do directives whose names never match a diagnostic (a
+// directive parked on a blank line not adjacent to the offending
+// statement suppresses nothing and is reported as unused).
+type directive struct {
+	pos       token.Position
+	names     []string
+	malformed string          // why the directive is invalid; empty when well-formed
+	used      map[string]bool // analyzer names that suppressed at least one diagnostic
+}
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := make(suppressions)
+// suppressions indexes the //lint:ignore directives of one package.
+type suppressions struct {
+	byLine map[string][]*directive // "file:line" -> directives anchored there
+	list   []*directive            // source order, for directive findings
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byLine: make(map[string][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
-				if !ok {
-					continue
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue // not the directive (e.g. //lint:ignored)
 				}
+				d := &directive{pos: fset.Position(c.Pos()), used: make(map[string]bool)}
 				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // a justification is mandatory; ignore malformed
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing analyzer name and justification"
+				case len(fields) == 1:
+					d.malformed = "missing justification"
 				}
-				pos := fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				if sup[key] == nil {
-					sup[key] = make(map[string]bool)
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							d.names = append(d.names, name)
+						}
+					}
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					sup[key][name] = true
-				}
+				sup.list = append(sup.list, d)
+				key := fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line)
+				sup.byLine[key] = append(sup.byLine[key], d)
 			}
 		}
 	}
 	return sup
 }
 
-func (s suppressions) match(pos token.Position, analyzer string) bool {
+// match reports whether a diagnostic at pos from the named analyzer is
+// suppressed: a well-formed directive on the same line or the line above
+// names the analyzer. Matching marks the directive used.
+func (s *suppressions) match(pos token.Position, analyzer string) bool {
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names := s[fmt.Sprintf("%s:%d", pos.Filename, line)]; names[analyzer] {
-			return true
+		for _, d := range s.byLine[fmt.Sprintf("%s:%d", pos.Filename, line)] {
+			if d.malformed != "" {
+				continue
+			}
+			for _, n := range d.names {
+				if n == analyzer {
+					d.used[analyzer] = true
+					hit = true
+				}
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// findings reports the directives that are themselves wrong: malformed
+// ones, names not in the known analyzer set, and well-formed directives
+// that suppressed nothing.
+func (s *suppressions) findings(known map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.list {
+		if d.malformed != "" {
+			out = append(out, Finding{Pos: d.pos, Analyzer: DirectiveAnalyzer,
+				Message: fmt.Sprintf("malformed //lint:ignore directive: %s (want //lint:ignore <analyzer>[,<analyzer>] <justification>)", d.malformed)})
+			continue
+		}
+		for _, n := range d.names {
+			switch {
+			case !known[n]:
+				out = append(out, Finding{Pos: d.pos, Analyzer: DirectiveAnalyzer,
+					Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q", n)})
+			case !d.used[n]:
+				out = append(out, Finding{Pos: d.pos, Analyzer: DirectiveAnalyzer,
+					Message: fmt.Sprintf("unused //lint:ignore directive for %s: no diagnostic on this line or the next; directives must sit on or immediately above the offending statement", n)})
+			}
+		}
+	}
+	return out
 }
 
 // Expand returns analyzers with every transitive requirement inserted
@@ -239,7 +309,10 @@ func Expand(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
 
 // RunPackage runs every analyzer (with requirements expanded, in
 // dependency order) over one type-checked package, exchanging facts
-// through fs, and returns the unsuppressed findings. visible restricts
+// through fs, and returns every finding — suppressed ones flagged rather
+// than dropped — plus DirectiveAnalyzer findings for //lint:ignore
+// directives that are malformed, name unknown analyzers, or suppress
+// nothing. visible restricts
 // AllPackageFacts to the given package paths; nil means the whole store
 // (vettool mode, where the store holds exactly the dependency facts).
 // durations, when non-nil, accumulates per-analyzer wall-clock.
@@ -249,7 +322,12 @@ func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*as
 	sup := collectSuppressions(fset, files)
 	var findings []Finding
 	results := make(map[*analysis.Analyzer]any)
-	for _, a := range Expand(analyzers) {
+	expanded := Expand(analyzers)
+	known := make(map[string]bool, len(expanded))
+	for _, a := range expanded {
+		known[a.Name] = true
+	}
+	for _, a := range expanded {
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -279,10 +357,10 @@ func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*as
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := fset.Position(d.Pos)
-			if sup.match(pos, name) {
-				return
-			}
-			findings = append(findings, Finding{Pos: pos, Analyzer: name, Message: d.Message})
+			findings = append(findings, Finding{
+				Pos: pos, Analyzer: name, Message: d.Message,
+				Suppressed: sup.match(pos, name),
+			})
 		}
 		start := time.Now()
 		res, err := a.Run(pass)
@@ -294,6 +372,7 @@ func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*as
 		}
 		results[a] = res
 	}
+	findings = append(findings, sup.findings(known)...)
 	return findings, nil
 }
 
@@ -328,16 +407,28 @@ var Workers = 0
 
 // Run analyzes pkgs and their transitive source dependencies in
 // dependency order — packages whose imports are all analyzed run
-// concurrently on a bounded worker pool — and returns every unsuppressed
-// finding sorted by position. Fact visibility per package is its
-// transitive import closure, exactly what the vettool protocol provides.
+// concurrently on a bounded worker pool — and returns every active
+// (unsuppressed) finding sorted by position. Fact visibility per package
+// is its transitive import closure, exactly what the vettool protocol
+// provides. Callers that want suppressed findings too (the -json
+// printers) use RunStats.
 func Run(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Package) ([]Finding, error) {
 	findings, _, err := RunStats(analyzers, fset, pkgs, nil)
-	return findings, err
+	if err != nil {
+		return nil, err
+	}
+	var active []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			active = append(active, f)
+		}
+	}
+	return active, nil
 }
 
 // RunStats is Run with per-analyzer wall-clock accumulation (durations may
-// be nil) and a count of analyzed packages.
+// be nil) and a count of analyzed packages. Unlike Run it returns
+// suppressed findings too, flagged via Finding.Suppressed.
 func RunStats(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Package,
 	durations *Durations) ([]Finding, int, error) {
 	type node struct {
@@ -462,8 +553,11 @@ func CountSuppressions(fset *token.FileSet, pkgs []*load.Package) map[string]int
 				continue
 			}
 			seenFile[name] = true
-			for _, names := range collectSuppressions(fset, []*ast.File{f}) {
-				for n := range names {
+			for _, d := range collectSuppressions(fset, []*ast.File{f}).list {
+				if d.malformed != "" {
+					continue // malformed directives are findings, not budget entries
+				}
+				for _, n := range d.names {
 					counts[n]++
 				}
 			}

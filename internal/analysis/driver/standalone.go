@@ -3,6 +3,7 @@ package driver
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +28,37 @@ type StandaloneOptions struct {
 	// Workers bounds per-package parallelism; 0 means GOMAXPROCS. Mostly
 	// for measuring the parallel driver against -workers=1.
 	Workers int
+	// JSON switches the finding printer to one JSON object per line
+	// (analyzer, file, line, col, message, suppressed). Suppressed findings
+	// are included — flagged, not dropped — so CI can render the full
+	// picture; the exit code still considers active findings only.
+	JSON bool
+}
+
+// jsonFinding is the -json wire form: one object per output line.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func printJSON(w io.Writer, findings []Finding) {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		// Encode never fails on this shape; ignore the error to keep the
+		// printer total.
+		enc.Encode(jsonFinding{
+			Analyzer:   f.Analyzer,
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
 }
 
 // AnalyzerStat is one analyzer's row in the stats record.
@@ -77,12 +109,22 @@ func Standalone(patterns []string, analyzers []*analysis.Analyzer, opt Standalon
 	if err != nil {
 		return errExit(err)
 	}
+	var active []Finding
 	for _, f := range findings {
-		fmt.Println(f)
+		if !f.Suppressed {
+			active = append(active, f)
+		}
+	}
+	if opt.JSON {
+		printJSON(os.Stdout, findings)
+	} else {
+		for _, f := range active {
+			fmt.Println(f)
+		}
 	}
 
 	code := 0
-	if len(findings) > 0 {
+	if len(active) > 0 {
 		code = 2
 	}
 
@@ -108,7 +150,7 @@ func Standalone(patterns []string, analyzers []*analysis.Analyzer, opt Standalon
 	}
 
 	if opt.StatsPath != "" {
-		if err := writeStats(opt.StatsPath, analyzers, durations, findings, counts, npkgs, wall); err != nil {
+		if err := writeStats(opt.StatsPath, analyzers, durations, active, counts, npkgs, wall); err != nil {
 			return errExit(err)
 		}
 	}

@@ -50,6 +50,8 @@ type vetConfig struct {
 // whole-module source mode (import paths or ./... patterns). The
 // -suppression-budget and -stats flags apply to standalone mode only —
 // both need the whole-module view a per-package vet invocation lacks.
+// -json works in both modes: one JSON object per finding line, suppressed
+// findings included and flagged.
 func Main(analyzers ...*analysis.Analyzer) {
 	analyzers = Expand(analyzers)
 	progname := filepath.Base(os.Args[0])
@@ -71,7 +73,9 @@ func Main(analyzers ...*analysis.Analyzer) {
 			usage(progname, analyzers)
 			return
 		case strings.HasSuffix(arg, ".cfg"):
-			os.Exit(unit(arg, analyzers))
+			os.Exit(unit(arg, analyzers, opt.JSON))
+		case arg == "-json":
+			opt.JSON = true
 		case strings.HasPrefix(arg, "-suppression-budget="):
 			opt.BudgetPath = strings.TrimPrefix(arg, "-suppression-budget=")
 		case strings.HasPrefix(arg, "-stats="):
@@ -79,7 +83,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 		case strings.HasPrefix(arg, "-workers="):
 			fmt.Sscanf(strings.TrimPrefix(arg, "-workers="), "%d", &opt.Workers)
 		case strings.HasPrefix(arg, "-"):
-			// Tolerate unknown flags (e.g. -json from `go vet -json`).
+			// Tolerate unknown flags passed through by go vet.
 		default:
 			patterns = append(patterns, arg)
 		}
@@ -117,8 +121,10 @@ func usage(progname string, analyzers []*analysis.Analyzer) {
 }
 
 // unit runs one vettool invocation; the returned value is the process exit
-// code (0 clean, 1 error, 2 findings).
-func unit(cfgPath string, analyzers []*analysis.Analyzer) int {
+// code (0 clean, 1 error, 2 findings). Only active (unsuppressed) findings
+// drive the exit code; with jsonOut set, suppressed ones are printed
+// alongside them, flagged.
+func unit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return errExit(err)
@@ -134,11 +140,21 @@ func unit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		}
 		return errExit(err)
 	}
-	if cfg.VetxOnly || len(findings) == 0 {
+	var active []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			active = append(active, f)
+		}
+	}
+	if cfg.VetxOnly || len(active) == 0 {
 		return 0
 	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s\n", f)
+	if jsonOut {
+		printJSON(os.Stderr, findings)
+	} else {
+		for _, f := range active {
+			fmt.Fprintf(os.Stderr, "%s\n", f)
+		}
 	}
 	return 2
 }

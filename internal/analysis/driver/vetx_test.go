@@ -23,6 +23,13 @@ func TestVetxRoundTrip(t *testing.T) {
 		Launches: []summary.Launch{{Pos: "p.go:9", Callee: "T.run", Proof: "channel", JoinClasses: []string{"p.T.done"}}},
 		ChanOps:  []summary.ChanOp{{Class: "p.T.done", Op: "close"}},
 		WgOps:    []summary.WgOp{{Class: "p.T.wg", Op: "wait"}},
+		Mutates:  []int{-1, 1},
+	}}
+	orderFact := &summary.OrderFact{S: summary.OrderSummary{
+		MapOrdered:    []bool{true, false},
+		Nondet:        []string{"time.Now at p.go:12"},
+		Deterministic: true,
+		Fanout:        true,
 	}}
 	pkgFact := &summary.PkgFact{
 		Edges: []summary.Edge{{From: "p.T.mu", To: "p.gate", Path: []string{"p.go:3: nested acquires p.gate"}}},
@@ -32,6 +39,7 @@ func TestVetxRoundTrip(t *testing.T) {
 	out := NewFacts()
 	out.m["p\x00T.lockIt\x00*summary.FuncFact"] = funcFact
 	out.m["p\x00\x00*summary.PkgFact"] = pkgFact
+	out.m["p\x00Spread\x00*summary.OrderFact"] = orderFact
 
 	path := filepath.Join(t.TempDir(), "p.vetx")
 	if err := out.writeVetx(path); err != nil {
@@ -39,11 +47,11 @@ func TestVetxRoundTrip(t *testing.T) {
 	}
 
 	in := NewFacts()
-	if err := in.readVetx(path, factRegistry([]*analysis.Analyzer{summary.Analyzer})); err != nil {
+	if err := in.readVetx(path, factRegistry([]*analysis.Analyzer{summary.Analyzer, summary.Order})); err != nil {
 		t.Fatalf("readVetx: %v", err)
 	}
-	if len(in.m) != 2 {
-		t.Fatalf("round-tripped %d facts, want 2", len(in.m))
+	if len(in.m) != 3 {
+		t.Fatalf("round-tripped %d facts, want 3", len(in.m))
 	}
 	got := in.m["p\x00T.lockIt\x00*summary.FuncFact"]
 	if !reflect.DeepEqual(got, funcFact) {
@@ -52,6 +60,10 @@ func TestVetxRoundTrip(t *testing.T) {
 	gotPkg := in.m["p\x00\x00*summary.PkgFact"]
 	if !reflect.DeepEqual(gotPkg, pkgFact) {
 		t.Errorf("PkgFact round trip:\n got %+v\nwant %+v", gotPkg, pkgFact)
+	}
+	gotOrder := in.m["p\x00Spread\x00*summary.OrderFact"]
+	if !reflect.DeepEqual(gotOrder, orderFact) {
+		t.Errorf("OrderFact round trip:\n got %+v\nwant %+v", gotOrder, orderFact)
 	}
 }
 
@@ -106,6 +118,15 @@ func UnlockBoth() {
 	MuB.Unlock()
 	MuA.Unlock()
 }
+
+// For runs fn over 0..n-1.
+//
+// propview:fanout
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
 `)
 	write("client/client.go", `package client
 
@@ -117,6 +138,14 @@ func Transfer() {
 	base.MuA.Unlock()
 	base.MuB.Unlock()
 }
+
+func Gather() []int {
+	var out []int
+	base.For(4, func(i int) {
+		out = append(out, i)
+	})
+	return out
+}
 `)
 
 	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
@@ -126,7 +155,11 @@ func Transfer() {
 		t.Fatalf("go vet should fail on the inverted lock order; output:\n%s", out)
 	}
 	text := string(out)
-	for _, frag := range []string{"lock-order cycle", "order/base.MuA", "order/base.MuB", "client.go"} {
+	// The lock-order cycle needs base's FuncFact/PkgFact in the client's
+	// invocation; the parslot diagnostic needs base's OrderFact (the
+	// propview:fanout marker on For). Both cross only via .vetx files.
+	for _, frag := range []string{"lock-order cycle", "order/base.MuA", "order/base.MuB", "client.go",
+		"writes captured variable out outside a per-index slot"} {
 		if !strings.Contains(text, frag) {
 			t.Errorf("vet output missing %q:\n%s", frag, text)
 		}

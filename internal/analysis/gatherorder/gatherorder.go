@@ -1,0 +1,35 @@
+// Package gatherorder closes the determinism loop that parslot opens: the
+// slot arrays that parallel workers fill index-disjointly are only
+// deterministic if the serial gather that follows reads them in index
+// order. Gathering a slot array under a map range (or a range over an
+// already map-ordered sequence) re-introduces the nondeterminism the slots
+// were bought to remove, and is reported here. The analyzer also enforces
+// the propview:deterministic contract transitively: a marked function must
+// reach no wall-clock or randomness source (time.Now, math/rand, ...),
+// directly or through callees, unless the callee is itself marked
+// deterministic (it is then checked at its own definition). The analysis
+// lives in summary.Order; this analyzer reports its gather findings under
+// its own name.
+package gatherorder
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/summary"
+)
+
+// Analyzer reports slot arrays gathered in nondeterministic order and
+// propview:deterministic functions that transitively reach nondeterminism.
+var Analyzer = &analysis.Analyzer{
+	Name:     "gatherorder",
+	Doc:      "checks that slot-array gathers run in deterministic index order and that propview:deterministic functions transitively avoid nondeterminism sources",
+	Requires: []*analysis.Analyzer{summary.Order},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := pass.ResultOf[summary.Order].(*summary.OrderResult)
+	for _, v := range res.Gather {
+		pass.Reportf(v.Pos, "%s", v.Message)
+	}
+	return nil, nil
+}

@@ -1,0 +1,77 @@
+package gatherorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/gatherorder"
+)
+
+func TestGatherOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", gatherorder.Analyzer, "gather/app")
+}
+
+const gatherPar = `package par
+
+// For runs fn(i) for every i in [0, n), concurrently.
+//
+// propview:fanout
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+`
+
+const gatherApp = `package app
+
+import "g/par"
+
+// Pick evaluates the selected keys in parallel and gathers the slots
+// serially in index order.
+func Pick(sel map[int]bool, keys []string) []string {
+	slots := make([]string, len(keys))
+	par.For(len(keys), func(i int) {
+		if sel[i] {
+			slots[i] = keys[i]
+		}
+	})
+	var out []string
+	for i := range slots {
+		out = append(out, slots[i])
+	}
+	return out
+}
+`
+
+// TestDeletedSerialGather proves the analyzer re-derives the diagnostic
+// from a mutation: replacing the serial index-order gather of a
+// known-good fixture with a gather under the selection map's range makes
+// the output order the map's iteration order.
+func TestDeletedSerialGather(t *testing.T) {
+	files := map[string]string{
+		"g/par/par.go": gatherPar,
+		"g/app/app.go": gatherApp,
+	}
+	if got := analysistest.RunFiles(t, gatherorder.Analyzer, "g/app", files); len(got) != 0 {
+		t.Fatalf("serial-gather fixture should be clean, got %v", got)
+	}
+
+	mutated := strings.Replace(gatherApp,
+		"for i := range slots {\n\t\tout = append(out, slots[i])\n\t}",
+		"for k := range sel {\n\t\tout = append(out, slots[k])\n\t}", 1)
+	if mutated == gatherApp {
+		t.Fatal("mutation did not apply")
+	}
+	files["g/app/app.go"] = mutated
+	got := analysistest.RunFiles(t, gatherorder.Analyzer, "g/app", files)
+	if len(got) != 1 {
+		t.Fatalf("map-range gather should yield exactly one finding, got %v", got)
+	}
+	for _, frag := range []string{"slot array slots", "index order"} {
+		if !strings.Contains(got[0].Message, frag) {
+			t.Errorf("diagnostic %q missing %q", got[0].Message, frag)
+		}
+	}
+}

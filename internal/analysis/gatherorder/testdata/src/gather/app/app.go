@@ -1,0 +1,71 @@
+// Package app exercises the gather-order rules: slot arrays must be
+// consumed in deterministic index order, and propview:deterministic
+// functions must transitively avoid wall-clock and randomness.
+package app
+
+import (
+	"time"
+
+	"gather/par"
+)
+
+// Process fills slots in parallel and gathers serially in index order:
+// the canonical width-invariant pipeline.
+//
+// propview:deterministic
+func Process(keys []string) []string {
+	slots := make([]string, len(keys))
+	par.For(len(keys), func(i int) {
+		slots[i] = keys[i] + "!"
+	})
+	out := make([]string, 0, len(slots))
+	for i := range slots {
+		out = append(out, slots[i])
+	}
+	return out
+}
+
+// BadGather throws the slot discipline away at the last step: the gather
+// runs under a map range, so the output order is the map's.
+func BadGather(sel map[int]bool, keys []string) []string {
+	slots := make([]string, len(keys))
+	par.For(len(keys), func(i int) {
+		slots[i] = keys[i]
+	})
+	var out []string
+	for k := range sel {
+		out = append(out, slots[k]) // want `slot array slots gathered under a loop ordered by range over map`
+	}
+	return out
+}
+
+// BadClock stamps output from a function that promised determinism.
+//
+// propview:deterministic
+func BadClock() string {
+	return time.Now().String() // want `reaches nondeterminism: time.Now`
+}
+
+// stamp is unmarked: free to read the clock, but its summary records it.
+func stamp() string {
+	return time.Now().String()
+}
+
+// BadIndirect reaches the clock through a helper call.
+//
+// propview:deterministic
+func BadIndirect() string {
+	return stamp() // want `reaches nondeterminism: time.Now`
+}
+
+// seed is deterministic and says so; callers may rely on the promise
+// without re-deriving it.
+//
+// propview:deterministic
+func seed() int { return 42 }
+
+// GoodCall relies on seed's own checked promise: propagation stops at
+// marked callees.
+//
+// propview:deterministic
+func GoodCall() int { return seed() }

@@ -1,0 +1,12 @@
+// Package par is a fixture stand-in for internal/parallel; see the
+// parslot fixture of the same shape.
+package par
+
+// For runs fn(i) for every i in [0, n), concurrently.
+//
+// propview:fanout
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,34 @@
+// Package maporder is an iteration-order taint analysis: Go map `range`
+// order varies run to run, so a value whose element order derives from one
+// (an append inside a map-range body, a slice write positioned by a loop
+// counter rather than the map key, a call returning a map-ordered result —
+// tracked across packages via ordering facts) must not reach an
+// order-sensitive sink. Sinks are the returns of propview:deterministic
+// functions and JSON encoding (the propviewd response path); sorting the
+// value (sort.*, slices.Sort*) or gathering it into keyed slots clears the
+// taint, and propview:order-insensitive marks functions whose consumers
+// tolerate any order. The taint walk lives in summary.Order; this analyzer
+// reports its maporder findings under its own name.
+package maporder
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/summary"
+)
+
+// Analyzer reports map-range-ordered values flowing into order-sensitive
+// sinks without an intervening sort or keyed-slot gather.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "checks that map-iteration-ordered values do not reach order-sensitive sinks without a sort or keyed-slot gather",
+	Requires: []*analysis.Analyzer{summary.Order},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := pass.ResultOf[summary.Order].(*summary.OrderResult)
+	for _, v := range res.Maporder {
+		pass.Reportf(v.Pos, "%s", v.Message)
+	}
+	return nil, nil
+}

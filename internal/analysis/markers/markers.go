@@ -26,6 +26,24 @@ type FuncInfo struct {
 	// Holds lists lock field names the caller guarantees are held
 	// (propview:holds a, b).
 	Holds []string
+	// Deterministic: the function promises output independent of map
+	// iteration order, wall-clock and randomness; gatherorder checks the
+	// promise transitively (propview:deterministic).
+	Deterministic bool
+	// OrderInsensitive: the function's consumers tolerate any element
+	// order, so map-range-ordered values may flow out of it
+	// (propview:order-insensitive).
+	OrderInsensitive bool
+	// Fanout: closures passed to this function run concurrently, one
+	// invocation per index; parslot holds their captured writes to the
+	// per-index-slot discipline (propview:fanout).
+	Fanout bool
+}
+
+// any reports whether the info carries at least one marker.
+func (info FuncInfo) any() bool {
+	return info.ReadOnly || info.NoRetain || info.Publish || len(info.Holds) > 0 ||
+		info.Deterministic || info.OrderInsensitive || info.Fanout
 }
 
 // Funcs collects the function markers of the package under analysis.
@@ -36,7 +54,7 @@ func Funcs(pass *analysis.Pass) map[*types.Func]FuncInfo {
 			fd, ok := decl.(*ast.FuncDecl)
 			if ok && fd.Doc != nil {
 				info := parseFuncMarkers(fd.Doc)
-				if !info.ReadOnly && !info.NoRetain && !info.Publish && len(info.Holds) == 0 {
+				if !info.any() {
 					continue
 				}
 				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
@@ -60,6 +78,12 @@ func parseFuncMarkers(doc *ast.CommentGroup) FuncInfo {
 			info.NoRetain = true
 		case text == "propview:publish":
 			info.Publish = true
+		case text == "propview:deterministic":
+			info.Deterministic = true
+		case text == "propview:order-insensitive":
+			info.OrderInsensitive = true
+		case text == "propview:fanout":
+			info.Fanout = true
 		default:
 			if rest, ok := strings.CutPrefix(text, "propview:holds "); ok {
 				for _, name := range strings.Split(rest, ",") {

@@ -1,0 +1,85 @@
+package parslot_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/parslot"
+)
+
+func TestParslot(t *testing.T) {
+	analysistest.Run(t, "testdata", parslot.Analyzer, "parwork/work")
+}
+
+const slotPar = `package par
+
+// For runs fn(i) for every i in [0, n), concurrently.
+//
+// propview:fanout
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+`
+
+const slotWork = `package work
+
+import "slot/par"
+
+// Square fills slots index-disjointly.
+func Square(n int) []int {
+	slots := make([]int, n)
+	par.For(n, func(i int) {
+		slots[i] = i * i
+	})
+	return slots
+}
+`
+
+// TestSwappedSlotIndex proves the analyzer re-derives the diagnostic from
+// a mutation: the known-good fixture is clean, and redirecting the
+// worker's write from its own slot to a fixed one — the archetypal racy
+// "accumulate into slot 0" bug — is reported.
+func TestSwappedSlotIndex(t *testing.T) {
+	files := map[string]string{
+		"slot/par/par.go":   slotPar,
+		"slot/work/work.go": slotWork,
+	}
+	if got := analysistest.RunFiles(t, parslot.Analyzer, "slot/work", files); len(got) != 0 {
+		t.Fatalf("slot-disciplined fixture should be clean, got %v", got)
+	}
+
+	swapped := strings.Replace(slotWork, "slots[i] = i * i", "slots[0] += i * i", 1)
+	if swapped == slotWork {
+		t.Fatal("mutation did not apply")
+	}
+	files["slot/work/work.go"] = swapped
+	got := analysistest.RunFiles(t, parslot.Analyzer, "slot/work", files)
+	if len(got) != 1 {
+		t.Fatalf("swapped slot index should yield exactly one finding, got %v", got)
+	}
+	for _, frag := range []string{"captured variable slots", "per-index slot"} {
+		if !strings.Contains(got[0].Message, frag) {
+			t.Errorf("diagnostic %q missing %q", got[0].Message, frag)
+		}
+	}
+}
+
+// TestAppendInsteadOfSlot mutates the gather the other way: replacing the
+// per-index slot write with an append to a captured slice.
+func TestAppendInsteadOfSlot(t *testing.T) {
+	files := map[string]string{
+		"slot/par/par.go": slotPar,
+		"slot/work/work.go": strings.Replace(slotWork,
+			"slots[i] = i * i", "slots = append(slots, i*i)", 1),
+	}
+	got := analysistest.RunFiles(t, parslot.Analyzer, "slot/work", files)
+	if len(got) != 1 {
+		t.Fatalf("append from a worker should yield exactly one finding, got %v", got)
+	}
+	if !strings.Contains(got[0].Message, "captured variable slots") {
+		t.Errorf("diagnostic %q missing capture mention", got[0].Message)
+	}
+}

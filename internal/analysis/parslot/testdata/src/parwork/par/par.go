@@ -1,0 +1,13 @@
+// Package par is a fixture stand-in for internal/parallel: its For fans a
+// closure out over concurrent workers, declared via propview:fanout so the
+// marker travels to importers as an ordering fact.
+package par
+
+// For runs fn(i) for every i in [0, n), concurrently.
+//
+// propview:fanout
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

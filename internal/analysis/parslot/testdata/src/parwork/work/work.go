@@ -1,0 +1,131 @@
+// Package work exercises the per-index-slot write discipline for closures
+// passed to a fan-out imported from another package.
+package work
+
+import (
+	"sync"
+
+	"parwork/par"
+)
+
+// Good writes captured state only through its own index's slot.
+func Good(n int) []int {
+	slots := make([]int, n)
+	par.For(n, func(i int) {
+		slots[i] = i * i
+	})
+	return slots
+}
+
+// GoodLocal mutates only worker-local state.
+func GoodLocal(n int) {
+	par.For(n, func(i int) {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		_ = acc
+	})
+}
+
+// Bad appends to a captured slice from concurrent workers: both a race on
+// the slice header and an ordering leak.
+func Bad(n int) []int {
+	var out []int
+	par.For(n, func(i int) {
+		out = append(out, i) // want `writes captured variable out outside a per-index slot`
+	})
+	return out
+}
+
+// BadCounter increments a captured scalar without synchronization.
+func BadCounter(n int) int {
+	total := 0
+	par.For(n, func(i int) {
+		total++ // want `writes captured variable total outside a per-index slot`
+	})
+	return total
+}
+
+// BadMap writes a captured map: map writes are never per-index-disjoint.
+func BadMap(n int) map[int]int {
+	out := make(map[int]int)
+	par.For(n, func(i int) {
+		out[i] = i // want `writes captured map out`
+	})
+	return out
+}
+
+// Locked accumulates under a mutex: synchronized, allowed.
+func Locked(n int) int {
+	var mu sync.Mutex
+	total := 0
+	par.For(n, func(i int) {
+		mu.Lock()
+		total += i
+		mu.Unlock()
+	})
+	return total
+}
+
+// LockedDefer holds the mutex to worker exit via defer.
+func LockedDefer(n int) int {
+	var mu sync.Mutex
+	total := 0
+	par.For(n, func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		total += i
+	})
+	return total
+}
+
+// push appends v through dst — a caller-visible mutation of *dst.
+func push(dst *[]int, v int) {
+	*dst = append(*dst, v)
+}
+
+// BadHelper smuggles the captured write through a helper call; the helper's
+// effect summary carries the mutation back to the worker.
+func BadHelper(n int) []int {
+	var out []int
+	par.For(n, func(i int) {
+		push(&out, i) // want `call to push mutates captured out`
+	})
+	return out
+}
+
+// GoodHelperSlot routes the same helper at the worker's own slot: the
+// mutation stays per-index-disjoint.
+func GoodHelperSlot(n int) [][]int {
+	slots := make([][]int, n)
+	par.For(n, func(i int) {
+		push(&slots[i], i)
+	})
+	return slots
+}
+
+// GoodDerivedIndex indexes slots by a local derived from the worker index
+// (the segment-partition idiom: each worker owns the slots its index maps
+// to). The derivation's injectivity is the author's obligation; the shape
+// — index traceable to the worker parameter — is what the analyzer
+// accepts.
+func GoodDerivedIndex(n int, affected []int) []int {
+	slots := make([]int, len(affected))
+	par.For(n, func(j int) {
+		i := affected[j]
+		slots[i] = i * i
+	})
+	return slots
+}
+
+// BadUnrelatedIndex indexes by a local with no tie to the worker index:
+// every worker hits slot 0.
+func BadUnrelatedIndex(n int) []int {
+	slots := make([]int, n)
+	par.For(n, func(i int) {
+		k := 0
+		slots[k] += i // want `writes captured variable slots outside a per-index slot`
+	})
+	return slots
+}

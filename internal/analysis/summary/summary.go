@@ -123,12 +123,20 @@ type FuncSummary struct {
 	// channels and WaitGroups, including those of callees.
 	ChanOps []ChanOp
 	WgOps   []WgOp
+	// Mutates lists the parameter indices the function writes through
+	// without synchronization — a caller-visible effect: stores through a
+	// pointer/slice/map parameter (directly or via callees), with -1 for
+	// the receiver. Writes under a held lock and atomic operations are
+	// excluded, so a mutex- or atomics-protected helper stays effect-free.
+	// parslot uses this to catch captured-state mutation smuggled into a
+	// parallel worker through a helper call.
+	Mutates []int
 }
 
 func (s *FuncSummary) empty() bool {
 	return len(s.Acquires) == 0 && len(s.NetHeld) == 0 && len(s.Releases) == 0 &&
 		len(s.NeedsHeld) == 0 && len(s.UsedEntry) == 0 && len(s.Launches) == 0 &&
-		len(s.ChanOps) == 0 && len(s.WgOps) == 0
+		len(s.ChanOps) == 0 && len(s.WgOps) == 0 && len(s.Mutates) == 0
 }
 
 // FuncFact exports a function's summary across package boundaries.

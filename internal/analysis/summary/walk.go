@@ -123,6 +123,17 @@ func (w *work) walkFunc(fd *ast.FuncDecl) {
 	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
 		fw.recv = w.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
 	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				fw.params = append(fw.params, nil) // unnamed: keep indices aligned
+				continue
+			}
+			for _, id := range field.Names {
+				fw.params = append(fw.params, w.pass.TypesInfo.Defs[id])
+			}
+		}
+	}
 	if info, ok := w.holds[obj]; ok {
 		for _, name := range info.Holds {
 			class := w.holdClass(obj, name)
@@ -189,7 +200,8 @@ func ResolveHoldClass(pass *analysis.Pass, obj *types.Func, name string) string 
 type funcWalker struct {
 	w        *work
 	name     string
-	recv     types.Object // receiver var, or nil
+	recv     types.Object   // receiver var, or nil
+	params   []types.Object // declared parameters, in signature order
 	root     *ast.BlockStmt
 	sum      *FuncSummary
 	held     map[string]heldLock
@@ -216,9 +228,11 @@ func (fw *funcWalker) stmt(s ast.Stmt) {
 			fw.expr(r, false)
 		}
 		for _, l := range s.Lhs {
+			fw.mutateLhs(l)
 			fw.expr(l, false)
 		}
 	case *ast.IncDecStmt:
+		fw.mutateLhs(s.X)
 		fw.expr(s.X, false)
 	case *ast.ReturnStmt:
 		for _, r := range s.Results {
@@ -630,6 +644,7 @@ func (fw *funcWalker) splice(call *ast.CallExpr, callee *types.Func) {
 	if calleeSum == nil {
 		return
 	}
+	fw.spliceMutates(call, calleeSum)
 	callStep := fmt.Sprintf("%s: %s calls %s", posStr(fw.w.pass.Fset, call.Pos()), fw.name, callee.Name())
 
 	for _, acq := range calleeSum.Acquires {
@@ -815,6 +830,140 @@ func (fw *funcWalker) wgOp(e ast.Expr, op string) {
 	if class, _ := fw.classOf(e); class != "" {
 		fw.addWgOp(class, op)
 	}
+}
+
+// ---- effect (mutation) tracking -------------------------------------------
+
+// mutateLhs records a caller-visible unsynchronized store: the lvalue roots
+// at a parameter or the receiver and its access chain crosses a reference
+// (pointer deref, slice/map index, or selector through a pointer), so the
+// write lands in memory the caller can observe. Writes while any lock is
+// held count as synchronized and are skipped — whether the lock is the
+// RIGHT one is lockguard's question, not the effect summary's.
+func (fw *funcWalker) mutateLhs(e ast.Expr) {
+	if len(fw.held) > 0 {
+		return
+	}
+	if root, escapes := lvalueRoot(fw.w.pass.TypesInfo, e); escapes {
+		fw.mutateObj(root)
+	}
+}
+
+func (fw *funcWalker) mutateObj(root types.Object) {
+	if root == nil {
+		return
+	}
+	if fw.recv != nil && root == fw.recv {
+		fw.addMutates(-1)
+		return
+	}
+	for i, p := range fw.params {
+		if p != nil && root == p {
+			fw.addMutates(i)
+			return
+		}
+	}
+}
+
+func (fw *funcWalker) addMutates(i int) {
+	for _, m := range fw.sum.Mutates {
+		if m == i {
+			return
+		}
+	}
+	fw.sum.Mutates = append(fw.sum.Mutates, i)
+}
+
+// spliceMutates propagates a callee's mutation effects to this function's
+// summary: callee writes through argument j (receiver for -1), and that
+// argument reaches back to one of our parameters or our receiver, so the
+// effect is ours too. Mutations of locals stay confined and vanish here.
+func (fw *funcWalker) spliceMutates(call *ast.CallExpr, calleeSum *FuncSummary) {
+	if len(fw.held) > 0 || len(calleeSum.Mutates) == 0 {
+		return
+	}
+	for _, j := range calleeSum.Mutates {
+		var arg ast.Expr
+		if j == -1 {
+			if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				arg = sel.X
+			}
+		} else if j >= 0 && j < len(call.Args) {
+			arg = call.Args[j]
+		}
+		if arg == nil {
+			continue
+		}
+		if root, escapes := argMutationRoot(fw.w.pass.TypesInfo, arg); escapes {
+			fw.mutateObj(root)
+		}
+	}
+}
+
+// lvalueRoot unwraps an lvalue to its root object and reports whether the
+// access chain crosses a reference — a pointer dereference, a slice or map
+// index, or a selector through a pointer — meaning a store through the
+// chain is visible beyond the root variable itself. A bare identifier
+// never escapes: `p = v` rebinds the local copy.
+func lvalueRoot(info *types.Info, e ast.Expr) (types.Object, bool) {
+	escapes := false
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			escapes = true
+			e = x.X
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[x.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					escapes = true
+				}
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if obj := info.Uses[x.Sel]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && !v.IsField() {
+					return v, escapes // qualified package-level var
+				}
+			}
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					escapes = true
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj, escapes
+		default:
+			return nil, false
+		}
+	}
+}
+
+// argMutationRoot resolves the root of an argument a callee writes
+// through. `&x` mutates the lvalue x (the lvalue rule applies); a
+// reference-typed argument shares its pointee with the caller, so a bare
+// `p` of pointer/slice/map type escapes as-is; a value-typed expression
+// (an implicitly addressed method receiver) falls back to the lvalue rule.
+func argMutationRoot(info *types.Info, e ast.Expr) (types.Object, bool) {
+	e = analysis.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return lvalueRoot(info, u.X)
+	}
+	root, chainEscapes := lvalueRoot(info, e)
+	if tv, ok := info.Types[e]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+			return root, true
+		}
+	}
+	return root, chainEscapes
 }
 
 // ---- summary accumulation (deduplicated, walk order) ----------------------

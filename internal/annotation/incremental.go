@@ -25,6 +25,7 @@
 package annotation
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/overlay"
@@ -158,6 +159,8 @@ func (wv *WhereView) ApplyDeletion(T []relation.SourceTuple) *WhereView {
 // overlay derivations — so the derived index is identical at any worker
 // count; the fingerprint differential test pins that byte-for-byte.
 // workers <= 1 is exactly ApplyDeletion.
+//
+// propview:deterministic
 func (wv *WhereView) ApplyDeletionWorkers(T []relation.SourceTuple, workers int) *WhereView {
 	if len(T) == 0 || wv.root == nil {
 		return wv
@@ -197,6 +200,8 @@ func (wv *WhereView) ApplyDeletionWorkers(T []relation.SourceTuple, workers int)
 // children's new generations and the static build-time maps are safe
 // concurrently (immutable after construction); the touched counter is
 // atomic.
+//
+// propview:deterministic
 func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics, par *parallel.Budget) (*annNode, delta) {
 	switch n.kind {
 	case nodeScan:
@@ -266,6 +271,9 @@ func (n *annNode) applyDel(byRel map[string][]relation.Tuple, met *whereMetrics,
 		for k := range cands {
 			keys = append(keys, k)
 		}
+		// Sorted for the same reason as candSlices: the serial gather below
+		// appends died/changed in keys order.
+		sort.Strings(keys)
 		// Recomputing one candidate reads only the child's new generation
 		// and the static pre-image lists: independent per candidate, so
 		// each index writes its own slot and the set/dead assembly gathers
@@ -463,18 +471,28 @@ type projSlot struct {
 // candSlices materializes a candidate map into parallel key/tuple slices
 // so a partitioned pass can index it; candidate state is order-free, so
 // the map's iteration order is as good as any.
+//
+// propview:deterministic
 func candSlices(cands map[string]relation.Tuple) ([]string, []relation.Tuple) {
+	// Sorted, not map order: the slots these keys index are gathered into
+	// the delta's died/changed lists positionally, so the key order here IS
+	// the delta order — a map range would make it vary run to run.
 	keys := make([]string, 0, len(cands))
-	outs := make([]relation.Tuple, 0, len(cands))
-	for k, t := range cands {
+	for k := range cands {
 		keys = append(keys, k)
-		outs = append(outs, t)
+	}
+	sort.Strings(keys)
+	outs := make([]relation.Tuple, len(keys))
+	for i, k := range keys {
+		outs[i] = cands[k]
 	}
 	return keys, outs
 }
 
 // gatherSlots assembles a partitioned recompute's slots into the node's
 // delta and overlay derivation inputs, serially.
+//
+// propview:deterministic
 func gatherSlots(keys []string, slots []projSlot) (delta, map[string]annEntry, map[string]struct{}) {
 	var d delta
 	set := make(map[string]annEntry)
@@ -496,13 +514,13 @@ func gatherSlots(keys []string, slots []projSlot) (delta, map[string]annEntry, m
 // applyDelKids recurses into a two-child node's subtrees — concurrently
 // with a budget (the sibling-subtree axis; Budget.For is the join
 // barrier), inline without one.
+//
+// propview:deterministic
 func (n *annNode) applyDelKids(byRel map[string][]relation.Tuple, met *whereMetrics, par *parallel.Budget) (nl *annNode, ld delta, nr *annNode, rd delta) {
+	var nodes [2]*annNode
+	var deltas [2]delta
 	run := func(i int) {
-		if i == 0 {
-			nl, ld = n.kids[0].applyDel(byRel, met, par)
-		} else {
-			nr, rd = n.kids[1].applyDel(byRel, met, par)
-		}
+		nodes[i], deltas[i] = n.kids[i].applyDel(byRel, met, par)
 	}
 	if par != nil {
 		par.For(2, run)
@@ -510,7 +528,7 @@ func (n *annNode) applyDelKids(byRel map[string][]relation.Tuple, met *whereMetr
 		run(0)
 		run(1)
 	}
-	return nl, ld, nr, rd
+	return nodes[0], deltas[0], nodes[1], deltas[1]
 }
 
 // derive publishes this node's next generation: same statics, new kids

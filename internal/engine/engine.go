@@ -384,6 +384,8 @@ func (e *Engine) lookup(name string) (*prepared, error) {
 }
 
 // Views returns the prepared view names in lexicographic order.
+//
+// propview:deterministic
 func (e *Engine) Views() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

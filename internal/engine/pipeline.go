@@ -497,6 +497,8 @@ func (e *Engine) insertGroup(reqs []*writeReq) error {
 
 // fanOut runs fn(0..n-1) on up to e.opt.Workers concurrent workers and
 // waits for all of them.
+//
+// propview:fanout
 func (e *Engine) fanOut(n int, fn func(i int)) {
 	workers := e.opt.Workers
 	if workers > n {

@@ -36,6 +36,8 @@ import (
 // Hash is 32-bit FNV-1a — the partition function shared by the segmented
 // source store and the maintenance delta partitioning. Inlined rather than
 // hash/fnv to avoid a Writer allocation per key on the hot path.
+//
+// propview:deterministic
 func Hash(key string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
@@ -51,6 +53,9 @@ func Hash(key string) uint32 {
 // balances itself. GOMAXPROCS is read at call time, not process start, so
 // benchmark -cpu sweeps change the fan-out. Inlines when a single worker
 // would run — the scatter/gather paths cost nothing extra on GOMAXPROCS=1.
+//
+// propview:fanout
+// propview:deterministic
 func For(n int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -168,6 +173,9 @@ func (b *Budget) release(got int64) {
 // joining them all (and returning the tokens) before it returns. With a
 // nil receiver, or when the pool is empty, it is exactly the inline loop —
 // same calls, same order.
+//
+// propview:fanout
+// propview:deterministic
 func (b *Budget) For(n int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -193,6 +201,9 @@ func (b *Budget) For(n int, fn func(int)) {
 // keeps every index of one key's partition on one goroutine — the same
 // discipline the segmented store uses, with the same hash, so a tuple's
 // maintenance partition matches its storage segment.
+//
+// propview:fanout
+// propview:deterministic
 func (b *Budget) ForKeyed(n, min int, key func(int) string, eval func(int)) {
 	p := b.Width()
 	if n < min || p <= 1 || n <= 1 {

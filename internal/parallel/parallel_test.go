@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -23,8 +24,9 @@ func TestForInlinesOnSingleProc(t *testing.T) {
 	defer runtime.GOMAXPROCS(old)
 	// With one proc the loop must run on the calling goroutine in order —
 	// observable as strictly ascending indexes without synchronization.
+	var mu sync.Mutex
 	var seen []int
-	For(100, func(i int) { seen = append(seen, i) })
+	For(100, func(i int) { mu.Lock(); seen = append(seen, i); mu.Unlock() })
 	for i, v := range seen {
 		if v != i {
 			t.Fatalf("inline order broken at %d: got %d", i, v)
@@ -60,8 +62,9 @@ func TestNewBudgetSerialIsNil(t *testing.T) {
 
 func TestNilBudgetInlines(t *testing.T) {
 	var b *Budget
+	var mu sync.Mutex
 	var seen []int
-	b.For(10, func(i int) { seen = append(seen, i) })
+	b.For(10, func(i int) { mu.Lock(); seen = append(seen, i); mu.Unlock() })
 	for i, v := range seen {
 		if v != i {
 			t.Fatalf("nil budget must inline in order; index %d got %d", i, v)
@@ -71,7 +74,7 @@ func TestNilBudgetInlines(t *testing.T) {
 		t.Fatalf("nil budget Width = %d, want 1", b.Width())
 	}
 	seen = seen[:0]
-	b.ForKeyed(10, 1, func(i int) string { return "k" }, func(i int) { seen = append(seen, i) })
+	b.ForKeyed(10, 1, func(i int) string { return "k" }, func(i int) { mu.Lock(); seen = append(seen, i); mu.Unlock() })
 	if len(seen) != 10 {
 		t.Fatalf("nil budget ForKeyed covered %d indexes, want 10", len(seen))
 	}
@@ -153,8 +156,9 @@ func TestForKeyedPartitionsByKeyAndCoversAll(t *testing.T) {
 
 func TestForKeyedInlinesBelowMin(t *testing.T) {
 	b := NewBudget(8)
-	var seen []int // safe only if inline
-	b.ForKeyed(9, 10, func(i int) string { return "x" }, func(i int) { seen = append(seen, i) })
+	var mu sync.Mutex
+	var seen []int // appended in call order; the assertions below need inline execution
+	b.ForKeyed(9, 10, func(i int) string { return "x" }, func(i int) { mu.Lock(); seen = append(seen, i); mu.Unlock() })
 	for i, v := range seen {
 		if v != i {
 			t.Fatalf("ForKeyed below min must inline in order; index %d got %d", i, v)

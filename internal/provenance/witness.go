@@ -408,6 +408,8 @@ func (r *Result) ApplyDeletionTo(newDB *relation.Database, T []relation.SourceTu
 // ApplyDeletionTo: per-candidate results land in index-ordered slots and
 // are gathered serially, so the derived Result is byte-identical to the
 // serial walk at any worker count.
+//
+// propview:deterministic
 func (r *Result) ApplyDeletionWorkers(newDB *relation.Database, T []relation.SourceTuple, workers int) *Result {
 	del := newDeletionSet(T)
 	if len(del.keys) == 0 {
@@ -501,6 +503,8 @@ type delState struct {
 // so the derived node is identical at any width. The pre-deletion state
 // read concurrently (n.wit, bucket chains, child witness maps) is
 // immutable published generations, safe for any number of readers.
+//
+// propview:deterministic
 func deleteNodeDelta(q algebra.Query, n *evalNode, newDB *relation.Database, del *deletionSet, tm *treeMetrics, par *parallel.Budget) delState {
 	if !touchesAny(q, del.rels) {
 		tm.sharedNodes.Add(1)
@@ -751,6 +755,8 @@ func (r *Result) ApplyInsertion(newDB *relation.Database, I []relation.SourceTup
 // ErrLimit failure (first candidate in derivation order to trip the cap)
 // are byte-identical to the serial pass at any worker count. workers <= 1
 // is exactly ApplyInsertion.
+//
+// propview:deterministic
 func (r *Result) ApplyInsertionWorkers(newDB *relation.Database, I []relation.SourceTuple, workers int) (*Result, error) {
 	if len(I) == 0 {
 		return r, nil
@@ -834,6 +840,8 @@ func touchesAny(q algebra.Query, touched map[string]bool) bool {
 // identical to the serial loop. Workers race only on touchedTuples,
 // which may over-count by the in-flight candidates of an erroring pass —
 // the commit aborts in that case, so the counter drift is unobservable.
+//
+// propview:deterministic
 func mergeCandidates(old *evalNode, cands []relation.Tuple, acc map[string][]Witness, check func([]Witness) error, tm *treeMetrics, par *parallel.Budget) (set map[string][]Witness, delta, novel []relation.Tuple, dwit map[string][]Witness, err error) {
 	type insSlot struct {
 		merged, added []Witness
@@ -931,6 +939,8 @@ func passThrough(old *evalNode, child deltaNode, keep func(relation.Tuple) bool,
 // relations I inserts into. A subtree scanning none of them has an empty
 // delta by definition, so its old node is shared unchanged instead of
 // being rebuilt — e.g. the untouched side of a join.
+//
+// propview:deterministic
 func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool, tm *treeMetrics, par *parallel.Budget) (deltaNode, error) {
 	if !touchesAny(q, touched) {
 		tm.sharedNodes.Add(1)
@@ -1163,31 +1173,33 @@ func insertNodeDelta(q algebra.Query, old *evalNode, newDB *relation.Database, I
 // serially the right child is skipped after a left error, exactly as the
 // inline recursion did. Error preference is left-first either way, so
 // errNoDelta fallbacks and ErrLimit attribution are width-independent.
+//
+// propview:deterministic
 func insertKidsPair(ql, qr algebra.Query, old *evalNode, newDB *relation.Database, I []relation.SourceTuple, lim Limit, touched map[string]bool, tm *treeMetrics, par *parallel.Budget) (deltaNode, deltaNode, error) {
-	var left, right deltaNode
-	var lerr, rerr error
+	var res [2]deltaNode
+	var errs [2]error
 	run := func(i int) {
 		if i == 0 {
-			left, lerr = insertNodeDelta(ql, old.kids[0], newDB, I, lim, touched, tm, par)
+			res[i], errs[i] = insertNodeDelta(ql, old.kids[0], newDB, I, lim, touched, tm, par)
 		} else {
-			right, rerr = insertNodeDelta(qr, old.kids[1], newDB, I, lim, touched, tm, par)
+			res[i], errs[i] = insertNodeDelta(qr, old.kids[1], newDB, I, lim, touched, tm, par)
 		}
 	}
 	if par != nil {
 		par.For(2, run)
 	} else {
 		run(0)
-		if lerr == nil {
+		if errs[0] == nil {
 			run(1)
 		}
 	}
-	if lerr != nil {
-		return deltaNode{}, deltaNode{}, lerr
+	if errs[0] != nil {
+		return deltaNode{}, deltaNode{}, errs[0]
 	}
-	if rerr != nil {
-		return deltaNode{}, deltaNode{}, rerr
+	if errs[1] != nil {
+		return deltaNode{}, deltaNode{}, errs[1]
 	}
-	return left, right, nil
+	return res[0], res[1], nil
 }
 
 // Limit bounds witness-basis computation. The basis can be exponential in
